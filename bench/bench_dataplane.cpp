@@ -1,0 +1,94 @@
+// Library performance benchmarks: how fast the behavioral substrate
+// itself runs (parser execution, table lookups, end-to-end packets
+// through the composed Fig. 2 program). These time OUR simulator, not
+// the ASIC — they bound how large a workload the reproduction can
+// drive.
+#include <benchmark/benchmark.h>
+
+#include "control/deployment.hpp"
+#include "nf/parser_lib.hpp"
+#include "sfc/header.hpp"
+#include "sim/dataplane.hpp"
+#include "sim/parse.hpp"
+
+namespace {
+
+using namespace dejavu;
+
+void BM_ParserExecution(benchmark::State& state) {
+  p4ir::TupleIdTable ids;
+  p4ir::Program program("p");
+  nf::add_standard_parser(program, ids);
+  auto packet = net::Packet::make({});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::run_parser(program, ids, packet));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ParserExecution);
+
+void BM_ExactTableLookup(benchmark::State& state) {
+  p4ir::Table def;
+  def.name = "t";
+  def.keys = {p4ir::TableKey{"a.x", p4ir::MatchKind::kExact, 32}};
+  def.actions = {"act"};
+  def.max_entries = 1 << 16;
+  sim::RuntimeTable rt(def);
+  for (std::uint64_t i = 0; i < 10000; ++i) {
+    rt.add_exact({i}, sim::ActionCall{"act", {{"p", i}}});
+  }
+  std::uint64_t key = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rt.lookup({key++ % 10000}));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ExactTableLookup);
+
+void BM_TernaryTableLookup(benchmark::State& state) {
+  p4ir::Table def;
+  def.name = "acl";
+  def.keys = {p4ir::TableKey{"ipv4.src", p4ir::MatchKind::kTernary, 32}};
+  def.actions = {"permit"};
+  def.max_entries = 4096;
+  sim::RuntimeTable rt(def);
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    rt.add_ternary({net::TernaryField{i << 8, 0xffffff00}},
+                   static_cast<std::int32_t>(i),
+                   sim::ActionCall{"permit", {}});
+  }
+  std::uint64_t key = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rt.lookup({(key++ % n) << 8}));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TernaryTableLookup)->Arg(64)->Arg(1024);
+
+void BM_EndToEndFig2(benchmark::State& state) {
+  auto fx = control::make_fig2_deployment();
+  auto& cp = fx.deployment->control();
+  net::PacketSpec spec;
+  spec.ip_dst = net::Ipv4Addr(10, 3, 0, 1);
+  auto packet = net::Packet::make(spec);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cp.inject(packet, 0));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EndToEndFig2);
+
+void BM_SfcPushPop(benchmark::State& state) {
+  auto packet = net::Packet::make({});
+  for (auto _ : state) {
+    sfc::push_sfc(packet, sfc::SfcHeader{});
+    benchmark::DoNotOptimize(sfc::pop_sfc(packet));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SfcPushPop);
+
+}  // namespace
+
+BENCHMARK_MAIN();

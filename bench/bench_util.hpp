@@ -1,0 +1,20 @@
+// Shared helpers for the reproduction benches: each binary prints the
+// paper row/series it regenerates (plus our measured values) before
+// running its google-benchmark timers, so `./bench_x` alone shows the
+// full comparison.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace dejavu::bench {
+
+inline void heading(const std::string& title) {
+  std::printf("\n==== %s ====\n", title.c_str());
+}
+
+inline void subheading(const std::string& title) {
+  std::printf("-- %s --\n", title.c_str());
+}
+
+}  // namespace dejavu::bench

@@ -1,0 +1,157 @@
+// dejavu_cli: an operator's console for the canonical Fig. 2 edge
+// deployment — the kind of tooling §7's "implications for network
+// operation" asks for. Subcommands inspect placement, resources, and
+// predicted throughput, export control-plane metadata, and inject test
+// packets.
+//
+//   $ ./dejavu_cli plan [--fig9]
+//   $ ./dejavu_cli resources [--fig9]
+//   $ ./dejavu_cli throughput <offered-gbps> [--fig9]
+//   $ ./dejavu_cli send <dst-ip> [count] [--fig9]
+//   $ ./dejavu_cli p4info [--fig9]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "control/deployment.hpp"
+#include "control/p4info.hpp"
+#include "sim/latency.hpp"
+#include "sim/throughput.hpp"
+
+using namespace dejavu;
+
+namespace {
+
+int cmd_plan(control::Fig2Deployment& fx) {
+  std::printf("placement: %s\n",
+              fx.deployment->placement().to_string().c_str());
+  sim::LatencyModel latency(asic::TargetSpec::tofino32());
+  for (const auto& [path, t] : fx.deployment->routing().traversals) {
+    std::printf("path %u (%s, w=%.2f): %u recircs, %u resubs, %.0f ns\n",
+                path, fx.policies.find(path)->name.c_str(),
+                fx.policies.find(path)->weight, t.recirculations,
+                t.resubmissions, latency.traversal_ns(t));
+    std::printf("  %s\n", t.to_string().c_str());
+  }
+  std::printf("branching rules installed: %zu; check entries: %zu\n",
+              fx.deployment->routing().branching.size(),
+              fx.deployment->routing().checks.size());
+  return 0;
+}
+
+int cmd_resources(control::Fig2Deployment& fx) {
+  auto framework = fx.deployment->framework_report();
+  auto total = fx.deployment->total_report();
+  std::printf("-- Dejavu framework overhead (Table 1) --\n%s",
+              framework.to_table().c_str());
+  std::printf("-- whole deployment --\n%s", total.to_table().c_str());
+  return 0;
+}
+
+int cmd_throughput(control::Fig2Deployment& fx, double offered) {
+  auto report = sim::estimate_throughput(
+      fx.policies, fx.deployment->routing().traversals,
+      fx.deployment->dataplane().config(), offered);
+  std::printf("%s", report.to_table().c_str());
+  return 0;
+}
+
+int cmd_send(control::Fig2Deployment& fx, const char* dst_text, int count) {
+  auto dst = net::Ipv4Addr::parse(dst_text);
+  if (!dst) {
+    std::fprintf(stderr, "bad destination address '%s'\n", dst_text);
+    return 2;
+  }
+  int delivered = 0, dropped = 0, punted = 0;
+  std::uint32_t recircs = 0;
+  for (int i = 0; i < count; ++i) {
+    net::PacketSpec spec;
+    spec.ip_dst = *dst;
+    spec.src_port = static_cast<std::uint16_t>(42000 + i);
+    auto out = fx.deployment->control().inject(net::Packet::make(spec),
+                                               control::Fig2Deployment::
+                                                   kSenderPort);
+    delivered += static_cast<int>(out.out.size());
+    dropped += out.dropped;
+    punted += !out.to_cpu.empty();
+    recircs += out.recirculations;
+    if (i == 0 && !out.out.empty()) {
+      const auto& p = out.out.front();
+      std::printf("first packet: port %u, dst %s, ttl %u, sfc %s\n",
+                  p.port, p.packet.ipv4()->dst.to_string().c_str(),
+                  p.packet.ipv4()->ttl,
+                  p.packet.has_sfc_header() ? "LEAKED" : "popped");
+    }
+    if (i == 0 && out.dropped) {
+      std::printf("first packet dropped: %s\n", out.drop_reason.c_str());
+    }
+  }
+  std::printf("%d sent: %d delivered, %d dropped, %d punted, "
+              "%u recirculations total\n",
+              count, delivered, dropped, punted, recircs);
+  std::printf("sessions learned: %zu\n",
+              fx.deployment->control().sessions_learned());
+  return 0;
+}
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: dejavu_cli <plan|resources|throughput|send|p4info> "
+               "[args] [--fig9]\n"
+               "  plan                     placement + traversals\n"
+               "  resources                Table-1 style report\n"
+               "  throughput <gbps>        predicted per-chain delivery\n"
+               "  send <dst-ip> [count]    inject test packets\n"
+               "  p4info                   control-plane JSON description\n"
+               "  --fig9                   use the paper's prototype "
+               "placement\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  bool fig9 = false;
+  std::erase_if(args, [&](const std::string& a) {
+    if (a == "--fig9") {
+      fig9 = true;
+      return true;
+    }
+    return false;
+  });
+  if (args.empty()) {
+    usage();
+    return 2;
+  }
+
+  auto fx = fig9 ? control::make_fig9_deployment()
+                 : control::make_fig2_deployment();
+
+  const std::string& cmd = args[0];
+  if (cmd == "plan") return cmd_plan(fx);
+  if (cmd == "resources") return cmd_resources(fx);
+  if (cmd == "throughput") {
+    if (args.size() < 2) {
+      usage();
+      return 2;
+    }
+    return cmd_throughput(fx, std::atof(args[1].c_str()));
+  }
+  if (cmd == "send") {
+    if (args.size() < 2) {
+      usage();
+      return 2;
+    }
+    const int count = args.size() > 2 ? std::atoi(args[2].c_str()) : 1;
+    return cmd_send(fx, args[1].c_str(), count);
+  }
+  if (cmd == "p4info") {
+    std::fputs(control::p4info_json(fx.deployment->program()).c_str(),
+               stdout);
+    return 0;
+  }
+  usage();
+  return 2;
+}

@@ -1,0 +1,113 @@
+// Placement explorer: feed the optimizer arbitrary chains and compare
+// the naive alternating baseline, the exhaustive search, and simulated
+// annealing — the §3.3 optimization problem made tangible.
+//
+//   $ ./placement_explorer                 # the Fig. 6 chain
+//   $ ./placement_explorer A,B,C D,A,E    # custom chains (one arg each)
+//
+// NF names are free-form tokens; each chain's weight defaults to 1.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "place/optimizer.hpp"
+
+using namespace dejavu;
+
+namespace {
+
+std::vector<std::string> split_chain(const std::string& arg) {
+  std::vector<std::string> nfs;
+  std::string cur;
+  for (char c : arg) {
+    if (c == ',') {
+      if (!cur.empty()) nfs.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) nfs.push_back(cur);
+  return nfs;
+}
+
+void describe(const char* name, const place::Placement& placement,
+              const sfc::PolicySet& policies, const asic::TargetSpec& spec,
+              const place::TraversalEnv& env) {
+  std::printf("\n%s\n  %s\n", name, placement.to_string().c_str());
+  double weighted = 0;
+  for (const auto& policy : policies.policies()) {
+    auto t = place::plan_traversal(policy, placement, spec, env);
+    if (!t.feasible) {
+      std::printf("  path %u: INFEASIBLE (%s)\n", policy.path_id,
+                  t.infeasible_reason.c_str());
+      return;
+    }
+    weighted += policy.weight * t.recirculations;
+    std::printf("  path %u (w=%.2f): %u recircs, %u resubs\n    %s\n",
+                policy.path_id, policy.weight, t.recirculations,
+                t.resubmissions, t.to_string().c_str());
+  }
+  std::printf("  => weighted recirculations: %.2f\n", weighted);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  sfc::PolicySet policies;
+  if (argc > 1) {
+    for (int i = 1; i < argc; ++i) {
+      auto nfs = split_chain(argv[i]);
+      if (nfs.empty()) continue;
+      policies.add({.path_id = static_cast<std::uint16_t>(i),
+                    .name = argv[i],
+                    .nfs = std::move(nfs),
+                    .weight = 1.0,
+                    .in_port = 0,
+                    .exit_port = 1});
+    }
+  } else {
+    policies.add({.path_id = 1,
+                  .name = "fig6",
+                  .nfs = {"A", "B", "C", "D", "E", "F"},
+                  .weight = 1.0,
+                  .in_port = 0,
+                  .exit_port = 1});
+  }
+  if (policies.empty()) {
+    std::fprintf(stderr, "no valid chains given\n");
+    return 1;
+  }
+
+  auto spec = asic::TargetSpec::tofino32();
+  place::TraversalEnv env{.pipelines = spec.pipelines, .can_recirculate = {}};
+  // Cap pipelets at roughly two NFs each (the Fig. 6 regime) so the
+  // optimizer faces the same spreading problem the paper discusses.
+  place::StageModel model;
+  model.default_nf_stages = 3;
+
+  describe("naive alternating baseline",
+           place::naive_alternating(policies, spec), policies, spec, env);
+
+  const auto n = place::global_nf_order(policies).size();
+  if (n <= 9) {
+    auto exact = place::exhaustive_optimize(policies, spec, env, model);
+    std::printf("\nexhaustive: evaluated %llu placements, best cost %.2f\n",
+                static_cast<unsigned long long>(exact.evaluated), exact.cost);
+    if (exact.feasible) {
+      describe("exhaustive optimum", exact.placement, policies, spec, env);
+    }
+  } else {
+    std::printf("\n(%zu NFs: skipping exhaustive search)\n", n);
+  }
+
+  place::AnnealParams params;
+  params.iterations = 30000;
+  auto annealed = place::anneal_optimize(policies, spec, env, model, params);
+  if (annealed.feasible) {
+    describe("simulated annealing", annealed.placement, policies, spec, env);
+  } else {
+    std::printf("\nannealing found no feasible placement\n");
+  }
+  return 0;
+}

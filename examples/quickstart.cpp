@@ -1,0 +1,85 @@
+// Quickstart: deploy a two-NF service chain (Classifier -> Router) on
+// a simulated Tofino, install rules through the merged control plane,
+// and push a packet through it.
+//
+//   $ ./quickstart
+//
+// Walks the full Dejavu flow: NF programs -> parser merge + NF
+// composition -> placement -> stage allocation -> on-chip routing ->
+// a running behavioral data plane.
+#include <cstdio>
+
+#include "control/deployment.hpp"
+#include "nf/nfs.hpp"
+
+using namespace dejavu;
+
+int main() {
+  // 1. Author (or reuse) NF programs against the §3.1 control-block
+  //    interface. Every program interns its parser vertices through a
+  //    shared (header_type, offset) -> global-ID table.
+  p4ir::TupleIdTable ids;
+  std::vector<p4ir::Program> nfs;
+  nfs.push_back(nf::make_classifier(ids));
+  nfs.push_back(nf::make_router(ids));
+
+  // 2. Declare the chaining policy: who visits what, in which order,
+  //    arriving and leaving where.
+  sfc::PolicySet policies;
+  policies.add({.path_id = 1,
+                .name = "classify-then-route",
+                .nfs = {sfc::kClassifier, sfc::kRouter},
+                .weight = 1.0,
+                .in_port = 0,
+                .exit_port = 1});
+
+  // 3. Pick the switch profile (the paper's Wedge-100B 32X here) and
+  //    build: Deployment::build merges the programs, optimizes the
+  //    placement, allocates MAU stages, derives the branching rules,
+  //    and brings up the behavioral data plane.
+  asic::SwitchConfig config(asic::TargetSpec::tofino32());
+  auto deployment = control::Deployment::build(
+      std::move(nfs), policies, std::move(config), std::move(ids));
+
+  std::printf("placement: %s\n",
+              deployment->placement().to_string().c_str());
+  for (const auto& [path, t] : deployment->routing().traversals) {
+    std::printf("path %u traversal: %s\n", path, t.to_string().c_str());
+  }
+
+  // 4. Program the NF tables through the merged control plane.
+  auto& cp = deployment->control();
+  cp.add_traffic_class({.src = *net::Ipv4Prefix::parse("0.0.0.0/0"),
+                        .dst = *net::Ipv4Prefix::parse("10.0.0.0/8"),
+                        .protocol = std::nullopt,
+                        .priority = 10,
+                        .path_id = 1,
+                        .tenant = 7});
+  cp.add_route({.prefix = *net::Ipv4Prefix::parse("10.0.0.0/8"),
+                .port = 1,
+                .next_hop_mac = *net::MacAddr::parse("02:00:00:00:00:02")});
+
+  // 5. Send a packet and look at what comes out.
+  net::PacketSpec spec;
+  spec.ip_src = net::Ipv4Addr(192, 168, 0, 1);
+  spec.ip_dst = net::Ipv4Addr(10, 0, 0, 42);
+  auto out = cp.inject(net::Packet::make(spec), /*in_port=*/0);
+
+  if (out.out.size() == 1) {
+    const auto& emitted = out.out.front();
+    auto ip = emitted.packet.ipv4();
+    std::printf("delivered on port %u: dst=%s ttl=%u sfc=%s\n",
+                emitted.port, ip->dst.to_string().c_str(), ip->ttl,
+                emitted.packet.has_sfc_header() ? "yes" : "no (popped)");
+  } else {
+    std::printf("packet not delivered: %s\n", out.drop_reason.c_str());
+    return 1;
+  }
+
+  // 6. Ask the compiler-side how much of the switch the framework ate.
+  auto report = deployment->framework_report();
+  std::printf("framework overhead: %.1f%% of stages, %.1f%% of SRAM, "
+              "%.1f%% of TCAM\n", report.pct_stages(), report.pct_sram(),
+              report.pct_tcam());
+  return 0;
+}

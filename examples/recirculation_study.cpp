@@ -1,0 +1,62 @@
+// Recirculation study (§4 interactive): for any port/loopback
+// configuration and chain depth, print the capacity split, the fluid
+// feedback-queue prediction, and the packet-level simulation next to
+// each other.
+//
+//   $ ./recirculation_study                 # defaults: 32 ports, 16 loopback
+//   $ ./recirculation_study 32 8 4          # ports, loopback, max recircs
+#include <cstdio>
+#include <cstdlib>
+
+#include "sim/fluid.hpp"
+#include "sim/queue_sim.hpp"
+
+using namespace dejavu;
+
+int main(int argc, char** argv) {
+  const std::uint32_t ports = argc > 1 ? std::atoi(argv[1]) : 32;
+  const std::uint32_t loopback = argc > 2 ? std::atoi(argv[2]) : 16;
+  const std::uint32_t max_k = argc > 3 ? std::atoi(argv[3]) : 5;
+  const double port_gbps = 100.0;
+
+  if (loopback > ports || ports == 0) {
+    std::fprintf(stderr, "need 0 <= loopback <= ports, ports > 0\n");
+    return 1;
+  }
+
+  std::printf("switch: %u x %.0f G ports, %u in loopback mode\n", ports,
+              port_gbps, loopback);
+  std::printf("external capacity: %.1f Gbps (%.0f%% of the ASIC)\n",
+              ports * port_gbps * sim::external_capacity_fraction(ports,
+                                                                  loopback),
+              100 * sim::external_capacity_fraction(ports, loopback));
+  std::printf("fraction of external traffic that can recirculate once "
+              "without loss: %.2f\n\n",
+              sim::single_recirc_fraction(ports, loopback));
+
+  std::printf("per-loopback-port feedback queue (injection at line "
+              "rate):\n");
+  std::printf("%-8s %-14s %-14s %-12s %-12s\n", "recircs", "fluid Gbps",
+              "packet Gbps", "loss", "extra delay");
+  for (std::uint32_t k = 0; k <= max_k; ++k) {
+    sim::QueueSimParams params;
+    params.recirculations = k;
+    params.capacity_gbps = port_gbps;
+    auto r = sim::simulate_recirculation(params);
+    std::printf("%-8u %-14.1f %-14.1f %-12.3f %-12.1f\n", k,
+                sim::recirc_throughput_gbps(port_gbps, k), r.delivered_gbps,
+                r.loss_fraction, r.mean_extra_slots);
+  }
+
+  std::printf("\nper-generation loads on the loopback port (k = %u):\n",
+              max_k);
+  auto gens = sim::generation_throughputs_gbps(port_gbps, max_k);
+  double sum = 0;
+  for (std::size_t i = 0; i < gens.size(); ++i) {
+    std::printf("  pass %zu: %.1f Gbps\n", i + 1, gens[i]);
+    sum += gens[i];
+  }
+  std::printf("  total: %.1f Gbps (the port saturates at %.0f)\n", sum,
+              port_gbps);
+  return 0;
+}

@@ -1,0 +1,79 @@
+#include "asic/switch_config.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dejavu::asic {
+
+SwitchConfig::SwitchConfig(TargetSpec spec)
+    : spec_(std::move(spec)), loopback_(spec_.total_ports(), false) {}
+
+void SwitchConfig::set_loopback(std::uint32_t port, bool enabled) {
+  if (port >= loopback_.size()) {
+    throw std::out_of_range("port " + std::to_string(port) +
+                            " out of range (switch has " +
+                            std::to_string(loopback_.size()) + " ports)");
+  }
+  loopback_[port] = enabled;
+}
+
+void SwitchConfig::set_pipeline_loopback(std::uint32_t pipeline,
+                                         bool enabled) {
+  if (pipeline >= spec_.pipelines) {
+    throw std::out_of_range("pipeline " + std::to_string(pipeline) +
+                            " out of range");
+  }
+  for (std::uint32_t p = 0; p < spec_.total_ports(); ++p) {
+    if (spec_.pipeline_of_port(p) == pipeline) loopback_[p] = enabled;
+  }
+}
+
+bool SwitchConfig::is_loopback(std::uint32_t port) const {
+  if (port >= loopback_.size()) return false;
+  return loopback_[port];
+}
+
+std::uint32_t SwitchConfig::loopback_count() const {
+  return static_cast<std::uint32_t>(
+      std::count(loopback_.begin(), loopback_.end(), true));
+}
+
+std::uint32_t SwitchConfig::loopback_count_in_pipeline(
+    std::uint32_t pipeline) const {
+  std::uint32_t n = 0;
+  for (std::uint32_t p = 0; p < spec_.total_ports(); ++p) {
+    if (spec_.pipeline_of_port(p) == pipeline && loopback_[p]) ++n;
+  }
+  return n;
+}
+
+std::uint32_t SwitchConfig::external_port_count() const {
+  return spec_.total_ports() - loopback_count();
+}
+
+double SwitchConfig::external_capacity_gbps() const {
+  return external_port_count() * spec_.port_gbps;
+}
+
+double SwitchConfig::recirc_capacity_gbps(std::uint32_t pipeline) const {
+  return loopback_count_in_pipeline(pipeline) * spec_.port_gbps +
+         spec_.dedicated_recirc_gbps;
+}
+
+double SwitchConfig::single_recirc_fraction() const {
+  const std::uint32_t m = loopback_count();
+  const std::uint32_t n = spec_.total_ports();
+  if (n == m) return 1.0;  // nothing external; vacuously all of it
+  double frac = static_cast<double>(m) / (n - m);
+  return std::min(1.0, frac);
+}
+
+std::vector<std::uint32_t> SwitchConfig::loopback_ports() const {
+  std::vector<std::uint32_t> out;
+  for (std::uint32_t p = 0; p < loopback_.size(); ++p) {
+    if (loopback_[p]) out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace dejavu::asic

@@ -1,0 +1,53 @@
+// Port-level switch configuration: which front-panel ports are in
+// loopback mode (§4 — "a loopback port can no longer take external
+// traffic and bounces all packets back into the ingress pipe") and the
+// capacity accounting that follows from it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "asic/target.hpp"
+
+namespace dejavu::asic {
+
+class SwitchConfig {
+ public:
+  explicit SwitchConfig(TargetSpec spec);
+
+  const TargetSpec& spec() const { return spec_; }
+
+  /// Put a port into (or out of) loopback mode. Throws
+  /// std::out_of_range for unknown ports.
+  void set_loopback(std::uint32_t port, bool enabled = true);
+
+  /// Put every port hardwired to `pipeline` into loopback mode — the
+  /// configuration of the §5 prototype (all 16 ports of ingress 1).
+  void set_pipeline_loopback(std::uint32_t pipeline, bool enabled = true);
+
+  bool is_loopback(std::uint32_t port) const;
+  std::uint32_t loopback_count() const;
+  std::uint32_t loopback_count_in_pipeline(std::uint32_t pipeline) const;
+  std::uint32_t external_port_count() const;
+
+  /// External (revenue) capacity: (n - m)/n of the ASIC capacity when
+  /// m of n ports loop back (§4).
+  double external_capacity_gbps() const;
+
+  /// Loopback bandwidth available in one pipeline, including the
+  /// dedicated recirculation port's free bandwidth.
+  double recirc_capacity_gbps(std::uint32_t pipeline) const;
+
+  /// min(1, m/(n-m)): the fraction of external traffic that can
+  /// recirculate once without loss (§4).
+  double single_recirc_fraction() const;
+
+  /// Ports (indices) currently in loopback mode.
+  std::vector<std::uint32_t> loopback_ports() const;
+
+ private:
+  TargetSpec spec_;
+  std::vector<bool> loopback_;
+};
+
+}  // namespace dejavu::asic

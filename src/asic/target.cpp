@@ -1,0 +1,56 @@
+#include "asic/target.hpp"
+
+namespace dejavu::asic {
+
+const char* to_string(PipeKind kind) {
+  return kind == PipeKind::kIngress ? "ingress" : "egress";
+}
+
+std::string PipeletId::to_string() const {
+  return std::string(asic::to_string(kind)) + std::to_string(pipeline);
+}
+
+p4ir::TableResources TargetSpec::total_resources() const {
+  p4ir::TableResources total;
+  const std::uint32_t n = total_stages();
+  total.table_ids = stage_budget.table_ids * n;
+  total.gateways = stage_budget.gateways * n;
+  total.sram_blocks = stage_budget.sram_blocks * n;
+  total.tcam_blocks = stage_budget.tcam_blocks * n;
+  total.vliw_slots = stage_budget.vliw_slots * n;
+  total.exact_xbar_bytes = stage_budget.exact_xbar_bytes * n;
+  total.ternary_xbar_bytes = stage_budget.ternary_xbar_bytes * n;
+  return total;
+}
+
+TargetSpec TargetSpec::tofino32() {
+  TargetSpec t;
+  t.name = "tofino-wedge100b-32x";
+  t.pipelines = 2;
+  t.stages_per_pipelet = 12;
+  t.ports_per_pipeline = 16;
+  t.port_gbps = 100.0;
+  t.dedicated_recirc_gbps = 100.0;
+  // RMT/Tofino-like per-stage budgets.
+  t.stage_budget.table_ids = 16;
+  t.stage_budget.gateways = 16;
+  t.stage_budget.sram_blocks = 80;
+  t.stage_budget.tcam_blocks = 24;
+  t.stage_budget.vliw_slots = 32;
+  t.stage_budget.exact_xbar_bytes = 128;
+  t.stage_budget.ternary_xbar_bytes = 66;
+  return t;
+}
+
+TargetSpec TargetSpec::mini() {
+  TargetSpec t = tofino32();
+  t.name = "mini-1pipe";
+  t.pipelines = 1;
+  t.stages_per_pipelet = 4;
+  t.ports_per_pipeline = 4;
+  t.port_gbps = 10.0;
+  t.dedicated_recirc_gbps = 10.0;
+  return t;
+}
+
+}  // namespace dejavu::asic

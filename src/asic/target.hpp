@@ -1,0 +1,96 @@
+// The switch ASIC target model: a parameterized RMT-style device with
+// multiple pipelines, each split into an ingress pipe and an egress
+// pipe ("pipelets", §2 Fig. 1), each pipelet a fixed ladder of MAU
+// stages with per-stage resource budgets.
+//
+// The default profile models the paper's testbed: a Wedge-100B 32X
+// with a Tofino — 32x100G Ethernet ports, 2 physical pipelines
+// (4 pipelets), 16 hardwired ports per pipeline (§5).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "p4ir/resources.hpp"
+
+namespace dejavu::asic {
+
+/// Which half of a pipeline a pipelet is.
+enum class PipeKind : std::uint8_t { kIngress, kEgress };
+
+const char* to_string(PipeKind kind);
+
+/// Identifies one pipelet: (pipeline index, ingress/egress).
+struct PipeletId {
+  std::uint32_t pipeline = 0;
+  PipeKind kind = PipeKind::kIngress;
+
+  auto operator<=>(const PipeletId&) const = default;
+  std::string to_string() const;
+};
+
+/// Architectural constraints on resubmission/recirculation, lifted
+/// verbatim from §3.3 (Tofino's rules). Kept as flags so alternative
+/// targets — e.g. the per-packet-recirculation ASIC the paper's §7
+/// wishes for — can be modeled too.
+struct RecircConstraints {
+  /// (a) resubmit only after ingress; recirculate only after egress.
+  bool loopback_at_pipe_boundary = true;
+  /// (b) recirculation decisions are made in the ingress pipe by
+  /// selecting a loopback egress port.
+  bool decided_in_ingress = true;
+  /// (c) recirculation bandwidth comes at Ethernet-port granularity.
+  bool port_granularity = true;
+  /// (d) resubmission/recirculation stays within one pipeline.
+  bool within_pipeline = true;
+
+  bool operator==(const RecircConstraints&) const = default;
+};
+
+/// A switch target profile.
+struct TargetSpec {
+  std::string name;
+  std::uint32_t pipelines = 2;
+  std::uint32_t stages_per_pipelet = 12;
+  std::uint32_t ports_per_pipeline = 16;
+  double port_gbps = 100.0;
+  /// Dedicated recirculation bandwidth per pipeline (§4: "each
+  /// pipeline provides 100Gbps recirculation bandwidth for free via a
+  /// dedicated recirculation port").
+  double dedicated_recirc_gbps = 100.0;
+  /// Port-to-port latency through the chip with idle buffers (§4:
+  /// ~650 ns measured).
+  double port_to_port_latency_ns = 650.0;
+  /// Extra latency of one on-chip recirculation (§4: ~75 ns).
+  double onchip_recirc_latency_ns = 75.0;
+  /// Extra latency of one off-chip loop through a 1 m DAC (§4: ~70 ns
+  /// above on-chip, i.e. ~145 ns total).
+  double offchip_recirc_latency_ns = 145.0;
+  p4ir::TableResources stage_budget;
+  RecircConstraints recirc;
+
+  std::uint32_t pipelet_count() const { return pipelines * 2; }
+  std::uint32_t total_stages() const {
+    return pipelet_count() * stages_per_pipelet;
+  }
+  std::uint32_t total_ports() const { return pipelines * ports_per_pipeline; }
+  double total_capacity_gbps() const { return total_ports() * port_gbps; }
+
+  /// Whole-switch resource totals (stage budget x total stages).
+  p4ir::TableResources total_resources() const;
+
+  /// The pipeline a front-panel port is hardwired to.
+  std::uint32_t pipeline_of_port(std::uint32_t port) const {
+    return port / ports_per_pipeline;
+  }
+
+  /// The paper's testbed profile (Tofino, Wedge-100B 32X).
+  static TargetSpec tofino32();
+
+  /// A smaller single-pipeline profile for unit tests.
+  static TargetSpec mini();
+
+  bool operator==(const TargetSpec&) const = default;
+};
+
+}  // namespace dejavu::asic

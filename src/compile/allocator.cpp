@@ -1,0 +1,159 @@
+#include "compile/allocator.hpp"
+
+#include <algorithm>
+
+namespace dejavu::compile {
+
+std::uint32_t Allocation::stages_used() const {
+  std::uint32_t n = 0;
+  for (const StageUsage& s : stages) n += !s.tables.empty();
+  return n;
+}
+
+std::uint32_t Allocation::depth() const {
+  std::uint32_t deepest = 0;
+  bool any = false;
+  for (std::uint32_t s = 0; s < stages.size(); ++s) {
+    if (!stages[s].tables.empty()) {
+      deepest = s;
+      any = true;
+    }
+  }
+  return any ? deepest + 1 : 0;
+}
+
+p4ir::TableResources Allocation::total_used(
+    const std::function<bool(const std::string&)>& pred) const {
+  p4ir::TableResources total;
+  for (std::size_t i = 0; i < table_names.size(); ++i) {
+    if (!pred || pred(table_names[i])) total += table_resources[i];
+  }
+  return total;
+}
+
+std::uint32_t Allocation::stages_touched(
+    const std::function<bool(const std::string&)>& pred) const {
+  std::uint32_t n = 0;
+  for (const StageUsage& s : stages) {
+    bool touched = std::any_of(s.tables.begin(), s.tables.end(),
+                               [&](std::size_t t) {
+                                 return !pred || pred(table_names[t]);
+                               });
+    n += touched;
+  }
+  return n;
+}
+
+namespace {
+
+/// Split an oversized table into per-stage chunks: the smallest number
+/// of entry slices such that each slice fits an empty stage. Returns
+/// the chunk resource vectors ({} when even a single-entry slice does
+/// not fit — e.g. a key wider than the crossbar). Only the first chunk
+/// carries the gateway; every chunk is its own physical table.
+std::vector<p4ir::TableResources> split_table(
+    const p4ir::AnalyzedTable& at, const asic::TargetSpec& spec) {
+  const std::uint32_t entries = at.table->max_entries;
+  for (std::uint32_t n = 2; n <= std::max(2u, entries); ++n) {
+    p4ir::Table slice = *at.table;
+    slice.max_entries = (entries + n - 1) / n;
+    p4ir::TableResources first =
+        p4ir::estimate_table(*at.block, slice, at.gated);
+    p4ir::TableResources rest =
+        p4ir::estimate_table(*at.block, slice, /*gated=*/false);
+    if (!first.fits_within(spec.stage_budget) ||
+        !rest.fits_within(spec.stage_budget)) {
+      if (slice.max_entries <= 1) break;  // cannot shrink further
+      continue;
+    }
+    std::vector<p4ir::TableResources> chunks(n, rest);
+    chunks.front() = first;
+    return chunks;
+  }
+  return {};
+}
+
+}  // namespace
+
+Allocation allocate(const p4ir::DependencyGraph& graph,
+                    const asic::TargetSpec& spec) {
+  Allocation alloc;
+  alloc.stages.resize(spec.stages_per_pipelet);
+  alloc.stage_of.resize(graph.tables.size(), 0);
+
+  for (const p4ir::AnalyzedTable& at : graph.tables) {
+    alloc.table_names.push_back(at.table->name);
+    alloc.control_names.push_back(at.block->name());
+    alloc.table_resources.push_back(p4ir::estimate_table(at));
+  }
+
+  for (std::size_t i = 0; i < graph.tables.size(); ++i) {
+    // Earliest stage allowed by the dependencies into table i, given
+    // the stages its predecessors actually landed in.
+    std::uint32_t earliest = 0;
+    for (const p4ir::Dependency& d : graph.deps) {
+      if (d.to != i) continue;
+      std::uint32_t need = d.kind == p4ir::DepKind::kSuccessor
+                               ? alloc.stage_of[d.from]
+                               : alloc.stage_of[d.from] + 1;
+      earliest = std::max(earliest, need);
+    }
+
+    const p4ir::TableResources& res = alloc.table_resources[i];
+
+    // Tables too large for any single stage are split into per-stage
+    // entry slices placed in strictly increasing stages, the way
+    // production compilers chain wide/deep tables across the ladder.
+    std::vector<p4ir::TableResources> chunks;
+    if (!res.fits_within(spec.stage_budget)) {
+      chunks = split_table(graph.tables[i], spec);
+      if (chunks.empty()) {
+        alloc.ok = false;
+        alloc.error = "table '" + alloc.table_names[i] +
+                      "' cannot fit any stage even when split: " +
+                      res.to_string();
+        return alloc;
+      }
+    } else {
+      chunks.push_back(res);
+    }
+
+    bool placed_all = true;
+    std::uint32_t next_stage = earliest;
+    for (std::size_t c = 0; c < chunks.size(); ++c) {
+      bool placed = false;
+      for (std::uint32_t s = next_stage; s < spec.stages_per_pipelet; ++s) {
+        p4ir::TableResources would = alloc.stages[s].used;
+        would += chunks[c];
+        if (would.fits_within(spec.stage_budget)) {
+          alloc.stages[s].used = would;
+          alloc.stages[s].tables.push_back(i);
+          alloc.stage_of[i] = s;        // last chunk wins: dependents
+          next_stage = s + 1;           // wait for the final slice
+          placed = true;
+          break;
+        }
+      }
+      if (!placed) {
+        placed_all = false;
+        break;
+      }
+    }
+    if (!placed_all) {
+      alloc.ok = false;
+      alloc.error = "table '" + alloc.table_names[i] + "' (control '" +
+                    alloc.control_names[i] +
+                    "') does not fit: needs stage >= " +
+                    std::to_string(earliest) + " of " +
+                    std::to_string(spec.stages_per_pipelet) + " for " +
+                    std::to_string(chunks.size()) + " slice(s), resources " +
+                    res.to_string();
+      return alloc;
+    }
+  }
+
+  alloc.ok = true;
+  return alloc;
+}
+
+}  // namespace dejavu::compile

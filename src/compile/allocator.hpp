@@ -1,0 +1,62 @@
+// The stage allocator: places the tables of a (composed) pipelet
+// program into MAU stages, honoring the dependency rules of Jose et
+// al. (NSDI '15) and the per-stage resource budgets of the target.
+// This is the piece of the P4 compiler toolchain the paper consumes:
+// it decides whether a composition fits and reports exact resource
+// usage (§3.2: "this information is usually available from the P4
+// compiler").
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "asic/target.hpp"
+#include "p4ir/deps.hpp"
+#include "p4ir/resources.hpp"
+
+namespace dejavu::compile {
+
+/// What one MAU stage ended up holding.
+struct StageUsage {
+  p4ir::TableResources used;
+  std::vector<std::size_t> tables;  // indices into Allocation::table_names
+};
+
+/// The result of allocating one pipelet's tables to its stages.
+struct Allocation {
+  bool ok = false;
+  std::string error;
+
+  std::vector<std::string> table_names;           // flattened program order
+  std::vector<std::string> control_names;         // owning control per table
+  std::vector<p4ir::TableResources> table_resources;
+  std::vector<std::uint32_t> stage_of;            // per table
+  std::vector<StageUsage> stages;                 // size = stages_per_pipelet
+
+  /// Number of stages with at least one table.
+  std::uint32_t stages_used() const;
+
+  /// Highest occupied stage index + 1 (pipeline depth consumed).
+  std::uint32_t depth() const;
+
+  /// Sum of resources over tables selected by `pred` (by table name);
+  /// all tables when `pred` is empty.
+  p4ir::TableResources total_used(
+      const std::function<bool(const std::string&)>& pred = {}) const;
+
+  /// Stages touched by tables selected by `pred`.
+  std::uint32_t stages_touched(
+      const std::function<bool(const std::string&)>& pred) const;
+};
+
+/// Allocate the dependency-analyzed tables of one pipelet onto the
+/// target's stage ladder. First-fit by program order: each table goes
+/// to the earliest stage that satisfies its dependencies (match/action
+/// deps need a strictly later stage than the dep source; successor deps
+/// may share) and whose remaining budget fits the table.
+Allocation allocate(const p4ir::DependencyGraph& graph,
+                    const asic::TargetSpec& spec);
+
+}  // namespace dejavu::compile

@@ -1,0 +1,68 @@
+#include "compile/report.hpp"
+
+#include <cstdio>
+
+namespace dejavu::compile {
+
+namespace {
+
+double pct(std::uint64_t used, std::uint64_t total) {
+  if (total == 0) return 0.0;
+  return 100.0 * static_cast<double>(used) / static_cast<double>(total);
+}
+
+}  // namespace
+
+double ResourceReport::pct_stages() const {
+  return pct(stages_touched, total_stages);
+}
+double ResourceReport::pct_table_ids() const {
+  return pct(used.table_ids, total.table_ids);
+}
+double ResourceReport::pct_gateways() const {
+  return pct(used.gateways, total.gateways);
+}
+double ResourceReport::pct_sram() const {
+  return pct(used.sram_blocks, total.sram_blocks);
+}
+double ResourceReport::pct_tcam() const {
+  return pct(used.tcam_blocks, total.tcam_blocks);
+}
+double ResourceReport::pct_vliw() const {
+  return pct(used.vliw_slots, total.vliw_slots);
+}
+double ResourceReport::pct_crossbars() const {
+  return pct(std::uint64_t{used.exact_xbar_bytes} + used.ternary_xbar_bytes,
+             std::uint64_t{total.exact_xbar_bytes} + total.ternary_xbar_bytes);
+}
+
+std::string ResourceReport::to_table() const {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "%-8s %-10s %-9s %-10s %-7s %-7s %-7s\n"
+                "%-8.1f %-10.1f %-9.1f %-10.1f %-7.1f %-7.1f %-7.1f\n",
+                "Stages%", "TableIDs%", "Gateways%", "Crossbars%", "VLIWs%",
+                "SRAM%", "TCAM%", pct_stages(), pct_table_ids(),
+                pct_gateways(), pct_crossbars(), pct_vliw(), pct_sram(),
+                pct_tcam());
+  return buf;
+}
+
+ResourceReport report(const std::vector<Allocation>& pipelet_allocs,
+                      const asic::TargetSpec& spec,
+                      const std::function<bool(const std::string&)>& pred) {
+  ResourceReport r;
+  r.total = spec.total_resources();
+  r.total_stages = spec.total_stages();
+  for (const Allocation& alloc : pipelet_allocs) {
+    r.used += alloc.total_used(pred);
+    r.stages_touched += alloc.stages_touched(pred);
+  }
+  return r;
+}
+
+bool is_framework_table(const std::string& table_name) {
+  return table_name.rfind("dejavu_", 0) == 0;
+}
+
+}  // namespace dejavu::compile

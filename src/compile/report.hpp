@@ -1,0 +1,46 @@
+// Resource reporting across a whole deployment (all pipelets), in the
+// shape of the paper's Table 1: per-resource usage as a percentage of
+// the switch totals, with a filter to isolate the Dejavu framework's
+// own tables from NF tables.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "asic/target.hpp"
+#include "compile/allocator.hpp"
+
+namespace dejavu::compile {
+
+/// Aggregated usage of a set of tables across all pipelets, both as
+/// raw counts and as a fraction of the whole switch.
+struct ResourceReport {
+  p4ir::TableResources used;
+  p4ir::TableResources total;   // switch-wide budget
+  std::uint32_t stages_touched = 0;
+  std::uint32_t total_stages = 0;
+
+  double pct_stages() const;
+  double pct_table_ids() const;
+  double pct_gateways() const;
+  double pct_sram() const;
+  double pct_tcam() const;
+  double pct_vliw() const;
+  double pct_crossbars() const;  // exact + ternary bytes combined
+
+  /// Render as a Table-1-style two-row table.
+  std::string to_table() const;
+};
+
+/// Aggregate the allocations of all pipelets, counting only tables for
+/// which `pred(table_name)` holds (all tables when empty).
+ResourceReport report(const std::vector<Allocation>& pipelet_allocs,
+                      const asic::TargetSpec& spec,
+                      const std::function<bool(const std::string&)>& pred = {});
+
+/// Predicate selecting the Dejavu framework's glue tables (branching,
+/// check_nextNF, check_sfcFlags), which all carry the "dejavu_" prefix.
+bool is_framework_table(const std::string& table_name);
+
+}  // namespace dejavu::compile

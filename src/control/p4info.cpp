@@ -1,0 +1,91 @@
+#include "control/p4info.hpp"
+
+#include <sstream>
+
+namespace dejavu::control {
+
+namespace {
+
+/// Minimal JSON escaping for our identifier-like strings.
+std::string js(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string p4info_json(const p4ir::Program& program) {
+  std::ostringstream out;
+  out << "{\n  \"program\": " << js(program.name()) << ",\n";
+  out << "  \"controls\": [\n";
+
+  std::uint32_t table_id = 0x01000000;
+  std::uint32_t action_id = 0x02000000;
+  std::uint32_t register_id = 0x03000000;
+
+  const auto& controls = program.controls();
+  for (std::size_t ci = 0; ci < controls.size(); ++ci) {
+    const p4ir::ControlBlock& control = controls[ci];
+    out << "    {\n      \"name\": " << js(control.name()) << ",\n";
+
+    out << "      \"tables\": [\n";
+    const auto& tables = control.tables();
+    for (std::size_t ti = 0; ti < tables.size(); ++ti) {
+      const p4ir::Table& t = tables[ti];
+      out << "        {\"id\": " << ++table_id << ", \"name\": "
+          << js(t.name) << ", \"size\": " << t.max_entries
+          << ", \"keys\": [";
+      for (std::size_t k = 0; k < t.keys.size(); ++k) {
+        if (k > 0) out << ", ";
+        out << "{\"field\": " << js(t.keys[k].field) << ", \"match\": "
+            << js(p4ir::to_string(t.keys[k].kind)) << ", \"bits\": "
+            << t.keys[k].bits << "}";
+      }
+      out << "], \"actions\": [";
+      for (std::size_t a = 0; a < t.actions.size(); ++a) {
+        if (a > 0) out << ", ";
+        out << js(t.actions[a]);
+      }
+      out << "], \"default_action\": " << js(t.default_action) << "}";
+      out << (ti + 1 < tables.size() ? ",\n" : "\n");
+    }
+    out << "      ],\n";
+
+    out << "      \"actions\": [\n";
+    const auto& actions = control.actions();
+    for (std::size_t ai = 0; ai < actions.size(); ++ai) {
+      const p4ir::Action& a = actions[ai];
+      out << "        {\"id\": " << ++action_id << ", \"name\": "
+          << js(a.name) << ", \"params\": [";
+      for (std::size_t p = 0; p < a.params.size(); ++p) {
+        if (p > 0) out << ", ";
+        out << "{\"name\": " << js(a.params[p].name) << ", \"bits\": "
+            << a.params[p].bits << "}";
+      }
+      out << "]}";
+      out << (ai + 1 < actions.size() ? ",\n" : "\n");
+    }
+    out << "      ],\n";
+
+    out << "      \"registers\": [";
+    const auto& registers = control.registers();
+    for (std::size_t ri = 0; ri < registers.size(); ++ri) {
+      if (ri > 0) out << ", ";
+      out << "{\"id\": " << ++register_id << ", \"name\": "
+          << js(registers[ri].name) << ", \"width\": "
+          << registers[ri].width_bits << ", \"size\": "
+          << registers[ri].size << "}";
+    }
+    out << "]\n    }";
+    out << (ci + 1 < controls.size() ? ",\n" : "\n");
+  }
+  out << "  ]\n}\n";
+  return out.str();
+}
+
+}  // namespace dejavu::control

@@ -1,0 +1,20 @@
+// P4Runtime-style pipeline description ("p4info"): a machine-readable
+// JSON summary of every table, key, action, parameter, and register in
+// a composed program, with stable numeric IDs. This is what a real
+// control plane consumes to program a deployed pipeline, and what the
+// §7 "control plane merge" translation layer would map original NF
+// control APIs onto.
+#pragma once
+
+#include <string>
+
+#include "p4ir/program.hpp"
+
+namespace dejavu::control {
+
+/// Serialize the program's control-plane surface as JSON. IDs are
+/// stable across runs (derived from declaration order), making the
+/// output diffable between deployments.
+std::string p4info_json(const p4ir::Program& program);
+
+}  // namespace dejavu::control

@@ -1,0 +1,53 @@
+// Operator-facing rule types: what the control plane installs into
+// the NF tables of a running deployment.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "net/addr.hpp"
+
+namespace dejavu::control {
+
+/// Classifier: map a ternary traffic class to a service path.
+struct TrafficClassRule {
+  net::Ipv4Prefix src;  // /0 = wildcard
+  net::Ipv4Prefix dst;
+  std::optional<std::uint8_t> protocol;
+  std::int32_t priority = 0;
+  std::uint16_t path_id = 0;
+  std::uint16_t tenant = 0;
+};
+
+/// Firewall ACL rule. Default table behavior is deny, so installed
+/// rules typically permit.
+struct FirewallRule {
+  net::Ipv4Prefix src;
+  net::Ipv4Prefix dst;
+  std::optional<std::uint8_t> protocol;
+  std::optional<std::uint16_t> dst_port;
+  std::int32_t priority = 0;
+  bool permit = true;
+};
+
+/// Virtualization gateway: virtual IP -> physical IP for a tenant.
+struct VgwMapping {
+  net::Ipv4Addr virtual_ip;
+  net::Ipv4Addr physical_ip;
+  std::uint16_t tenant = 0;
+};
+
+/// Router FIB entry.
+struct RouteEntry {
+  net::Ipv4Prefix prefix;
+  std::uint16_t port = 0;
+  net::MacAddr next_hop_mac;
+};
+
+/// Load-balancer pool: the backends new sessions are spread across.
+struct LbPool {
+  std::vector<net::Ipv4Addr> backends;
+};
+
+}  // namespace dejavu::control

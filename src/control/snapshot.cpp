@@ -1,0 +1,123 @@
+#include "control/snapshot.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dejavu::control {
+
+std::size_t Snapshot::entry_count() const {
+  std::size_t n = 0;
+  for (const TableState& t : tables) n += t.exact.size() + t.ternary.size();
+  for (const RegisterState& r : registers) n += r.cells.size();
+  return n;
+}
+
+std::string Snapshot::to_text() const {
+  std::string out;
+  for (const TableState& t : tables) {
+    if (t.exact.empty() && t.ternary.empty()) continue;
+    out += "table " + t.control + " " + t.table + "\n";
+    // Stable ordering for diffability.
+    auto exact = t.exact;
+    std::sort(exact.begin(), exact.end(),
+              [](const auto& a, const auto& b) { return a.key < b.key; });
+    for (const auto& e : exact) {
+      out += "  exact";
+      for (auto v : e.key) out += " " + std::to_string(v);
+      out += " -> " + e.action.action;
+      for (const auto& [param, value] : e.action.args) {
+        out += " " + param + "=" + std::to_string(value);
+      }
+      out += "\n";
+    }
+    for (const auto& e : t.ternary) {
+      out += "  ternary";
+      for (const auto& f : e.key) {
+        out += " " + std::to_string(f.value) + "/" + std::to_string(f.mask);
+      }
+      out += " prio=" + std::to_string(e.priority) + " -> " +
+             e.value.action;
+      for (const auto& [param, value] : e.value.args) {
+        out += " " + param + "=" + std::to_string(value);
+      }
+      out += "\n";
+    }
+  }
+  for (const RegisterState& r : registers) {
+    if (r.cells.empty()) continue;
+    out += "register " + r.control + " " + r.name + "\n";
+    for (const auto& [index, value] : r.cells) {
+      out += "  [" + std::to_string(index) + "] = " + std::to_string(value) +
+             "\n";
+    }
+  }
+  return out;
+}
+
+Snapshot take_snapshot(sim::DataPlane& dp) {
+  Snapshot snap;
+  for (const p4ir::ControlBlock& control : dp.program().controls()) {
+    for (const p4ir::Table& t : control.tables()) {
+      sim::RuntimeTable* rt = dp.table_in(control.name(), t.name);
+      if (rt == nullptr) continue;
+      Snapshot::TableState state;
+      state.control = control.name();
+      state.table = t.name;
+      state.exact = rt->exact_entries();
+      state.ternary = rt->ternary_entries();
+      snap.tables.push_back(std::move(state));
+    }
+    for (const p4ir::RegisterDef& r : control.registers()) {
+      auto* cells = dp.register_array(control.name(), r.name);
+      if (cells == nullptr) continue;
+      Snapshot::RegisterState state;
+      state.control = control.name();
+      state.name = r.name;
+      for (std::uint64_t i = 0; i < cells->size(); ++i) {
+        if ((*cells)[i] != 0) state.cells[i] = (*cells)[i];
+      }
+      snap.registers.push_back(std::move(state));
+    }
+  }
+  return snap;
+}
+
+std::vector<std::string> restore_snapshot(const Snapshot& snapshot,
+                                          sim::DataPlane& dp) {
+  std::vector<std::string> missing;
+  for (const Snapshot::TableState& state : snapshot.tables) {
+    sim::RuntimeTable* rt = dp.table_in(state.control, state.table);
+    if (rt == nullptr) {
+      if (!state.exact.empty() || !state.ternary.empty()) {
+        missing.push_back(state.control + "/" + state.table);
+      }
+      continue;
+    }
+    rt->clear();
+    for (const auto& e : state.exact) rt->add_exact(e.key, e.action);
+    for (const auto& e : state.ternary) {
+      rt->add_ternary(e.key, e.priority, e.value);
+    }
+  }
+  for (const Snapshot::RegisterState& state : snapshot.registers) {
+    auto* cells = dp.register_array(state.control, state.name);
+    if (cells == nullptr) {
+      if (!state.cells.empty()) {
+        missing.push_back(state.control + "/" + state.name);
+      }
+      continue;
+    }
+    std::fill(cells->begin(), cells->end(), 0);
+    for (const auto& [index, value] : state.cells) {
+      if (index >= cells->size()) {
+        throw std::invalid_argument("register " + state.name +
+                                    " shrank below snapshot index " +
+                                    std::to_string(index));
+      }
+      (*cells)[index] = value;
+    }
+  }
+  return missing;
+}
+
+}  // namespace dejavu::control

@@ -1,0 +1,308 @@
+#include "merge/compose.hpp"
+
+#include <stdexcept>
+
+#include "merge/framework.hpp"
+#include "merge/parser_merge.hpp"
+#include "net/headers.hpp"
+#include "sfc/header.hpp"
+
+namespace dejavu::merge {
+
+const char* to_string(CompositionKind kind) {
+  return kind == CompositionKind::kSequential ? "sequential" : "parallel";
+}
+
+namespace {
+
+using p4ir::Action;
+using p4ir::ApplyEntry;
+using p4ir::ControlBlock;
+using p4ir::FieldGuard;
+using p4ir::GuardMode;
+using p4ir::MatchKind;
+using p4ir::Table;
+using p4ir::TableKey;
+
+/// True for the framework-supplied entry NF (the Classifier), which
+/// runs on packets that do not yet carry an SFC header and is gated on
+/// the EtherType instead of a check_nextNF table.
+bool is_entry_nf(const ControlBlock& control) {
+  // The classifier announces itself by containing a push_sfc primitive.
+  for (const Action& a : control.actions()) {
+    for (const p4ir::Primitive& p : a.primitives) {
+      if (p.op == p4ir::PrimitiveOp::kPushSfc) return true;
+    }
+  }
+  return false;
+}
+
+/// Synthesize the check_nextNF gate table for one NF instance. Besides
+/// the (pathID, serviceIndex) pair, the gate matches the toCpu/drop
+/// flag bits: a packet already flagged for the CPU or for dropping
+/// must not receive further NF processing, so installed entries
+/// require both bits clear and flagged packets miss every gate.
+Table make_check_table(const std::string& nf) {
+  Table t;
+  t.name = check_next_nf_table(nf);
+  t.keys = {TableKey{"sfc.service_path_id", MatchKind::kExact, 16},
+            TableKey{"sfc.service_index", MatchKind::kExact, 8},
+            TableKey{"sfc.to_cpu_flag", MatchKind::kExact, 1},
+            TableKey{"sfc.drop_flag", MatchKind::kExact, 1}};
+  t.actions = {check_hit_action(nf)};
+  t.max_entries = 64;  // one entry per (pathID, serviceIndex) pair
+  return t;
+}
+
+Action make_check_hit_action(const std::string& nf) {
+  Action a;
+  a.name = check_hit_action(nf);
+  // Pure gate: the hit/miss result is the output.
+  return a;
+}
+
+/// Synthesize the check_sfcFlags glue: advance the service index and
+/// translate SFC flag edits into platform metadata (§3.2: "translates
+/// any modification to the provided hdr argument to the corresponding
+/// platform metadata").
+Table make_flags_table(const std::string& nf) {
+  Table t;
+  t.name = check_sfc_flags_table(nf);
+  t.default_action = advance_action(nf);
+  t.max_entries = 8;  // "an entry for each field of the platform metadata"
+  return t;
+}
+
+Action make_advance_action(const std::string& nf) {
+  Action a;
+  a.name = advance_action(nf);
+  a.primitives = {
+      p4ir::add_imm("sfc.service_index", 1),
+      p4ir::copy_field("standard_metadata.resubmit_flag",
+                       "sfc.resubmit_flag"),
+      p4ir::copy_field("standard_metadata.recirculate_flag",
+                       "sfc.recirculate_flag"),
+      p4ir::copy_field("standard_metadata.drop_flag", "sfc.drop_flag"),
+      p4ir::copy_field("standard_metadata.mirror_flag", "sfc.mirror_flag"),
+      p4ir::copy_field("standard_metadata.to_cpu_flag", "sfc.to_cpu_flag"),
+  };
+  return a;
+}
+
+/// The branching table of §3.4, inserted at the end of every ingress
+/// pipelet: (service path ID, service index) -> where next.
+Table make_branching_table() {
+  Table t;
+  t.name = kBranchingTable;
+  t.keys = {TableKey{"sfc.service_path_id", MatchKind::kExact, 16},
+            TableKey{"sfc.service_index", MatchKind::kExact, 8}};
+  t.actions = {kActRouteToEgress, kActRouteResubmit, kActRouteDrop};
+  t.default_action = kActRouteDrop;  // routing gaps must be loud
+  t.max_entries = 256;
+  return t;
+}
+
+std::vector<Action> make_branching_actions() {
+  Action to_egress;
+  to_egress.name = kActRouteToEgress;
+  to_egress.params = {{"port", 9}};
+  to_egress.primitives = {
+      p4ir::set_from_param("standard_metadata.egress_spec", "port")};
+
+  Action resubmit;
+  resubmit.name = kActRouteResubmit;
+  resubmit.primitives = {
+      p4ir::set_imm("standard_metadata.resubmit_flag", 1)};
+
+  Action drop;
+  drop.name = kActRouteDrop;
+  drop.primitives = {p4ir::drop_primitive()};
+
+  return {to_egress, resubmit, drop};
+}
+
+/// Copy an NF's actions, tables, and registers into `out` under
+/// qualified names. Register references inside action primitives are
+/// rewritten to the qualified register names.
+void import_nf(const NfUnit& nf, ControlBlock& out) {
+  const ControlBlock& src = *nf.control;
+  for (const p4ir::RegisterDef& r : src.registers()) {
+    p4ir::RegisterDef copy = r;
+    copy.name = qualify(nf.nf_name, r.name);
+    out.add_register(std::move(copy));
+  }
+  for (const Action& a : src.actions()) {
+    Action copy = a;
+    copy.name = qualify(nf.nf_name, a.name);
+    for (p4ir::Primitive& p : copy.primitives) {
+      if (p.op == p4ir::PrimitiveOp::kRegisterRead ||
+          p.op == p4ir::PrimitiveOp::kRegisterAdd ||
+          p.op == p4ir::PrimitiveOp::kRegisterWrite) {
+        p.param = qualify(nf.nf_name, p.param);
+      }
+    }
+    out.add_action(std::move(copy));
+  }
+  for (const Table& t : src.tables()) {
+    Table copy = t;
+    copy.name = qualify(nf.nf_name, t.name);
+    for (auto& action_name : copy.actions) {
+      action_name = qualify(nf.nf_name, action_name);
+    }
+    if (!copy.default_action.empty()) {
+      copy.default_action = qualify(nf.nf_name, copy.default_action);
+    }
+    for (auto& reg_name : copy.registers) {
+      reg_name = qualify(nf.nf_name, reg_name);
+    }
+    out.add_table(std::move(copy));
+  }
+}
+
+}  // namespace
+
+p4ir::ControlBlock compose_pipelet(const std::string& control_name,
+                                   const std::vector<NfUnit>& nfs,
+                                   CompositionKind kind, bool is_ingress) {
+  ControlBlock block(control_name);
+
+  for (const NfUnit& nf : nfs) {
+    if (nf.control == nullptr) {
+      throw std::invalid_argument("NF '" + nf.nf_name +
+                                  "' has no control block");
+    }
+    const std::string branch =
+        kind == CompositionKind::kParallel ? nf.nf_name : "";
+    const bool entry = is_entry_nf(*nf.control);
+
+    import_nf(nf, block);
+
+    if (entry) {
+      // The Classifier runs on packets without an SFC header: gate on
+      // the EtherType instead of a check_nextNF lookup.
+      FieldGuard fresh{"ethernet.ether_type", net::kEtherTypeSfc,
+                       /*negate=*/true};
+      for (const ApplyEntry& e : nf.control->apply_order()) {
+        ApplyEntry entry_copy;
+        entry_copy.table = qualify(nf.nf_name, e.table);
+        entry_copy.field_guard = fresh;
+        entry_copy.branch_id = branch;
+        block.apply(std::move(entry_copy));
+      }
+      continue;
+    }
+
+    // Gate: check_nextNF_<nf>.
+    block.add_action(make_check_hit_action(nf.nf_name));
+    block.add_table(make_check_table(nf.nf_name));
+    ApplyEntry check_apply;
+    check_apply.table = check_next_nf_table(nf.nf_name);
+    check_apply.branch_id = branch;
+    block.apply(std::move(check_apply));
+
+    // The NF's own apply entries, gated on the check hit.
+    for (const ApplyEntry& e : nf.control->apply_order()) {
+      ApplyEntry gated = e;
+      gated.table = qualify(nf.nf_name, e.table);
+      for (auto& g : gated.guard_tables) g = qualify(nf.nf_name, g);
+      gated.guard_tables.insert(gated.guard_tables.begin(),
+                                check_next_nf_table(nf.nf_name));
+      gated.mode = GuardMode::kIfHit;
+      gated.branch_id = branch;
+      block.apply(std::move(gated));
+    }
+
+    // check_sfcFlags_<nf>, same gate: runs only when the NF ran.
+    block.add_action(make_advance_action(nf.nf_name));
+    block.add_table(make_flags_table(nf.nf_name));
+    ApplyEntry flags_apply;
+    flags_apply.table = check_sfc_flags_table(nf.nf_name);
+    flags_apply.guard_tables = {check_next_nf_table(nf.nf_name)};
+    flags_apply.mode = GuardMode::kIfHit;
+    flags_apply.branch_id = branch;
+    block.apply(std::move(flags_apply));
+  }
+
+  if (is_ingress) {
+    // Branching table in the last stage of every ingress pipelet
+    // (§3.4). Bypassed when the outPort was already decided (the
+    // field guard reads unset == kPortUnset; on popped packets the
+    // missing sfc header skips it too).
+    for (Action& a : make_branching_actions()) block.add_action(std::move(a));
+    block.add_table(make_branching_table());
+    ApplyEntry branching;
+    branching.table = kBranchingTable;
+    branching.field_guard =
+        FieldGuard{"sfc.out_port", sfc::kPortUnset, /*negate=*/false};
+    block.apply(std::move(branching));
+  }
+
+  return block;
+}
+
+std::string pipelet_control_name(const asic::PipeletId& id) {
+  return "pipelet_" + id.to_string();
+}
+
+p4ir::Program compose_program(
+    const std::string& program_name,
+    const std::vector<const p4ir::Program*>& nf_programs,
+    const std::vector<PipeletAssignment>& assignment,
+    std::uint32_t pipelines, p4ir::TupleIdTable& ids) {
+  p4ir::Program composed(program_name);
+
+  // Merged header types and the generic parser (§3).
+  for (auto& type : merge_header_types(nf_programs)) {
+    composed.add_header_type(std::move(type));
+  }
+  composed.parser() = merge_parsers(nf_programs, ids);
+
+  // Index the NF control blocks by NF name (program annotation "nf",
+  // falling back to the program name).
+  auto control_of = [&](const std::string& nf_name) -> const
+      p4ir::ControlBlock* {
+        for (const p4ir::Program* p : nf_programs) {
+          std::string name = p->annotation("nf").value_or(p->name());
+          if (name == nf_name) {
+            if (p->controls().size() != 1) {
+              throw std::invalid_argument(
+                  "NF program '" + p->name() + "' must have exactly one "
+                  "control block (the §3.1 interface), found " +
+                  std::to_string(p->controls().size()));
+            }
+            return &p->controls().front();
+          }
+        }
+        return nullptr;
+      };
+
+  for (const PipeletAssignment& pa : assignment) {
+    std::vector<NfUnit> units;
+    for (const std::string& nf_name : pa.nfs) {
+      const p4ir::ControlBlock* control = control_of(nf_name);
+      if (control == nullptr) {
+        throw std::invalid_argument("assignment references unknown NF '" +
+                                    nf_name + "'");
+      }
+      units.push_back(NfUnit{nf_name, control});
+    }
+    composed.add_control(
+        compose_pipelet(pipelet_control_name(pa.pipelet), units, pa.kind,
+                        pa.pipelet.kind == asic::PipeKind::kIngress));
+  }
+
+  // Every remaining ingress pipelet gets a bare branching-table
+  // program: recirculated packets transiting an NF-less ingress pipe
+  // still need the §3.4 steering.
+  for (std::uint32_t p = 0; p < pipelines; ++p) {
+    const asic::PipeletId id{p, asic::PipeKind::kIngress};
+    if (composed.find_control(pipelet_control_name(id)) == nullptr) {
+      composed.add_control(compose_pipelet(pipelet_control_name(id), {},
+                                           CompositionKind::kSequential,
+                                           /*is_ingress=*/true));
+    }
+  }
+  return composed;
+}
+
+}  // namespace dejavu::merge

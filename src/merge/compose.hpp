@@ -1,0 +1,69 @@
+// NF composition (§3.2): build one control block per pipelet from the
+// NFs placed there, sequentially (back-to-back; implicit dependencies
+// consume stage depth) or parallelly (side-by-side in mutually
+// exclusive branches; NFs share MAU stages but cross-branch transitions
+// need a resubmission/recirculation).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "asic/target.hpp"
+#include "p4ir/control.hpp"
+#include "p4ir/program.hpp"
+
+namespace dejavu::merge {
+
+enum class CompositionKind { kSequential, kParallel };
+
+const char* to_string(CompositionKind kind);
+
+/// One NF to place on a pipelet: its name and its control block (the
+/// single control of the NF's program, per the §3.1 interface).
+struct NfUnit {
+  std::string nf_name;
+  const p4ir::ControlBlock* control = nullptr;
+};
+
+/// Compose the NFs of one pipelet into a single control block.
+///
+/// Synthesized structure, in apply order:
+///   for each NF:  [gate: dejavu_check_nextNF_<nf>]
+///                 <nf's tables, gated on the check hit>
+///                 dejavu_check_sfcFlags_<nf> (same gate)
+///   if ingress:   dejavu_branching (bypassed when sfc.out_port set)
+///
+/// With kParallel, each NF's entries carry a distinct branch_id, so
+/// the allocator may overlay them in the same stages.
+p4ir::ControlBlock compose_pipelet(const std::string& control_name,
+                                   const std::vector<NfUnit>& nfs,
+                                   CompositionKind kind, bool is_ingress);
+
+/// Assignment of NFs to one pipelet, with the composition flavor.
+struct PipeletAssignment {
+  asic::PipeletId pipelet;
+  CompositionKind kind = CompositionKind::kSequential;
+  std::vector<std::string> nfs;  // in chain-relative order
+
+  bool operator==(const PipeletAssignment&) const = default;
+};
+
+/// Build the single multi-pipelet program from NF programs and an
+/// assignment: merged header types, generic parser, one composed
+/// control block per assigned pipelet (named after the pipelet).
+/// Every NF program must contain exactly one control block.
+///
+/// `pipelines` is the target's pipeline count: §3.4 inserts the
+/// branching table in the last MAU stage of *all* ingress pipelets,
+/// including ones hosting no NF — packets recirculating through an
+/// otherwise-empty ingress pipe still need steering.
+p4ir::Program compose_program(
+    const std::string& program_name,
+    const std::vector<const p4ir::Program*>& nf_programs,
+    const std::vector<PipeletAssignment>& assignment,
+    std::uint32_t pipelines, p4ir::TupleIdTable& ids);
+
+/// Control-block name used for a pipelet in the composed program.
+std::string pipelet_control_name(const asic::PipeletId& id);
+
+}  // namespace dejavu::merge

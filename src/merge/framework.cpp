@@ -1,0 +1,25 @@
+#include "merge/framework.hpp"
+
+namespace dejavu::merge {
+
+std::string check_next_nf_table(const std::string& nf) {
+  return "dejavu_check_nextNF_" + nf;
+}
+
+std::string check_sfc_flags_table(const std::string& nf) {
+  return "dejavu_check_sfcFlags_" + nf;
+}
+
+std::string check_hit_action(const std::string& nf) {
+  return "dejavu_hit_" + nf;
+}
+
+std::string advance_action(const std::string& nf) {
+  return "dejavu_advance_" + nf;
+}
+
+std::string qualify(const std::string& nf, const std::string& name) {
+  return nf + "." + name;
+}
+
+}  // namespace dejavu::merge

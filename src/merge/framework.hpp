@@ -1,0 +1,45 @@
+// Names and layouts of the Dejavu framework's glue: the per-NF
+// check_nextNF and check_sfcFlags tables and the per-ingress-pipelet
+// branching table (§3.2, §3.4, Table 1). Shared between composition
+// (which synthesizes them), routing (which installs their entries),
+// and the simulator (which gives their actions platform semantics).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace dejavu::merge {
+
+/// All framework tables carry this prefix; compile::is_framework_table
+/// keys off it when isolating Dejavu overhead (Table 1).
+inline constexpr const char* kFrameworkPrefix = "dejavu_";
+
+/// check_nextNF gate for one NF instance: exact match on
+/// (sfc.service_path_id, sfc.service_index); a hit means "this NF is
+/// the packet's next function".
+std::string check_next_nf_table(const std::string& nf);
+
+/// check_sfcFlags glue after one NF: advances the service index and
+/// translates SFC-header flag edits into platform metadata.
+std::string check_sfc_flags_table(const std::string& nf);
+
+/// The branching table inserted in the last MAU stage of every ingress
+/// pipelet (§3.4), keyed on (service path ID, service index).
+inline constexpr const char* kBranchingTable = "dejavu_branching";
+
+// Branching table actions (installed by the route module):
+inline constexpr const char* kActRouteToEgress = "dejavu_route_to_egress";
+inline constexpr const char* kActRouteResubmit = "dejavu_route_resubmit";
+inline constexpr const char* kActRouteDrop = "dejavu_route_drop";
+
+/// Hit action of check_nextNF tables (pure gate, no-op body).
+std::string check_hit_action(const std::string& nf);
+/// Advance action of check_sfcFlags tables.
+std::string advance_action(const std::string& nf);
+
+/// Qualified name of an NF's table/action inside a composed control
+/// block: "<nf>.<name>". Qualification keeps same-named artifacts of
+/// different NFs from colliding after the merge.
+std::string qualify(const std::string& nf, const std::string& name);
+
+}  // namespace dejavu::merge

@@ -1,0 +1,64 @@
+#include "merge/parser_merge.hpp"
+
+#include <stdexcept>
+
+namespace dejavu::merge {
+
+p4ir::ParserGraph merge_parsers(
+    const std::vector<const p4ir::Program*>& programs,
+    p4ir::TupleIdTable& ids) {
+  p4ir::ParserGraph merged;
+  bool start_set = false;
+  std::uint32_t start = 0;
+
+  for (const p4ir::Program* program : programs) {
+    const p4ir::ParserGraph& parser = program->parser();
+    if (parser.vertices().empty()) continue;
+
+    if (!start_set) {
+      start = parser.start();
+      start_set = true;
+    } else if (parser.start() != start) {
+      throw std::invalid_argument(
+          "parser merge: program '" + program->name() +
+          "' starts at " + ids.tuple_of(parser.start()).to_string() +
+          " but an earlier program starts at " +
+          ids.tuple_of(start).to_string());
+    }
+
+    for (std::uint32_t v : parser.vertices()) {
+      merged.add_vertex(ids, ids.tuple_of(v));
+    }
+    for (const p4ir::ParserEdge& e : parser.edges()) {
+      try {
+        merged.add_edge(e);
+      } catch (const std::invalid_argument& ex) {
+        throw std::invalid_argument("parser merge: program '" +
+                                    program->name() + "': " + ex.what());
+      }
+    }
+  }
+
+  if (start_set) merged.set_start(start);
+  return merged;
+}
+
+std::vector<p4ir::HeaderType> merge_header_types(
+    const std::vector<const p4ir::Program*>& programs) {
+  // Reuse Program::add_header_type's conflict detection by folding all
+  // types into a scratch program.
+  p4ir::Program scratch("<merged-types>");
+  for (const p4ir::Program* program : programs) {
+    for (const p4ir::HeaderType& type : program->header_types()) {
+      try {
+        scratch.add_header_type(type);
+      } catch (const std::invalid_argument& ex) {
+        throw std::invalid_argument("header merge: program '" +
+                                    program->name() + "': " + ex.what());
+      }
+    }
+  }
+  return scratch.header_types();
+}
+
+}  // namespace dejavu::merge

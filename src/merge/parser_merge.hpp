@@ -1,0 +1,30 @@
+// Generic-parser construction (§3): merge the parser DAGs of several
+// NF programs into one parser that accepts the union of their packet
+// languages. Vertex equivalence is decided by the (header_type,
+// offset) tuple through the shared global-ID table, exactly the
+// scheme the paper proposes; selector conflicts (same transition value
+// leading to different headers) are detected and reported.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "p4ir/parser_graph.hpp"
+#include "p4ir/program.hpp"
+
+namespace dejavu::merge {
+
+/// Merge the parsers of `programs` (all interned in `ids`). Programs
+/// with empty parsers are skipped. Throws std::invalid_argument when
+/// the non-empty parsers disagree on the start vertex or carry
+/// conflicting selectors.
+p4ir::ParserGraph merge_parsers(
+    const std::vector<const p4ir::Program*>& programs,
+    p4ir::TupleIdTable& ids);
+
+/// Merge header-type definitions; throws std::invalid_argument when
+/// two programs define the same type name with different layouts.
+std::vector<p4ir::HeaderType> merge_header_types(
+    const std::vector<const p4ir::Program*>& programs);
+
+}  // namespace dejavu::merge

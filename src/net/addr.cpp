@@ -1,0 +1,110 @@
+#include "net/addr.hpp"
+
+#include <charconv>
+#include <cstdio>
+
+namespace dejavu::net {
+
+namespace {
+
+/// Parse an unsigned decimal or hex field of at most `max` from
+/// [begin, end); returns nullopt on failure.
+std::optional<unsigned> parse_field(std::string_view text, int base,
+                                    unsigned max) {
+  unsigned v = 0;
+  auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), v, base);
+  if (ec != std::errc{} || ptr != text.data() + text.size() || v > max) {
+    return std::nullopt;
+  }
+  return v;
+}
+
+/// Split `text` on `sep` into exactly `n` parts; returns false if the
+/// number of parts differs.
+bool split_exact(std::string_view text, char sep, std::size_t n,
+                 std::string_view* out) {
+  std::size_t count = 0;
+  while (true) {
+    auto pos = text.find(sep);
+    if (count + 1 > n) return false;
+    if (pos == std::string_view::npos) {
+      out[count++] = text;
+      break;
+    }
+    out[count++] = text.substr(0, pos);
+    text.remove_prefix(pos + 1);
+  }
+  return count == n;
+}
+
+}  // namespace
+
+std::optional<MacAddr> MacAddr::parse(std::string_view text) {
+  std::string_view parts[6];
+  if (!split_exact(text, ':', 6, parts)) return std::nullopt;
+  std::array<std::uint8_t, 6> octets{};
+  for (std::size_t i = 0; i < 6; ++i) {
+    if (parts[i].empty() || parts[i].size() > 2) return std::nullopt;
+    auto v = parse_field(parts[i], 16, 0xff);
+    if (!v) return std::nullopt;
+    octets[i] = static_cast<std::uint8_t>(*v);
+  }
+  return MacAddr(octets);
+}
+
+std::string MacAddr::to_string() const {
+  char buf[18];
+  std::snprintf(buf, sizeof(buf), "%02x:%02x:%02x:%02x:%02x:%02x", octets_[0],
+                octets_[1], octets_[2], octets_[3], octets_[4], octets_[5]);
+  return buf;
+}
+
+std::optional<Ipv4Addr> Ipv4Addr::parse(std::string_view text) {
+  std::string_view parts[4];
+  if (!split_exact(text, '.', 4, parts)) return std::nullopt;
+  std::uint32_t v = 0;
+  for (const auto& part : parts) {
+    if (part.empty() || part.size() > 3) return std::nullopt;
+    auto octet = parse_field(part, 10, 255);
+    if (!octet) return std::nullopt;
+    v = (v << 8) | *octet;
+  }
+  return Ipv4Addr(v);
+}
+
+std::string Ipv4Addr::to_string() const {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (v_ >> 24) & 0xff,
+                (v_ >> 16) & 0xff, (v_ >> 8) & 0xff, v_ & 0xff);
+  return buf;
+}
+
+Ipv4Prefix::Ipv4Prefix(Ipv4Addr addr, std::uint8_t length) : len_(length) {
+  if (len_ > 32) len_ = 32;
+  addr_ = Ipv4Addr(addr.value() & mask());
+}
+
+std::optional<Ipv4Prefix> Ipv4Prefix::parse(std::string_view text) {
+  auto slash = text.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  auto addr = Ipv4Addr::parse(text.substr(0, slash));
+  auto len = parse_field(text.substr(slash + 1), 10, 32);
+  if (!addr || !len) return std::nullopt;
+  return Ipv4Prefix(*addr, static_cast<std::uint8_t>(*len));
+}
+
+std::uint32_t Ipv4Prefix::mask() const {
+  if (len_ == 0) return 0;
+  return ~std::uint32_t{0} << (32 - len_);
+}
+
+bool Ipv4Prefix::contains(Ipv4Addr a) const {
+  return (a.value() & mask()) == addr_.value();
+}
+
+std::string Ipv4Prefix::to_string() const {
+  return addr_.to_string() + "/" + std::to_string(len_);
+}
+
+}  // namespace dejavu::net

@@ -1,0 +1,100 @@
+// MAC and IPv4 address value types with parsing/formatting.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace dejavu::net {
+
+/// 48-bit Ethernet MAC address.
+class MacAddr {
+ public:
+  constexpr MacAddr() = default;
+  constexpr explicit MacAddr(std::array<std::uint8_t, 6> octets)
+      : octets_(octets) {}
+
+  /// Construct from the low 48 bits of `v` (useful in tests).
+  static constexpr MacAddr from_u64(std::uint64_t v) {
+    std::array<std::uint8_t, 6> o{};
+    for (int i = 5; i >= 0; --i) {
+      o[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(v & 0xff);
+      v >>= 8;
+    }
+    return MacAddr(o);
+  }
+
+  /// Parse "aa:bb:cc:dd:ee:ff"; returns nullopt on malformed input.
+  static std::optional<MacAddr> parse(std::string_view text);
+
+  constexpr const std::array<std::uint8_t, 6>& octets() const {
+    return octets_;
+  }
+  constexpr std::uint64_t to_u64() const {
+    std::uint64_t v = 0;
+    for (auto o : octets_) v = (v << 8) | o;
+    return v;
+  }
+
+  std::string to_string() const;
+
+  auto operator<=>(const MacAddr&) const = default;
+
+ private:
+  std::array<std::uint8_t, 6> octets_{};
+};
+
+/// IPv4 address stored in host order for arithmetic convenience; the
+/// codecs convert to network order on the wire.
+class Ipv4Addr {
+ public:
+  constexpr Ipv4Addr() = default;
+  constexpr explicit Ipv4Addr(std::uint32_t host_order) : v_(host_order) {}
+  constexpr Ipv4Addr(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                     std::uint8_t d)
+      : v_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+           (std::uint32_t{c} << 8) | d) {}
+
+  /// Parse dotted-quad "10.0.0.1"; returns nullopt on malformed input.
+  static std::optional<Ipv4Addr> parse(std::string_view text);
+
+  constexpr std::uint32_t value() const { return v_; }
+  std::string to_string() const;
+
+  auto operator<=>(const Ipv4Addr&) const = default;
+
+ private:
+  std::uint32_t v_ = 0;
+};
+
+/// An IPv4 prefix (address + length), normalized so that host bits are
+/// zero. Used by the LPM trie and routing NF.
+class Ipv4Prefix {
+ public:
+  constexpr Ipv4Prefix() = default;
+  Ipv4Prefix(Ipv4Addr addr, std::uint8_t length);
+
+  /// Parse "10.1.0.0/16"; returns nullopt on malformed input or
+  /// length > 32.
+  static std::optional<Ipv4Prefix> parse(std::string_view text);
+
+  Ipv4Addr address() const { return addr_; }
+  std::uint8_t length() const { return len_; }
+
+  /// The network mask corresponding to the prefix length.
+  std::uint32_t mask() const;
+
+  bool contains(Ipv4Addr a) const;
+  std::string to_string() const;
+
+  auto operator<=>(const Ipv4Prefix&) const = default;
+
+ private:
+  Ipv4Addr addr_;
+  std::uint8_t len_ = 0;
+};
+
+}  // namespace dejavu::net

@@ -1,0 +1,136 @@
+#include "net/bytes.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dejavu::net {
+
+namespace {
+
+void check_range(std::size_t size, std::size_t offset, std::size_t len) {
+  if (offset > size || len > size - offset) {
+    throw std::out_of_range("byte range [" + std::to_string(offset) + ", +" +
+                            std::to_string(len) + ") exceeds buffer of " +
+                            std::to_string(size) + " bytes");
+  }
+}
+
+std::uint64_t read_be(std::span<const std::byte> data, std::size_t offset,
+                      std::size_t len) {
+  check_range(data.size(), offset, len);
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < len; ++i) {
+    v = (v << 8) | std::to_integer<std::uint64_t>(data[offset + i]);
+  }
+  return v;
+}
+
+void write_be(std::span<std::byte> data, std::size_t offset, std::size_t len,
+              std::uint64_t v) {
+  check_range(data.size(), offset, len);
+  for (std::size_t i = 0; i < len; ++i) {
+    data[offset + len - 1 - i] = static_cast<std::byte>(v & 0xff);
+    v >>= 8;
+  }
+}
+
+}  // namespace
+
+std::uint16_t read_be16(std::span<const std::byte> data, std::size_t offset) {
+  return static_cast<std::uint16_t>(read_be(data, offset, 2));
+}
+std::uint32_t read_be24(std::span<const std::byte> data, std::size_t offset) {
+  return static_cast<std::uint32_t>(read_be(data, offset, 3));
+}
+std::uint32_t read_be32(std::span<const std::byte> data, std::size_t offset) {
+  return static_cast<std::uint32_t>(read_be(data, offset, 4));
+}
+std::uint64_t read_be64(std::span<const std::byte> data, std::size_t offset) {
+  return read_be(data, offset, 8);
+}
+std::uint8_t read_u8(std::span<const std::byte> data, std::size_t offset) {
+  return static_cast<std::uint8_t>(read_be(data, offset, 1));
+}
+
+void write_be16(std::span<std::byte> data, std::size_t offset,
+                std::uint16_t v) {
+  write_be(data, offset, 2, v);
+}
+void write_be24(std::span<std::byte> data, std::size_t offset,
+                std::uint32_t v) {
+  write_be(data, offset, 3, v);
+}
+void write_be32(std::span<std::byte> data, std::size_t offset,
+                std::uint32_t v) {
+  write_be(data, offset, 4, v);
+}
+void write_be64(std::span<std::byte> data, std::size_t offset,
+                std::uint64_t v) {
+  write_be(data, offset, 8, v);
+}
+void write_u8(std::span<std::byte> data, std::size_t offset, std::uint8_t v) {
+  write_be(data, offset, 1, v);
+}
+
+std::string to_hex(std::span<const std::byte> data) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (std::byte b : data) {
+    auto v = std::to_integer<unsigned>(b);
+    out.push_back(kDigits[v >> 4]);
+    out.push_back(kDigits[v & 0xf]);
+  }
+  return out;
+}
+
+std::vector<std::byte> from_hex(std::string_view hex) {
+  if (hex.size() % 2 != 0) {
+    throw std::invalid_argument("hex string has odd length");
+  }
+  auto nibble = [](char c) -> unsigned {
+    if (c >= '0' && c <= '9') return static_cast<unsigned>(c - '0');
+    if (c >= 'a' && c <= 'f') return static_cast<unsigned>(c - 'a' + 10);
+    if (c >= 'A' && c <= 'F') return static_cast<unsigned>(c - 'A' + 10);
+    throw std::invalid_argument("invalid hex digit");
+  };
+  std::vector<std::byte> out;
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    out.push_back(static_cast<std::byte>((nibble(hex[i]) << 4) |
+                                         nibble(hex[i + 1])));
+  }
+  return out;
+}
+
+std::span<const std::byte> Buffer::slice(std::size_t offset,
+                                         std::size_t len) const {
+  check_range(bytes_.size(), offset, len);
+  return std::span<const std::byte>(bytes_).subspan(offset, len);
+}
+
+std::span<std::byte> Buffer::mutable_slice(std::size_t offset,
+                                           std::size_t len) {
+  check_range(bytes_.size(), offset, len);
+  return std::span<std::byte>(bytes_).subspan(offset, len);
+}
+
+void Buffer::append(std::span<const std::byte> data) {
+  bytes_.insert(bytes_.end(), data.begin(), data.end());
+}
+
+void Buffer::insert_zeros(std::size_t offset, std::size_t len) {
+  if (offset > bytes_.size()) {
+    throw std::out_of_range("insert offset beyond buffer end");
+  }
+  bytes_.insert(bytes_.begin() + static_cast<std::ptrdiff_t>(offset), len,
+                std::byte{0});
+}
+
+void Buffer::erase(std::size_t offset, std::size_t len) {
+  check_range(bytes_.size(), offset, len);
+  auto first = bytes_.begin() + static_cast<std::ptrdiff_t>(offset);
+  bytes_.erase(first, first + static_cast<std::ptrdiff_t>(len));
+}
+
+}  // namespace dejavu::net

@@ -1,0 +1,98 @@
+#include "net/checksum.hpp"
+
+#include <array>
+
+namespace dejavu::net {
+
+namespace {
+
+std::uint64_t sum16(std::span<const std::byte> data) {
+  std::uint64_t sum = 0;
+  std::size_t i = 0;
+  for (; i + 1 < data.size(); i += 2) {
+    sum += (std::to_integer<std::uint64_t>(data[i]) << 8) |
+           std::to_integer<std::uint64_t>(data[i + 1]);
+  }
+  if (i < data.size()) {
+    sum += std::to_integer<std::uint64_t>(data[i]) << 8;
+  }
+  return sum;
+}
+
+std::uint16_t fold(std::uint64_t sum) {
+  while (sum >> 16) {
+    sum = (sum & 0xffff) + (sum >> 16);
+  }
+  return static_cast<std::uint16_t>(~sum & 0xffff);
+}
+
+constexpr std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr auto kCrcTable = make_crc_table();
+
+std::uint32_t crc_update(std::uint32_t state,
+                         std::span<const std::byte> data) {
+  for (std::byte b : data) {
+    state = kCrcTable[(state ^ std::to_integer<std::uint32_t>(b)) & 0xff] ^
+            (state >> 8);
+  }
+  return state;
+}
+
+}  // namespace
+
+std::uint16_t internet_checksum(std::span<const std::byte> data) {
+  return fold(sum16(data));
+}
+
+void ChecksumAccumulator::add(std::span<const std::byte> data) {
+  sum_ += sum16(data);
+}
+
+void ChecksumAccumulator::add_u16(std::uint16_t v) { sum_ += v; }
+
+void ChecksumAccumulator::add_u32(std::uint32_t v) {
+  sum_ += (v >> 16) + (v & 0xffff);
+}
+
+std::uint16_t ChecksumAccumulator::finish() const { return fold(sum_); }
+
+std::uint32_t crc32(std::span<const std::byte> data) {
+  return crc_update(0xffffffffu, data) ^ 0xffffffffu;
+}
+
+void Crc32::add(std::span<const std::byte> data) {
+  state_ = crc_update(state_, data);
+}
+
+void Crc32::add_u8(std::uint8_t v) {
+  std::byte b{v};
+  add({&b, 1});
+}
+
+void Crc32::add_u16(std::uint16_t v) {
+  std::array<std::byte, 2> b{static_cast<std::byte>(v >> 8),
+                             static_cast<std::byte>(v & 0xff)};
+  add(b);
+}
+
+void Crc32::add_u32(std::uint32_t v) {
+  std::array<std::byte, 4> b{
+      static_cast<std::byte>(v >> 24), static_cast<std::byte>((v >> 16) & 0xff),
+      static_cast<std::byte>((v >> 8) & 0xff), static_cast<std::byte>(v & 0xff)};
+  add(b);
+}
+
+std::uint32_t Crc32::finish() const { return state_ ^ 0xffffffffu; }
+
+}  // namespace dejavu::net

@@ -1,0 +1,47 @@
+// Internet checksum (RFC 1071) and CRC32 (the hash Tofino exposes via
+// Hash<bit<32>>(HashAlgorithm_t.CRC32), used by the L4 load balancer).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace dejavu::net {
+
+/// One's-complement 16-bit internet checksum over `data`. Returns the
+/// value to place in the checksum field (already complemented).
+std::uint16_t internet_checksum(std::span<const std::byte> data);
+
+/// Incremental checksum helper: fold a 32-bit accumulator of 16-bit
+/// one's-complement sums into a final checksum field value.
+class ChecksumAccumulator {
+ public:
+  void add(std::span<const std::byte> data);
+  void add_u16(std::uint16_t v);
+  void add_u32(std::uint32_t v);
+  /// Finalize: fold carries and complement.
+  std::uint16_t finish() const;
+
+ private:
+  std::uint64_t sum_ = 0;
+};
+
+/// CRC32 (IEEE 802.3 polynomial, reflected), matching the common
+/// switch-ASIC hash engine configuration.
+std::uint32_t crc32(std::span<const std::byte> data);
+
+/// Streaming CRC32 for hashing multiple fields as one unit, the way a
+/// P4 `hasher.get({f1, f2, ...})` call concatenates its inputs.
+class Crc32 {
+ public:
+  void add(std::span<const std::byte> data);
+  void add_u8(std::uint8_t v);
+  void add_u16(std::uint16_t v);
+  void add_u32(std::uint32_t v);
+  std::uint32_t finish() const;
+
+ private:
+  std::uint32_t state_ = 0xffffffffu;
+};
+
+}  // namespace dejavu::net

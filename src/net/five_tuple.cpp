@@ -1,0 +1,23 @@
+#include "net/five_tuple.hpp"
+
+#include "net/checksum.hpp"
+
+namespace dejavu::net {
+
+std::uint32_t FiveTuple::session_hash() const {
+  Crc32 crc;
+  crc.add_u32(src.value());
+  crc.add_u32(dst.value());
+  crc.add_u8(protocol);
+  crc.add_u16(src_port);
+  crc.add_u16(dst_port);
+  return crc.finish();
+}
+
+std::string FiveTuple::to_string() const {
+  return src.to_string() + ":" + std::to_string(src_port) + " -> " +
+         dst.to_string() + ":" + std::to_string(dst_port) + " proto " +
+         std::to_string(protocol);
+}
+
+}  // namespace dejavu::net

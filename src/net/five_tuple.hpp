@@ -1,0 +1,38 @@
+// The classic connection 5-tuple and its CRC32 hash, mirroring the
+// paper's L4 load balancer (Fig. 4): hash over {ipv4.src_addr,
+// ipv4.dst_addr, trans_prtcl, tcp.src_port, tcp.dst_port}.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "net/addr.hpp"
+
+namespace dejavu::net {
+
+struct FiveTuple {
+  Ipv4Addr src;
+  Ipv4Addr dst;
+  std::uint8_t protocol = 0;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+
+  /// CRC32 over the fields in the paper's order — the session hash used
+  /// as the exact-match key of the lb_session table.
+  std::uint32_t session_hash() const;
+
+  std::string to_string() const;
+
+  auto operator<=>(const FiveTuple&) const = default;
+};
+
+}  // namespace dejavu::net
+
+template <>
+struct std::hash<dejavu::net::FiveTuple> {
+  std::size_t operator()(const dejavu::net::FiveTuple& t) const noexcept {
+    return t.session_hash();
+  }
+};

@@ -1,0 +1,9 @@
+// LpmTrie is header-only; this translation unit exists to give the
+// template a home in the library and to catch ODR/compile issues early.
+#include "net/lpm.hpp"
+
+namespace dejavu::net {
+
+template class LpmTrie<int>;
+
+}  // namespace dejavu::net

@@ -1,0 +1,107 @@
+// Longest-prefix-match trie over IPv4 prefixes — the lookup structure
+// behind the IP router NF and the model for LPM-type match tables.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "net/addr.hpp"
+
+namespace dejavu::net {
+
+/// A binary trie keyed by IPv4 prefixes mapping to values of type T.
+/// Insert replaces any existing value at the same prefix. Lookup returns
+/// the value of the longest matching prefix.
+template <typename T>
+class LpmTrie {
+ public:
+  LpmTrie() : root_(std::make_unique<Node>()) {}
+
+  /// Insert or replace. Returns true if a new prefix was created, false
+  /// if an existing value was replaced.
+  bool insert(Ipv4Prefix prefix, T value) {
+    Node* node = walk_to(prefix, /*create=*/true);
+    bool fresh = !node->value.has_value();
+    node->value = std::move(value);
+    if (fresh) ++size_;
+    return fresh;
+  }
+
+  /// Remove the exact prefix; returns true if it existed.
+  bool erase(Ipv4Prefix prefix) {
+    Node* node = walk_to(prefix, /*create=*/false);
+    if (node == nullptr || !node->value.has_value()) return false;
+    node->value.reset();
+    --size_;
+    return true;
+  }
+
+  /// Longest-prefix match; nullptr if no prefix covers `addr`.
+  const T* lookup(Ipv4Addr addr) const {
+    const Node* node = root_.get();
+    const T* best = node->value ? &*node->value : nullptr;
+    std::uint32_t v = addr.value();
+    for (int bit = 31; bit >= 0 && node != nullptr; --bit) {
+      std::size_t dir = (v >> bit) & 1;
+      node = node->child[dir].get();
+      if (node != nullptr && node->value) best = &*node->value;
+    }
+    return best;
+  }
+
+  /// Exact-prefix fetch; nullptr when the prefix is not present.
+  const T* find(Ipv4Prefix prefix) const {
+    const Node* node =
+        const_cast<LpmTrie*>(this)->walk_to(prefix, /*create=*/false);
+    return (node != nullptr && node->value) ? &*node->value : nullptr;
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Enumerate all (prefix, value) pairs, in trie order.
+  std::vector<std::pair<Ipv4Prefix, T>> entries() const {
+    std::vector<std::pair<Ipv4Prefix, T>> out;
+    collect(root_.get(), 0, 0, out);
+    return out;
+  }
+
+ private:
+  struct Node {
+    std::optional<T> value;
+    std::unique_ptr<Node> child[2];
+  };
+
+  Node* walk_to(Ipv4Prefix prefix, bool create) {
+    Node* node = root_.get();
+    std::uint32_t v = prefix.address().value();
+    for (int i = 0; i < prefix.length(); ++i) {
+      std::size_t dir = (v >> (31 - i)) & 1;
+      if (!node->child[dir]) {
+        if (!create) return nullptr;
+        node->child[dir] = std::make_unique<Node>();
+      }
+      node = node->child[dir].get();
+    }
+    return node;
+  }
+
+  void collect(const Node* node, std::uint32_t bits, std::uint8_t depth,
+               std::vector<std::pair<Ipv4Prefix, T>>& out) const {
+    if (node == nullptr) return;
+    if (node->value) {
+      std::uint32_t addr = depth == 0 ? 0 : bits << (32 - depth);
+      out.emplace_back(Ipv4Prefix(Ipv4Addr(addr), depth), *node->value);
+    }
+    if (depth == 32) return;
+    collect(node->child[0].get(), bits << 1, depth + 1, out);
+    collect(node->child[1].get(), (bits << 1) | 1, depth + 1, out);
+  }
+
+  std::unique_ptr<Node> root_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace dejavu::net

@@ -1,0 +1,82 @@
+// Packet: a byte buffer plus the in-switch metadata that travels with
+// it (ports, timestamps). Provides structured accessors for the headers
+// the Dejavu NFs read and write. Offsets are computed per access so the
+// accessors stay correct when headers (e.g. the SFC header) are
+// inserted or removed.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "net/bytes.hpp"
+#include "net/five_tuple.hpp"
+#include "net/headers.hpp"
+
+namespace dejavu::net {
+
+/// Parameters for synthesizing a test/workload packet.
+struct PacketSpec {
+  MacAddr eth_src = MacAddr::from_u64(0x020000000001);
+  MacAddr eth_dst = MacAddr::from_u64(0x020000000002);
+  Ipv4Addr ip_src{10, 0, 0, 1};
+  Ipv4Addr ip_dst{10, 0, 0, 2};
+  std::uint8_t protocol = kIpProtoTcp;
+  std::uint16_t src_port = 12345;
+  std::uint16_t dst_port = 80;
+  std::uint8_t ttl = 64;
+  std::size_t payload_size = 64;
+  std::uint8_t payload_fill = 0xab;
+};
+
+class Packet {
+ public:
+  Packet() = default;
+  explicit Packet(Buffer data) : data_(std::move(data)) {}
+
+  /// Synthesize an Ethernet/IPv4/{TCP|UDP} packet from the spec.
+  static Packet make(const PacketSpec& spec);
+
+  const Buffer& data() const { return data_; }
+  Buffer& data() { return data_; }
+  std::size_t size() const { return data_.size(); }
+
+  // --- L2 ---
+  std::optional<EthernetHeader> ethernet() const;
+  void set_ethernet(const EthernetHeader& h);
+
+  /// True when the EtherType announces a Dejavu SFC header.
+  bool has_sfc_header() const;
+
+  /// Byte offset of the header following Ethernet (the SFC header when
+  /// present, otherwise the L3 header).
+  static constexpr std::size_t kPostEthernetOffset = EthernetHeader::kSize;
+
+  /// Byte offset of the IPv4 header, accounting for a possible SFC
+  /// header between Ethernet and IP. `sfc_header_size` is supplied by
+  /// the sfc module (net must not depend on it).
+  std::size_t ipv4_offset(std::size_t sfc_header_size) const;
+
+  // --- L3/L4 accessors for plain (non-SFC-encapsulated) packets ---
+  std::optional<Ipv4Header> ipv4(std::size_t sfc_header_size = 0) const;
+  void set_ipv4(const Ipv4Header& h, std::size_t sfc_header_size = 0);
+
+  std::optional<TcpHeader> tcp(std::size_t sfc_header_size = 0) const;
+  void set_tcp(const TcpHeader& h, std::size_t sfc_header_size = 0);
+
+  std::optional<UdpHeader> udp(std::size_t sfc_header_size = 0) const;
+  void set_udp(const UdpHeader& h, std::size_t sfc_header_size = 0);
+
+  /// Connection 5-tuple (nullopt for non-TCP/UDP or truncated packets).
+  std::optional<FiveTuple> five_tuple(std::size_t sfc_header_size = 0) const;
+
+  /// Human-readable one-line summary for logs and test diagnostics.
+  std::string summary() const;
+
+  bool operator==(const Packet&) const = default;
+
+ private:
+  Buffer data_;
+};
+
+}  // namespace dejavu::net

@@ -1,0 +1,9 @@
+// Tcam is header-only; explicit instantiation keeps a compiled copy in
+// the library and surfaces template errors at library build time.
+#include "net/tcam.hpp"
+
+namespace dejavu::net {
+
+template class Tcam<int>;
+
+}  // namespace dejavu::net

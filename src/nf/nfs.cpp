@@ -1,0 +1,374 @@
+#include "nf/nfs.hpp"
+
+#include "nf/parser_lib.hpp"
+
+namespace dejavu::nf {
+
+namespace {
+
+using p4ir::Action;
+using p4ir::ControlBlock;
+using p4ir::MatchKind;
+using p4ir::Program;
+using p4ir::Table;
+using p4ir::TableKey;
+
+Program make_base(const std::string& nf_name, p4ir::TupleIdTable& ids,
+                  const ParserOptions& options = {}) {
+  Program program(nf_name);
+  program.annotate("nf", nf_name);
+  add_standard_parser(program, ids, options);
+  return program;
+}
+
+}  // namespace
+
+Program make_classifier(p4ir::TupleIdTable& ids) {
+  // The classifier sees raw (pre-SFC) packets only; its parser covers
+  // the plain layout.
+  ParserOptions opts;
+  opts.with_sfc = true;  // it writes the SFC header, so it knows the type
+  Program program = make_base("Classifier", ids, opts);
+
+  ControlBlock control("Classifier_control");
+
+  Action classify;
+  classify.name = "classify";
+  classify.params = {{"path_id", 16}, {"tenant", 16}};
+  classify.primitives = {
+      p4ir::push_sfc_primitive(),
+      p4ir::set_from_param("sfc.service_path_id", "path_id"),
+      // The classifier itself is position 0 of every chain; the next
+      // NF is position 1.
+      p4ir::set_imm("sfc.service_index", 1),
+      p4ir::copy_field("sfc.in_port", "standard_metadata.ingress_port"),
+      p4ir::set_context(kCtxTenantId, "tenant"),
+  };
+  control.add_action(classify);
+
+  Action unclassified;
+  unclassified.name = "unclassified";
+  // Unknown traffic classes are not serviced: drop at the edge.
+  unclassified.primitives = {p4ir::drop_primitive()};
+  control.add_action(unclassified);
+
+  Table traffic_class;
+  traffic_class.name = "traffic_class";
+  traffic_class.keys = {
+      TableKey{"ipv4.src_addr", MatchKind::kTernary, 32},
+      TableKey{"ipv4.dst_addr", MatchKind::kTernary, 32},
+      TableKey{"ipv4.protocol", MatchKind::kTernary, 8},
+  };
+  traffic_class.actions = {"classify", "unclassified"};
+  traffic_class.default_action = "unclassified";
+  traffic_class.max_entries = 512;
+  control.add_table(traffic_class);
+  control.apply_table("traffic_class");
+
+  program.add_control(std::move(control));
+  return program;
+}
+
+Program make_firewall(p4ir::TupleIdTable& ids) {
+  Program program = make_base("FW", ids);
+  ControlBlock control("FW_control");
+
+  Action permit;
+  permit.name = "permit";
+  control.add_action(permit);
+
+  Action deny;
+  deny.name = "deny";
+  deny.primitives = {p4ir::set_imm("sfc.drop_flag", 1)};
+  control.add_action(deny);
+
+  Table acl;
+  acl.name = "acl";
+  acl.keys = {
+      TableKey{"ipv4.src_addr", MatchKind::kTernary, 32},
+      TableKey{"ipv4.dst_addr", MatchKind::kTernary, 32},
+      TableKey{"ipv4.protocol", MatchKind::kTernary, 8},
+      TableKey{"tcp.dst_port", MatchKind::kTernary, 16},
+  };
+  acl.actions = {"permit", "deny"};
+  acl.default_action = "deny";  // default-deny firewall
+  acl.max_entries = 2048;
+  control.add_table(acl);
+  control.apply_table("acl");
+
+  program.add_control(std::move(control));
+  return program;
+}
+
+Program make_vgw(p4ir::TupleIdTable& ids) {
+  ParserOptions opts;
+  opts.with_vxlan = true;  // the VGW understands the overlay format
+  Program program = make_base("VGW", ids, opts);
+  ControlBlock control("VGW_control");
+
+  Action translate;
+  translate.name = "translate";
+  translate.params = {{"phys_dst", 32}, {"tenant", 16}};
+  translate.primitives = {
+      p4ir::set_from_param("ipv4.dst_addr", "phys_dst"),
+      p4ir::set_context(kCtxTenantId, "tenant"),
+  };
+  control.add_action(translate);
+
+  Action pass;
+  pass.name = "pass";  // non-virtualized traffic flows through
+  control.add_action(pass);
+
+  Table vip_map;
+  vip_map.name = "vip_map";
+  vip_map.keys = {TableKey{"ipv4.dst_addr", MatchKind::kExact, 32}};
+  vip_map.actions = {"translate", "pass"};
+  vip_map.default_action = "pass";
+  vip_map.max_entries = 4096;
+  control.add_table(vip_map);
+  control.apply_table("vip_map");
+
+  program.add_control(std::move(control));
+  return program;
+}
+
+Program make_load_balancer(p4ir::TupleIdTable& ids) {
+  Program program = make_base("LB", ids);
+  ControlBlock control("LB_control");
+
+  // Fig. 4 line 4-6: computeFiveTupleHash.
+  Action compute_hash;
+  compute_hash.name = "computeFiveTupleHash";
+  compute_hash.primitives = {p4ir::hash_fields(
+      "local.sessionHash",
+      {"ipv4.src_addr", "ipv4.dst_addr", "ipv4.protocol", "tcp.src_port",
+       "tcp.dst_port"})};
+  control.add_action(compute_hash);
+
+  // Fig. 4 line 7: modify_dstIp.
+  Action modify_dst;
+  modify_dst.name = "modify_dstIp";
+  modify_dst.params = {{"dip", 32}};
+  modify_dst.primitives = {p4ir::set_from_param("ipv4.dst_addr", "dip")};
+  control.add_action(modify_dst);
+
+  // Fig. 4 line 8: toCpu.
+  Action to_cpu;
+  to_cpu.name = "toCpu";
+  to_cpu.primitives = {p4ir::set_imm("sfc.to_cpu_flag", 1)};
+  control.add_action(to_cpu);
+
+  // The hash computation runs unconditionally before the session
+  // lookup (Fig. 4 line 14).
+  Table hash_table;
+  hash_table.name = "compute_hash";
+  hash_table.default_action = "computeFiveTupleHash";
+  hash_table.max_entries = 1;
+  control.add_table(hash_table);
+  control.apply_table("compute_hash");
+
+  // Fig. 4 lines 9-13: lb_session.
+  Table session;
+  session.name = "lb_session";
+  session.keys = {TableKey{"local.sessionHash", MatchKind::kExact, 32}};
+  session.actions = {"modify_dstIp", "toCpu"};
+  session.default_action = "toCpu";
+  session.max_entries = 65536;
+  control.add_table(session);
+  control.apply_table("lb_session");
+
+  program.add_control(std::move(control));
+  return program;
+}
+
+Program make_router(p4ir::TupleIdTable& ids) {
+  Program program = make_base("Router", ids);
+  ControlBlock control("Router_control");
+
+  Action route;
+  route.name = "route";
+  route.params = {{"port", 9}, {"dmac", 48}};
+  route.primitives = {
+      p4ir::set_from_param("standard_metadata.egress_spec", "port"),
+      p4ir::set_from_param("ethernet.dst_addr", "dmac"),
+      p4ir::add_imm("ipv4.ttl", 0xff),  // ttl - 1 (mod 2^8)
+      // The Router removes the SFC header before the packet leaves
+      // the service chain (§3).
+      p4ir::pop_sfc_primitive(),
+  };
+  control.add_action(route);
+
+  Action route_miss;
+  route_miss.name = "route_miss";
+  // No route: punt to the control plane, keep the SFC header intact.
+  route_miss.primitives = {p4ir::set_imm("sfc.to_cpu_flag", 1)};
+  control.add_action(route_miss);
+
+  // Expired TTLs are dropped before the FIB lookup, as a real router
+  // would (ICMP generation is a control-plane concern we omit).
+  Action ttl_expired;
+  ttl_expired.name = "ttl_expired";
+  ttl_expired.primitives = {p4ir::set_imm("sfc.drop_flag", 1)};
+  control.add_action(ttl_expired);
+
+  Table ttl_check;
+  ttl_check.name = "ttl_check";
+  ttl_check.default_action = "ttl_expired";
+  ttl_check.max_entries = 1;
+  control.add_table(ttl_check);
+  p4ir::ApplyEntry ttl_gate;
+  ttl_gate.table = "ttl_check";
+  ttl_gate.field_guard = p4ir::FieldGuard{.field = "ipv4.ttl",
+                                          .value = 2,
+                                          .negate = false,
+                                          .cmp = p4ir::GuardCmp::kLt};
+  control.apply(std::move(ttl_gate));
+
+  Table lpm;
+  lpm.name = "ipv4_lpm";
+  lpm.keys = {TableKey{"ipv4.dst_addr", MatchKind::kLpm, 32}};
+  lpm.actions = {"route", "route_miss"};
+  lpm.default_action = "route_miss";
+  // 16K routes = 32 TCAM blocks; wider than one MAU stage's 24, so
+  // the allocator slices it across two stages.
+  lpm.max_entries = 16384;
+  control.add_table(lpm);
+  p4ir::ApplyEntry lpm_apply;
+  lpm_apply.table = "ipv4_lpm";
+  lpm_apply.field_guard = p4ir::FieldGuard{.field = "ipv4.ttl",
+                                           .value = 1,
+                                           .negate = false,
+                                           .cmp = p4ir::GuardCmp::kGt};
+  control.apply(std::move(lpm_apply));
+
+  program.add_control(std::move(control));
+  return program;
+}
+
+Program make_nat(p4ir::TupleIdTable& ids) {
+  Program program = make_base("NAT", ids);
+  ControlBlock control("NAT_control");
+
+  Action snat;
+  snat.name = "snat";
+  snat.params = {{"new_src", 32}, {"new_sport", 16}};
+  snat.primitives = {
+      p4ir::set_from_param("ipv4.src_addr", "new_src"),
+      p4ir::set_from_param("tcp.src_port", "new_sport"),
+  };
+  control.add_action(snat);
+
+  Action nat_miss;
+  nat_miss.name = "nat_miss";
+  nat_miss.primitives = {p4ir::set_imm("sfc.to_cpu_flag", 1)};
+  control.add_action(nat_miss);
+
+  Table nat_table;
+  nat_table.name = "nat_translate";
+  nat_table.keys = {
+      TableKey{"ipv4.src_addr", MatchKind::kExact, 32},
+      TableKey{"tcp.src_port", MatchKind::kExact, 16},
+  };
+  nat_table.actions = {"snat", "nat_miss"};
+  nat_table.default_action = "nat_miss";
+  nat_table.max_entries = 65536;
+  control.add_table(nat_table);
+  control.apply_table("nat_translate");
+
+  program.add_control(std::move(control));
+  return program;
+}
+
+Program make_police(p4ir::TupleIdTable& ids) {
+  Program program = make_base("Police", ids);
+  ControlBlock control("Police_control");
+
+  Action block;
+  block.name = "block";
+  block.primitives = {p4ir::set_imm("sfc.drop_flag", 1)};
+  control.add_action(block);
+
+  Action allow;
+  allow.name = "allow";
+  control.add_action(allow);
+
+  Table blocklist;
+  blocklist.name = "blocklist";
+  blocklist.keys = {
+      TableKey{"ipv4.src_addr", MatchKind::kExact, 32},
+  };
+  blocklist.actions = {"block", "allow"};
+  blocklist.default_action = "allow";
+  blocklist.max_entries = 8192;
+  control.add_table(blocklist);
+  control.apply_table("blocklist");
+
+  program.add_control(std::move(control));
+  return program;
+}
+
+Program make_rate_limiter(p4ir::TupleIdTable& ids,
+                          std::uint32_t packet_threshold) {
+  Program program = make_base("Limiter", ids);
+  ControlBlock control("Limiter_control");
+
+  p4ir::RegisterDef counter;
+  counter.name = "flow_count";
+  counter.width_bits = 32;
+  counter.size = 8192;
+  control.add_register(counter);
+
+  // Count this packet against its flow's cell and read the new value.
+  Action meter;
+  meter.name = "meter";
+  meter.primitives = {
+      p4ir::hash_fields("local.flowIdx",
+                        {"ipv4.src_addr", "ipv4.dst_addr", "ipv4.protocol",
+                         "tcp.src_port", "tcp.dst_port"}),
+      p4ir::register_add("flow_count", "local.flowIdx", 1, "local.count"),
+  };
+  control.add_action(meter);
+
+  Action over_limit;
+  over_limit.name = "over_limit";
+  over_limit.primitives = {p4ir::set_imm("sfc.drop_flag", 1)};
+  control.add_action(over_limit);
+
+  Table meter_tbl;
+  meter_tbl.name = "meter_tbl";
+  meter_tbl.default_action = "meter";
+  meter_tbl.max_entries = 1;
+  meter_tbl.registers = {"flow_count"};
+  control.add_table(meter_tbl);
+  control.apply_table("meter_tbl");
+
+  Table limit;
+  limit.name = "limit";
+  limit.default_action = "over_limit";
+  limit.max_entries = 1;
+  control.add_table(limit);
+  // Gateway: run the drop only when the flow's count exceeded the
+  // threshold.
+  p4ir::ApplyEntry gated;
+  gated.table = "limit";
+  gated.field_guard = p4ir::FieldGuard{.field = "local.count",
+                                       .value = packet_threshold,
+                                       .negate = false,
+                                       .cmp = p4ir::GuardCmp::kGt};
+  control.apply(std::move(gated));
+
+  program.add_control(std::move(control));
+  return program;
+}
+
+std::vector<Program> fig2_nf_programs(p4ir::TupleIdTable& ids) {
+  std::vector<Program> out;
+  out.push_back(make_classifier(ids));
+  out.push_back(make_firewall(ids));
+  out.push_back(make_vgw(ids));
+  out.push_back(make_load_balancer(ids));
+  out.push_back(make_router(ids));
+  return out;
+}
+
+}  // namespace dejavu::nf

@@ -1,0 +1,67 @@
+// The five NFs of the production edge-cloud service chain (Fig. 2),
+// written against the Dejavu control-block programming interface
+// (§3.1): each NF is a P4 program with exactly one control block that
+// reads and writes only the generic `hdr` view (protocol headers, SFC
+// header fields, platform metadata). Plus two extension NFs (NAT,
+// byte-counter-free rate police) exercising the same interface.
+//
+// Well-known context keys used by the chain.
+#pragma once
+
+#include <vector>
+
+#include "p4ir/program.hpp"
+
+namespace dejavu::nf {
+
+/// SFC context keys (1-byte keys of the Fig. 3 context area).
+inline constexpr std::uint8_t kCtxTenantId = 0x01;
+inline constexpr std::uint8_t kCtxAppId = 0x02;
+inline constexpr std::uint8_t kCtxDebugTag = 0x03;
+
+/// Traffic classifier (framework-supplied entry NF): matches a
+/// ternary (src, dst, proto) class, pushes the SFC header, and stamps
+/// the service path ID plus the tenant context. Table: traffic_class.
+p4ir::Program make_classifier(p4ir::TupleIdTable& ids);
+
+/// Packet-filtering firewall: ternary ACL over the 5-tuple fields;
+/// deny sets the SFC drop flag. Default deny. Table: acl.
+p4ir::Program make_firewall(p4ir::TupleIdTable& ids);
+
+/// Virtualization gateway: translates tenant-facing virtual IPs to
+/// physical addresses and records the tenant in the SFC context.
+/// Table: vip_map.
+p4ir::Program make_vgw(p4ir::TupleIdTable& ids);
+
+/// L4 load balancer — the Fig. 4 example verbatim: CRC32 over the
+/// 5-tuple, exact-match session table, toCpu on miss.
+/// Tables: compute_hash (keyless), lb_session.
+p4ir::Program make_load_balancer(p4ir::TupleIdTable& ids);
+
+/// IP router (framework-supplied terminal NF): LPM on the destination,
+/// rewrites the MAC, decrements TTL, sets the egress port, and pops
+/// the SFC header. Table: ipv4_lpm.
+p4ir::Program make_router(p4ir::TupleIdTable& ids);
+
+// --- extension NFs (not in the paper's prototype; same interface) ---
+
+/// Source NAT: rewrites source IP/port from a translation table.
+p4ir::Program make_nat(p4ir::TupleIdTable& ids);
+
+/// Flow police: exact-match blocklist that drops flagged flows
+/// (a stand-in for payload-free security functions, cf. §7).
+p4ir::Program make_police(p4ir::TupleIdTable& ids);
+
+/// Stateful per-flow rate limiter: a register array of per-flow packet
+/// counters indexed by the 5-tuple hash; flows exceeding
+/// `packet_threshold` packets are dropped. Exercises the stateful
+/// (register) primitives of the IR — the kind of in-network security
+/// function the paper's related work (SilkRoad-style stateful
+/// processing) runs on switch ASICs.
+p4ir::Program make_rate_limiter(p4ir::TupleIdTable& ids,
+                                std::uint32_t packet_threshold = 100);
+
+/// The five Fig. 2 NFs in chain order.
+std::vector<p4ir::Program> fig2_nf_programs(p4ir::TupleIdTable& ids);
+
+}  // namespace dejavu::nf

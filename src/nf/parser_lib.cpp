@@ -1,0 +1,62 @@
+#include "nf/parser_lib.hpp"
+
+#include "net/headers.hpp"
+#include "sfc/header.hpp"
+
+namespace dejavu::nf {
+
+void add_standard_parser(p4ir::Program& program, p4ir::TupleIdTable& ids,
+                         const ParserOptions& options) {
+  using p4ir::ParserEdge;
+  using p4ir::ParserTuple;
+
+  program.add_header_type(p4ir::ethernet_type());
+  program.add_header_type(p4ir::ipv4_type());
+  program.add_header_type(p4ir::standard_metadata_type());
+  if (options.with_sfc) program.add_header_type(p4ir::sfc_type());
+  if (options.with_tcp) program.add_header_type(p4ir::tcp_type());
+  if (options.with_udp) program.add_header_type(p4ir::udp_type());
+  if (options.with_vxlan) program.add_header_type(p4ir::vxlan_type());
+
+  p4ir::ParserGraph& g = program.parser();
+  const std::uint32_t eth = g.add_vertex(ids, {"ethernet", kEthOffset});
+  g.set_start(eth);
+
+  const std::uint32_t ip_plain = g.add_vertex(ids, {"ipv4", kIpv4Plain});
+  g.add_edge(ParserEdge{eth, ip_plain, "ethernet.ether_type",
+                        net::kEtherTypeIpv4, false});
+
+  std::uint32_t ip_shifted = 0;
+  if (options.with_sfc) {
+    const std::uint32_t sfc_v = g.add_vertex(ids, {"sfc", kSfcOffset});
+    g.add_edge(ParserEdge{eth, sfc_v, "ethernet.ether_type",
+                          net::kEtherTypeSfc, false});
+    ip_shifted = g.add_vertex(ids, {"ipv4", kIpv4Shifted});
+    g.add_edge(ParserEdge{
+        sfc_v, ip_shifted, "sfc.next_protocol",
+        static_cast<std::uint64_t>(sfc::NextProtocol::kIpv4), false});
+  }
+
+  auto add_l4 = [&](std::uint32_t ip_vertex, std::uint32_t l4_offset) {
+    if (options.with_tcp) {
+      std::uint32_t tcp = g.add_vertex(ids, {"tcp", l4_offset});
+      g.add_edge(ParserEdge{ip_vertex, tcp, "ipv4.protocol",
+                            net::kIpProtoTcp, false});
+    }
+    if (options.with_udp) {
+      std::uint32_t udp = g.add_vertex(ids, {"udp", l4_offset});
+      g.add_edge(ParserEdge{ip_vertex, udp, "ipv4.protocol",
+                            net::kIpProtoUdp, false});
+      if (options.with_vxlan) {
+        std::uint32_t vxlan =
+            g.add_vertex(ids, {"vxlan", l4_offset + 8});
+        g.add_edge(ParserEdge{udp, vxlan, "udp.dst_port",
+                              net::kVxlanUdpPort, false});
+      }
+    }
+  };
+  add_l4(ip_plain, kL4Plain);
+  if (options.with_sfc) add_l4(ip_shifted, kL4Shifted);
+}
+
+}  // namespace dejavu::nf

@@ -1,0 +1,32 @@
+// The shared parser vocabulary of the Dejavu NFs: Ethernet, the
+// optional SFC header, IPv4 (at both its plain and SFC-shifted
+// offsets — the same header type at two locations is two distinct
+// parse vertices, per §3), and the L4 headers. Each NF picks the
+// subset it needs; the generic parser is the merge of those subsets.
+#pragma once
+
+#include "p4ir/program.hpp"
+
+namespace dejavu::nf {
+
+/// Byte offsets of the standard header layout.
+inline constexpr std::uint32_t kEthOffset = 0;
+inline constexpr std::uint32_t kSfcOffset = 14;       // after Ethernet
+inline constexpr std::uint32_t kIpv4Plain = 14;       // no SFC header
+inline constexpr std::uint32_t kIpv4Shifted = 34;     // behind SFC (20 B)
+inline constexpr std::uint32_t kL4Plain = 34;         // ihl=5
+inline constexpr std::uint32_t kL4Shifted = 54;
+
+struct ParserOptions {
+  bool with_sfc = true;  // parse the SFC-encapsulated variant
+  bool with_tcp = true;
+  bool with_udp = true;
+  bool with_vxlan = false;  // VXLAN behind UDP (virtualization gateway)
+};
+
+/// Install the header types and parser graph into `program`,
+/// interning vertices through the shared global-ID table.
+void add_standard_parser(p4ir::Program& program, p4ir::TupleIdTable& ids,
+                         const ParserOptions& options = {});
+
+}  // namespace dejavu::nf

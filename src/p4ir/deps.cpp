@@ -1,0 +1,150 @@
+#include "p4ir/deps.hpp"
+
+#include <algorithm>
+
+namespace dejavu::p4ir {
+
+const char* to_string(DepKind kind) {
+  switch (kind) {
+    case DepKind::kNone:
+      return "none";
+    case DepKind::kSuccessor:
+      return "successor";
+    case DepKind::kAction:
+      return "action";
+    case DepKind::kMatch:
+      return "match";
+  }
+  return "?";
+}
+
+namespace {
+
+/// First common element of a sorted set and any container, or "".
+std::string first_intersection(const std::set<std::string>& a,
+                               const std::set<std::string>& b) {
+  for (const auto& f : a) {
+    if (b.contains(f)) return f;
+  }
+  return "";
+}
+
+}  // namespace
+
+DependencyGraph analyze_dependencies(
+    const std::vector<const ControlBlock*>& blocks, bool sequential_barriers) {
+  DependencyGraph graph;
+
+  std::vector<std::size_t> block_first_table;  // index into graph.tables
+  for (const ControlBlock* block : blocks) {
+    block_first_table.push_back(graph.tables.size());
+    for (const ApplyEntry& entry : block->apply_order()) {
+      const Table* table = block->find_table(entry.table);
+      AnalyzedTable at;
+      at.block = block;
+      at.table = table;
+      at.match_fields = table->match_fields();
+      at.action_reads = block->table_action_reads(*table);
+      at.action_writes = block->table_action_writes(*table);
+      at.guard_fields = entry.guard_fields;
+      at.guard_tables = entry.guard_tables;
+      at.guard_mode = entry.mode;
+      at.branch_id = entry.branch_id;
+      at.field_guard = entry.field_guard;
+      if (entry.field_guard) {
+        at.guard_fields.push_back(entry.field_guard->field);
+      }
+      at.gated = entry.gated();
+      graph.tables.push_back(std::move(at));
+    }
+  }
+
+  // Pairwise dependencies between earlier table i and later table j.
+  for (std::size_t j = 0; j < graph.tables.size(); ++j) {
+    const AnalyzedTable& b = graph.tables[j];
+    for (std::size_t i = 0; i < j; ++i) {
+      const AnalyzedTable& a = graph.tables[i];
+
+      // Mutually exclusive branches (parallel composition): no packet
+      // executes both tables, so no dependency can arise.
+      if (!a.branch_id.empty() && !b.branch_id.empty() &&
+          a.branch_id != b.branch_id) {
+        continue;
+      }
+
+      // Match dependency: a writes what b matches on (including the
+      // fields of b's gateway condition, which are matched by the
+      // gateway in b's stage).
+      std::set<std::string> b_match = b.match_fields;
+      b_match.insert(b.guard_fields.begin(), b.guard_fields.end());
+      if (std::string f = first_intersection(a.action_writes, b_match);
+          !f.empty()) {
+        graph.deps.push_back({i, j, DepKind::kMatch, f});
+        continue;
+      }
+
+      // Action dependency: write-read or write-write between actions.
+      if (std::string f = first_intersection(a.action_writes, b.action_reads);
+          !f.empty()) {
+        graph.deps.push_back({i, j, DepKind::kAction, f});
+        continue;
+      }
+      if (std::string f = first_intersection(a.action_writes,
+                                             b.action_writes);
+          !f.empty()) {
+        graph.deps.push_back({i, j, DepKind::kAction, f});
+        continue;
+      }
+
+      // Successor dependency: b's gate reads a's hit/miss result.
+      if (a.table != nullptr &&
+          std::find(b.guard_tables.begin(), b.guard_tables.end(),
+                    a.table->name) != b.guard_tables.end()) {
+        graph.deps.push_back({i, j, DepKind::kSuccessor, ""});
+      }
+    }
+  }
+
+  if (sequential_barriers) {
+    // Implicit dependency between consecutive control blocks (§3.2):
+    // last table of block k -> first table of block k+1, stage-advancing.
+    for (std::size_t k = 0; k + 1 < block_first_table.size(); ++k) {
+      std::size_t next_first = block_first_table[k + 1];
+      if (next_first == 0 || next_first >= graph.tables.size()) continue;
+      std::size_t prev_last = next_first - 1;
+      if (prev_last < block_first_table[k]) continue;  // empty block
+      bool already = std::any_of(
+          graph.deps.begin(), graph.deps.end(), [&](const Dependency& d) {
+            return d.from == prev_last && d.to == next_first &&
+                   d.kind != DepKind::kSuccessor;
+          });
+      if (!already) {
+        graph.deps.push_back(
+            {prev_last, next_first, DepKind::kAction, "<control-order>"});
+      }
+    }
+  }
+
+  return graph;
+}
+
+std::vector<std::uint32_t> DependencyGraph::min_stages() const {
+  std::vector<std::uint32_t> stage(tables.size(), 0);
+  // Tables are already in topological (program) order, so one forward
+  // pass suffices.
+  for (const Dependency& d : deps) {
+    std::uint32_t need = d.kind == DepKind::kSuccessor
+                             ? stage[d.from]           // may share a stage
+                             : stage[d.from] + 1;      // strictly later
+    stage[d.to] = std::max(stage[d.to], need);
+  }
+  return stage;
+}
+
+std::uint32_t DependencyGraph::critical_path_stages() const {
+  if (tables.empty()) return 0;
+  auto stages = min_stages();
+  return *std::max_element(stages.begin(), stages.end()) + 1;
+}
+
+}  // namespace dejavu::p4ir

@@ -1,0 +1,91 @@
+// Table dependency analysis, following the classification of Jose et
+// al. (NSDI '15, "Compiling packet programs to reconfigurable
+// switches"), which the paper cites for its resource model (§3.2 fn 2):
+//
+//   * match dependency      — an earlier table's action writes a field
+//                             a later table matches on; the later table
+//                             must sit in a strictly later stage.
+//   * action dependency     — an earlier table's action writes a field
+//                             a later table's action reads or writes;
+//                             also forces a strictly later stage in our
+//                             model (RMT can overlap partially, but
+//                             never the same stage).
+//   * successor dependency  — a later table's execution is predicated
+//                             on an earlier table's result; the tables
+//                             may share a stage via gateway predication.
+//
+// Sequential composition of NFs (§3.2) introduces an implicit successor
+// dependency between the last table of one NF and every table of the
+// next, which is what makes sequential chains consume stage depth.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "p4ir/control.hpp"
+
+namespace dejavu::p4ir {
+
+enum class DepKind {
+  kNone,
+  kSuccessor,
+  kAction,
+  kMatch,
+};
+
+const char* to_string(DepKind kind);
+
+/// A dependency edge between tables, identified by their positions in
+/// the analyzed sequence (from < to).
+struct Dependency {
+  std::size_t from = 0;
+  std::size_t to = 0;
+  DepKind kind = DepKind::kNone;
+  std::string field;  // the field inducing the dep ("" for successor)
+
+  bool operator==(const Dependency&) const = default;
+};
+
+/// One table in flattened program order, with its resolved read/write
+/// sets and apply-time guard info.
+struct AnalyzedTable {
+  const ControlBlock* block = nullptr;
+  const Table* table = nullptr;
+  std::set<std::string> match_fields;
+  std::set<std::string> action_reads;
+  std::set<std::string> action_writes;
+  std::vector<std::string> guard_fields;
+  std::vector<std::string> guard_tables;
+  GuardMode guard_mode = GuardMode::kAlways;
+  std::string branch_id;
+  std::optional<FieldGuard> field_guard;
+  bool gated = false;
+};
+
+/// The full dependency analysis result for a sequence of control
+/// blocks applied in order.
+struct DependencyGraph {
+  std::vector<AnalyzedTable> tables;
+  std::vector<Dependency> deps;
+
+  /// Minimum stage index per table honoring all dependencies: match and
+  /// action deps advance the stage, successor deps allow sharing.
+  /// This is the dependency-only lower bound (ignores resource limits).
+  std::vector<std::uint32_t> min_stages() const;
+
+  /// Length of the critical path in stages (1 + max of min_stages).
+  std::uint32_t critical_path_stages() const;
+};
+
+/// Flatten `blocks` in apply order and compute all pairwise deps.
+/// When `sequential_barriers` is set, an implicit stage-advancing
+/// (action-kind) dependency is added from the last table of each block
+/// to the first table of the next block — the "implicit dependency"
+/// that makes sequential composition (§3.2) place chained NFs in
+/// separate MAU stages.
+DependencyGraph analyze_dependencies(
+    const std::vector<const ControlBlock*>& blocks,
+    bool sequential_barriers = true);
+
+}  // namespace dejavu::p4ir

@@ -1,0 +1,332 @@
+#include "p4ir/emit.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace dejavu::p4ir {
+
+namespace {
+
+class Emitter {
+ public:
+  explicit Emitter(const EmitOptions& options) : options_(options) {}
+
+  Emitter& line(const std::string& text = "") {
+    for (int i = 0; i < depth_ * options_.indent; ++i) out_ << ' ';
+    out_ << text << '\n';
+    return *this;
+  }
+  Emitter& open(const std::string& text) {
+    line(text + " {");
+    ++depth_;
+    return *this;
+  }
+  Emitter& close(const std::string& suffix = "") {
+    --depth_;
+    line("}" + suffix);
+    return *this;
+  }
+  Emitter& comment(const std::string& text) {
+    if (options_.with_comments) line("// " + text);
+    return *this;
+  }
+
+  std::string str() const { return out_.str(); }
+
+ private:
+  EmitOptions options_;
+  std::ostringstream out_;
+  int depth_ = 0;
+};
+
+std::string sanitize(std::string name) {
+  for (char& c : name) {
+    if (c == '.' || c == '-' || c == ' ') c = '_';
+  }
+  return name;
+}
+
+std::string field_expr(const std::string& dotted) {
+  if (dotted.rfind("local.", 0) == 0) {
+    return sanitize(dotted);  // block-local temporary
+  }
+  if (dotted.rfind("standard_metadata.", 0) == 0) {
+    return dotted;
+  }
+  return "hdr." + dotted;
+}
+
+const char* match_kind_p4(MatchKind kind) {
+  switch (kind) {
+    case MatchKind::kExact:
+      return "exact";
+    case MatchKind::kLpm:
+      return "lpm";
+    case MatchKind::kTernary:
+      return "ternary";
+  }
+  return "exact";
+}
+
+void emit_header_type(Emitter& e, const HeaderType& type) {
+  e.open("header " + sanitize(type.name) + "_t");
+  for (const Field& f : type.fields) {
+    e.line("bit<" + std::to_string(f.bits) + "> " + sanitize(f.name) + ";");
+  }
+  e.close();
+  e.line();
+}
+
+void emit_parser(Emitter& e, const Program& program,
+                 const TupleIdTable& ids) {
+  const ParserGraph& g = program.parser();
+  if (g.vertices().empty()) return;
+
+  e.comment("Generic parser: vertices are (header_type, offset) tuples");
+  e.comment("interned through the global-ID table (" +
+            std::to_string(ids.size()) + " tuples known).");
+  e.open("parser GenericParser(packet_in pkt, out all_headers_t hdr)");
+
+  auto state_name = [&](std::uint32_t v) {
+    const ParserTuple& t = ids.tuple_of(v);
+    return "parse_" + sanitize(t.header_type) + "_at_" +
+           std::to_string(t.offset);
+  };
+
+  e.open("state start");
+  e.line("transition " + state_name(g.start()) + ";");
+  e.close();
+
+  for (std::uint32_t v : g.vertices()) {
+    const ParserTuple& tuple = ids.tuple_of(v);
+    e.open("state " + state_name(v));
+    e.line("pkt.extract(hdr." + sanitize(tuple.header_type) + ");");
+    auto edges = g.out_edges(v);
+    if (edges.empty()) {
+      e.line("transition accept;");
+    } else {
+      // All selective out-edges of one vertex share the select field
+      // in our parsers; emit a select() over it.
+      std::string select_field;
+      for (const auto& edge : edges) {
+        if (!edge.is_default) {
+          select_field = edge.select_field;
+          break;
+        }
+      }
+      if (select_field.empty()) {
+        e.line("transition " + state_name(edges.front().to) + ";");
+      } else {
+        e.open("transition select(" + field_expr(select_field) + ")");
+        bool have_default = false;
+        for (const auto& edge : edges) {
+          if (edge.is_default) {
+            e.line("default: " + state_name(edge.to) + ";");
+            have_default = true;
+          } else {
+            char buf[32];
+            std::snprintf(buf, sizeof(buf), "0x%llx",
+                          static_cast<unsigned long long>(edge.select_value));
+            e.line(std::string(buf) + ": " + state_name(edge.to) + ";");
+          }
+        }
+        if (!have_default) e.line("default: accept;");
+        e.close();
+      }
+    }
+    e.close();
+  }
+  e.close();
+  e.line();
+}
+
+void emit_action(Emitter& e, const Action& action) {
+  std::string params;
+  for (std::size_t i = 0; i < action.params.size(); ++i) {
+    if (i > 0) params += ", ";
+    params += "bit<" + std::to_string(action.params[i].bits) + "> " +
+              sanitize(action.params[i].name);
+  }
+  e.open("action " + sanitize(action.name) + "(" + params + ")");
+  for (const Primitive& p : action.primitives) {
+    switch (p.op) {
+      case PrimitiveOp::kNoop:
+        break;
+      case PrimitiveOp::kSetImmediate:
+        e.line(field_expr(p.dst) + " = " + std::to_string(p.imm) + ";");
+        break;
+      case PrimitiveOp::kSetFromParam:
+        e.line(field_expr(p.dst) + " = " + sanitize(p.param) + ";");
+        break;
+      case PrimitiveOp::kCopy:
+        e.line(field_expr(p.dst) + " = " + field_expr(p.src) + ";");
+        break;
+      case PrimitiveOp::kAdd:
+        e.line(field_expr(p.dst) + " = " + field_expr(p.dst) + " + " +
+               std::to_string(p.imm) + ";");
+        break;
+      case PrimitiveOp::kHash: {
+        std::string args;
+        for (std::size_t i = 0; i < p.srcs.size(); ++i) {
+          if (i > 0) args += ", ";
+          args += field_expr(p.srcs[i]);
+        }
+        e.line(field_expr(p.dst) + " = hasher.get({" + args + "});");
+        break;
+      }
+      case PrimitiveOp::kPushSfc:
+        e.line("push_sfc_header();  // extern: insert hdr.sfc");
+        break;
+      case PrimitiveOp::kPopSfc:
+        e.line("pop_sfc_header();  // extern: remove hdr.sfc");
+        break;
+      case PrimitiveOp::kDrop:
+        e.line("mark_to_drop(standard_metadata);");
+        break;
+      case PrimitiveOp::kSetContext:
+        e.line("sfc_context_set(" + std::to_string(p.imm) + ", " +
+               sanitize(p.param) + ");  // extern: context key-value");
+        break;
+      case PrimitiveOp::kRegisterRead:
+        e.line(field_expr(p.dst) + " = " + sanitize(p.param) + ".read(" +
+               field_expr(p.src) + ");");
+        break;
+      case PrimitiveOp::kRegisterAdd:
+        e.line(sanitize(p.param) + ".add(" + field_expr(p.src) + ", " +
+               std::to_string(p.imm) + ")" +
+               (p.dst.empty() ? "" : " -> " + field_expr(p.dst)) + ";");
+        break;
+      case PrimitiveOp::kRegisterWrite:
+        e.line(sanitize(p.param) + ".write(" + field_expr(p.src) + ", " +
+               (p.srcs.empty() ? std::to_string(p.imm)
+                               : field_expr(p.srcs[0])) +
+               ");");
+        break;
+    }
+  }
+  e.close();
+}
+
+void emit_table(Emitter& e, const Table& table) {
+  e.open("table " + sanitize(table.name));
+  if (!table.keys.empty()) {
+    e.open("key =");
+    for (const TableKey& k : table.keys) {
+      e.line(field_expr(k.field) + " : " + match_kind_p4(k.kind) + ";");
+    }
+    e.close();
+  }
+  e.open("actions =");
+  for (const std::string& a : table.actions) {
+    e.line(sanitize(a) + ";");
+  }
+  e.close();
+  if (!table.default_action.empty()) {
+    e.line("const default_action = " + sanitize(table.default_action) +
+           "();");
+  }
+  e.line("size = " + std::to_string(table.max_entries) + ";");
+  e.close();
+}
+
+std::string guard_expr(const ApplyEntry& entry) {
+  std::string cond;
+  if (entry.field_guard) {
+    const char* op = "==";
+    switch (entry.field_guard->effective_cmp()) {
+      case GuardCmp::kEq:
+        op = "==";
+        break;
+      case GuardCmp::kNe:
+        op = "!=";
+        break;
+      case GuardCmp::kGt:
+        op = ">";
+        break;
+      case GuardCmp::kLt:
+        op = "<";
+        break;
+    }
+    cond = field_expr(entry.field_guard->field) + " " + op + " " +
+           std::to_string(entry.field_guard->value);
+  }
+  for (const std::string& g : entry.guard_tables) {
+    if (!cond.empty()) cond += " && ";
+    cond += sanitize(g) + ".apply()." +
+            (entry.mode == GuardMode::kIfMiss ? "miss" : "hit");
+  }
+  return cond;
+}
+
+}  // namespace
+
+std::string emit_control(const ControlBlock& control,
+                         const EmitOptions& options) {
+  Emitter e(options);
+  e.open("control " + sanitize(control.name()) +
+         "(inout all_headers_t hdr, inout standard_metadata_t "
+         "standard_metadata)");
+
+  for (const RegisterDef& r : control.registers()) {
+    e.line("register<bit<" + std::to_string(r.width_bits) + ">>(" +
+           std::to_string(r.size) + ") " + sanitize(r.name) + ";");
+  }
+  for (const Action& a : control.actions()) emit_action(e, a);
+  for (const Table& t : control.tables()) emit_table(e, t);
+
+  e.open("apply");
+  std::string current_branch;
+  bool first_branch = true;
+  for (const ApplyEntry& entry : control.apply_order()) {
+    if (entry.branch_id != current_branch) {
+      if (!entry.branch_id.empty()) {
+        e.comment("branch '" + entry.branch_id + "'" +
+                  (first_branch ? "" : " (mutually exclusive else-if)"));
+        first_branch = false;
+      }
+      current_branch = entry.branch_id;
+    }
+    const std::string cond = guard_expr(entry);
+    if (cond.empty()) {
+      e.line(sanitize(entry.table) + ".apply();");
+    } else {
+      e.open("if (" + cond + ")");
+      e.line(sanitize(entry.table) + ".apply();");
+      e.close();
+    }
+  }
+  e.close();
+  e.close();
+  return e.str();
+}
+
+std::string emit_p4(const Program& program, const TupleIdTable& ids,
+                    const EmitOptions& options) {
+  Emitter e(options);
+  e.comment("Generated by dejavu::p4ir::emit_p4 from program '" +
+            program.name() + "'");
+  e.line("#include <core.p4>");
+  e.line();
+
+  for (const HeaderType& type : program.header_types()) {
+    emit_header_type(e, type);
+  }
+
+  e.open("struct all_headers_t");
+  for (const HeaderType& type : program.header_types()) {
+    if (type.name == "standard_metadata") continue;
+    e.line(sanitize(type.name) + "_t " + sanitize(type.name) + ";");
+  }
+  e.close();
+  e.line();
+
+  emit_parser(e, program, ids);
+
+  std::string out = e.str();
+  for (const ControlBlock& control : program.controls()) {
+    out += "\n" + emit_control(control, options);
+  }
+  return out;
+}
+
+}  // namespace dejavu::p4ir

@@ -1,0 +1,30 @@
+// P4-16-style source emission: render an IR program (typically the
+// composed multi-pipelet program) as human-readable P4-like text. This
+// is what a code-level composition tool ships to the vendor compiler;
+// here it doubles as the inspectable artifact of a merge and as
+// documentation of what actually got deployed.
+//
+// The dialect is P4-16-shaped but not vendor-exact: platform intrinsics
+// (push/pop of the SFC header, hashing) appear as extern calls.
+#pragma once
+
+#include <string>
+
+#include "p4ir/program.hpp"
+
+namespace dejavu::p4ir {
+
+struct EmitOptions {
+  bool with_comments = true;  // provenance comments on glue constructs
+  int indent = 4;
+};
+
+/// Emit the whole program: header types, parser, every control block.
+std::string emit_p4(const Program& program, const TupleIdTable& ids,
+                    const EmitOptions& options = {});
+
+/// Emit just one control block (useful for diffing single pipelets).
+std::string emit_control(const ControlBlock& control,
+                         const EmitOptions& options = {});
+
+}  // namespace dejavu::p4ir

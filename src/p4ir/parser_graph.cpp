@@ -1,0 +1,121 @@
+#include "p4ir/parser_graph.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace dejavu::p4ir {
+
+std::uint32_t TupleIdTable::intern(const ParserTuple& tuple) {
+  auto [it, inserted] =
+      ids_.emplace(tuple, static_cast<std::uint32_t>(by_id_.size()));
+  if (inserted) by_id_.push_back(tuple);
+  return it->second;
+}
+
+std::optional<std::uint32_t> TupleIdTable::find(
+    const ParserTuple& tuple) const {
+  auto it = ids_.find(tuple);
+  if (it == ids_.end()) return std::nullopt;
+  return it->second;
+}
+
+const ParserTuple& TupleIdTable::tuple_of(std::uint32_t id) const {
+  return by_id_.at(id);
+}
+
+std::uint32_t ParserGraph::add_vertex(TupleIdTable& ids,
+                                      const ParserTuple& tuple) {
+  std::uint32_t id = ids.intern(tuple);
+  if (!has_vertex(id)) vertices_.push_back(id);
+  return id;
+}
+
+bool ParserGraph::has_vertex(std::uint32_t id) const {
+  return std::find(vertices_.begin(), vertices_.end(), id) != vertices_.end();
+}
+
+void ParserGraph::add_edge(ParserEdge edge) {
+  if (!has_vertex(edge.from) || !has_vertex(edge.to)) {
+    throw std::invalid_argument("parser edge endpoint not in graph");
+  }
+  for (const ParserEdge& e : edges_) {
+    if (e.from != edge.from) continue;
+    if (e.is_default && edge.is_default && e.to != edge.to) {
+      throw std::invalid_argument(
+          "conflicting default transitions from vertex " +
+          std::to_string(edge.from));
+    }
+    if (!e.is_default && !edge.is_default &&
+        e.select_field == edge.select_field &&
+        e.select_value == edge.select_value && e.to != edge.to) {
+      throw std::invalid_argument("conflicting selector " + edge.select_field +
+                                  "=" + std::to_string(edge.select_value) +
+                                  " from vertex " + std::to_string(edge.from));
+    }
+    if (e == edge) return;  // exact duplicate: idempotent add
+  }
+  edges_.push_back(std::move(edge));
+}
+
+void ParserGraph::set_start(std::uint32_t vertex_id) {
+  if (!has_vertex(vertex_id)) {
+    throw std::invalid_argument("start vertex not in graph");
+  }
+  start_ = vertex_id;
+  start_set_ = true;
+}
+
+std::vector<ParserEdge> ParserGraph::out_edges(std::uint32_t from) const {
+  std::vector<ParserEdge> out;
+  for (const ParserEdge& e : edges_) {
+    if (e.from == from && !e.is_default) out.push_back(e);
+  }
+  for (const ParserEdge& e : edges_) {
+    if (e.from == from && e.is_default) out.push_back(e);
+  }
+  return out;
+}
+
+bool ParserGraph::validate(const TupleIdTable& ids, std::string* why) const {
+  auto fail = [&](const std::string& msg) {
+    if (why != nullptr) *why = msg;
+    return false;
+  };
+  if (!start_set_) return fail("no start vertex set");
+  if (vertices_.empty()) return fail("empty parser graph");
+
+  // Reachability from start.
+  std::set<std::uint32_t> reached{start_};
+  std::vector<std::uint32_t> frontier{start_};
+  while (!frontier.empty()) {
+    std::uint32_t v = frontier.back();
+    frontier.pop_back();
+    for (const ParserEdge& e : edges_) {
+      if (e.from == v && reached.insert(e.to).second) {
+        frontier.push_back(e.to);
+      }
+    }
+  }
+  for (std::uint32_t v : vertices_) {
+    if (!reached.contains(v)) {
+      return fail("vertex " + ids.tuple_of(v).to_string() +
+                  " unreachable from start");
+    }
+  }
+
+  // Acyclicity: offsets must strictly increase along edges (a header
+  // can only be followed by a header deeper in the packet), which also
+  // guarantees a DAG. Equal-offset edges are rejected.
+  for (const ParserEdge& e : edges_) {
+    const ParserTuple& from = ids.tuple_of(e.from);
+    const ParserTuple& to = ids.tuple_of(e.to);
+    if (to.offset <= from.offset) {
+      return fail("edge " + from.to_string() + " -> " + to.to_string() +
+                  " does not advance into the packet");
+    }
+  }
+  return true;
+}
+
+}  // namespace dejavu::p4ir

@@ -1,0 +1,104 @@
+// Parser DAGs (paper §3, "Generic Parser").
+//
+// A parser is a DAG whose vertices are headers at particular packet
+// offsets and whose edges are transitions selected by a field value
+// (e.g. ethernet.ether_type == 0x0800 -> ipv4). The same header type at
+// two different offsets is two distinct vertices. Vertex identity for
+// cross-program merging is the (header_type, offset) tuple, mapped to a
+// global ID through a shared lookup table exactly as §3 describes.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dejavu::p4ir {
+
+/// The (header_type, byte offset) tuple that identifies a parse vertex
+/// across programs. Offset is the byte position of the header within
+/// the packet; kVariableOffset marks headers whose position depends on
+/// earlier variable-length headers (identified then by type + marker).
+struct ParserTuple {
+  std::string header_type;
+  std::uint32_t offset = 0;
+
+  auto operator<=>(const ParserTuple&) const = default;
+  std::string to_string() const {
+    return header_type + "@" + std::to_string(offset);
+  }
+};
+
+/// The global-ID lookup table of §3: assigns each distinct
+/// (header_type, offset) tuple a small dense ID shared by all programs
+/// being merged. "The size of this table should be small as normal
+/// packets have limited header types."
+class TupleIdTable {
+ public:
+  /// Get the ID for a tuple, assigning the next free ID when new.
+  std::uint32_t intern(const ParserTuple& tuple);
+
+  /// Lookup without assignment; nullopt when unknown.
+  std::optional<std::uint32_t> find(const ParserTuple& tuple) const;
+
+  /// Reverse lookup. Throws std::out_of_range for unknown IDs.
+  const ParserTuple& tuple_of(std::uint32_t id) const;
+
+  std::size_t size() const { return by_id_.size(); }
+
+ private:
+  std::map<ParserTuple, std::uint32_t> ids_;
+  std::vector<ParserTuple> by_id_;
+};
+
+/// A transition selector: "from vertex X, if field F equals V, go to
+/// vertex Y". A default transition has no select value (accept any).
+struct ParserEdge {
+  std::uint32_t from = 0;  // global vertex IDs
+  std::uint32_t to = 0;
+  std::string select_field;  // dotted ref, e.g. "ethernet.ether_type";
+                             // empty for unconditional transitions
+  std::uint64_t select_value = 0;
+  bool is_default = false;  // taken when no other edge from `from` matches
+
+  bool operator==(const ParserEdge&) const = default;
+};
+
+/// A parser DAG over globally-identified vertices. Terminal "accept" is
+/// implicit: a vertex without outgoing edges accepts.
+class ParserGraph {
+ public:
+  /// Add (or get) the vertex for `tuple`, interning through `ids`.
+  std::uint32_t add_vertex(TupleIdTable& ids, const ParserTuple& tuple);
+
+  /// Add an edge; both endpoints must already be vertices of this
+  /// graph. Throws std::invalid_argument otherwise, or when the edge
+  /// duplicates an existing (from, field, value) selector with a
+  /// different target.
+  void add_edge(ParserEdge edge);
+
+  void set_start(std::uint32_t vertex_id);
+  std::uint32_t start() const { return start_; }
+
+  bool has_vertex(std::uint32_t id) const;
+  const std::vector<std::uint32_t>& vertices() const { return vertices_; }
+  const std::vector<ParserEdge>& edges() const { return edges_; }
+
+  /// Outgoing edges of a vertex, selective edges first, default last.
+  std::vector<ParserEdge> out_edges(std::uint32_t from) const;
+
+  /// True when every vertex is reachable from the start vertex and the
+  /// graph is acyclic. `why` receives a diagnostic when invalid.
+  bool validate(const TupleIdTable& ids, std::string* why = nullptr) const;
+
+  bool operator==(const ParserGraph&) const = default;
+
+ private:
+  std::uint32_t start_ = 0;
+  bool start_set_ = false;
+  std::vector<std::uint32_t> vertices_;
+  std::vector<ParserEdge> edges_;
+};
+
+}  // namespace dejavu::p4ir

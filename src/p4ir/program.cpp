@@ -1,0 +1,137 @@
+#include "p4ir/program.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dejavu::p4ir {
+
+void Program::add_header_type(HeaderType type) {
+  if (const HeaderType* existing = find_header_type(type.name)) {
+    if (*existing != type) {
+      throw std::invalid_argument("header type '" + type.name +
+                                  "' redefined with a different layout");
+    }
+    return;
+  }
+  types_.push_back(std::move(type));
+}
+
+const HeaderType* Program::find_header_type(const std::string& name) const {
+  auto it = std::find_if(types_.begin(), types_.end(),
+                         [&](const HeaderType& t) { return t.name == name; });
+  return it == types_.end() ? nullptr : &*it;
+}
+
+std::optional<std::uint16_t> Program::field_bits(
+    const std::string& dotted) const {
+  auto ref = FieldRef::parse(dotted);
+  if (!ref) return std::nullopt;
+  const HeaderType* type = find_header_type(ref->header);
+  if (type == nullptr) return std::nullopt;
+  const Field* field = type->find_field(ref->field);
+  if (field == nullptr) return std::nullopt;
+  return field->bits;
+}
+
+void Program::add_control(ControlBlock block) {
+  if (find_control(block.name()) != nullptr) {
+    throw std::invalid_argument("duplicate control block '" + block.name() +
+                                "' in program '" + name_ + "'");
+  }
+  controls_.push_back(std::move(block));
+}
+
+const ControlBlock* Program::find_control(const std::string& name) const {
+  auto it = std::find_if(controls_.begin(), controls_.end(),
+                         [&](const ControlBlock& c) {
+                           return c.name() == name;
+                         });
+  return it == controls_.end() ? nullptr : &*it;
+}
+
+ControlBlock* Program::find_control(const std::string& name) {
+  auto it = std::find_if(controls_.begin(), controls_.end(),
+                         [&](const ControlBlock& c) {
+                           return c.name() == name;
+                         });
+  return it == controls_.end() ? nullptr : &*it;
+}
+
+void Program::annotate(const std::string& key, const std::string& value) {
+  annotations_[key] = value;
+}
+
+std::optional<std::string> Program::annotation(const std::string& key) const {
+  auto it = annotations_.find(key);
+  if (it == annotations_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool Program::validate(const TupleIdTable& ids, std::string* why) const {
+  auto fail = [&](const std::string& msg) {
+    if (why != nullptr) *why = "program '" + name_ + "': " + msg;
+    return false;
+  };
+
+  std::string sub;
+  if (!parser_.vertices().empty() && !parser_.validate(ids, &sub)) {
+    return fail("parser: " + sub);
+  }
+  // Parser vertices must reference known header types.
+  for (std::uint32_t v : parser_.vertices()) {
+    const ParserTuple& tuple = ids.tuple_of(v);
+    if (find_header_type(tuple.header_type) == nullptr) {
+      return fail("parser references unknown header type '" +
+                  tuple.header_type + "'");
+    }
+  }
+
+  auto check_field = [&](const std::string& dotted, const std::string& where) {
+    if (!field_bits(dotted)) {
+      sub = where + " references unknown field '" + dotted + "'";
+      return false;
+    }
+    return true;
+  };
+
+  for (const ControlBlock& block : controls_) {
+    if (!block.validate(&sub)) return fail(sub);
+    for (const Table& t : block.tables()) {
+      for (const TableKey& k : t.keys) {
+        // Keys may reference block-local temporaries ("local.<name>"),
+        // e.g. the sessionHash variable of the Fig. 4 load balancer.
+        if (k.field.rfind("local.", 0) == 0) continue;
+        if (!check_field(k.field, "table '" + t.name + "'")) return fail(sub);
+      }
+    }
+    for (const Action& a : block.actions()) {
+      for (const Primitive& p : a.primitives) {
+        // Hash destinations may be block-local temporaries (e.g. the
+        // sessionHash variable in Fig. 4), written as "local.<name>".
+        if (!p.dst.empty() && p.dst.rfind("local.", 0) != 0 &&
+            !check_field(p.dst, "action '" + a.name + "'")) {
+          return fail(sub);
+        }
+        if (!p.src.empty() && p.src.rfind("local.", 0) != 0 &&
+            !check_field(p.src, "action '" + a.name + "'")) {
+          return fail(sub);
+        }
+        for (const auto& s : p.srcs) {
+          if (s.rfind("local.", 0) != 0 &&
+              !check_field(s, "action '" + a.name + "'")) {
+            return fail(sub);
+          }
+        }
+      }
+    }
+  }
+  return true;
+}
+
+std::size_t Program::table_count() const {
+  std::size_t n = 0;
+  for (const ControlBlock& c : controls_) n += c.tables().size();
+  return n;
+}
+
+}  // namespace dejavu::p4ir

@@ -1,0 +1,64 @@
+// A whole P4 program: header types, a parser DAG, and control blocks.
+// An individual NF is a Program with one control block; merge composes
+// several NF Programs into one multi-pipelet Program.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "p4ir/control.hpp"
+#include "p4ir/parser_graph.hpp"
+#include "p4ir/types.hpp"
+
+namespace dejavu::p4ir {
+
+class Program {
+ public:
+  Program() = default;
+  explicit Program(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  /// Header types. Adding a type whose name already exists with a
+  /// different layout throws (merge relies on structural agreement);
+  /// re-adding an identical type is a no-op.
+  void add_header_type(HeaderType type);
+  const std::vector<HeaderType>& header_types() const { return types_; }
+  const HeaderType* find_header_type(const std::string& name) const;
+
+  /// Resolve a dotted field reference to its bit width; nullopt when
+  /// the header type or field is unknown.
+  std::optional<std::uint16_t> field_bits(const std::string& dotted) const;
+
+  ParserGraph& parser() { return parser_; }
+  const ParserGraph& parser() const { return parser_; }
+
+  void add_control(ControlBlock block);
+  const std::vector<ControlBlock>& controls() const { return controls_; }
+  std::vector<ControlBlock>& controls() { return controls_; }
+  const ControlBlock* find_control(const std::string& name) const;
+  ControlBlock* find_control(const std::string& name);
+
+  /// Free-form annotations (e.g. the NF name a control came from).
+  void annotate(const std::string& key, const std::string& value);
+  std::optional<std::string> annotation(const std::string& key) const;
+
+  /// Validate everything: header types behind field refs exist, parser
+  /// is well-formed, control blocks are self-consistent.
+  bool validate(const TupleIdTable& ids, std::string* why = nullptr) const;
+
+  /// Total number of tables across all control blocks.
+  std::size_t table_count() const;
+
+ private:
+  std::string name_;
+  std::vector<HeaderType> types_;
+  ParserGraph parser_;
+  std::vector<ControlBlock> controls_;
+  std::map<std::string, std::string> annotations_;
+};
+
+}  // namespace dejavu::p4ir

@@ -1,0 +1,119 @@
+#include "p4ir/resources.hpp"
+
+#include <algorithm>
+
+namespace dejavu::p4ir {
+
+TableResources& TableResources::operator+=(const TableResources& o) {
+  table_ids += o.table_ids;
+  gateways += o.gateways;
+  sram_blocks += o.sram_blocks;
+  tcam_blocks += o.tcam_blocks;
+  vliw_slots += o.vliw_slots;
+  exact_xbar_bytes += o.exact_xbar_bytes;
+  ternary_xbar_bytes += o.ternary_xbar_bytes;
+  return *this;
+}
+
+bool TableResources::fits_within(const TableResources& budget) const {
+  return table_ids <= budget.table_ids && gateways <= budget.gateways &&
+         sram_blocks <= budget.sram_blocks &&
+         tcam_blocks <= budget.tcam_blocks &&
+         vliw_slots <= budget.vliw_slots &&
+         exact_xbar_bytes <= budget.exact_xbar_bytes &&
+         ternary_xbar_bytes <= budget.ternary_xbar_bytes;
+}
+
+std::string TableResources::to_string() const {
+  return "ids=" + std::to_string(table_ids) +
+         " gw=" + std::to_string(gateways) +
+         " sram=" + std::to_string(sram_blocks) +
+         " tcam=" + std::to_string(tcam_blocks) +
+         " vliw=" + std::to_string(vliw_slots) +
+         " exb=" + std::to_string(exact_xbar_bytes) +
+         " txb=" + std::to_string(ternary_xbar_bytes);
+}
+
+namespace {
+
+std::uint32_t ceil_div(std::uint64_t a, std::uint64_t b) {
+  return static_cast<std::uint32_t>((a + b - 1) / b);
+}
+
+}  // namespace
+
+TableResources estimate_table(const ControlBlock& block, const Table& table,
+                              bool gated) {
+  TableResources r;
+  // One logical table ID per table; gateways burn one more.
+  r.table_ids = 1;
+  if (gated) {
+    r.gateways = 1;
+    r.table_ids += 1;
+  }
+  r.vliw_slots = block.table_vliw_slots(table);
+
+  // Stateful register arrays live in the table's stage SRAM.
+  for (const std::string& reg_name : table.registers) {
+    if (const RegisterDef* reg = block.find_register(reg_name)) {
+      r.sram_blocks += std::max<std::uint32_t>(
+          1, ceil_div(std::uint64_t{reg->width_bits} * reg->size,
+                      std::uint64_t{kSramBlockEntries} * kSramBlockBits));
+    }
+  }
+
+  const std::uint32_t key_bits = table.key_bits();
+  const std::uint32_t key_bytes = (key_bits + 7) / 8;
+
+  // Action data (per-entry parameters) lives in SRAM regardless of the
+  // match kind.
+  std::uint32_t action_bits = 0;
+  auto absorb = [&](const std::string& name) {
+    if (const Action* a = block.find_action(name)) {
+      action_bits = std::max(action_bits, a->param_bits());
+    }
+  };
+  for (const auto& name : table.actions) absorb(name);
+  if (!table.default_action.empty()) absorb(table.default_action);
+
+  if (table.keyless()) {
+    // Keyless tables still need action-data storage when parameterized.
+    if (action_bits > 0) {
+      r.sram_blocks = ceil_div(std::uint64_t{action_bits} * table.max_entries,
+                               std::uint64_t{kSramBlockEntries} *
+                                   kSramBlockBits);
+      r.sram_blocks = std::max(r.sram_blocks, 1u);
+    }
+    return r;
+  }
+
+  if (table.needs_tcam()) {
+    // Ternary/LPM: TCAM for the match, SRAM for action data.
+    const std::uint32_t width_units = ceil_div(key_bits, kTcamBlockBits);
+    const std::uint32_t depth_units =
+        ceil_div(table.max_entries, kTcamBlockEntries);
+    r.tcam_blocks = std::max(width_units * depth_units, 1u);
+    r.ternary_xbar_bytes = key_bytes;
+    if (action_bits > 0) {
+      r.sram_blocks = ceil_div(std::uint64_t{action_bits} * table.max_entries,
+                               std::uint64_t{kSramBlockEntries} *
+                                   kSramBlockBits);
+      r.sram_blocks = std::max(r.sram_blocks, 1u);
+    }
+  } else {
+    // Exact: SRAM holds key + action data + overhead per entry.
+    const std::uint64_t entry_bits =
+        std::uint64_t{key_bits} + action_bits + kExactOverheadBits;
+    r.sram_blocks = ceil_div(entry_bits * table.max_entries,
+                             std::uint64_t{kSramBlockEntries} * kSramBlockBits);
+    r.sram_blocks = std::max(r.sram_blocks, 1u);
+    r.exact_xbar_bytes = key_bytes;
+  }
+  return r;
+}
+
+TableResources estimate_table(const AnalyzedTable& at) {
+  return estimate_table(*at.block, *at.table, at.gated);
+}
+
+}  // namespace dejavu::p4ir

@@ -1,0 +1,62 @@
+// Per-table hardware resource estimation — the information "usually
+// available from the P4 compiler, which typically reports the exact
+// amount of resource usage, e.g., MAU stages, SRAMs, TCAMs, of a P4
+// program" (§3.2). The estimator uses RMT/Tofino-like memory geometry:
+//
+//   * SRAM: 1K-entry x 128-bit blocks backing exact-match tables and
+//     action data.
+//   * TCAM: 512-entry x 44-bit blocks backing ternary/LPM tables.
+//   * Match crossbar: bytes of header fields wired into a stage's
+//     matchers (exact and ternary crossbars accounted separately).
+//   * VLIW: instruction slots for the widest action of the table.
+//   * Gateways: predication units consumed by gated apply entries.
+//   * Table IDs: logical table slots (one per table, plus one per
+//     gateway, matching how Tofino burns logical IDs for gateways).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "p4ir/control.hpp"
+#include "p4ir/deps.hpp"
+
+namespace dejavu::p4ir {
+
+/// Memory geometry constants (RMT/Tofino-like; see module comment).
+inline constexpr std::uint32_t kSramBlockEntries = 1024;
+inline constexpr std::uint32_t kSramBlockBits = 128;
+inline constexpr std::uint32_t kTcamBlockEntries = 512;
+inline constexpr std::uint32_t kTcamBlockBits = 44;
+/// Per-entry bookkeeping bits in exact-match SRAM (version/valid etc.).
+inline constexpr std::uint32_t kExactOverheadBits = 4;
+
+/// Resource vector of one table (or an aggregate of tables).
+struct TableResources {
+  std::uint32_t table_ids = 0;
+  std::uint32_t gateways = 0;
+  std::uint32_t sram_blocks = 0;
+  std::uint32_t tcam_blocks = 0;
+  std::uint32_t vliw_slots = 0;
+  std::uint32_t exact_xbar_bytes = 0;
+  std::uint32_t ternary_xbar_bytes = 0;
+
+  TableResources& operator+=(const TableResources& o);
+  friend TableResources operator+(TableResources a, const TableResources& b) {
+    a += b;
+    return a;
+  }
+  /// True when every component is <= the corresponding budget entry.
+  bool fits_within(const TableResources& budget) const;
+  std::string to_string() const;
+  bool operator==(const TableResources&) const = default;
+};
+
+/// Estimate the resources of `table` as applied in `block`. `gated`
+/// marks tables applied under a condition (consuming a gateway).
+TableResources estimate_table(const ControlBlock& block, const Table& table,
+                              bool gated);
+
+/// Estimate using an AnalyzedTable from dependency analysis.
+TableResources estimate_table(const AnalyzedTable& at);
+
+}  // namespace dejavu::p4ir

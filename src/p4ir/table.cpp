@@ -1,0 +1,36 @@
+#include "p4ir/table.hpp"
+
+namespace dejavu::p4ir {
+
+const char* to_string(MatchKind kind) {
+  switch (kind) {
+    case MatchKind::kExact:
+      return "exact";
+    case MatchKind::kLpm:
+      return "lpm";
+    case MatchKind::kTernary:
+      return "ternary";
+  }
+  return "?";
+}
+
+bool Table::needs_tcam() const {
+  for (const TableKey& k : keys) {
+    if (k.kind != MatchKind::kExact) return true;
+  }
+  return false;
+}
+
+std::uint32_t Table::key_bits() const {
+  std::uint32_t bits = 0;
+  for (const TableKey& k : keys) bits += k.bits;
+  return bits;
+}
+
+std::set<std::string> Table::match_fields() const {
+  std::set<std::string> fields;
+  for (const TableKey& k : keys) fields.insert(k.field);
+  return fields;
+}
+
+}  // namespace dejavu::p4ir

@@ -1,0 +1,57 @@
+// Match-action tables: key layout, bound actions, and sizing. A table
+// is the unit the stage allocator places and the unit whose resources
+// the compiler reports (paper Table 1 reads such a report).
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace dejavu::p4ir {
+
+enum class MatchKind {
+  kExact,    // SRAM hash table
+  kLpm,      // TCAM (or algorithmic; we account it as TCAM)
+  kTernary,  // TCAM
+};
+
+const char* to_string(MatchKind kind);
+
+/// One key component of a table.
+struct TableKey {
+  std::string field;  // dotted ref
+  MatchKind kind = MatchKind::kExact;
+  std::uint16_t bits = 0;
+
+  bool operator==(const TableKey&) const = default;
+};
+
+/// A match-action table. `actions` name actions defined in the owning
+/// control block; `default_action` runs on miss.
+struct Table {
+  std::string name;
+  std::vector<TableKey> keys;
+  std::vector<std::string> actions;
+  std::string default_action;
+  std::uint32_t max_entries = 1024;
+  /// Register arrays this table's actions access; their SRAM is
+  /// charged to the table's stage (registers live with their MAU).
+  std::vector<std::string> registers;
+
+  /// Keyless tables (always-run action) are legal in P4; they consume
+  /// a table ID but no match memory.
+  bool keyless() const { return keys.empty(); }
+
+  /// True when any key component needs TCAM (ternary or LPM).
+  bool needs_tcam() const;
+
+  std::uint32_t key_bits() const;
+
+  /// Fields matched on (the "match" set of dependency analysis).
+  std::set<std::string> match_fields() const;
+
+  bool operator==(const Table&) const = default;
+};
+
+}  // namespace dejavu::p4ir

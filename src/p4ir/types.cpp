@@ -1,0 +1,120 @@
+#include "p4ir/types.hpp"
+
+#include <algorithm>
+
+namespace dejavu::p4ir {
+
+std::uint32_t HeaderType::bit_width() const {
+  std::uint32_t w = 0;
+  for (const Field& f : fields) w += f.bits;
+  return w;
+}
+
+const Field* HeaderType::find_field(const std::string& field_name) const {
+  auto it = std::find_if(fields.begin(), fields.end(), [&](const Field& f) {
+    return f.name == field_name;
+  });
+  return it == fields.end() ? nullptr : &*it;
+}
+
+std::optional<std::uint32_t> HeaderType::bit_offset(
+    const std::string& field_name) const {
+  std::uint32_t off = 0;
+  for (const Field& f : fields) {
+    if (f.name == field_name) return off;
+    off += f.bits;
+  }
+  return std::nullopt;
+}
+
+std::optional<FieldRef> FieldRef::parse(const std::string& dotted) {
+  auto dot = dotted.find('.');
+  if (dot == std::string::npos || dot == 0 || dot + 1 == dotted.size()) {
+    return std::nullopt;
+  }
+  return FieldRef{dotted.substr(0, dot), dotted.substr(dot + 1)};
+}
+
+HeaderType ethernet_type() {
+  return HeaderType{"ethernet",
+                    {{"dst_addr", 48}, {"src_addr", 48}, {"ether_type", 16}}};
+}
+
+HeaderType sfc_type() {
+  // Matches sfc::SfcHeader's wire layout: 20 bytes total.
+  return HeaderType{"sfc",
+                    {{"service_path_id", 16},
+                     {"service_index", 8},
+                     {"in_port", 9},
+                     {"out_port", 9},
+                     {"resubmit_flag", 1},
+                     {"recirculate_flag", 1},
+                     {"drop_flag", 1},
+                     {"mirror_flag", 1},
+                     {"to_cpu_flag", 1},
+                     {"reserved", 9},
+                     {"context", 96},
+                     {"next_protocol", 8}}};
+}
+
+HeaderType ipv4_type() {
+  return HeaderType{"ipv4",
+                    {{"version", 4},
+                     {"ihl", 4},
+                     {"dscp_ecn", 8},
+                     {"total_len", 16},
+                     {"identification", 16},
+                     {"flags_frag", 16},
+                     {"ttl", 8},
+                     {"protocol", 8},
+                     {"hdr_checksum", 16},
+                     {"src_addr", 32},
+                     {"dst_addr", 32}}};
+}
+
+HeaderType tcp_type() {
+  return HeaderType{"tcp",
+                    {{"src_port", 16},
+                     {"dst_port", 16},
+                     {"seq_no", 32},
+                     {"ack_no", 32},
+                     {"data_offset", 4},
+                     {"res", 4},
+                     {"flags", 8},
+                     {"window", 16},
+                     {"checksum", 16},
+                     {"urgent_ptr", 16}}};
+}
+
+HeaderType udp_type() {
+  return HeaderType{
+      "udp",
+      {{"src_port", 16}, {"dst_port", 16}, {"length", 16}, {"checksum", 16}}};
+}
+
+HeaderType vxlan_type() {
+  return HeaderType{
+      "vxlan",
+      {{"flags", 8}, {"reserved1", 24}, {"vni", 24}, {"reserved2", 8}}};
+}
+
+HeaderType standard_metadata_type() {
+  return HeaderType{"standard_metadata",
+                    {{"ingress_port", 9},
+                     {"egress_spec", 9},
+                     {"egress_port", 9},
+                     {"packet_length", 32},
+                     {"resubmit_flag", 1},
+                     {"recirculate_flag", 1},
+                     {"drop_flag", 1},
+                     {"mirror_flag", 1},
+                     {"to_cpu_flag", 1}}};
+}
+
+std::vector<HeaderType> builtin_header_types() {
+  return {ethernet_type(), sfc_type(),   ipv4_type(),
+          tcp_type(),      udp_type(),   vxlan_type(),
+          standard_metadata_type()};
+}
+
+}  // namespace dejavu::p4ir

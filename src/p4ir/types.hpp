@@ -1,0 +1,64 @@
+// Header-type definitions of the P4 IR: named bundles of fixed-width
+// fields. Field references elsewhere in the IR use the dotted form
+// "header.field" (e.g. "ipv4.dst_addr"), mirroring P4's hdr argument.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dejavu::p4ir {
+
+/// One fixed-width field of a header type.
+struct Field {
+  std::string name;
+  std::uint16_t bits = 0;
+
+  bool operator==(const Field&) const = default;
+};
+
+/// A named header type, e.g. "ipv4". Total width must be a whole number
+/// of bytes for the header to be parseable from a byte stream.
+struct HeaderType {
+  std::string name;
+  std::vector<Field> fields;
+
+  std::uint32_t bit_width() const;
+  std::uint32_t byte_width() const { return (bit_width() + 7) / 8; }
+
+  const Field* find_field(const std::string& field_name) const;
+  /// Bit offset of a field from the start of the header; nullopt when
+  /// the field does not exist.
+  std::optional<std::uint32_t> bit_offset(const std::string& field_name) const;
+
+  bool operator==(const HeaderType&) const = default;
+};
+
+/// A dotted field reference "header.field" split into components.
+struct FieldRef {
+  std::string header;
+  std::string field;
+
+  static std::optional<FieldRef> parse(const std::string& dotted);
+  std::string dotted() const { return header + "." + field; }
+
+  auto operator<=>(const FieldRef&) const = default;
+};
+
+// --- Builtin header types shared by all Dejavu NFs --------------------
+// These model the packet formats of the Fig. 2 service chain plus the
+// SFC header of Fig. 3 and the standard (platform) metadata.
+
+HeaderType ethernet_type();
+HeaderType sfc_type();       // the Dejavu SFC header (paper Fig. 3)
+HeaderType ipv4_type();
+HeaderType tcp_type();
+HeaderType udp_type();
+HeaderType vxlan_type();
+HeaderType standard_metadata_type();  // platform metadata fields
+
+/// All builtin types, keyed by name, for building generic parsers.
+std::vector<HeaderType> builtin_header_types();
+
+}  // namespace dejavu::p4ir

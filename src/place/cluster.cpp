@@ -1,0 +1,52 @@
+#include "place/cluster.hpp"
+
+namespace dejavu::place {
+
+asic::TargetSpec ClusterSpec::virtual_spec() const {
+  asic::TargetSpec v = switch_spec;
+  v.name = switch_spec.name + "-x" + std::to_string(switches);
+  v.pipelines = switch_spec.pipelines * switches;
+  return v;
+}
+
+std::uint32_t inter_switch_crossings(const Traversal& traversal,
+                                     const ClusterSpec& cluster) {
+  std::uint32_t crossings = 0;
+  for (std::size_t i = 0; i + 1 < traversal.steps.size(); ++i) {
+    crossings +=
+        cluster.switch_of_pipeline(traversal.steps[i].pipelet.pipeline) !=
+        cluster.switch_of_pipeline(traversal.steps[i + 1].pipelet.pipeline);
+  }
+  return crossings;
+}
+
+double cluster_traversal_ns(const Traversal& traversal,
+                            const ClusterSpec& cluster) {
+  const asic::TargetSpec& spec = cluster.switch_spec;
+  double ns = spec.port_to_port_latency_ns;
+  for (std::size_t i = 0; i + 1 < traversal.steps.size(); ++i) {
+    const TraversalStep& step = traversal.steps[i];
+    const bool crossing =
+        cluster.switch_of_pipeline(step.pipelet.pipeline) !=
+        cluster.switch_of_pipeline(traversal.steps[i + 1].pipelet.pipeline);
+    switch (step.exit_via) {
+      case TraversalStep::Exit::kRecirculate:
+        ns += crossing ? spec.offchip_recirc_latency_ns
+                       : spec.onchip_recirc_latency_ns;
+        break;
+      case TraversalStep::Exit::kToEgress:
+        // Intra-switch TM hops are part of the base port-to-port time;
+        // inter-switch forwards pay the cable.
+        if (crossing) ns += spec.offchip_recirc_latency_ns;
+        break;
+      case TraversalStep::Exit::kResubmit:
+        ns += spec.onchip_recirc_latency_ns / 3.0;
+        break;
+      case TraversalStep::Exit::kOut:
+        break;
+    }
+  }
+  return ns;
+}
+
+}  // namespace dejavu::place

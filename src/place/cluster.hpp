@@ -1,0 +1,49 @@
+// Multi-switch clusters (§7 "Towards clusters of switch data planes"):
+// several identical switches chained back-to-back behave like one
+// virtual ASIC with many more pipelines (hence MAU stages), at the
+// price of off-chip latency on hops that cross a switch boundary. The
+// paper's Fig. 8(b) measurement (off-chip recirculation ~70 ns slower
+// than on-chip) is what makes this practical.
+#pragma once
+
+#include <cstdint>
+
+#include "asic/target.hpp"
+#include "place/placement.hpp"
+
+namespace dejavu::place {
+
+struct ClusterSpec {
+  /// Per-switch profile (homogeneous cluster).
+  asic::TargetSpec switch_spec = asic::TargetSpec::tofino32();
+  std::uint32_t switches = 2;
+
+  /// The cluster as one virtual target: pipelines concatenate across
+  /// switches, everything else per-switch. Placement and traversal
+  /// planning run unchanged against this spec.
+  asic::TargetSpec virtual_spec() const;
+
+  /// Which physical switch a virtual pipeline lives on.
+  std::uint32_t switch_of_pipeline(std::uint32_t pipeline) const {
+    return pipeline / switch_spec.pipelines;
+  }
+
+  std::uint32_t total_stages() const {
+    return switches * switch_spec.total_stages();
+  }
+};
+
+/// Number of hops in a planned traversal whose source and destination
+/// pipelines live on different switches (each pays the off-chip
+/// penalty).
+std::uint32_t inter_switch_crossings(const Traversal& traversal,
+                                     const ClusterSpec& cluster);
+
+/// End-to-end latency of a traversal on the cluster: base port-to-port
+/// time, on-chip recirculations within a switch, off-chip penalties
+/// for boundary crossings, and a third of an on-chip loop per
+/// resubmission (ingress-only re-run).
+double cluster_traversal_ns(const Traversal& traversal,
+                            const ClusterSpec& cluster);
+
+}  // namespace dejavu::place

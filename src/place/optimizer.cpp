@@ -1,0 +1,250 @@
+#include "place/optimizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+namespace dejavu::place {
+
+namespace {
+
+using merge::CompositionKind;
+using merge::PipeletAssignment;
+
+/// All pipelets of the target in the canonical order
+/// I0, E0, I1, E1, ...
+std::vector<asic::PipeletId> all_pipelets(const asic::TargetSpec& spec) {
+  std::vector<asic::PipeletId> out;
+  for (std::uint32_t p = 0; p < spec.pipelines; ++p) {
+    out.push_back({p, asic::PipeKind::kIngress});
+    out.push_back({p, asic::PipeKind::kEgress});
+  }
+  return out;
+}
+
+/// Build a Placement from a per-NF pipelet choice. Within-pipelet
+/// order follows `order` (the global NF order).
+Placement build_placement(const std::vector<std::string>& order,
+                          const std::vector<std::size_t>& choice,
+                          const std::vector<asic::PipeletId>& pipelets,
+                          const std::vector<CompositionKind>& kinds) {
+  std::vector<PipeletAssignment> assignment;
+  for (std::size_t pi = 0; pi < pipelets.size(); ++pi) {
+    PipeletAssignment pa;
+    pa.pipelet = pipelets[pi];
+    pa.kind = kinds[pi];
+    for (std::size_t n = 0; n < order.size(); ++n) {
+      if (choice[n] == pi) pa.nfs.push_back(order[n]);
+    }
+    if (!pa.nfs.empty()) assignment.push_back(std::move(pa));
+  }
+  return Placement(std::move(assignment));
+}
+
+std::uint32_t total_resubmissions(const sfc::PolicySet& policies,
+                                  const Placement& placement,
+                                  const asic::TargetSpec& spec,
+                                  const TraversalEnv& env) {
+  std::uint32_t n = 0;
+  for (const sfc::ChainPolicy& policy : policies.policies()) {
+    Traversal t = plan_traversal(policy, placement, spec, env);
+    if (t.feasible) n += t.resubmissions;
+  }
+  return n;
+}
+
+}  // namespace
+
+std::uint32_t StageModel::cost_of(const std::string& nf) const {
+  auto it = nf_stages.find(nf);
+  return it == nf_stages.end() ? default_nf_stages : it->second;
+}
+
+std::uint32_t StageModel::pipelet_depth(const PipeletAssignment& pa) const {
+  std::uint32_t depth = 0;
+  if (pa.kind == CompositionKind::kSequential) {
+    for (const std::string& nf : pa.nfs) {
+      depth += cost_of(nf) + glue_stages;
+    }
+  } else {
+    // Parallel branches overlay in the same stages; glue gates are
+    // shared per stage band. Depth is the deepest branch.
+    for (const std::string& nf : pa.nfs) {
+      depth = std::max(depth, cost_of(nf) + glue_stages);
+    }
+  }
+  if (pa.pipelet.kind == asic::PipeKind::kIngress && !pa.nfs.empty()) {
+    depth += branching_stages;
+  }
+  return depth;
+}
+
+bool fits_stage_model(const Placement& placement,
+                      const asic::TargetSpec& spec, const StageModel& model) {
+  for (const PipeletAssignment& pa : placement.assignments()) {
+    if (model.pipelet_depth(pa) > spec.stages_per_pipelet) return false;
+  }
+  return true;
+}
+
+std::vector<std::string> global_nf_order(const sfc::PolicySet& policies) {
+  std::vector<std::string> order;
+  for (const sfc::ChainPolicy& p : policies.policies()) {
+    for (const std::string& nf : p.nfs) {
+      if (std::find(order.begin(), order.end(), nf) == order.end()) {
+        order.push_back(nf);
+      }
+    }
+  }
+  return order;
+}
+
+double placement_cost(const sfc::PolicySet& policies,
+                      const Placement& placement,
+                      const asic::TargetSpec& spec, const TraversalEnv& env,
+                      const StageModel& model) {
+  if (!fits_stage_model(placement, spec, model)) return kInfeasibleCost;
+  // The first NF of every chain (the classifier that attaches the SFC
+  // header) must sit on the ingress pipelet where the chain's traffic
+  // arrives: before classification the packet carries no SFC header,
+  // so the branching table cannot steer it anywhere else.
+  for (const sfc::ChainPolicy& policy : policies.policies()) {
+    auto loc = placement.find(policy.nfs.front());
+    const asic::PipeletId arrival{spec.pipeline_of_port(policy.in_port),
+                                  asic::PipeKind::kIngress};
+    if (!loc || !(loc->pipelet == arrival)) return kInfeasibleCost;
+  }
+  double cost = weighted_recirculations(policies, placement, spec, env);
+  if (cost >= kInfeasibleCost) return kInfeasibleCost;
+  // Resubmissions consume extra ingress-pipe passes; charge them at
+  // the configured fraction of a recirculation (see TraversalEnv).
+  for (const sfc::ChainPolicy& policy : policies.policies()) {
+    Traversal t = plan_traversal(policy, placement, spec, env);
+    cost += env.resubmission_weight * policy.weight * t.resubmissions;
+  }
+  return cost;
+}
+
+Placement naive_alternating(const sfc::PolicySet& policies,
+                            const asic::TargetSpec& spec) {
+  const std::vector<std::string> order = global_nf_order(policies);
+  const std::vector<asic::PipeletId> pipelets = all_pipelets(spec);
+  std::vector<PipeletAssignment> assignment;
+  for (const asic::PipeletId& id : pipelets) {
+    assignment.push_back({id, CompositionKind::kSequential, {}});
+  }
+  for (std::size_t n = 0; n < order.size(); ++n) {
+    assignment[n % pipelets.size()].nfs.push_back(order[n]);
+  }
+  std::erase_if(assignment,
+                [](const PipeletAssignment& pa) { return pa.nfs.empty(); });
+  return Placement(std::move(assignment));
+}
+
+OptimizeResult exhaustive_optimize(const sfc::PolicySet& policies,
+                                   const asic::TargetSpec& spec,
+                                   const TraversalEnv& env,
+                                   const StageModel& model) {
+  const std::vector<std::string> order = global_nf_order(policies);
+  const std::vector<asic::PipeletId> pipelets = all_pipelets(spec);
+  const std::vector<CompositionKind> kinds(pipelets.size(),
+                                           CompositionKind::kSequential);
+
+  OptimizeResult best;
+  std::vector<std::size_t> choice(order.size(), 0);
+
+  while (true) {
+    Placement candidate = build_placement(order, choice, pipelets, kinds);
+    double cost = placement_cost(policies, candidate, spec, env, model);
+    ++best.evaluated;
+    if (cost < best.cost) {
+      best.cost = cost;
+      best.placement = candidate;
+      best.feasible = cost < kInfeasibleCost;
+      best.resubmissions =
+          total_resubmissions(policies, candidate, spec, env);
+    }
+
+    // Advance the mixed-radix counter.
+    std::size_t i = 0;
+    for (; i < choice.size(); ++i) {
+      if (++choice[i] < pipelets.size()) break;
+      choice[i] = 0;
+    }
+    if (i == choice.size()) break;
+  }
+  return best;
+}
+
+OptimizeResult anneal_optimize(const sfc::PolicySet& policies,
+                               const asic::TargetSpec& spec,
+                               const TraversalEnv& env,
+                               const StageModel& model,
+                               const AnnealParams& params) {
+  const std::vector<std::string> order = global_nf_order(policies);
+  const std::vector<asic::PipeletId> pipelets = all_pipelets(spec);
+
+  std::mt19937_64 rng(params.seed);
+  std::uniform_int_distribution<std::size_t> pick_nf(0, order.size() - 1);
+  std::uniform_int_distribution<std::size_t> pick_pipelet(
+      0, pipelets.size() - 1);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+
+  // Start from the naive baseline's assignment shape.
+  std::vector<std::size_t> choice(order.size());
+  for (std::size_t n = 0; n < order.size(); ++n) {
+    choice[n] = n % pipelets.size();
+  }
+  std::vector<CompositionKind> kinds(pipelets.size(),
+                                     CompositionKind::kSequential);
+
+  auto score = [&](const std::vector<std::size_t>& c,
+                   const std::vector<CompositionKind>& k) {
+    return placement_cost(policies, build_placement(order, c, pipelets, k),
+                          spec, env, model);
+  };
+
+  OptimizeResult best;
+  double current = score(choice, kinds);
+  best.cost = current;
+  best.placement = build_placement(order, choice, pipelets, kinds);
+  best.evaluated = 1;
+
+  double temperature = params.initial_temperature;
+  for (std::uint64_t it = 0; it < params.iterations; ++it) {
+    auto next_choice = choice;
+    auto next_kinds = kinds;
+    const double move = unit(rng);
+    if (move < 0.6) {
+      next_choice[pick_nf(rng)] = pick_pipelet(rng);
+    } else if (move < 0.9 && order.size() >= 2) {
+      std::swap(next_choice[pick_nf(rng)], next_choice[pick_nf(rng)]);
+    } else {
+      std::size_t p = pick_pipelet(rng);
+      next_kinds[p] = next_kinds[p] == CompositionKind::kSequential
+                          ? CompositionKind::kParallel
+                          : CompositionKind::kSequential;
+    }
+
+    const double cost = score(next_choice, next_kinds);
+    ++best.evaluated;
+    const double delta = cost - current;
+    if (delta <= 0 || unit(rng) < std::exp(-delta / temperature)) {
+      choice = std::move(next_choice);
+      kinds = std::move(next_kinds);
+      current = cost;
+      if (current < best.cost) {
+        best.cost = current;
+        best.placement = build_placement(order, choice, pipelets, kinds);
+      }
+    }
+    temperature *= params.cooling;
+  }
+
+  best.feasible = best.cost < kInfeasibleCost;
+  best.resubmissions =
+      total_resubmissions(policies, best.placement, spec, env);
+  return best;
+}
+
+}  // namespace dejavu::place

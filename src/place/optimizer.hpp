@@ -1,0 +1,101 @@
+// Placement optimization (§3.3): minimize the weighted number of
+// recirculations across all chain policies. Three strategies:
+//
+//   * naive_alternating  — the paper's strawman: place NFs one by one
+//     in index order, alternating between ingress and egress pipes.
+//   * exhaustive         — enumerate every assignment of NFs to
+//     pipelets (within-pipelet order follows global chain order);
+//     exact for the small m the paper targets (m<=8 on 4 pipelets).
+//   * anneal             — simulated annealing for larger instances;
+//     moves reassign single NFs, swap pairs, or flip a pipelet's
+//     composition flavor.
+//
+// Feasibility uses a coarse per-pipelet stage model (each NF costs a
+// configurable number of stages plus the framework glue); the exact
+// check is compile::allocate on the composed program afterwards.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "place/placement.hpp"
+
+namespace dejavu::place {
+
+/// Coarse stage-cost model for quick feasibility pruning.
+struct StageModel {
+  /// Stages needed by each NF's own tables (default when absent).
+  std::map<std::string, std::uint32_t> nf_stages;
+  std::uint32_t default_nf_stages = 1;
+  /// Stages the framework glue adds per NF instance (check_nextNF +
+  /// check_sfcFlags are data-dependent, hence extra stages).
+  std::uint32_t glue_stages = 2;
+  /// Stages the branching table adds on ingress pipelets.
+  std::uint32_t branching_stages = 1;
+
+  std::uint32_t cost_of(const std::string& nf) const;
+
+  /// Stage depth a pipelet assignment needs under this model.
+  std::uint32_t pipelet_depth(const merge::PipeletAssignment& pa) const;
+};
+
+/// True when every pipelet of `placement` fits the target's stage
+/// ladder under the coarse model.
+bool fits_stage_model(const Placement& placement,
+                      const asic::TargetSpec& spec, const StageModel& model);
+
+struct OptimizeResult {
+  Placement placement;
+  double cost = kInfeasibleCost;
+  std::uint64_t evaluated = 0;  // candidate placements scored
+  bool feasible = false;
+
+  /// Total resubmissions across policies (diagnostic; not part of the
+  /// paper's objective).
+  std::uint32_t resubmissions = 0;
+};
+
+/// The paper's naive baseline: NFs in order of first appearance across
+/// policies, one per pipelet, alternating ingress/egress pipes
+/// (I0, E0, I1, E1, ... wrapping). Sequential composition.
+Placement naive_alternating(const sfc::PolicySet& policies,
+                            const asic::TargetSpec& spec);
+
+/// Exact search over pipelet assignments. Within-pipelet order follows
+/// the global NF order (order of first appearance across policies).
+/// Complexity (2*pipelines)^m — use for m <= ~10.
+OptimizeResult exhaustive_optimize(const sfc::PolicySet& policies,
+                                   const asic::TargetSpec& spec,
+                                   const TraversalEnv& env,
+                                   const StageModel& model);
+
+struct AnnealParams {
+  std::uint64_t iterations = 20000;
+  std::uint64_t seed = 1;
+  double initial_temperature = 2.0;
+  double cooling = 0.9995;
+};
+
+/// Simulated annealing for larger instances; also explores parallel
+/// composition per pipelet. Deterministic for a fixed seed.
+OptimizeResult anneal_optimize(const sfc::PolicySet& policies,
+                               const asic::TargetSpec& spec,
+                               const TraversalEnv& env,
+                               const StageModel& model,
+                               const AnnealParams& params = {});
+
+/// Score a placement: the weighted-recirculation objective with a tiny
+/// tie-breaking penalty for resubmissions, or kInfeasibleCost when the
+/// stage model or a traversal rejects it.
+double placement_cost(const sfc::PolicySet& policies,
+                      const Placement& placement,
+                      const asic::TargetSpec& spec, const TraversalEnv& env,
+                      const StageModel& model);
+
+/// NF names in order of first appearance across the policy set (the
+/// canonical "global order" used by the optimizers).
+std::vector<std::string> global_nf_order(const sfc::PolicySet& policies);
+
+}  // namespace dejavu::place

@@ -1,0 +1,243 @@
+#include "place/placement.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dejavu::place {
+
+Placement::Placement(std::vector<merge::PipeletAssignment> assignment)
+    : assignments_(std::move(assignment)) {
+  for (const merge::PipeletAssignment& pa : assignments_) {
+    for (std::size_t pos = 0; pos < pa.nfs.size(); ++pos) {
+      auto [it, inserted] =
+          index_.emplace(pa.nfs[pos], NfLocation{pa.pipelet, pos});
+      if (!inserted) {
+        throw std::invalid_argument("NF '" + pa.nfs[pos] +
+                                    "' placed on two pipelets");
+      }
+    }
+  }
+}
+
+std::optional<NfLocation> Placement::find(const std::string& nf) const {
+  auto it = index_.find(nf);
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+const merge::PipeletAssignment* Placement::pipelet(
+    const asic::PipeletId& id) const {
+  for (const merge::PipeletAssignment& pa : assignments_) {
+    if (pa.pipelet == id) return &pa;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> Placement::placed_nfs() const {
+  std::vector<std::string> out;
+  out.reserve(index_.size());
+  for (const auto& [nf, loc] : index_) out.push_back(nf);
+  return out;
+}
+
+std::string Placement::to_string() const {
+  std::string s;
+  for (const merge::PipeletAssignment& pa : assignments_) {
+    if (pa.nfs.empty()) continue;
+    if (!s.empty()) s += " | ";
+    s += pa.pipelet.to_string() + "[";
+    for (std::size_t i = 0; i < pa.nfs.size(); ++i) {
+      if (i > 0) s += pa.kind == merge::CompositionKind::kSequential ? ">"
+                                                                     : "/";
+      s += pa.nfs[i];
+    }
+    s += "]";
+  }
+  return s.empty() ? "<empty>" : s;
+}
+
+std::string Traversal::to_string() const {
+  if (!feasible) return "infeasible: " + infeasible_reason;
+  std::string s;
+  for (const TraversalStep& step : steps) {
+    s += step.pipelet.to_string();
+    if (!step.executed.empty()) {
+      s += "(";
+      for (std::size_t i = 0; i < step.executed.size(); ++i) {
+        if (i > 0) s += ",";
+        s += step.executed[i];
+      }
+      s += ")";
+    }
+    switch (step.exit_via) {
+      case TraversalStep::Exit::kToEgress:
+        s += " -> ";
+        break;
+      case TraversalStep::Exit::kResubmit:
+        s += " =resub=> ";
+        break;
+      case TraversalStep::Exit::kRecirculate:
+        s += " =recirc=> ";
+        break;
+      case TraversalStep::Exit::kOut:
+        s += " -> out";
+        break;
+    }
+  }
+  return s;
+}
+
+namespace {
+
+/// Execute one pass over a pipelet: the maximal run of consecutive
+/// chain NFs hosted here, honoring apply order (positions must be
+/// strictly increasing within a pass) and composition semantics
+/// (parallel branches: at most one NF per pass).
+std::vector<std::string> run_pass(const asic::PipeletId& pipelet,
+                                  const std::vector<std::string>& chain,
+                                  std::size_t& idx,
+                                  const Placement& placement) {
+  std::vector<std::string> executed;
+  const merge::PipeletAssignment* pa = placement.pipelet(pipelet);
+  if (pa == nullptr) return executed;
+
+  bool first = true;
+  std::size_t last_pos = 0;
+  while (idx < chain.size()) {
+    auto loc = placement.find(chain[idx]);
+    if (!loc || !(loc->pipelet == pipelet)) break;
+    if (!first) {
+      if (pa->kind == merge::CompositionKind::kParallel) break;
+      if (loc->position <= last_pos) break;  // earlier in apply order
+    }
+    executed.push_back(chain[idx]);
+    last_pos = loc->position;
+    first = false;
+    ++idx;
+  }
+  return executed;
+}
+
+}  // namespace
+
+Traversal plan_traversal(const sfc::ChainPolicy& policy,
+                         const Placement& placement,
+                         const asic::TargetSpec& spec,
+                         const TraversalEnv& env) {
+  Traversal t;
+  for (const std::string& nf : policy.nfs) {
+    if (!placement.find(nf)) {
+      t.infeasible_reason = "NF '" + nf + "' is not placed";
+      return t;
+    }
+  }
+
+  const std::uint32_t exit_pipeline = spec.pipeline_of_port(policy.exit_port);
+  std::size_t idx = 0;
+
+  enum class Where { kIngress, kEgress };
+  Where where = Where::kIngress;
+  std::uint32_t pipeline = spec.pipeline_of_port(policy.in_port);
+
+  for (std::uint32_t pass = 0; pass < env.max_passes; ++pass) {
+    if (where == Where::kIngress) {
+      TraversalStep step;
+      step.pipelet = {pipeline, asic::PipeKind::kIngress};
+      step.executed = run_pass(step.pipelet, policy.nfs, idx, placement);
+
+      if (idx == policy.nfs.size()) {
+        // Chain complete: branching routes to the exit port's egress
+        // pipe; the packet drains through it and leaves.
+        step.exit_via = TraversalStep::Exit::kToEgress;
+        t.steps.push_back(step);
+        TraversalStep out;
+        out.pipelet = {exit_pipeline, asic::PipeKind::kEgress};
+        out.exit_via = TraversalStep::Exit::kOut;
+        t.steps.push_back(out);
+        t.feasible = true;
+        return t;
+      }
+
+      const NfLocation next = *placement.find(policy.nfs[idx]);
+      if (next.pipelet ==
+          asic::PipeletId{pipeline, asic::PipeKind::kIngress}) {
+        // Next NF is on this very ingress pipelet but could not run in
+        // this pass (apply order / parallel branch): resubmission.
+        step.exit_via = TraversalStep::Exit::kResubmit;
+        ++t.resubmissions;
+        t.steps.push_back(step);
+        continue;  // same pipelet again
+      }
+
+      // Route through the traffic manager toward the pipeline holding
+      // the next NF. If the next NF is on an egress pipe we go there
+      // directly; if it is on another ingress pipe we must transit
+      // that pipeline's egress pipe and loop back (constraint (d)).
+      step.exit_via = TraversalStep::Exit::kToEgress;
+      t.steps.push_back(step);
+      pipeline = next.pipelet.pipeline;
+      where = Where::kEgress;
+      continue;
+    }
+
+    // where == Where::kEgress
+    TraversalStep step;
+    step.pipelet = {pipeline, asic::PipeKind::kEgress};
+    step.executed = run_pass(step.pipelet, policy.nfs, idx, placement);
+
+    if (idx == policy.nfs.size() && pipeline == exit_pipeline) {
+      step.exit_via = TraversalStep::Exit::kOut;
+      t.steps.push_back(step);
+      t.feasible = true;
+      return t;
+    }
+
+    // More work (or wrong exit pipe): recirculate into this pipeline's
+    // ingress pipe via a loopback port.
+    //
+    // The chain's terminal NF (the Router) removes the SFC header when
+    // it runs (§3); a pass that executes it but then needs another
+    // loop would strand a header-less packet with no steering state.
+    // The terminal NF must run on an ingress pipe or on the exit
+    // egress pipe.
+    if (policy.terminal_pops_sfc && !step.executed.empty() &&
+        step.executed.back() == policy.nfs.back()) {
+      t.infeasible_reason =
+          "terminal NF '" + policy.nfs.back() + "' would pop the SFC "
+          "header on egress pipe " + std::to_string(pipeline) +
+          " before the final steering (exit is pipeline " +
+          std::to_string(exit_pipeline) + ")";
+      t.steps.push_back(step);
+      return t;
+    }
+    if (!env.recirc_ok(pipeline)) {
+      t.infeasible_reason = "pipeline " + std::to_string(pipeline) +
+                            " has no loopback/recirculation capacity";
+      t.steps.push_back(step);
+      return t;
+    }
+    step.exit_via = TraversalStep::Exit::kRecirculate;
+    ++t.recirculations;
+    t.steps.push_back(step);
+    where = Where::kIngress;
+  }
+
+  t.infeasible_reason = "traversal did not terminate within " +
+                        std::to_string(env.max_passes) + " passes";
+  return t;
+}
+
+double weighted_recirculations(const sfc::PolicySet& policies,
+                               const Placement& placement,
+                               const asic::TargetSpec& spec,
+                               const TraversalEnv& env) {
+  double cost = 0;
+  for (const sfc::ChainPolicy& policy : policies.policies()) {
+    Traversal t = plan_traversal(policy, placement, spec, env);
+    if (!t.feasible) return kInfeasibleCost;
+    cost += policy.weight * t.recirculations;
+  }
+  return cost;
+}
+
+}  // namespace dejavu::place

@@ -1,0 +1,104 @@
+#include "ptf/ptf.hpp"
+
+namespace dejavu::ptf {
+
+std::string CheckResult::summary() const {
+  if (pass) return "PASS";
+  std::string s = "FAIL:";
+  for (const std::string& f : failures) {
+    s += "\n  " + f;
+  }
+  return s;
+}
+
+CheckResult send_and_expect(control::ControlPlane& cp, net::Packet packet,
+                            std::uint16_t in_port,
+                            const Expectation& expect) {
+  CheckResult result;
+  sim::SwitchOutput out = cp.inject(std::move(packet), in_port);
+  result.trace = out.trace;
+
+  auto fail = [&](const std::string& msg) {
+    result.pass = false;
+    result.failures.push_back(msg);
+  };
+
+  switch (expect.outcome) {
+    case Expectation::Outcome::kDropped:
+      if (!out.dropped) fail("expected drop, packet was not dropped");
+      return result;
+    case Expectation::Outcome::kToCpu:
+      if (out.to_cpu.empty()) fail("expected a CPU punt, got none");
+      return result;
+    case Expectation::Outcome::kDelivered:
+      break;
+  }
+
+  if (out.dropped) {
+    fail("packet dropped: " + out.drop_reason);
+    return result;
+  }
+  if (out.out.size() != 1) {
+    fail("expected exactly one delivered packet, got " +
+         std::to_string(out.out.size()));
+    return result;
+  }
+
+  const auto& emitted = out.out.front();
+  const net::Packet& p = emitted.packet;
+
+  if (expect.port && emitted.port != *expect.port) {
+    fail("delivered on port " + std::to_string(emitted.port) +
+         ", expected " + std::to_string(*expect.port));
+  }
+  if (expect.require_no_sfc && p.has_sfc_header()) {
+    fail("delivered packet still carries the SFC header");
+  }
+  auto ip = p.ipv4();
+  if (expect.ipv4_dst) {
+    if (!ip) {
+      fail("delivered packet has no IPv4 header");
+    } else if (ip->dst != *expect.ipv4_dst) {
+      fail("IPv4 dst is " + ip->dst.to_string() + ", expected " +
+           expect.ipv4_dst->to_string());
+    }
+  }
+  if (expect.ipv4_src) {
+    if (!ip) {
+      fail("delivered packet has no IPv4 header");
+    } else if (ip->src != *expect.ipv4_src) {
+      fail("IPv4 src is " + ip->src.to_string() + ", expected " +
+           expect.ipv4_src->to_string());
+    }
+  }
+  if (expect.ttl) {
+    if (!ip) {
+      fail("delivered packet has no IPv4 header");
+    } else if (ip->ttl != *expect.ttl) {
+      fail("TTL is " + std::to_string(ip->ttl) + ", expected " +
+           std::to_string(*expect.ttl));
+    }
+  }
+  if (expect.eth_dst) {
+    auto eth = p.ethernet();
+    if (!eth) {
+      fail("delivered packet has no Ethernet header");
+    } else if (eth->dst != *expect.eth_dst) {
+      fail("Ethernet dst is " + eth->dst.to_string() + ", expected " +
+           expect.eth_dst->to_string());
+    }
+  }
+  if (expect.recirculations && out.recirculations != *expect.recirculations) {
+    fail("took " + std::to_string(out.recirculations) +
+         " recirculations, expected " +
+         std::to_string(*expect.recirculations));
+  }
+  if (expect.resubmissions && out.resubmissions != *expect.resubmissions) {
+    fail("took " + std::to_string(out.resubmissions) +
+         " resubmissions, expected " +
+         std::to_string(*expect.resubmissions));
+  }
+  return result;
+}
+
+}  // namespace dejavu::ptf

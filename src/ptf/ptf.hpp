@@ -1,0 +1,47 @@
+// A Packet-Test-Framework-style harness (§5: "We test the input and
+// output packets of multiple SFC paths using the Packet Test
+// Framework"): inject a packet, assert on where it comes out and what
+// its headers look like, with readable diffs on failure.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "control/control_plane.hpp"
+#include "net/packet.hpp"
+
+namespace dejavu::ptf {
+
+/// What an injected packet is expected to produce.
+struct Expectation {
+  enum class Outcome : std::uint8_t { kDelivered, kDropped, kToCpu };
+  Outcome outcome = Outcome::kDelivered;
+
+  std::optional<std::uint16_t> port;  // delivery port
+  std::optional<net::Ipv4Addr> ipv4_dst;
+  std::optional<net::Ipv4Addr> ipv4_src;
+  std::optional<net::MacAddr> eth_dst;
+  std::optional<std::uint8_t> ttl;
+  /// Delivered packets must not leak the SFC header (the Router pops
+  /// it); set false to skip the check.
+  bool require_no_sfc = true;
+  std::optional<std::uint32_t> recirculations;
+  std::optional<std::uint32_t> resubmissions;
+};
+
+struct CheckResult {
+  bool pass = true;
+  std::vector<std::string> failures;
+  std::vector<std::string> trace;  // data-plane trace for debugging
+
+  std::string summary() const;
+};
+
+/// Inject via the control plane (punts serviced) and check.
+CheckResult send_and_expect(control::ControlPlane& cp, net::Packet packet,
+                            std::uint16_t in_port,
+                            const Expectation& expect);
+
+}  // namespace dejavu::ptf

@@ -1,0 +1,166 @@
+#include "route/routing.hpp"
+
+#include <algorithm>
+
+namespace dejavu::route {
+
+std::uint16_t dedicated_recirc_port(const asic::TargetSpec& spec,
+                                    std::uint32_t pipeline) {
+  return static_cast<std::uint16_t>(spec.total_ports() + pipeline);
+}
+
+std::string BranchingRule::to_string() const {
+  std::string s = pipelet.to_string() + " (path " + std::to_string(path_id) +
+                  ", idx " + std::to_string(service_index) + ") -> ";
+  if (kind == Kind::kResubmit) return s + "resubmit";
+  return s + "egress port " + std::to_string(port);
+}
+
+const BranchingRule* RoutingPlan::find_branching(
+    const asic::PipeletId& pipelet, std::uint16_t path_id,
+    std::uint8_t index) const {
+  for (const BranchingRule& r : branching) {
+    if (r.pipelet == pipelet && r.path_id == path_id &&
+        r.service_index == index) {
+      return &r;
+    }
+  }
+  return nullptr;
+}
+
+place::TraversalEnv env_for(const asic::SwitchConfig& config) {
+  place::TraversalEnv env;
+  env.pipelines = config.spec().pipelines;
+  // The dedicated recirculation port makes recirculation always
+  // physically possible; capacity is modeled by the simulator.
+  env.can_recirculate.assign(env.pipelines, true);
+  return env;
+}
+
+namespace {
+
+/// Round-robin chooser over a pipeline's loopback ports, falling back
+/// to the dedicated recirculation port when none are configured.
+class RecircPortChooser {
+ public:
+  explicit RecircPortChooser(const asic::SwitchConfig& config)
+      : config_(config), next_(config.spec().pipelines, 0) {}
+
+  std::uint16_t pick(std::uint32_t pipeline) {
+    std::vector<std::uint32_t> candidates;
+    for (std::uint32_t p : config_.loopback_ports()) {
+      if (config_.spec().pipeline_of_port(p) == pipeline) {
+        candidates.push_back(p);
+      }
+    }
+    if (candidates.empty()) {
+      return dedicated_recirc_port(config_.spec(), pipeline);
+    }
+    std::uint16_t port = static_cast<std::uint16_t>(
+        candidates[next_[pipeline] % candidates.size()]);
+    ++next_[pipeline];
+    return port;
+  }
+
+ private:
+  const asic::SwitchConfig& config_;
+  std::vector<std::size_t> next_;
+};
+
+void add_unique(std::vector<BranchingRule>& rules, BranchingRule rule) {
+  for (const BranchingRule& r : rules) {
+    if (r.pipelet == rule.pipelet && r.path_id == rule.path_id &&
+        r.service_index == rule.service_index) {
+      return;  // already derived (identical traversals are replayed once
+               // per policy, so duplicates are benign)
+    }
+  }
+  rules.push_back(std::move(rule));
+}
+
+}  // namespace
+
+RoutingPlan build_routing(const sfc::PolicySet& policies,
+                          const place::Placement& placement,
+                          const asic::SwitchConfig& config) {
+  RoutingPlan plan;
+  const asic::TargetSpec& spec = config.spec();
+  const place::TraversalEnv env = env_for(config);
+  RecircPortChooser recirc(config);
+
+  // check_nextNF entries: every (path, index) pair whose NF has a
+  // check table (i.e. every placed NF; the entry NF's classifier gate
+  // is EtherType-based but an entry is harmless and keeps Table 1's
+  // "an entry for each (pathID, serviceIndex) pair" accounting).
+  for (const sfc::ChainPolicy& policy : policies.policies()) {
+    for (std::size_t i = 0; i < policy.nfs.size(); ++i) {
+      plan.checks.push_back(CheckRule{
+          policy.nfs[i], policy.path_id, static_cast<std::uint8_t>(i)});
+    }
+  }
+
+  for (const sfc::ChainPolicy& policy : policies.policies()) {
+    place::Traversal t = place::plan_traversal(policy, placement, spec, env);
+    if (!t.feasible) {
+      plan.feasible = false;
+      plan.infeasible_reason = "path " + std::to_string(policy.path_id) +
+                               ": " + t.infeasible_reason;
+      plan.traversals.emplace(policy.path_id, std::move(t));
+      continue;
+    }
+
+    // Replay the traversal, tracking the service index after each
+    // pass, and emit the branching rule each ingress pass relies on.
+    std::uint8_t index = 0;
+    for (std::size_t s = 0; s < t.steps.size(); ++s) {
+      const place::TraversalStep& step = t.steps[s];
+      index = static_cast<std::uint8_t>(index + step.executed.size());
+
+      if (step.pipelet.kind != asic::PipeKind::kIngress) continue;
+
+      BranchingRule rule;
+      rule.pipelet = step.pipelet;
+      rule.path_id = policy.path_id;
+      rule.service_index = index;
+
+      switch (step.exit_via) {
+        case place::TraversalStep::Exit::kResubmit:
+          rule.kind = BranchingRule::Kind::kResubmit;
+          break;
+        case place::TraversalStep::Exit::kToEgress: {
+          rule.kind = BranchingRule::Kind::kToEgress;
+          // Port choice depends on what happens after the next
+          // (egress) step: recirculation needs a loopback port; exit
+          // uses the policy's exit port.
+          const place::TraversalStep& egress = t.steps.at(s + 1);
+          if (egress.exit_via == place::TraversalStep::Exit::kRecirculate) {
+            rule.port = recirc.pick(egress.pipelet.pipeline);
+          } else {
+            rule.port = policy.exit_port;
+          }
+          // Supplementary rules for mid-pass reinjection states: when
+          // the egress pass executes several NFs, a CPU-serviced punt
+          // may re-enter this ingress pipe with the service index
+          // pointing at any of them (the control plane rewinds to the
+          // punting NF). Steer those states the same way.
+          for (std::size_t extra = 1; extra < egress.executed.size();
+               ++extra) {
+            BranchingRule mid = rule;
+            mid.service_index =
+                static_cast<std::uint8_t>(rule.service_index + extra);
+            add_unique(plan.branching, std::move(mid));
+          }
+          break;
+        }
+        default:
+          continue;  // ingress passes never exit via kOut/kRecirculate
+      }
+      add_unique(plan.branching, std::move(rule));
+    }
+    plan.traversals.emplace(policy.path_id, std::move(t));
+  }
+
+  return plan;
+}
+
+}  // namespace dejavu::route

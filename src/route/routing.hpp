@@ -1,0 +1,85 @@
+// On-chip packet routing (§3.4): after placement, install the rules
+// that steer packets through their chains — branching-table entries on
+// every ingress pipelet (keyed by service path ID + service index) and
+// check_nextNF entries for every NF instance. "Routing rules of this
+// table can only be installed after NF placement."
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "asic/switch_config.hpp"
+#include "place/placement.hpp"
+#include "sfc/chain.hpp"
+
+namespace dejavu::route {
+
+/// A virtual port ID for the dedicated per-pipeline recirculation port
+/// (§4: 100 Gbps of free recirculation bandwidth per pipeline). These
+/// sit above the front-panel port range.
+std::uint16_t dedicated_recirc_port(const asic::TargetSpec& spec,
+                                    std::uint32_t pipeline);
+
+/// One branching-table entry.
+struct BranchingRule {
+  enum class Kind : std::uint8_t {
+    kToEgress,  // set egress_spec = port (next NF on an egress pipe, a
+                // loopback port toward another ingress pipe, or the
+                // final exit port)
+    kResubmit,  // resubmit into the same ingress pipe
+  };
+
+  asic::PipeletId pipelet;  // which ingress pipelet's branching table
+  std::uint16_t path_id = 0;
+  std::uint8_t service_index = 0;
+  Kind kind = Kind::kToEgress;
+  std::uint16_t port = 0;  // for kToEgress
+
+  bool operator==(const BranchingRule&) const = default;
+  std::string to_string() const;
+};
+
+/// One check_nextNF entry: NF `nf` is position `service_index` of path
+/// `path_id`. Installed in the check table of the NF's pipelet.
+struct CheckRule {
+  std::string nf;
+  std::uint16_t path_id = 0;
+  std::uint8_t service_index = 0;
+
+  bool operator==(const CheckRule&) const = default;
+};
+
+/// The installable routing state for one placement, plus the planned
+/// traversals it was derived from (for diagnostics and tests).
+struct RoutingPlan {
+  std::vector<BranchingRule> branching;
+  std::vector<CheckRule> checks;
+  std::map<std::uint16_t, place::Traversal> traversals;  // by path_id
+
+  bool feasible = true;
+  std::string infeasible_reason;
+
+  /// Find the branching rule for (pipelet, path, index); nullptr when
+  /// absent.
+  const BranchingRule* find_branching(const asic::PipeletId& pipelet,
+                                      std::uint16_t path_id,
+                                      std::uint8_t index) const;
+};
+
+/// Derive the routing plan: replay each policy's traversal and emit
+/// the branching rule every ingress pass needs, choosing loopback
+/// ports (or the dedicated recirculation port) for pipe-to-pipe hops.
+/// Loopback ports in a pipeline are assigned round-robin across rules
+/// to spread recirculation load.
+RoutingPlan build_routing(const sfc::PolicySet& policies,
+                          const place::Placement& placement,
+                          const asic::SwitchConfig& config);
+
+/// The traversal environment implied by a switch configuration:
+/// recirculation is possible in every pipeline (the dedicated port
+/// always exists); bandwidth differences are the simulator's concern.
+place::TraversalEnv env_for(const asic::SwitchConfig& config);
+
+}  // namespace dejavu::route

@@ -1,0 +1,87 @@
+#include "sfc/chain.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dejavu::sfc {
+
+void PolicySet::add(ChainPolicy policy) {
+  if (policy.nfs.empty()) {
+    throw std::invalid_argument("chain policy '" + policy.name +
+                                "' has no NFs");
+  }
+  if (policy.weight < 0) {
+    throw std::invalid_argument("chain policy '" + policy.name +
+                                "' has negative weight");
+  }
+  if (find(policy.path_id) != nullptr) {
+    throw std::invalid_argument("duplicate service path ID " +
+                                std::to_string(policy.path_id));
+  }
+  std::set<std::string> seen;
+  for (const auto& nf : policy.nfs) {
+    if (!seen.insert(nf).second) {
+      throw std::invalid_argument("chain policy '" + policy.name +
+                                  "' visits NF '" + nf + "' twice");
+    }
+  }
+  policies_.push_back(std::move(policy));
+}
+
+const ChainPolicy* PolicySet::find(std::uint16_t path_id) const {
+  for (const auto& p : policies_) {
+    if (p.path_id == path_id) return &p;
+  }
+  return nullptr;
+}
+
+std::optional<std::string> PolicySet::nf_at(std::uint16_t path_id,
+                                            std::uint8_t service_index) const {
+  const ChainPolicy* p = find(path_id);
+  if (p == nullptr || service_index >= p->nfs.size()) return std::nullopt;
+  return p->nfs[service_index];
+}
+
+std::vector<std::string> PolicySet::all_nfs() const {
+  std::set<std::string> names;
+  for (const auto& p : policies_) {
+    names.insert(p.nfs.begin(), p.nfs.end());
+  }
+  return {names.begin(), names.end()};
+}
+
+double PolicySet::total_weight() const {
+  double sum = 0;
+  for (const auto& p : policies_) sum += p.weight;
+  return sum;
+}
+
+PolicySet fig2_policies(double w_full, double w_vgw, double w_direct,
+                        std::uint16_t in_port, std::uint16_t exit_port) {
+  PolicySet set;
+  set.add(ChainPolicy{
+      .path_id = 1,
+      .name = "full",
+      .nfs = {kClassifier, kFirewall, kVgw, kLoadBalancer, kRouter},
+      .weight = w_full,
+      .in_port = in_port,
+      .exit_port = exit_port,
+      .terminal_pops_sfc = true});
+  set.add(ChainPolicy{.path_id = 2,
+                      .name = "vgw-only",
+                      .nfs = {kClassifier, kVgw, kRouter},
+                      .weight = w_vgw,
+                      .in_port = in_port,
+                      .exit_port = exit_port,
+                      .terminal_pops_sfc = true});
+  set.add(ChainPolicy{.path_id = 3,
+                      .name = "direct",
+                      .nfs = {kClassifier, kRouter},
+                      .weight = w_direct,
+                      .in_port = in_port,
+                      .exit_port = exit_port,
+                      .terminal_pops_sfc = true});
+  return set;
+}
+
+}  // namespace dejavu::sfc

@@ -1,0 +1,85 @@
+// Service chain policies: which NFs a class of traffic must traverse,
+// in what order, and what fraction of traffic follows each policy
+// (the per-policy weight of the placement objective, §3.3).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace dejavu::sfc {
+
+/// One chaining policy: an ordered NF sequence identified by a service
+/// path ID. The service index in the SFC header counts positions in
+/// `nfs` starting from 0; index == nfs.size() means "chain complete".
+struct ChainPolicy {
+  std::uint16_t path_id = 0;
+  std::string name;
+  std::vector<std::string> nfs;
+  /// Fraction of total traffic following this policy (used as the
+  /// weight in the placement objective). Need not be normalized.
+  double weight = 1.0;
+  /// Physical port this policy's traffic arrives on (decides the
+  /// ingress pipelet where processing starts).
+  std::uint16_t in_port = 0;
+  /// Physical port the traffic must leave from after the chain
+  /// completes ("packets should be eventually forwarded to a port on
+  /// Egress 0", Fig. 6).
+  std::uint16_t exit_port = 0;
+  /// True when the chain's terminal NF removes the SFC header (the
+  /// framework Router does, §3). Constrains placement: such an NF must
+  /// run on an ingress pipe or on the exit egress pipe, since a popped
+  /// packet carries no steering state for further loops.
+  bool terminal_pops_sfc = false;
+
+  bool operator==(const ChainPolicy&) const = default;
+};
+
+/// A validated set of chain policies.
+class PolicySet {
+ public:
+  PolicySet() = default;
+
+  /// Add a policy. Throws std::invalid_argument on duplicate path IDs,
+  /// empty NF lists, repeated NFs within one chain, or negative weight.
+  void add(ChainPolicy policy);
+
+  const std::vector<ChainPolicy>& policies() const { return policies_; }
+  std::size_t size() const { return policies_.size(); }
+  bool empty() const { return policies_.empty(); }
+
+  const ChainPolicy* find(std::uint16_t path_id) const;
+
+  /// The NF at `service_index` of path `path_id`, or nullopt when the
+  /// index is past the end of the chain (service complete) or the path
+  /// is unknown.
+  std::optional<std::string> nf_at(std::uint16_t path_id,
+                                   std::uint8_t service_index) const;
+
+  /// The union of NF names across all policies, sorted.
+  std::vector<std::string> all_nfs() const;
+
+  /// Sum of policy weights (for normalizing the placement objective).
+  double total_weight() const;
+
+ private:
+  std::vector<ChainPolicy> policies_;
+};
+
+/// The example policy set of Fig. 2: three paths through {Classifier,
+/// FW, VGW, LB, Router}. Weights default to the given traffic split;
+/// all paths arrive on `in_port` and leave via `exit_port`.
+PolicySet fig2_policies(double w_full = 0.5, double w_vgw = 0.3,
+                        double w_direct = 0.2, std::uint16_t in_port = 0,
+                        std::uint16_t exit_port = 1);
+
+/// Canonical NF names used by the Fig. 2 example and the prototype.
+inline constexpr const char* kClassifier = "Classifier";
+inline constexpr const char* kFirewall = "FW";
+inline constexpr const char* kVgw = "VGW";
+inline constexpr const char* kLoadBalancer = "LB";
+inline constexpr const char* kRouter = "Router";
+
+}  // namespace dejavu::sfc

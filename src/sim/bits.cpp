@@ -1,0 +1,47 @@
+#include "sim/bits.hpp"
+
+#include <stdexcept>
+
+namespace dejavu::sim {
+
+namespace {
+
+void check(std::span<const std::byte> data, std::size_t bit_offset,
+           std::size_t width) {
+  if (width > 64) throw std::out_of_range("bit width > 64");
+  if (bit_offset + width > data.size() * 8) {
+    throw std::out_of_range("bit slice beyond buffer end");
+  }
+}
+
+}  // namespace
+
+std::uint64_t read_bits(std::span<const std::byte> data,
+                        std::size_t bit_offset, std::size_t width) {
+  check(data, bit_offset, width);
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < width; ++i) {
+    const std::size_t bit = bit_offset + i;
+    const std::size_t byte = bit / 8;
+    const std::size_t shift = 7 - (bit % 8);
+    v = (v << 1) | ((std::to_integer<std::uint64_t>(data[byte]) >> shift) & 1);
+  }
+  return v;
+}
+
+void write_bits(std::span<std::byte> data, std::size_t bit_offset,
+                std::size_t width, std::uint64_t value) {
+  check(data, bit_offset, width);
+  for (std::size_t i = 0; i < width; ++i) {
+    const std::size_t bit = bit_offset + i;
+    const std::size_t byte = bit / 8;
+    const std::size_t shift = 7 - (bit % 8);
+    const std::uint64_t bit_value = (value >> (width - 1 - i)) & 1;
+    auto b = std::to_integer<std::uint8_t>(data[byte]);
+    b = static_cast<std::uint8_t>((b & ~(1u << shift)) |
+                                  (bit_value << shift));
+    data[byte] = static_cast<std::byte>(b);
+  }
+}
+
+}  // namespace dejavu::sim

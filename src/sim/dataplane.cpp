@@ -1,0 +1,406 @@
+#include "sim/dataplane.hpp"
+
+#include <stdexcept>
+
+#include "merge/compose.hpp"
+#include "net/checksum.hpp"
+#include "sfc/header.hpp"
+
+namespace dejavu::sim {
+
+DataPlane::DataPlane(const p4ir::Program& program,
+                     const p4ir::TupleIdTable& ids,
+                     asic::SwitchConfig config)
+    : program_(&program), ids_(&ids), config_(std::move(config)) {
+  for (const p4ir::ControlBlock& control : program.controls()) {
+    auto& per_control = tables_[control.name()];
+    for (const p4ir::Table& t : control.tables()) {
+      per_control.emplace(t.name, RuntimeTable(t));
+    }
+    auto& regs = registers_[control.name()];
+    for (const p4ir::RegisterDef& r : control.registers()) {
+      regs.emplace(r.name, std::vector<std::uint64_t>(r.size, 0));
+    }
+  }
+}
+
+std::vector<std::uint64_t>* DataPlane::register_array(
+    const std::string& control_name, const std::string& reg) {
+  auto cit = registers_.find(control_name);
+  if (cit == registers_.end()) return nullptr;
+  auto rit = cit->second.find(reg);
+  return rit == cit->second.end() ? nullptr : &rit->second;
+}
+
+std::vector<RuntimeTable*> DataPlane::tables_named(const std::string& table) {
+  std::vector<RuntimeTable*> out;
+  for (auto& [control_name, per_control] : tables_) {
+    auto it = per_control.find(table);
+    if (it != per_control.end()) out.push_back(&it->second);
+  }
+  return out;
+}
+
+RuntimeTable* DataPlane::table_in(const std::string& control_name,
+                                  const std::string& table) {
+  auto cit = tables_.find(control_name);
+  if (cit == tables_.end()) return nullptr;
+  auto tit = cit->second.find(table);
+  return tit == cit->second.end() ? nullptr : &tit->second;
+}
+
+bool DataPlane::loops_back(std::uint16_t port) const {
+  if (port >= config_.spec().total_ports()) {
+    // Dedicated recirculation ports always loop back.
+    return port < config_.spec().total_ports() + config_.spec().pipelines;
+  }
+  return config_.is_loopback(port);
+}
+
+std::uint32_t DataPlane::pipeline_of(std::uint16_t port) const {
+  const asic::TargetSpec& spec = config_.spec();
+  if (port >= spec.total_ports()) {
+    return port - spec.total_ports();  // dedicated recirc port index
+  }
+  return spec.pipeline_of_port(port);
+}
+
+namespace {
+
+/// Evaluate an apply entry's guards against the current state.
+bool guards_pass(const p4ir::ApplyEntry& entry, const FieldView& view,
+                 const std::map<std::string, bool>& hits) {
+  if (entry.field_guard) {
+    auto v = view.read(entry.field_guard->field);
+    if (!v) return false;  // missing header: condition is vacuously false
+    if (!entry.field_guard->holds(*v)) return false;
+  }
+  for (const std::string& guard : entry.guard_tables) {
+    auto it = hits.find(guard);
+    const bool hit = it != hits.end() && it->second;
+    const bool want_hit = entry.mode != p4ir::GuardMode::kIfMiss;
+    if (hit != want_hit) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void DataPlane::execute_action(const p4ir::ControlBlock& control,
+                               const ActionCall& call, FieldView& view,
+                               SwitchOutput& out) {
+  const p4ir::Action* action = control.find_action(call.action);
+  if (action == nullptr) {
+    throw std::logic_error("runtime action '" + call.action +
+                           "' not defined in control '" + control.name() +
+                           "'");
+  }
+  auto arg = [&](const std::string& param) -> std::uint64_t {
+    auto it = call.args.find(param);
+    if (it == call.args.end()) {
+      throw std::logic_error("action '" + call.action +
+                             "' invoked without argument '" + param + "'");
+    }
+    return it->second;
+  };
+
+  for (const p4ir::Primitive& p : action->primitives) {
+    switch (p.op) {
+      case p4ir::PrimitiveOp::kNoop:
+        break;
+      case p4ir::PrimitiveOp::kSetImmediate:
+        view.write(p.dst, p.imm);
+        break;
+      case p4ir::PrimitiveOp::kSetFromParam:
+        view.write(p.dst, arg(p.param));
+        break;
+      case p4ir::PrimitiveOp::kCopy: {
+        auto v = view.read(p.src);
+        if (v) view.write(p.dst, *v);
+        break;
+      }
+      case p4ir::PrimitiveOp::kAdd: {
+        auto v = view.read(p.dst);
+        if (v) view.write(p.dst, *v + p.imm);
+        break;
+      }
+      case p4ir::PrimitiveOp::kHash: {
+        // CRC32 over the concatenated big-endian field bytes, matching
+        // the Tofino hash engine (and net::FiveTuple::session_hash).
+        net::Crc32 crc;
+        for (const std::string& src : p.srcs) {
+          auto v = view.read(src).value_or(0);
+          auto bits = program_->field_bits(src).value_or(32);
+          const std::size_t bytes = (bits + 7) / 8;
+          for (std::size_t i = 0; i < bytes; ++i) {
+            crc.add_u8(static_cast<std::uint8_t>(
+                (v >> (8 * (bytes - 1 - i))) & 0xff));
+          }
+        }
+        view.write(p.dst, crc.finish());
+        break;
+      }
+      case p4ir::PrimitiveOp::kPushSfc: {
+        sfc::SfcHeader header;
+        sfc::push_sfc(view.packet(), header);
+        view.reparse(*ids_);
+        break;
+      }
+      case p4ir::PrimitiveOp::kPopSfc: {
+        if (view.has_header("sfc")) {
+          sfc::pop_sfc(view.packet());
+          view.reparse(*ids_);
+        }
+        break;
+      }
+      case p4ir::PrimitiveOp::kDrop:
+        view.meta().drop_flag = true;
+        break;
+      case p4ir::PrimitiveOp::kSetContext: {
+        auto header = sfc::read_sfc(view.packet());
+        if (header) {
+          header->context.set(static_cast<std::uint8_t>(p.imm),
+                              static_cast<std::uint16_t>(arg(p.param)));
+          sfc::write_sfc(view.packet(), *header);
+        }
+        break;
+      }
+      case p4ir::PrimitiveOp::kRegisterRead:
+      case p4ir::PrimitiveOp::kRegisterAdd:
+      case p4ir::PrimitiveOp::kRegisterWrite: {
+        const p4ir::RegisterDef* def = control.find_register(p.param);
+        std::vector<std::uint64_t>* cells =
+            register_array(control.name(), p.param);
+        if (def == nullptr || cells == nullptr) {
+          throw std::logic_error("action '" + call.action +
+                                 "' uses unknown register '" + p.param + "'");
+        }
+        const std::uint64_t index =
+            (p.src.empty() ? p.imm : view.read(p.src).value_or(0)) %
+            cells->size();
+        const std::uint64_t width_mask =
+            def->width_bits >= 64
+                ? ~std::uint64_t{0}
+                : (std::uint64_t{1} << def->width_bits) - 1;
+        std::uint64_t& cell = (*cells)[index];
+        if (p.op == p4ir::PrimitiveOp::kRegisterRead) {
+          view.write(p.dst, cell);
+        } else if (p.op == p4ir::PrimitiveOp::kRegisterAdd) {
+          cell = (cell + p.imm) & width_mask;
+          if (!p.dst.empty()) view.write(p.dst, cell);
+        } else {  // kRegisterWrite
+          std::uint64_t value =
+              p.srcs.empty() ? p.imm : view.read(p.srcs[0]).value_or(0);
+          cell = value & width_mask;
+        }
+        break;
+      }
+    }
+  }
+  out.trace.push_back("  action " + call.action);
+}
+
+void DataPlane::run_pipelet(const asic::PipeletId& id, net::Packet& packet,
+                            StandardMetadata& meta, SwitchOutput& out) {
+  out.pipelets_visited.push_back(id);
+  const p4ir::ControlBlock* control =
+      program_->find_control(merge::pipelet_control_name(id));
+  if (control == nullptr) {
+    out.trace.push_back(id.to_string() + ": no program, pass-through");
+    return;
+  }
+  out.trace.push_back(id.to_string() + ":");
+
+  FieldView view(*program_, packet, run_parser(*program_, *ids_, packet),
+                 meta);
+  std::map<std::string, bool> hits;
+
+  // Parallel composition (§3.2, Fig. 5) is an if/else-if cascade: the
+  // first branch whose gate table hits is taken; every other branch is
+  // skipped, checks included. Empty branch_id = unconditional.
+  std::string taken_branch;
+  std::map<std::string, bool> branch_checked;
+
+  for (const p4ir::ApplyEntry& entry : control->apply_order()) {
+    if (!entry.branch_id.empty()) {
+      if (!taken_branch.empty() && entry.branch_id != taken_branch) continue;
+      if (taken_branch.empty() && branch_checked[entry.branch_id]) {
+        continue;  // this branch's gate already missed
+      }
+    }
+    if (!guards_pass(entry, view, hits)) {
+      // A branch whose gate condition fails outright (e.g. the
+      // classifier's EtherType guard) is dead for this pass.
+      if (!entry.branch_id.empty() && taken_branch.empty()) {
+        branch_checked[entry.branch_id] = true;
+      }
+      continue;
+    }
+    const p4ir::Table* table = control->find_table(entry.table);
+    RuntimeTable* rt = table_in(control->name(), entry.table);
+    if (table == nullptr || rt == nullptr) {
+      throw std::logic_error("apply of unknown table '" + entry.table + "'");
+    }
+
+    std::vector<std::optional<std::uint64_t>> key;
+    key.reserve(table->keys.size());
+    for (const p4ir::TableKey& k : table->keys) key.push_back(view.read(k.field));
+
+    LookupResult result = rt->lookup(key);
+    hits[entry.table] = result.hit;
+    if (!entry.branch_id.empty() && taken_branch.empty()) {
+      // First executed entry of a branch is its gate: a hit takes the
+      // branch, a miss kills it.
+      branch_checked[entry.branch_id] = true;
+      if (result.hit) taken_branch = entry.branch_id;
+    }
+    out.trace.push_back("  " + entry.table +
+                        (result.hit ? " hit" : " miss"));
+    if (!result.action.action.empty()) {
+      execute_action(*control, result.action, view, out);
+    }
+  }
+}
+
+const DataPlane::PortCounters& DataPlane::port_counters(
+    std::uint16_t port) const {
+  return counters_[port];
+}
+
+void DataPlane::reset_counters() { counters_.clear(); }
+
+void DataPlane::emit(net::Packet packet, std::uint16_t port,
+                     SwitchOutput& out) {
+  counters_[port].tx_packets += 1;
+  counters_[port].tx_bytes += packet.size();
+  // Deparser duty: refresh the IPv4 header checksum after field edits.
+  ParseResult parsed = run_parser(*program_, *ids_, packet);
+  if (auto off = parsed.offset_of("ipv4")) {
+    auto hdr = net::Ipv4Header::decode(packet.data().view().subspan(*off));
+    if (hdr) {
+      hdr->encode(packet.data().mutable_slice(*off, hdr->header_length()),
+                  /*fill_checksum=*/true);
+    }
+  }
+  out.out.push_back(SwitchOutput::Emitted{port, std::move(packet)});
+}
+
+SwitchOutput DataPlane::process(net::Packet packet, std::uint16_t in_port,
+                                bool from_cpu) {
+  SwitchOutput out;
+  const asic::TargetSpec& spec = config_.spec();
+  if (in_port >= spec.total_ports() + spec.pipelines) {
+    out.dropped = true;
+    out.drop_reason = "invalid ingress port";
+    return out;
+  }
+  if (!from_cpu && in_port >= spec.total_ports()) {
+    out.dropped = true;
+    out.drop_reason = "dedicated recirculation ports take no external traffic";
+    return out;
+  }
+  if (!from_cpu && config_.is_loopback(in_port)) {
+    out.dropped = true;
+    out.drop_reason = "port " + std::to_string(in_port) +
+                      " is in loopback mode and takes no external traffic";
+    return out;
+  }
+
+  StandardMetadata meta;
+  meta.ingress_port = in_port;
+  meta.packet_length = static_cast<std::uint32_t>(packet.size());
+  std::uint32_t pipeline = pipeline_of(in_port);
+  counters_[in_port].rx_packets += 1;
+  counters_[in_port].rx_bytes += packet.size();
+
+  for (std::uint32_t pass = 0; pass < max_passes_; ++pass) {
+    // --- ingress pipe ---
+    meta.egress_spec = sfc::kPortUnset;
+    meta.clear_flags();
+    run_pipelet({pipeline, asic::PipeKind::kIngress}, packet, meta, out);
+
+    // toCpu outranks drop: a packet the data plane wants the control
+    // plane to see (e.g. an LB session miss) must reach it even if a
+    // later table in the same pass (the branching default) flagged a
+    // drop for the undeliverable in-between state.
+    if (meta.to_cpu_flag) {
+      out.to_cpu.push_back(SwitchOutput::CpuPunt{meta.ingress_port, packet});
+      return out;
+    }
+    if (meta.drop_flag) {
+      out.dropped = true;
+      out.drop_reason = "dropped in ingress pipe " + std::to_string(pipeline);
+      return out;
+    }
+    if (meta.resubmit_flag) {
+      ++out.resubmissions;
+      out.trace.push_back("resubmit to ingress " + std::to_string(pipeline));
+      continue;
+    }
+    if (meta.egress_spec == sfc::kPortUnset) {
+      out.dropped = true;
+      out.drop_reason = "no egress decision after ingress pipe";
+      return out;
+    }
+
+    const std::uint16_t port = meta.egress_spec;
+    if (port >= spec.total_ports() + spec.pipelines) {
+      out.dropped = true;
+      out.drop_reason = "egress_spec " + std::to_string(port) +
+                        " is not a valid port";
+      return out;
+    }
+
+    // --- traffic manager: any ingress pipe to any egress pipe ---
+    const std::uint32_t egress_pipeline = pipeline_of(port);
+    meta.egress_port = port;
+
+    if (meta.mirror_flag && mirror_port_) {
+      emit(packet, *mirror_port_, out);
+      out.trace.push_back("mirrored to port " +
+                          std::to_string(*mirror_port_));
+    }
+
+    // --- egress pipe ---
+    run_pipelet({egress_pipeline, asic::PipeKind::kEgress}, packet, meta,
+                out);
+
+    if (meta.to_cpu_flag) {
+      out.to_cpu.push_back(SwitchOutput::CpuPunt{meta.ingress_port, packet});
+      return out;
+    }
+    if (meta.drop_flag) {
+      out.dropped = true;
+      out.drop_reason = "dropped in egress pipe " +
+                        std::to_string(egress_pipeline);
+      return out;
+    }
+
+    // --- port disposition ---
+    if (loops_back(port)) {
+      ++out.recirculations;
+      // The loopback port transmits and immediately re-receives the
+      // packet — these counters are the §4 recirculation-load
+      // measurement point.
+      counters_[port].tx_packets += 1;
+      counters_[port].tx_bytes += packet.size();
+      counters_[port].rx_packets += 1;
+      counters_[port].rx_bytes += packet.size();
+      out.trace.push_back("recirculate via port " + std::to_string(port) +
+                          " into ingress " +
+                          std::to_string(egress_pipeline));
+      pipeline = egress_pipeline;
+      meta.ingress_port = port;
+      continue;
+    }
+    emit(std::move(packet), port, out);
+    return out;
+  }
+
+  out.dropped = true;
+  out.drop_reason = "packet exceeded " + std::to_string(max_passes_) +
+                    " pipeline passes (routing loop?)";
+  return out;
+}
+
+}  // namespace dejavu::sim

@@ -1,0 +1,122 @@
+// The behavioral data plane: executes a composed multi-pipelet program
+// packet by packet, with the traffic-manager plumbing of Fig. 1 —
+// ingress pass, resubmission, egress pass, loopback-port recirculation
+// — under the switch's port configuration. This is the bmv2-equivalent
+// substitute for the Tofino testbed: it runs the very IR the merge
+// stage emits, against the very rules the route stage installs.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "asic/switch_config.hpp"
+#include "net/packet.hpp"
+#include "p4ir/program.hpp"
+#include "sim/fields.hpp"
+#include "sim/runtime_table.hpp"
+
+namespace dejavu::sim {
+
+/// Everything one injected packet produced.
+struct SwitchOutput {
+  struct Emitted {
+    std::uint16_t port = 0;
+    net::Packet packet;
+  };
+  struct CpuPunt {
+    std::uint16_t in_port = 0;
+    net::Packet packet;
+  };
+
+  std::vector<Emitted> out;
+  std::vector<CpuPunt> to_cpu;
+  bool dropped = false;
+  std::string drop_reason;
+
+  std::uint32_t resubmissions = 0;
+  std::uint32_t recirculations = 0;
+  std::vector<asic::PipeletId> pipelets_visited;
+  std::vector<std::string> trace;
+
+  bool delivered() const { return !out.empty(); }
+};
+
+class DataPlane {
+ public:
+  /// `program` must outlive the data plane. Pipelet control blocks are
+  /// found by merge::pipelet_control_name; unnamed pipelets simply
+  /// forward.
+  DataPlane(const p4ir::Program& program, const p4ir::TupleIdTable& ids,
+            asic::SwitchConfig config);
+
+  const asic::SwitchConfig& config() const { return config_; }
+  const p4ir::Program& program() const { return *program_; }
+
+  /// Table handle for the control plane. Searches all pipelet controls
+  /// and returns every instance (an NF's table exists once per pipelet
+  /// hosting it; framework check tables exist per pipelet too).
+  std::vector<RuntimeTable*> tables_named(const std::string& table);
+
+  /// Single-instance lookup within one pipelet's control block.
+  RuntimeTable* table_in(const std::string& control_name,
+                         const std::string& table);
+
+  /// Register array state (per control block); nullptr when unknown.
+  /// Exposed for control-plane reads and tests.
+  std::vector<std::uint64_t>* register_array(const std::string& control_name,
+                                             const std::string& reg);
+
+  /// Inject a packet on a front-panel port and run it to completion.
+  /// `from_cpu` marks control-plane reinjection (Fig. 4's session-miss
+  /// flow), which may enter on any port, including loopback ports.
+  SwitchOutput process(net::Packet packet, std::uint16_t in_port,
+                       bool from_cpu = false);
+
+  /// Is `port` a loopback front-panel port or a dedicated
+  /// recirculation port?
+  bool loops_back(std::uint16_t port) const;
+
+  /// Pipeline that owns `port` (front-panel or dedicated recirc).
+  std::uint32_t pipeline_of(std::uint16_t port) const;
+
+  void set_max_passes(std::uint32_t n) { max_passes_ = n; }
+  /// Mirror copies go to this port when the mirror flag is raised.
+  void set_mirror_port(std::uint16_t port) { mirror_port_ = port; }
+
+  /// Per-port packet/byte counters, as a switch OS would expose them.
+  /// Loopback and dedicated recirculation ports accumulate the
+  /// recirculating traffic — the §4 measurement point.
+  struct PortCounters {
+    std::uint64_t rx_packets = 0;
+    std::uint64_t rx_bytes = 0;
+    std::uint64_t tx_packets = 0;
+    std::uint64_t tx_bytes = 0;
+  };
+  const PortCounters& port_counters(std::uint16_t port) const;
+  void reset_counters();
+
+ private:
+  void run_pipelet(const asic::PipeletId& id, net::Packet& packet,
+                   StandardMetadata& meta, SwitchOutput& out);
+  void execute_action(const p4ir::ControlBlock& control,
+                      const ActionCall& call, FieldView& view,
+                      SwitchOutput& out);
+  void emit(net::Packet packet, std::uint16_t port, SwitchOutput& out);
+
+  const p4ir::Program* program_;
+  const p4ir::TupleIdTable* ids_;
+  asic::SwitchConfig config_;
+  std::uint32_t max_passes_ = 64;
+  std::optional<std::uint16_t> mirror_port_;
+  // control name -> table name -> runtime table
+  std::map<std::string, std::map<std::string, RuntimeTable>> tables_;
+  // control name -> register name -> cells
+  std::map<std::string, std::map<std::string, std::vector<std::uint64_t>>>
+      registers_;
+  mutable std::map<std::uint16_t, PortCounters> counters_;
+};
+
+}  // namespace dejavu::sim

@@ -1,0 +1,105 @@
+#include "sim/fields.hpp"
+
+#include "sim/bits.hpp"
+
+namespace dejavu::sim {
+
+namespace {
+
+/// standard_metadata fields are backed by the struct, not the packet.
+std::optional<std::uint64_t> read_meta(const StandardMetadata& m,
+                                       const std::string& field) {
+  if (field == "ingress_port") return m.ingress_port;
+  if (field == "egress_spec") return m.egress_spec;
+  if (field == "egress_port") return m.egress_port;
+  if (field == "packet_length") return m.packet_length;
+  if (field == "resubmit_flag") return m.resubmit_flag ? 1 : 0;
+  if (field == "recirculate_flag") return m.recirculate_flag ? 1 : 0;
+  if (field == "drop_flag") return m.drop_flag ? 1 : 0;
+  if (field == "mirror_flag") return m.mirror_flag ? 1 : 0;
+  if (field == "to_cpu_flag") return m.to_cpu_flag ? 1 : 0;
+  return std::nullopt;
+}
+
+bool write_meta(StandardMetadata& m, const std::string& field,
+                std::uint64_t v) {
+  if (field == "ingress_port") {
+    m.ingress_port = static_cast<std::uint16_t>(v & 0x1ff);
+  } else if (field == "egress_spec") {
+    m.egress_spec = static_cast<std::uint16_t>(v & 0x1ff);
+  } else if (field == "egress_port") {
+    m.egress_port = static_cast<std::uint16_t>(v & 0x1ff);
+  } else if (field == "packet_length") {
+    m.packet_length = static_cast<std::uint32_t>(v);
+  } else if (field == "resubmit_flag") {
+    m.resubmit_flag = v != 0;
+  } else if (field == "recirculate_flag") {
+    m.recirculate_flag = v != 0;
+  } else if (field == "drop_flag") {
+    m.drop_flag = v != 0;
+  } else if (field == "mirror_flag") {
+    m.mirror_flag = v != 0;
+  } else if (field == "to_cpu_flag") {
+    m.to_cpu_flag = v != 0;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<std::uint64_t> FieldView::read(const std::string& dotted) const {
+  auto ref = p4ir::FieldRef::parse(dotted);
+  if (!ref) return std::nullopt;
+  if (ref->header == "standard_metadata") {
+    return read_meta(meta_, ref->field);
+  }
+  if (ref->header == "local") {
+    auto it = locals_.find(ref->field);
+    if (it == locals_.end()) return std::nullopt;
+    return it->second;
+  }
+  auto base = parsed_.offset_of(ref->header);
+  if (!base) return std::nullopt;
+  const p4ir::HeaderType* type = program_.find_header_type(ref->header);
+  if (type == nullptr) return std::nullopt;
+  auto bit_off = type->bit_offset(ref->field);
+  const p4ir::Field* field = type->find_field(ref->field);
+  if (!bit_off || field == nullptr) return std::nullopt;
+  const std::size_t abs_bit = std::size_t{*base} * 8 + *bit_off;
+  auto bytes = packet_.data().view();
+  if (abs_bit + field->bits > bytes.size() * 8) return std::nullopt;
+  return read_bits(bytes, abs_bit, field->bits);
+}
+
+bool FieldView::write(const std::string& dotted, std::uint64_t value) {
+  auto ref = p4ir::FieldRef::parse(dotted);
+  if (!ref) return false;
+  if (ref->header == "standard_metadata") {
+    return write_meta(meta_, ref->field, value);
+  }
+  if (ref->header == "local") {
+    locals_[ref->field] = value;
+    return true;
+  }
+  auto base = parsed_.offset_of(ref->header);
+  if (!base) return false;  // absent header: deliberate no-op
+  const p4ir::HeaderType* type = program_.find_header_type(ref->header);
+  if (type == nullptr) return false;
+  auto bit_off = type->bit_offset(ref->field);
+  const p4ir::Field* field = type->find_field(ref->field);
+  if (!bit_off || field == nullptr) return false;
+  const std::size_t abs_bit = std::size_t{*base} * 8 + *bit_off;
+  auto bytes = packet_.data().mutable_view();
+  if (abs_bit + field->bits > bytes.size() * 8) return false;
+  write_bits(bytes, abs_bit, field->bits,
+             mask_to_width(value, field->bits));
+  return true;
+}
+
+void FieldView::reparse(const p4ir::TupleIdTable& ids) {
+  parsed_ = run_parser(program_, ids, packet_);
+}
+
+}  // namespace dejavu::sim

@@ -1,0 +1,74 @@
+// FieldView: uniform read/write access to every field namespace the IR
+// can name — packet header fields (via the parse result), platform
+// metadata ("standard_metadata.*"), and block-local temporaries
+// ("local.*", e.g. the LB's sessionHash).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "net/packet.hpp"
+#include "p4ir/program.hpp"
+#include "sim/parse.hpp"
+
+namespace dejavu::sim {
+
+/// The per-pass platform metadata (the standard_metadata of the open-
+/// source switch target the paper's Fig. 5 uses).
+struct StandardMetadata {
+  std::uint16_t ingress_port = 0;
+  std::uint16_t egress_spec = 0x1ff;  // kPortUnset sentinel
+  std::uint16_t egress_port = 0;
+  std::uint32_t packet_length = 0;
+  bool resubmit_flag = false;
+  bool recirculate_flag = false;
+  bool drop_flag = false;
+  bool mirror_flag = false;
+  bool to_cpu_flag = false;
+
+  void clear_flags() {
+    resubmit_flag = recirculate_flag = drop_flag = mirror_flag =
+        to_cpu_flag = false;
+  }
+};
+
+class FieldView {
+ public:
+  FieldView(const p4ir::Program& program, net::Packet& packet,
+            ParseResult parsed, StandardMetadata& meta)
+      : program_(program), packet_(packet), parsed_(std::move(parsed)),
+        meta_(meta) {}
+
+  /// Read a dotted field; nullopt when the header is absent or the
+  /// field is unknown. Missing-header reads are how gated tables
+  /// miss on packets without an SFC header.
+  std::optional<std::uint64_t> read(const std::string& dotted) const;
+
+  /// Write a dotted field (masked to the field width). Returns false
+  /// (no-op) when the header is absent — copy-from/to a popped SFC
+  /// header must not corrupt the packet.
+  bool write(const std::string& dotted, std::uint64_t value);
+
+  bool has_header(const std::string& header_type) const {
+    return parsed_.has(header_type);
+  }
+
+  /// Re-run the parser after a structural change (push/pop SFC).
+  void reparse(const p4ir::TupleIdTable& ids);
+
+  const ParseResult& parsed() const { return parsed_; }
+  StandardMetadata& meta() { return meta_; }
+  net::Packet& packet() { return packet_; }
+  std::map<std::string, std::uint64_t>& locals() { return locals_; }
+
+ private:
+  const p4ir::Program& program_;
+  net::Packet& packet_;
+  ParseResult parsed_;
+  StandardMetadata& meta_;
+  std::map<std::string, std::uint64_t> locals_;
+};
+
+}  // namespace dejavu::sim

@@ -1,0 +1,60 @@
+#include "sim/fluid.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dejavu::sim {
+
+double loopback_survival(std::uint32_t recirculations) {
+  if (recirculations <= 1) return 1.0;
+  // Solve s + s^2 + ... + s^k = 1 by bisection on (0, 1); the LHS is
+  // strictly increasing in s, 0 at s=0 and k >= 2 at s=1.
+  const std::uint32_t k = recirculations;
+  double lo = 0.0, hi = 1.0;
+  for (int iter = 0; iter < 200; ++iter) {
+    const double s = 0.5 * (lo + hi);
+    double sum = 0.0, pow = 1.0;
+    for (std::uint32_t i = 0; i < k; ++i) {
+      pow *= s;
+      sum += pow;
+    }
+    (sum < 1.0 ? lo : hi) = s;
+  }
+  return 0.5 * (lo + hi);
+}
+
+double recirc_throughput_gbps(double capacity_gbps,
+                              std::uint32_t recirculations) {
+  const double s = loopback_survival(recirculations);
+  return capacity_gbps * std::pow(s, static_cast<double>(recirculations));
+}
+
+std::vector<double> generation_throughputs_gbps(
+    double capacity_gbps, std::uint32_t recirculations) {
+  std::vector<double> out;
+  const double s = loopback_survival(recirculations);
+  double x = capacity_gbps;
+  for (std::uint32_t i = 0; i < recirculations; ++i) {
+    x *= s;
+    out.push_back(x);
+  }
+  return out;
+}
+
+double external_capacity_fraction(std::uint32_t n_ports,
+                                  std::uint32_t m_loopback) {
+  if (n_ports == 0) return 0.0;
+  m_loopback = std::min(m_loopback, n_ports);
+  return static_cast<double>(n_ports - m_loopback) / n_ports;
+}
+
+double single_recirc_fraction(std::uint32_t n_ports,
+                              std::uint32_t m_loopback) {
+  if (n_ports == 0) return 0.0;
+  m_loopback = std::min(m_loopback, n_ports);
+  if (n_ports == m_loopback) return 1.0;
+  return std::min(1.0, static_cast<double>(m_loopback) /
+                           (n_ports - m_loopback));
+}
+
+}  // namespace dejavu::sim

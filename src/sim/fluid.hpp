@@ -1,0 +1,44 @@
+// The §4 analytic recirculation model. One loopback port of capacity T
+// serves k generations of recirculating traffic; the feedback queue
+// sheds load proportionally, so each generation survives with factor
+// s, where s is the root of
+//
+//     s + s^2 + ... + s^k = 1
+//
+// and the effective throughput after k recirculations is s^k * T.
+// This reproduces the paper's closed forms exactly: k=1 -> T (s=1),
+// k=2 -> x = 0.62T and exit 0.38T, k=3 -> 0.16T, and Fig. 8(a)'s
+// super-linear decay.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace dejavu::sim {
+
+/// The per-pass survival factor s for k recirculations (k >= 0).
+/// k <= 1 gives s = 1 (no contention on the loopback port).
+double loopback_survival(std::uint32_t recirculations);
+
+/// Effective throughput of traffic needing `recirculations` loops
+/// through one loopback port of capacity `capacity_gbps`, when the
+/// injected load equals the capacity (the Fig. 7/8 setting).
+double recirc_throughput_gbps(double capacity_gbps,
+                              std::uint32_t recirculations);
+
+/// Per-generation throughputs x_1..x_k (x_i = s^i * T): the load each
+/// recirculation generation carries across the loopback port.
+std::vector<double> generation_throughputs_gbps(
+    double capacity_gbps, std::uint32_t recirculations);
+
+/// Capacity split of §4: with m of n ports in loopback mode, the
+/// fraction of ASIC capacity available to external traffic...
+double external_capacity_fraction(std::uint32_t n_ports,
+                                  std::uint32_t m_loopback);
+
+/// ...and the fraction of that external traffic that can recirculate
+/// once without loss: min(1, m/(n-m)).
+double single_recirc_fraction(std::uint32_t n_ports,
+                              std::uint32_t m_loopback);
+
+}  // namespace dejavu::sim

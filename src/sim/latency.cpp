@@ -1,0 +1,15 @@
+#include "sim/latency.hpp"
+
+namespace dejavu::sim {
+
+double LatencyModel::traversal_ns(const place::Traversal& traversal,
+                                  RecircMode mode) const {
+  double ns = base_ns();
+  ns += traversal.recirculations * recirc_ns(mode);
+  // A resubmission re-traverses the ingress parser and MAUs without
+  // touching the traffic manager or SerDes.
+  ns += traversal.resubmissions * (recirc_ns(RecircMode::kOnChip) / 3.0);
+  return ns;
+}
+
+}  // namespace dejavu::sim

@@ -1,0 +1,46 @@
+// The §4 latency model (Fig. 8b): port-to-port latency through the
+// chip under idle buffers, plus the extra latency of each on-chip
+// recirculation (~75 ns, dedicated circuitry, no SerDes) or off-chip
+// loop through a DAC cable (~145 ns, SerDes + propagation).
+#pragma once
+
+#include <cstdint>
+
+#include "asic/target.hpp"
+#include "place/placement.hpp"
+
+namespace dejavu::sim {
+
+enum class RecircMode : std::uint8_t {
+  kOnChip,   // loopback port / dedicated recirculation circuitry
+  kOffChip,  // external cable between two chips (§7 multi-switch)
+};
+
+struct LatencyModel {
+  explicit LatencyModel(const asic::TargetSpec& spec) : spec_(spec) {}
+
+  /// Extra latency of one recirculation.
+  double recirc_ns(RecircMode mode) const {
+    return mode == RecircMode::kOnChip ? spec_.onchip_recirc_latency_ns
+                                       : spec_.offchip_recirc_latency_ns;
+  }
+
+  /// Port-to-port latency of a packet that needs no recirculation.
+  double base_ns() const { return spec_.port_to_port_latency_ns; }
+
+  /// End-to-end latency of a planned traversal: the base port-to-port
+  /// time plus per-loop penalties. Resubmissions re-run only the
+  /// ingress pipe; we charge them a third of a recirculation.
+  double traversal_ns(const place::Traversal& traversal,
+                      RecircMode mode = RecircMode::kOnChip) const;
+
+  /// Latency of k recirculations (the Fig. 8(b) series).
+  double recirc_total_ns(std::uint32_t k, RecircMode mode) const {
+    return base_ns() + k * recirc_ns(mode);
+  }
+
+ private:
+  asic::TargetSpec spec_;
+};
+
+}  // namespace dejavu::sim

@@ -1,0 +1,83 @@
+#include "sim/parse.hpp"
+
+#include "sim/bits.hpp"
+
+namespace dejavu::sim {
+
+void ParseResult::add(const std::string& header_type,
+                      std::uint32_t byte_offset) {
+  if (offsets_.emplace(header_type, byte_offset).second) {
+    order_.push_back(header_type);
+  }
+}
+
+bool ParseResult::has(const std::string& header_type) const {
+  return offsets_.contains(header_type);
+}
+
+std::optional<std::uint32_t> ParseResult::offset_of(
+    const std::string& header_type) const {
+  auto it = offsets_.find(header_type);
+  if (it == offsets_.end()) return std::nullopt;
+  return it->second;
+}
+
+ParseResult run_parser(const p4ir::Program& program,
+                       const p4ir::TupleIdTable& ids,
+                       const net::Packet& packet) {
+  ParseResult result;
+  const p4ir::ParserGraph& g = program.parser();
+  if (g.vertices().empty()) return result;
+
+  auto bytes = packet.data().view();
+  std::uint32_t vertex = g.start();
+
+  // Read a field of an already-extracted header for selector
+  // evaluation; nullopt when the header is absent.
+  auto read_field = [&](const std::string& dotted)
+      -> std::optional<std::uint64_t> {
+    auto ref = p4ir::FieldRef::parse(dotted);
+    if (!ref) return std::nullopt;
+    auto base = result.offset_of(ref->header);
+    if (!base) return std::nullopt;
+    const p4ir::HeaderType* type = program.find_header_type(ref->header);
+    if (type == nullptr) return std::nullopt;
+    auto bit_off = type->bit_offset(ref->field);
+    const p4ir::Field* field = type->find_field(ref->field);
+    if (!bit_off || field == nullptr) return std::nullopt;
+    const std::size_t abs_bit = std::size_t{*base} * 8 + *bit_off;
+    if (abs_bit + field->bits > bytes.size() * 8) return std::nullopt;
+    return read_bits(bytes, abs_bit, field->bits);
+  };
+
+  for (std::size_t hop = 0; hop <= g.vertices().size(); ++hop) {
+    const p4ir::ParserTuple& tuple = ids.tuple_of(vertex);
+    const p4ir::HeaderType* type = program.find_header_type(tuple.header_type);
+    if (type == nullptr) break;
+    if (std::size_t{tuple.offset} + type->byte_width() > bytes.size()) {
+      break;  // truncated frame: stop extraction
+    }
+    result.add(tuple.header_type, tuple.offset);
+
+    // Pick the next edge: selective edges first, default last
+    // (ParserGraph::out_edges already orders them that way).
+    bool advanced = false;
+    for (const p4ir::ParserEdge& e : g.out_edges(vertex)) {
+      if (e.is_default) {
+        vertex = e.to;
+        advanced = true;
+        break;
+      }
+      auto v = read_field(e.select_field);
+      if (v && *v == e.select_value) {
+        vertex = e.to;
+        advanced = true;
+        break;
+      }
+    }
+    if (!advanced) break;  // accept
+  }
+  return result;
+}
+
+}  // namespace dejavu::sim

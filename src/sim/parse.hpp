@@ -1,0 +1,41 @@
+// Parser execution: walk a parser DAG over packet bytes, producing the
+// set of recognized headers and their byte offsets. This is what the
+// ingress/egress parser blocks of Fig. 1 do per pass.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "p4ir/program.hpp"
+
+namespace dejavu::sim {
+
+/// The parse result of one pass: which headers were recognized and
+/// where they start. A header type appears at most once per packet in
+/// our layouts (the (type, offset) vertex distinction exists for
+/// cross-program merging, not for duplicate extraction).
+class ParseResult {
+ public:
+  void add(const std::string& header_type, std::uint32_t byte_offset);
+  bool has(const std::string& header_type) const;
+  std::optional<std::uint32_t> offset_of(const std::string& header_type) const;
+  const std::vector<std::string>& order() const { return order_; }
+
+ private:
+  std::map<std::string, std::uint32_t> offsets_;
+  std::vector<std::string> order_;
+};
+
+/// Execute `program`'s parser over the packet bytes. At each vertex
+/// the outgoing selectors are evaluated against already-parsed fields;
+/// no matching edge (and no default) means accept. Vertices whose
+/// header extends past the packet end stop the walk (truncated frame).
+ParseResult run_parser(const p4ir::Program& program,
+                       const p4ir::TupleIdTable& ids,
+                       const net::Packet& packet);
+
+}  // namespace dejavu::sim

@@ -1,0 +1,39 @@
+// Packet-level validation of the §4 recirculation model — the
+// substitute for the paper's Tofino testbed run (Fig. 8a, which used
+// the chip's internal packet generator). A slotted simulation of the
+// Fig. 7(a) topology: Ethernet port A takes external traffic, port B
+// is in loopback mode; both transmit one fixed-size packet per slot.
+// Packets inject at line rate, loop through B `recirculations` times,
+// then exit via A. The finite queue at B drops arrivals when full —
+// generations compete exactly as the fluid feedback-queue predicts.
+#pragma once
+
+#include <cstdint>
+
+namespace dejavu::sim {
+
+struct QueueSimParams {
+  std::uint32_t recirculations = 1;
+  /// Queue depth at each egress port, in packets.
+  std::uint32_t queue_depth = 96;
+  /// Simulated slots (one max-size packet transmission each).
+  std::uint64_t slots = 200000;
+  /// Slots to skip before measuring (queue warm-up).
+  std::uint64_t warmup_slots = 20000;
+  /// Port capacity used only to scale the reported throughput.
+  double capacity_gbps = 100.0;
+  std::uint64_t seed = 42;
+};
+
+struct QueueSimResult {
+  double offered_gbps = 0.0;
+  double delivered_gbps = 0.0;     // exit rate at port A
+  double loss_fraction = 0.0;      // drops / injected
+  double mean_queue_depth = 0.0;   // at the loopback port
+  double mean_extra_slots = 0.0;   // queueing delay per delivered packet
+};
+
+/// Run the slotted feedback-queue simulation.
+QueueSimResult simulate_recirculation(const QueueSimParams& params);
+
+}  // namespace dejavu::sim

@@ -1,0 +1,155 @@
+#include "sim/runtime_table.hpp"
+
+#include <stdexcept>
+
+namespace dejavu::sim {
+
+namespace {
+
+std::string exact_key_string(const std::vector<std::uint64_t>& key) {
+  std::string s;
+  for (std::uint64_t v : key) {
+    s += std::to_string(v);
+    s += '|';
+  }
+  return s;
+}
+
+}  // namespace
+
+RuntimeTable::RuntimeTable(const p4ir::Table& def) : def_(&def) {
+  if (def.needs_tcam()) {
+    tcam_.emplace(def.keys.size());
+  }
+}
+
+void RuntimeTable::add_exact(const std::vector<std::uint64_t>& key,
+                             ActionCall action) {
+  if (tcam_) {
+    throw std::invalid_argument("table '" + def_->name +
+                                "' is ternary/LPM; use add_ternary/add_lpm");
+  }
+  if (key.size() != def_->keys.size()) {
+    throw std::invalid_argument("key arity mismatch for table '" +
+                                def_->name + "'");
+  }
+  const std::string key_string = exact_key_string(key);
+  auto it = exact_.find(key_string);
+  if (it != exact_.end()) {
+    it->second.action = std::move(action);  // reinstall overwrites
+    return;
+  }
+  if (size_ >= def_->max_entries) {
+    throw std::invalid_argument("table '" + def_->name + "' is full (" +
+                                std::to_string(def_->max_entries) + ")");
+  }
+  exact_.emplace(key_string, ExactEntry{key, std::move(action)});
+  ++size_;
+}
+
+void RuntimeTable::add_ternary(const std::vector<net::TernaryField>& key,
+                               std::int32_t priority, ActionCall action) {
+  if (!tcam_) {
+    throw std::invalid_argument("table '" + def_->name +
+                                "' is exact; use add_exact");
+  }
+  if (size_ >= def_->max_entries) {
+    throw std::invalid_argument("table '" + def_->name + "' is full");
+  }
+  tcam_->insert(key, priority, std::move(action));
+  ++size_;
+}
+
+void RuntimeTable::add_lpm(std::uint64_t value, std::uint8_t prefix_len,
+                           ActionCall action) {
+  if (!tcam_) {
+    throw std::invalid_argument("table '" + def_->name +
+                                "' is exact; use add_exact");
+  }
+  // Find the LPM component; other components become full wildcards.
+  std::vector<net::TernaryField> key(def_->keys.size());
+  bool found = false;
+  for (std::size_t i = 0; i < def_->keys.size(); ++i) {
+    if (def_->keys[i].kind == p4ir::MatchKind::kLpm) {
+      const std::uint16_t bits = def_->keys[i].bits;
+      if (prefix_len > bits) {
+        throw std::invalid_argument("prefix length exceeds key width");
+      }
+      std::uint64_t mask =
+          prefix_len == 0
+              ? 0
+              : (~std::uint64_t{0} << (bits - prefix_len)) &
+                    (bits >= 64 ? ~std::uint64_t{0}
+                                : ((std::uint64_t{1} << bits) - 1));
+      key[i] = net::TernaryField{value & mask, mask};
+      found = true;
+    }
+  }
+  if (!found) {
+    throw std::invalid_argument("table '" + def_->name +
+                                "' has no LPM key component");
+  }
+  add_ternary(key, prefix_len, std::move(action));
+}
+
+LookupResult RuntimeTable::lookup(
+    const std::vector<std::optional<std::uint64_t>>& key) const {
+  LookupResult result;
+  result.action.action = def_->default_action;
+
+  auto count = [&](LookupResult r) {
+    (r.hit ? hits_ : misses_) += 1;
+    return r;
+  };
+
+  // Keyless tables always "run" their default action but count as a
+  // hit for gating purposes (const default_action in Fig. 4).
+  if (def_->keyless()) {
+    result.hit = true;
+    return count(result);
+  }
+
+  // A missing packet field can never match.
+  std::vector<std::uint64_t> values;
+  values.reserve(key.size());
+  for (const auto& v : key) {
+    if (!v) return count(result);
+    values.push_back(*v);
+  }
+
+  if (tcam_) {
+    if (const ActionCall* hit = tcam_->lookup(values)) {
+      result.hit = true;
+      result.action = *hit;
+    }
+    return count(result);
+  }
+
+  auto it = exact_.find(exact_key_string(values));
+  if (it != exact_.end()) {
+    result.hit = true;
+    result.action = it->second.action;
+  }
+  return count(result);
+}
+
+std::vector<RuntimeTable::ExactEntry> RuntimeTable::exact_entries() const {
+  std::vector<ExactEntry> out;
+  out.reserve(exact_.size());
+  for (const auto& [key_string, entry] : exact_) out.push_back(entry);
+  return out;
+}
+
+const std::vector<net::Tcam<ActionCall>::Entry>&
+RuntimeTable::ternary_entries() const {
+  static const std::vector<net::Tcam<ActionCall>::Entry> kEmpty;
+  return tcam_ ? tcam_->entries() : kEmpty;
+}
+
+void RuntimeTable::clear() {
+  exact_.clear();
+  if (tcam_) tcam_.emplace(def_->keys.size());
+  size_ = 0;
+}
+
+}  // namespace dejavu::sim

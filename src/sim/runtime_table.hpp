@@ -1,0 +1,89 @@
+// Runtime match-action tables: the installable state behind each IR
+// table definition. Exact tables use a hash map; ternary and LPM
+// tables use the TCAM model (LPM entries become ternary entries whose
+// priority is the prefix length).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/tcam.hpp"
+#include "p4ir/table.hpp"
+
+namespace dejavu::sim {
+
+/// A bound action: name + runtime arguments (per-entry action data).
+struct ActionCall {
+  std::string action;
+  std::map<std::string, std::uint64_t> args;
+
+  bool operator==(const ActionCall&) const = default;
+};
+
+/// The result of a lookup: hit/miss plus the action to run (the
+/// table's default action on miss; may be empty).
+struct LookupResult {
+  bool hit = false;
+  ActionCall action;
+};
+
+class RuntimeTable {
+ public:
+  explicit RuntimeTable(const p4ir::Table& def);
+
+  const p4ir::Table& def() const { return *def_; }
+
+  /// Install an exact-match entry: one value per key component.
+  /// Throws std::invalid_argument on arity mismatch, table kind
+  /// mismatch, or table-full.
+  void add_exact(const std::vector<std::uint64_t>& key, ActionCall action);
+
+  /// Install a ternary entry (value/mask per component, priority).
+  void add_ternary(const std::vector<net::TernaryField>& key,
+                   std::int32_t priority, ActionCall action);
+
+  /// Install an LPM entry on the (single) LPM key component:
+  /// value/prefix_len, with exact values for any other components.
+  void add_lpm(std::uint64_t value, std::uint8_t prefix_len,
+               ActionCall action);
+
+  /// Look up the key values in key-component order. Missing fields in
+  /// the packet are the caller's concern (pass nullopt -> miss).
+  LookupResult lookup(
+      const std::vector<std::optional<std::uint64_t>>& key) const;
+
+  std::size_t entry_count() const { return size_; }
+  void clear();
+
+  /// Per-table hit/miss counters (direct counters in P4 terms),
+  /// incremented by lookup().
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  void reset_counters() { hits_ = misses_ = 0; }
+
+  /// State export (§7 service upgrade / failure handling): enumerate
+  /// installed entries.
+  struct ExactEntry {
+    std::vector<std::uint64_t> key;
+    ActionCall action;
+  };
+  std::vector<ExactEntry> exact_entries() const;
+  /// Ternary/LPM entries (empty for exact tables).
+  const std::vector<net::Tcam<ActionCall>::Entry>& ternary_entries() const;
+
+ private:
+  const p4ir::Table* def_;
+  std::size_t size_ = 0;
+  mutable std::uint64_t hits_ = 0;
+  mutable std::uint64_t misses_ = 0;
+  // Exact storage: concatenated key string -> (key values, action).
+  std::unordered_map<std::string, ExactEntry> exact_;
+  // Ternary/LPM storage.
+  std::optional<net::Tcam<ActionCall>> tcam_;
+};
+
+}  // namespace dejavu::sim

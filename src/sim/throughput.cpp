@@ -1,0 +1,121 @@
+#include "sim/throughput.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace dejavu::sim {
+
+namespace {
+
+/// The sequence of pipelines a path's packets recirculate through, in
+/// order (one entry per recirculation).
+std::vector<std::uint32_t> recirc_pipelines(const place::Traversal& t) {
+  std::vector<std::uint32_t> out;
+  for (const place::TraversalStep& step : t.steps) {
+    if (step.exit_via == place::TraversalStep::Exit::kRecirculate) {
+      out.push_back(step.pipelet.pipeline);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string ThroughputReport::to_table() const {
+  std::string s;
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "%-8s %-10s %-14s %-14s %-10s\n", "path",
+                "recircs", "offered Gbps", "delivered", "fraction");
+  s += buf;
+  for (const ChainThroughput& c : per_path) {
+    std::snprintf(buf, sizeof(buf), "%-8u %-10u %-14.1f %-14.1f %-10.3f\n",
+                  c.path_id, c.recirculations, c.offered_gbps,
+                  c.delivered_gbps, c.delivery_fraction());
+    s += buf;
+  }
+  std::snprintf(buf, sizeof(buf), "total: offered %.1f, delivered %.1f\n",
+                total_offered_gbps, total_delivered_gbps);
+  s += buf;
+  for (const auto& [pipeline, util] : recirc_utilization) {
+    std::snprintf(buf, sizeof(buf),
+                  "pipeline %u recirculation utilization: %.2f\n", pipeline,
+                  util);
+    s += buf;
+  }
+  return s;
+}
+
+ThroughputReport estimate_throughput(
+    const sfc::PolicySet& policies,
+    const std::map<std::uint16_t, place::Traversal>& traversals,
+    const asic::SwitchConfig& config, double total_offered_gbps) {
+  ThroughputReport report;
+  report.total_offered_gbps = total_offered_gbps;
+  const double total_weight = policies.total_weight();
+
+  struct PathState {
+    const sfc::ChainPolicy* policy;
+    std::vector<std::uint32_t> loops;  // pipeline per recirculation
+    double offered;
+    /// Survival per recirculation hop (updated each iteration).
+    std::vector<double> survival;
+  };
+  std::vector<PathState> paths;
+  for (const sfc::ChainPolicy& policy : policies.policies()) {
+    auto it = traversals.find(policy.path_id);
+    if (it == traversals.end() || !it->second.feasible) continue;
+    PathState ps;
+    ps.policy = &policy;
+    ps.loops = recirc_pipelines(it->second);
+    ps.offered = total_weight > 0
+                     ? total_offered_gbps * policy.weight / total_weight
+                     : 0;
+    ps.survival.assign(ps.loops.size(), 1.0);
+    paths.push_back(std::move(ps));
+  }
+
+  // Fixed point: compute per-pipeline recirculation demand from the
+  // current per-hop flows, derive proportional survival where demand
+  // exceeds capacity, repeat. Monotone in each step; 50 rounds are
+  // far beyond convergence for realistic inputs.
+  std::map<std::uint32_t, double> utilization;
+  for (int round = 0; round < 50; ++round) {
+    std::map<std::uint32_t, double> demand;
+    for (const PathState& ps : paths) {
+      double flow = ps.offered;
+      for (std::size_t hop = 0; hop < ps.loops.size(); ++hop) {
+        demand[ps.loops[hop]] += flow;  // load offered TO this loop
+        flow *= ps.survival[hop];
+      }
+    }
+    std::map<std::uint32_t, double> shed;
+    utilization.clear();
+    for (const auto& [pipeline, d] : demand) {
+      const double capacity = config.recirc_capacity_gbps(pipeline);
+      shed[pipeline] = d > capacity && d > 0 ? capacity / d : 1.0;
+      utilization[pipeline] =
+          capacity > 0 ? std::min(d, capacity) / capacity : 0.0;
+    }
+    for (PathState& ps : paths) {
+      for (std::size_t hop = 0; hop < ps.loops.size(); ++hop) {
+        ps.survival[hop] = shed[ps.loops[hop]];
+      }
+    }
+  }
+
+  report.recirc_utilization = std::move(utilization);
+  for (const PathState& ps : paths) {
+    ChainThroughput c;
+    c.path_id = ps.policy->path_id;
+    c.offered_gbps = ps.offered;
+    c.recirculations = static_cast<std::uint32_t>(ps.loops.size());
+    double flow = ps.offered;
+    for (double s : ps.survival) flow *= s;
+    c.delivered_gbps = flow;
+    report.total_delivered_gbps += flow;
+    report.per_path.push_back(c);
+  }
+  return report;
+}
+
+}  // namespace dejavu::sim

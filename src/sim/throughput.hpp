@@ -1,0 +1,54 @@
+// Deployment-wide throughput estimation — §4's second takeaway made
+// executable: "network operators can expect and calculate the
+// throughput of their service chains after placement — the ASIC itself
+// does not introduce any inefficiency on recirculation throughput."
+//
+// Generalizes the Fig. 7 feedback-queue model from one loopback port
+// to a whole deployment: every planned traversal contributes its
+// per-pipeline recirculation demand; when a pipeline's loopback
+// capacity saturates, all generations crossing it shed load
+// proportionally, which feeds back into downstream demand. Solved by
+// fixed-point iteration.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "asic/switch_config.hpp"
+#include "place/placement.hpp"
+#include "sfc/chain.hpp"
+
+namespace dejavu::sim {
+
+struct ChainThroughput {
+  std::uint16_t path_id = 0;
+  double offered_gbps = 0;
+  double delivered_gbps = 0;
+  std::uint32_t recirculations = 0;
+
+  double delivery_fraction() const {
+    return offered_gbps > 0 ? delivered_gbps / offered_gbps : 1.0;
+  }
+};
+
+struct ThroughputReport {
+  std::vector<ChainThroughput> per_path;
+  /// Recirculation-bandwidth utilization per pipeline (demand over
+  /// capacity, after convergence; > 1 never occurs — saturation sheds).
+  std::map<std::uint32_t, double> recirc_utilization;
+  double total_offered_gbps = 0;
+  double total_delivered_gbps = 0;
+
+  std::string to_table() const;
+};
+
+/// Estimate per-chain throughput for an offered load split across the
+/// policies by weight. `traversals` come from the routing plan (or
+/// plan_traversal directly).
+ThroughputReport estimate_throughput(
+    const sfc::PolicySet& policies,
+    const std::map<std::uint16_t, place::Traversal>& traversals,
+    const asic::SwitchConfig& config, double total_offered_gbps);
+
+}  // namespace dejavu::sim

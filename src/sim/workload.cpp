@@ -1,0 +1,33 @@
+#include "sim/workload.hpp"
+
+#include <random>
+#include <set>
+
+namespace dejavu::sim {
+
+std::vector<Flow> generate_flows(const FlowMix& mix) {
+  std::mt19937_64 rng(mix.seed);
+  std::uniform_int_distribution<std::uint32_t> host(1, 0xfffe);
+  std::uniform_int_distribution<std::uint32_t> port(1024, 65535);
+
+  std::vector<Flow> flows;
+  std::set<std::pair<std::uint32_t, std::uint16_t>> seen;
+  while (flows.size() < mix.flows) {
+    const std::uint32_t src = (mix.src_base.value() & 0xffff0000u) |
+                              host(rng);
+    const auto sport = static_cast<std::uint16_t>(port(rng));
+    if (!seen.emplace(src, sport).second) continue;
+
+    Flow flow;
+    flow.spec.ip_src = net::Ipv4Addr(src);
+    flow.spec.ip_dst = mix.dst;
+    flow.spec.protocol = mix.protocol;
+    flow.spec.src_port = sport;
+    flow.spec.dst_port = mix.dst_port;
+    flow.spec.payload_size = mix.payload_size;
+    flows.push_back(std::move(flow));
+  }
+  return flows;
+}
+
+}  // namespace dejavu::sim

@@ -1,0 +1,39 @@
+// Deterministic workload synthesis: flow mixes for driving the
+// behavioral data plane in tests, examples, and benches. Seeded, so
+// every run exercises the same packets.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/packet.hpp"
+
+namespace dejavu::sim {
+
+/// A parameterized flow population aimed at one destination service.
+struct FlowMix {
+  std::uint32_t flows = 100;
+  net::Ipv4Addr dst{10, 0, 0, 1};
+  std::uint8_t protocol = net::kIpProtoTcp;
+  std::uint16_t dst_port = 443;
+  /// Source addresses drawn from this /16.
+  net::Ipv4Addr src_base{192, 168, 0, 0};
+  std::size_t payload_size = 64;
+  std::uint64_t seed = 1;
+};
+
+/// One synthetic flow: its spec plus a builder for successive packets.
+struct Flow {
+  net::PacketSpec spec;
+
+  net::Packet packet() const { return net::Packet::make(spec); }
+  net::FiveTuple tuple() const {
+    return net::FiveTuple{spec.ip_src, spec.ip_dst, spec.protocol,
+                          spec.src_port, spec.dst_port};
+  }
+};
+
+/// Generate `mix.flows` distinct flows (unique (src, sport) pairs).
+std::vector<Flow> generate_flows(const FlowMix& mix);
+
+}  // namespace dejavu::sim

@@ -1,0 +1,115 @@
+#include "asic/switch_config.hpp"
+#include "asic/target.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dejavu::asic {
+namespace {
+
+TEST(TargetSpec, Tofino32MatchesTheTestbed) {
+  TargetSpec t = TargetSpec::tofino32();
+  // §5: Wedge-100B 32X, 32x100G ports, 2 physical pipelines
+  // (4 pipelets), 16 hardwired Ethernet ports per pipeline.
+  EXPECT_EQ(t.pipelines, 2u);
+  EXPECT_EQ(t.pipelet_count(), 4u);
+  EXPECT_EQ(t.total_ports(), 32u);
+  EXPECT_EQ(t.ports_per_pipeline, 16u);
+  EXPECT_DOUBLE_EQ(t.port_gbps, 100.0);
+  EXPECT_DOUBLE_EQ(t.total_capacity_gbps(), 3200.0);
+  EXPECT_EQ(t.total_stages(), 48u);
+}
+
+TEST(TargetSpec, PortToPipelineMapping) {
+  TargetSpec t = TargetSpec::tofino32();
+  EXPECT_EQ(t.pipeline_of_port(0), 0u);
+  EXPECT_EQ(t.pipeline_of_port(15), 0u);
+  EXPECT_EQ(t.pipeline_of_port(16), 1u);
+  EXPECT_EQ(t.pipeline_of_port(31), 1u);
+}
+
+TEST(TargetSpec, TotalResourcesScaleWithStages) {
+  TargetSpec t = TargetSpec::tofino32();
+  auto total = t.total_resources();
+  EXPECT_EQ(total.table_ids, t.stage_budget.table_ids * 48);
+  EXPECT_EQ(total.sram_blocks, t.stage_budget.sram_blocks * 48);
+  EXPECT_EQ(total.tcam_blocks, t.stage_budget.tcam_blocks * 48);
+}
+
+TEST(TargetSpec, RecircConstraintsDefaultToTofino) {
+  TargetSpec t = TargetSpec::tofino32();
+  // §3.3 constraints (a)-(d) all hold on Tofino.
+  EXPECT_TRUE(t.recirc.loopback_at_pipe_boundary);
+  EXPECT_TRUE(t.recirc.decided_in_ingress);
+  EXPECT_TRUE(t.recirc.port_granularity);
+  EXPECT_TRUE(t.recirc.within_pipeline);
+}
+
+TEST(PipeletId, OrderingAndNames) {
+  PipeletId i0{0, PipeKind::kIngress};
+  PipeletId e0{0, PipeKind::kEgress};
+  PipeletId i1{1, PipeKind::kIngress};
+  EXPECT_LT(i0, e0);
+  EXPECT_LT(e0, i1);
+  EXPECT_EQ(i0.to_string(), "ingress0");
+  EXPECT_EQ(e0.to_string(), "egress0");
+}
+
+TEST(SwitchConfig, LoopbackAccounting) {
+  SwitchConfig config(TargetSpec::tofino32());
+  EXPECT_EQ(config.loopback_count(), 0u);
+  EXPECT_DOUBLE_EQ(config.external_capacity_gbps(), 3200.0);
+
+  config.set_loopback(3);
+  config.set_loopback(20);
+  EXPECT_EQ(config.loopback_count(), 2u);
+  EXPECT_EQ(config.loopback_count_in_pipeline(0), 1u);
+  EXPECT_EQ(config.loopback_count_in_pipeline(1), 1u);
+  EXPECT_DOUBLE_EQ(config.external_capacity_gbps(), 3000.0);
+
+  config.set_loopback(3, false);
+  EXPECT_EQ(config.loopback_count(), 1u);
+}
+
+TEST(SwitchConfig, PipelineLoopbackMatchesPrototype) {
+  // §5: "we put the 16 Ethernet ports of ingress 1 into loopback
+  // mode... our switch can provide 1.6 Tbps capacity and allow all
+  // the traffic recirculate on the ASIC for once."
+  SwitchConfig config(TargetSpec::tofino32());
+  config.set_pipeline_loopback(1);
+  EXPECT_EQ(config.loopback_count(), 16u);
+  EXPECT_DOUBLE_EQ(config.external_capacity_gbps(), 1600.0);
+  EXPECT_DOUBLE_EQ(config.single_recirc_fraction(), 1.0);
+}
+
+TEST(SwitchConfig, SingleRecircFractionFollowsTheModel) {
+  // §4: m of n ports in loopback -> min(1, m/(n-m)) of the external
+  // traffic can recirculate once.
+  SwitchConfig config(TargetSpec::tofino32());
+  for (std::uint32_t p = 0; p < 8; ++p) config.set_loopback(p);
+  EXPECT_DOUBLE_EQ(config.single_recirc_fraction(), 8.0 / 24.0);
+}
+
+TEST(SwitchConfig, RecircCapacityIncludesDedicatedPort) {
+  SwitchConfig config(TargetSpec::tofino32());
+  // No loopback ports: only the free 100G recirculation port (§4).
+  EXPECT_DOUBLE_EQ(config.recirc_capacity_gbps(0), 100.0);
+  config.set_loopback(2);
+  EXPECT_DOUBLE_EQ(config.recirc_capacity_gbps(0), 200.0);
+}
+
+TEST(SwitchConfig, InvalidPortThrows) {
+  SwitchConfig config(TargetSpec::tofino32());
+  EXPECT_THROW(config.set_loopback(32), std::out_of_range);
+  EXPECT_THROW(config.set_pipeline_loopback(2), std::out_of_range);
+}
+
+TEST(SwitchConfig, LoopbackPortsEnumeration) {
+  SwitchConfig config(TargetSpec::mini());
+  config.set_loopback(1);
+  config.set_loopback(3);
+  EXPECT_EQ(config.loopback_ports(),
+            (std::vector<std::uint32_t>{1, 3}));
+}
+
+}  // namespace
+}  // namespace dejavu::asic

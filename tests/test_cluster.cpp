@@ -1,0 +1,121 @@
+// §7 multi-switch clusters: a chain too deep for one switch fits a
+// two-switch cluster; crossings and latency are accounted.
+#include "place/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+#include "place/optimizer.hpp"
+
+namespace dejavu::place {
+namespace {
+
+sfc::PolicySet deep_chain(std::size_t n) {
+  std::vector<std::string> nfs = {"C"};
+  for (std::size_t i = 1; i + 1 < n; ++i) {
+    nfs.push_back("N" + std::to_string(i));
+  }
+  nfs.push_back("R");
+  sfc::PolicySet set;
+  set.add({.path_id = 1,
+           .name = "deep",
+           .nfs = std::move(nfs),
+           .weight = 1.0,
+           .in_port = 0,
+           .exit_port = 1});
+  return set;
+}
+
+/// Each NF needs 4 stages + 2 glue: at most one per 12-stage pipelet
+/// once the ingress branching stage is added.
+StageModel heavy_model() {
+  StageModel model;
+  model.default_nf_stages = 6;
+  return model;
+}
+
+TEST(Cluster, VirtualSpecConcatenatesPipelines) {
+  ClusterSpec cluster;
+  cluster.switches = 3;
+  auto v = cluster.virtual_spec();
+  EXPECT_EQ(v.pipelines, 6u);
+  EXPECT_EQ(cluster.total_stages(), 3 * 48u);
+  EXPECT_EQ(cluster.switch_of_pipeline(0), 0u);
+  EXPECT_EQ(cluster.switch_of_pipeline(1), 0u);
+  EXPECT_EQ(cluster.switch_of_pipeline(2), 1u);
+  EXPECT_EQ(cluster.switch_of_pipeline(5), 2u);
+}
+
+TEST(Cluster, DeepChainNeedsTheCluster) {
+  // 8 NFs at ~1 per pipelet: a single switch has 4 pipelets, so the
+  // chain cannot fit; a 3-switch cluster (12 pipelets) can.
+  auto policies = deep_chain(8);
+  auto model = heavy_model();
+
+  auto single = asic::TargetSpec::tofino32();
+  TraversalEnv env1{.pipelines = single.pipelines, .can_recirculate = {}};
+  // Disallow parallel packing by construction: sequential composition
+  // only in exhaustive search.
+  auto r1 = exhaustive_optimize(policies, single, env1, model);
+  EXPECT_FALSE(r1.feasible);
+
+  ClusterSpec cluster;
+  cluster.switches = 3;
+  auto virt = cluster.virtual_spec();
+  TraversalEnv env2{.pipelines = virt.pipelines, .can_recirculate = {}};
+  AnnealParams params;
+  params.iterations = 40000;
+  params.seed = 5;
+  auto r2 = anneal_optimize(policies, virt, env2, model, params);
+  EXPECT_TRUE(r2.feasible) << "cluster should fit the deep chain";
+}
+
+TEST(Cluster, CrossingsCountBoundaryHops) {
+  ClusterSpec cluster;  // 2 switches x 2 pipelines
+  cluster.switches = 2;
+
+  Traversal t;
+  t.feasible = true;
+  auto step = [](std::uint32_t pipeline, asic::PipeKind kind,
+                 TraversalStep::Exit exit) {
+    TraversalStep s;
+    s.pipelet = {pipeline, kind};
+    s.exit_via = exit;
+    return s;
+  };
+  // I0 -> E2 (cross to switch 1) -> I2 -> E0 (cross back) -> out.
+  t.steps = {
+      step(0, asic::PipeKind::kIngress, TraversalStep::Exit::kToEgress),
+      step(2, asic::PipeKind::kEgress, TraversalStep::Exit::kRecirculate),
+      step(2, asic::PipeKind::kIngress, TraversalStep::Exit::kToEgress),
+      step(0, asic::PipeKind::kEgress, TraversalStep::Exit::kOut),
+  };
+  EXPECT_EQ(inter_switch_crossings(t, cluster), 2u);
+
+  // Latency: base + off-chip (crossing forward) + on-chip (recirc
+  // inside switch 1) + off-chip (crossing back).
+  const auto& spec = cluster.switch_spec;
+  EXPECT_DOUBLE_EQ(cluster_traversal_ns(t, cluster),
+                   spec.port_to_port_latency_ns +
+                       spec.offchip_recirc_latency_ns +
+                       spec.onchip_recirc_latency_ns +
+                       spec.offchip_recirc_latency_ns);
+}
+
+TEST(Cluster, IntraSwitchTraversalPaysNoCablePenalty) {
+  ClusterSpec cluster;
+  Traversal t;
+  t.feasible = true;
+  TraversalStep a;
+  a.pipelet = {0, asic::PipeKind::kIngress};
+  a.exit_via = TraversalStep::Exit::kToEgress;
+  TraversalStep b;
+  b.pipelet = {1, asic::PipeKind::kEgress};
+  b.exit_via = TraversalStep::Exit::kOut;
+  t.steps = {a, b};
+  EXPECT_EQ(inter_switch_crossings(t, cluster), 0u);
+  EXPECT_DOUBLE_EQ(cluster_traversal_ns(t, cluster),
+                   cluster.switch_spec.port_to_port_latency_ns);
+}
+
+}  // namespace
+}  // namespace dejavu::place

@@ -1,0 +1,227 @@
+#include "compile/allocator.hpp"
+#include "compile/report.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dejavu::compile {
+namespace {
+
+using p4ir::Action;
+using p4ir::ControlBlock;
+using p4ir::MatchKind;
+using p4ir::Table;
+using p4ir::TableKey;
+
+/// Builds a control block of `n` small tables. When `chained` each
+/// table writes what the next one matches (a match-dep chain).
+ControlBlock make_block(int n, bool chained) {
+  ControlBlock block("b");
+  for (int i = 0; i < n; ++i) {
+    Action a;
+    a.name = "act" + std::to_string(i);
+    a.primitives = {
+        p4ir::set_imm("f.w" + std::to_string(chained ? i + 1 : 1000 + i), 1)};
+    block.add_action(a);
+    Table t;
+    t.name = "t" + std::to_string(i);
+    t.keys = {TableKey{"f.w" + std::to_string(i), MatchKind::kExact, 8}};
+    t.actions = {a.name};
+    t.default_action = a.name;
+    t.max_entries = 16;
+    block.add_table(t);
+    block.apply_table(t.name);
+  }
+  return block;
+}
+
+TEST(Allocator, IndependentTablesPackIntoOneStage) {
+  auto block = make_block(4, /*chained=*/false);
+  auto graph = p4ir::analyze_dependencies({&block}, false);
+  auto alloc = allocate(graph, asic::TargetSpec::tofino32());
+  ASSERT_TRUE(alloc.ok) << alloc.error;
+  EXPECT_EQ(alloc.depth(), 1u);
+  EXPECT_EQ(alloc.stages_used(), 1u);
+}
+
+TEST(Allocator, MatchChainOccupiesOneStageEach) {
+  auto block = make_block(5, /*chained=*/true);
+  auto graph = p4ir::analyze_dependencies({&block}, false);
+  auto alloc = allocate(graph, asic::TargetSpec::tofino32());
+  ASSERT_TRUE(alloc.ok) << alloc.error;
+  EXPECT_EQ(alloc.depth(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(alloc.stage_of[i], i);
+  }
+}
+
+TEST(Allocator, ChainLongerThanLadderFails) {
+  auto spec = asic::TargetSpec::mini();  // 4 stages
+  auto block = make_block(5, /*chained=*/true);
+  auto graph = p4ir::analyze_dependencies({&block}, false);
+  auto alloc = allocate(graph, spec);
+  EXPECT_FALSE(alloc.ok);
+  EXPECT_NE(alloc.error.find("does not fit"), std::string::npos);
+}
+
+TEST(Allocator, ResourcePressureSpillsToNextStage) {
+  // 17 independent tables, 16 logical table IDs per stage: the 17th
+  // must spill into stage 1.
+  auto block = make_block(17, /*chained=*/false);
+  auto graph = p4ir::analyze_dependencies({&block}, false);
+  auto alloc = allocate(graph, asic::TargetSpec::tofino32());
+  ASSERT_TRUE(alloc.ok) << alloc.error;
+  EXPECT_EQ(alloc.depth(), 2u);
+  EXPECT_EQ(alloc.stages[0].tables.size(), 16u);
+  EXPECT_EQ(alloc.stages[1].tables.size(), 1u);
+}
+
+TEST(Allocator, NoStageExceedsBudget) {
+  auto spec = asic::TargetSpec::tofino32();
+  auto block = make_block(40, /*chained=*/false);
+  auto graph = p4ir::analyze_dependencies({&block}, false);
+  auto alloc = allocate(graph, spec);
+  ASSERT_TRUE(alloc.ok) << alloc.error;
+  for (const StageUsage& s : alloc.stages) {
+    EXPECT_TRUE(s.used.fits_within(spec.stage_budget));
+  }
+}
+
+TEST(Allocator, DependenciesHonoredUnderPressure) {
+  // A chained pair where the first table lands late due to resource
+  // pressure: the dependent must still land strictly later.
+  auto spec = asic::TargetSpec::tofino32();
+  auto block = make_block(20, /*chained=*/true);
+  auto graph = p4ir::analyze_dependencies({&block}, false);
+  // 20 chained tables need 20 stages > 12: must fail loudly, never
+  // silently violate a dependency.
+  auto alloc = allocate(graph, spec);
+  EXPECT_FALSE(alloc.ok);
+}
+
+TEST(Allocator, OversizedLpmSplitsAcrossStages) {
+  // A 16K-entry LPM needs 32 TCAM blocks; one Tofino stage holds 24.
+  // The allocator must slice it across two stages instead of failing.
+  ControlBlock block("b");
+  Action route;
+  route.name = "route";
+  route.params = {{"port", 9}};
+  route.primitives = {p4ir::set_from_param("standard_metadata.egress_spec",
+                                           "port")};
+  block.add_action(route);
+  Table lpm;
+  lpm.name = "big_lpm";
+  lpm.keys = {TableKey{"ipv4.dst_addr", MatchKind::kLpm, 32}};
+  lpm.actions = {"route"};
+  lpm.default_action = "route";
+  lpm.max_entries = 16384;
+  block.add_table(lpm);
+  block.apply_table("big_lpm");
+
+  auto spec = asic::TargetSpec::tofino32();
+  auto graph = p4ir::analyze_dependencies({&block}, false);
+  auto alloc = allocate(graph, spec);
+  ASSERT_TRUE(alloc.ok) << alloc.error;
+  EXPECT_EQ(alloc.stages_used(), 2u);
+  // Both slices reference the same logical table.
+  EXPECT_EQ(alloc.stages[0].tables, std::vector<std::size_t>{0});
+  EXPECT_EQ(alloc.stages[1].tables, std::vector<std::size_t>{0});
+  for (const StageUsage& s : alloc.stages) {
+    EXPECT_TRUE(s.used.fits_within(spec.stage_budget));
+  }
+}
+
+TEST(Allocator, DependentsWaitForTheLastSlice) {
+  ControlBlock block("b");
+  Action write_ttl;
+  write_ttl.name = "write_ttl";
+  write_ttl.primitives = {p4ir::set_imm("ipv4.ttl", 1)};
+  block.add_action(write_ttl);
+
+  Table big;
+  big.name = "big";
+  big.keys = {TableKey{"ipv4.dst_addr", MatchKind::kLpm, 32}};
+  big.actions = {"write_ttl"};
+  big.max_entries = 16384;  // 2 slices
+  block.add_table(big);
+  block.apply_table("big");
+
+  Table dependent;
+  dependent.name = "dep";
+  dependent.keys = {TableKey{"ipv4.ttl", MatchKind::kExact, 8}};
+  dependent.actions = {"write_ttl"};
+  block.add_table(dependent);
+  block.apply_table("dep");
+
+  auto graph = p4ir::analyze_dependencies({&block}, false);
+  auto alloc = allocate(graph, asic::TargetSpec::tofino32());
+  ASSERT_TRUE(alloc.ok) << alloc.error;
+  // big occupies stages 0 and 1; dep must land at stage >= 2.
+  EXPECT_GE(alloc.stage_of[1], 2u);
+}
+
+TEST(Allocator, ImpossiblySmallTargetStillFailsCleanly) {
+  auto spec = asic::TargetSpec::mini();
+  spec.stage_budget.tcam_blocks = 0;  // no TCAM at all
+  ControlBlock block("b");
+  Action a;
+  a.name = "a";
+  block.add_action(a);
+  Table t;
+  t.name = "needs_tcam";
+  t.keys = {TableKey{"ipv4.dst_addr", MatchKind::kTernary, 32}};
+  t.actions = {"a"};
+  block.add_table(t);
+  block.apply_table("needs_tcam");
+
+  auto graph = p4ir::analyze_dependencies({&block}, false);
+  auto alloc = allocate(graph, spec);
+  EXPECT_FALSE(alloc.ok);
+  EXPECT_NE(alloc.error.find("even when split"), std::string::npos);
+}
+
+TEST(Report, PercentagesAgainstSwitchTotals) {
+  auto spec = asic::TargetSpec::tofino32();
+  auto block = make_block(4, /*chained=*/true);
+  auto graph = p4ir::analyze_dependencies({&block}, false);
+  auto alloc = allocate(graph, spec);
+  ASSERT_TRUE(alloc.ok);
+
+  auto r = report({alloc}, spec);
+  // 4 stages touched of 48 = 8.33%.
+  EXPECT_NEAR(r.pct_stages(), 100.0 * 4 / 48, 1e-9);
+  // 4 table IDs of 768.
+  EXPECT_NEAR(r.pct_table_ids(), 100.0 * 4 / 768, 1e-9);
+  EXPECT_DOUBLE_EQ(r.pct_tcam(), 0.0);
+}
+
+TEST(Report, FilterIsolatesFrameworkTables) {
+  EXPECT_TRUE(is_framework_table("dejavu_branching"));
+  EXPECT_TRUE(is_framework_table("dejavu_check_nextNF_LB"));
+  EXPECT_FALSE(is_framework_table("FW.acl"));
+  EXPECT_FALSE(is_framework_table("LB.lb_session"));
+}
+
+TEST(Report, RendersTableOneShape) {
+  auto spec = asic::TargetSpec::tofino32();
+  auto block = make_block(2, false);
+  auto graph = p4ir::analyze_dependencies({&block}, false);
+  auto alloc = allocate(graph, spec);
+  auto r = report({alloc}, spec);
+  std::string table = r.to_table();
+  EXPECT_NE(table.find("Stages%"), std::string::npos);
+  EXPECT_NE(table.find("TCAM%"), std::string::npos);
+}
+
+TEST(Allocation, StagesTouchedWithPredicate) {
+  auto spec = asic::TargetSpec::tofino32();
+  auto block = make_block(3, /*chained=*/true);
+  auto graph = p4ir::analyze_dependencies({&block}, false);
+  auto alloc = allocate(graph, spec);
+  ASSERT_TRUE(alloc.ok);
+  auto only_t1 = [](const std::string& name) { return name == "t1"; };
+  EXPECT_EQ(alloc.stages_touched(only_t1), 1u);
+  EXPECT_EQ(alloc.total_used(only_t1).table_ids, 1u);
+}
+
+}  // namespace
+}  // namespace dejavu::compile

@@ -1,0 +1,201 @@
+// Longer chains with the extension NFs (NAT, Police): a 7-NF chain
+// deployed alongside the Fig. 2 paths, multi-port arrivals, and chains
+// arriving on the second pipeline. Stresses composition breadth and
+// the placement optimizer beyond the paper's prototype.
+#include <gtest/gtest.h>
+
+#include "control/deployment.hpp"
+#include "nf/nfs.hpp"
+#include "sfc/header.hpp"
+#include "sim/workload.hpp"
+
+namespace dejavu {
+namespace {
+
+/// A deployment with all seven NFs and a 7-NF mega-chain plus a short
+/// chain, arriving on two different ports.
+struct SevenNfFixture {
+  std::unique_ptr<control::Deployment> deployment;
+  sfc::PolicySet policies;
+
+  SevenNfFixture() {
+    p4ir::TupleIdTable ids;
+    std::vector<p4ir::Program> nfs = nf::fig2_nf_programs(ids);
+    nfs.push_back(nf::make_nat(ids));
+    nfs.push_back(nf::make_police(ids));
+
+    policies.add({.path_id = 1,
+                  .name = "everything",
+                  .nfs = {sfc::kClassifier, "Police", sfc::kFirewall,
+                          sfc::kVgw, "NAT", sfc::kLoadBalancer,
+                          sfc::kRouter},
+                  .weight = 0.6,
+                  .in_port = 0,
+                  .exit_port = 1,
+                  .terminal_pops_sfc = true});
+    policies.add({.path_id = 2,
+                  .name = "police-route",
+                  .nfs = {sfc::kClassifier, "Police", sfc::kRouter},
+                  .weight = 0.4,
+                  .in_port = 0,
+                  .exit_port = 1,
+                  .terminal_pops_sfc = true});
+
+    asic::SwitchConfig config(asic::TargetSpec::tofino32());
+    config.set_pipeline_loopback(1);
+    deployment = control::Deployment::build(std::move(nfs), policies,
+                                            std::move(config),
+                                            std::move(ids));
+
+    auto& cp = deployment->control();
+    cp.add_traffic_class({.src = *net::Ipv4Prefix::parse("0.0.0.0/0"),
+                          .dst = *net::Ipv4Prefix::parse("10.1.0.0/16"),
+                          .protocol = std::nullopt,
+                          .priority = 10,
+                          .path_id = 1,
+                          .tenant = 100});
+    cp.add_traffic_class({.src = *net::Ipv4Prefix::parse("0.0.0.0/0"),
+                          .dst = *net::Ipv4Prefix::parse("10.3.0.0/16"),
+                          .protocol = std::nullopt,
+                          .priority = 10,
+                          .path_id = 2,
+                          .tenant = 300});
+    cp.add_firewall_rule({.src = *net::Ipv4Prefix::parse("0.0.0.0/0"),
+                          .dst = *net::Ipv4Prefix::parse("10.1.0.0/16"),
+                          .protocol = net::kIpProtoTcp,
+                          .dst_port = std::nullopt,
+                          .priority = 10,
+                          .permit = true});
+    cp.add_vgw_mapping({.virtual_ip = net::Ipv4Addr(10, 1, 0, 10),
+                        .physical_ip = net::Ipv4Addr(10, 1, 1, 10),
+                        .tenant = 100});
+    cp.set_lb_pool({{net::Ipv4Addr(10, 1, 2, 1),
+                     net::Ipv4Addr(10, 1, 2, 2)}});
+    cp.add_route({.prefix = *net::Ipv4Prefix::parse("10.0.0.0/8"),
+                  .port = 1,
+                  .next_hop_mac = net::MacAddr::from_u64(0x02)});
+  }
+};
+
+TEST(SevenNfChain, DeploysAndFitsTheSwitch) {
+  SevenNfFixture fx;
+  for (const auto& alloc : fx.deployment->allocations()) {
+    EXPECT_TRUE(alloc.ok) << alloc.error;
+  }
+  EXPECT_TRUE(fx.deployment->routing().feasible);
+}
+
+TEST(SevenNfChain, MegaChainAppliesEveryNf) {
+  SevenNfFixture fx;
+  auto& cp = fx.deployment->control();
+
+  // Install a NAT translation for the flow we send.
+  net::PacketSpec spec;
+  spec.ip_src = net::Ipv4Addr(192, 168, 1, 5);
+  spec.ip_dst = net::Ipv4Addr(10, 1, 0, 10);
+  spec.src_port = 50000;
+  spec.dst_port = 443;
+  for (sim::RuntimeTable* t :
+       fx.deployment->dataplane().tables_named("NAT.nat_translate")) {
+    t->add_exact({spec.ip_src.value(), spec.src_port},
+                 sim::ActionCall{"NAT.snat",
+                                 {{"new_src",
+                                   net::Ipv4Addr(100, 64, 0, 5).value()},
+                                  {"new_sport", 61000}}});
+  }
+
+  auto out = cp.inject(net::Packet::make(spec), 0);
+  ASSERT_EQ(out.out.size(), 1u) << out.drop_reason;
+  const auto& p = out.out.front().packet;
+  auto ip = p.ipv4();
+  ASSERT_TRUE(ip.has_value());
+
+  // NAT rewrote the source...
+  EXPECT_EQ(ip->src, net::Ipv4Addr(100, 64, 0, 5));
+  EXPECT_EQ(p.tcp()->src_port, 61000);
+  // ...LB rewrote the destination to a backend...
+  EXPECT_TRUE(ip->dst == net::Ipv4Addr(10, 1, 2, 1) ||
+              ip->dst == net::Ipv4Addr(10, 1, 2, 2));
+  // ...Router decremented TTL and popped the SFC header.
+  EXPECT_EQ(ip->ttl, 63);
+  EXPECT_FALSE(p.has_sfc_header());
+}
+
+TEST(SevenNfChain, PoliceBlocklistDropsOnBothPaths) {
+  SevenNfFixture fx;
+  auto& cp = fx.deployment->control();
+  for (sim::RuntimeTable* t :
+       fx.deployment->dataplane().tables_named("Police.blocklist")) {
+    t->add_exact({net::Ipv4Addr(203, 0, 113, 66).value()},
+                 sim::ActionCall{"Police.block", {}});
+  }
+
+  for (auto dst : {net::Ipv4Addr(10, 1, 0, 10), net::Ipv4Addr(10, 3, 0, 1)}) {
+    net::PacketSpec spec;
+    spec.ip_src = net::Ipv4Addr(203, 0, 113, 66);
+    spec.ip_dst = dst;
+    auto out = cp.inject(net::Packet::make(spec), 0);
+    EXPECT_TRUE(out.dropped) << dst.to_string();
+  }
+
+  // Unblocked sources still flow (path 2 needs no FW permit).
+  net::PacketSpec ok;
+  ok.ip_src = net::Ipv4Addr(198, 51, 100, 1);
+  ok.ip_dst = net::Ipv4Addr(10, 3, 0, 1);
+  EXPECT_EQ(cp.inject(net::Packet::make(ok), 0).out.size(), 1u);
+}
+
+TEST(SevenNfChain, PlannerAndExecutorStillAgree) {
+  SevenNfFixture fx;
+  auto& cp = fx.deployment->control();
+
+  net::PacketSpec spec;
+  spec.ip_dst = net::Ipv4Addr(10, 3, 0, 1);
+  auto out = cp.inject(net::Packet::make(spec), 0);
+  ASSERT_EQ(out.out.size(), 1u) << out.drop_reason;
+  const auto& planned = fx.deployment->routing().traversals.at(2);
+  EXPECT_EQ(out.recirculations, planned.recirculations);
+  EXPECT_EQ(out.resubmissions, planned.resubmissions);
+}
+
+TEST(MultiArrival, ChainsFromTheSecondPipeline) {
+  // Traffic arriving on pipeline 1's ports (no loopback configured
+  // here) with its own classifier pinned to ingress 1.
+  p4ir::TupleIdTable ids;
+  std::vector<p4ir::Program> nfs;
+  nfs.push_back(nf::make_classifier(ids));
+  nfs.push_back(nf::make_router(ids));
+
+  sfc::PolicySet policies;
+  policies.add({.path_id = 1,
+                .name = "from-pipeline-1",
+                .nfs = {sfc::kClassifier, sfc::kRouter},
+                .weight = 1.0,
+                .in_port = 20,   // pipeline 1
+                .exit_port = 21,  // pipeline 1
+                .terminal_pops_sfc = true});
+
+  asic::SwitchConfig config(asic::TargetSpec::tofino32());
+  auto d = control::Deployment::build(std::move(nfs), policies,
+                                      std::move(config), std::move(ids));
+  auto loc = d->placement().find(sfc::kClassifier);
+  ASSERT_TRUE(loc.has_value());
+  EXPECT_EQ(loc->pipelet.pipeline, 1u);
+
+  auto& cp = d->control();
+  cp.add_traffic_class({.src = *net::Ipv4Prefix::parse("0.0.0.0/0"),
+                        .dst = *net::Ipv4Prefix::parse("0.0.0.0/0"),
+                        .protocol = std::nullopt,
+                        .priority = 0,
+                        .path_id = 1,
+                        .tenant = 1});
+  cp.add_route({.prefix = *net::Ipv4Prefix::parse("0.0.0.0/0"),
+                .port = 21,
+                .next_hop_mac = net::MacAddr::from_u64(0x42)});
+  auto out = cp.inject(net::Packet::make({}), 20);
+  ASSERT_EQ(out.out.size(), 1u) << out.drop_reason;
+  EXPECT_EQ(out.out.front().port, 21);
+}
+
+}  // namespace
+}  // namespace dejavu

@@ -1,0 +1,51 @@
+// The Fig. 8(b) latency model and its use on planned traversals.
+#include "sim/latency.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dejavu::sim {
+namespace {
+
+TEST(LatencyModel, PaperConstants) {
+  LatencyModel model(asic::TargetSpec::tofino32());
+  EXPECT_DOUBLE_EQ(model.base_ns(), 650.0);
+  EXPECT_DOUBLE_EQ(model.recirc_ns(RecircMode::kOnChip), 75.0);
+  EXPECT_DOUBLE_EQ(model.recirc_ns(RecircMode::kOffChip), 145.0);
+  // §4: on-chip recirculation is ~11.5% of the port-to-port latency.
+  EXPECT_NEAR(model.recirc_ns(RecircMode::kOnChip) / model.base_ns(),
+              0.115, 0.001);
+}
+
+TEST(LatencyModel, SeriesIsLinearInLoops) {
+  LatencyModel model(asic::TargetSpec::tofino32());
+  for (std::uint32_t k = 0; k <= 5; ++k) {
+    EXPECT_DOUBLE_EQ(model.recirc_total_ns(k, RecircMode::kOnChip),
+                     650.0 + 75.0 * k);
+    EXPECT_DOUBLE_EQ(model.recirc_total_ns(k, RecircMode::kOffChip),
+                     650.0 + 145.0 * k);
+  }
+}
+
+TEST(LatencyModel, TraversalAddsLoopsAndResubmissions) {
+  LatencyModel model(asic::TargetSpec::tofino32());
+  place::Traversal t;
+  t.feasible = true;
+  t.recirculations = 2;
+  t.resubmissions = 3;
+  EXPECT_DOUBLE_EQ(model.traversal_ns(t),
+                   650.0 + 2 * 75.0 + 3 * 25.0);
+  EXPECT_DOUBLE_EQ(model.traversal_ns(t, RecircMode::kOffChip),
+                   650.0 + 2 * 145.0 + 3 * 25.0);
+}
+
+TEST(LatencyModel, CustomTargetConstantsFlowThrough) {
+  asic::TargetSpec spec = asic::TargetSpec::tofino32();
+  spec.port_to_port_latency_ns = 1000;
+  spec.onchip_recirc_latency_ns = 100;
+  spec.offchip_recirc_latency_ns = 300;
+  LatencyModel model(spec);
+  EXPECT_DOUBLE_EQ(model.recirc_total_ns(2, RecircMode::kOffChip), 1600.0);
+}
+
+}  // namespace
+}  // namespace dejavu::sim

@@ -1,0 +1,234 @@
+#include "merge/compose.hpp"
+#include "merge/framework.hpp"
+#include "merge/parser_merge.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nf/nfs.hpp"
+#include "nf/parser_lib.hpp"
+
+namespace dejavu::merge {
+namespace {
+
+TEST(ParserMerge, UnionOfVerticesAndEdges) {
+  p4ir::TupleIdTable ids;
+  // FW parses eth/ipv4/tcp (plain + shifted); Router the same; the
+  // VGW adds vxlan vertices.
+  auto fw = nf::make_firewall(ids);
+  auto vgw = nf::make_vgw(ids);
+
+  auto merged = merge_parsers({&fw, &vgw}, ids);
+  std::string why;
+  EXPECT_TRUE(merged.validate(ids, &why)) << why;
+
+  // The merged parser covers both programs' vertex sets.
+  for (const p4ir::Program* p : {&fw, &vgw}) {
+    for (std::uint32_t v : p->parser().vertices()) {
+      EXPECT_TRUE(merged.has_vertex(v));
+    }
+  }
+  // And contains the vxlan vertex only the VGW brought.
+  EXPECT_TRUE(ids.find({"vxlan", nf::kL4Plain + 8}).has_value());
+}
+
+TEST(ParserMerge, SameHeaderDifferentOffsetsCoexist) {
+  p4ir::TupleIdTable ids;
+  auto fw = nf::make_firewall(ids);
+  auto merged = merge_parsers({&fw}, ids);
+  // ipv4 appears at both its plain and SFC-shifted offsets (§3).
+  auto plain = ids.find({"ipv4", nf::kIpv4Plain});
+  auto shifted = ids.find({"ipv4", nf::kIpv4Shifted});
+  ASSERT_TRUE(plain.has_value());
+  ASSERT_TRUE(shifted.has_value());
+  EXPECT_TRUE(merged.has_vertex(*plain));
+  EXPECT_TRUE(merged.has_vertex(*shifted));
+}
+
+TEST(ParserMerge, IdempotentForIdenticalParsers) {
+  p4ir::TupleIdTable ids;
+  auto a = nf::make_firewall(ids);
+  auto b = nf::make_load_balancer(ids);
+  auto once = merge_parsers({&a}, ids);
+  auto twice = merge_parsers({&a, &b, &a}, ids);
+  // FW and LB have identical parsers, so the merge equals either.
+  EXPECT_EQ(once.vertices().size(), twice.vertices().size());
+  EXPECT_EQ(once.edges().size(), twice.edges().size());
+}
+
+TEST(ParserMerge, ConflictingSelectorsReported) {
+  p4ir::TupleIdTable ids;
+  p4ir::Program a("a"), b("b");
+  for (p4ir::Program* p : {&a, &b}) {
+    p->add_header_type(p4ir::ethernet_type());
+    p->add_header_type(p4ir::ipv4_type());
+    p->add_header_type(p4ir::sfc_type());
+  }
+  auto eth_a = a.parser().add_vertex(ids, {"ethernet", 0});
+  auto ip_a = a.parser().add_vertex(ids, {"ipv4", 14});
+  a.parser().set_start(eth_a);
+  a.parser().add_edge({eth_a, ip_a, "ethernet.ether_type", 0x0800, false});
+
+  auto eth_b = b.parser().add_vertex(ids, {"ethernet", 0});
+  auto sfc_b = b.parser().add_vertex(ids, {"sfc", 14});
+  b.parser().set_start(eth_b);
+  // Same selector value 0x0800 to a different header: conflict.
+  b.parser().add_edge({eth_b, sfc_b, "ethernet.ether_type", 0x0800, false});
+
+  EXPECT_THROW(merge_parsers({&a, &b}, ids), std::invalid_argument);
+}
+
+TEST(HeaderMerge, ConflictingLayoutsReported) {
+  p4ir::Program a("a"), b("b");
+  a.add_header_type(p4ir::ipv4_type());
+  b.add_header_type(p4ir::HeaderType{"ipv4", {{"something", 8}}});
+  EXPECT_THROW(merge_header_types({&a, &b}), std::invalid_argument);
+}
+
+TEST(Compose, SequentialPipeletStructure) {
+  p4ir::TupleIdTable ids;
+  auto fw = nf::make_firewall(ids);
+  auto lb = nf::make_load_balancer(ids);
+
+  auto block = compose_pipelet(
+      "pipelet_ingress0",
+      {{"FW", &fw.controls().front()}, {"LB", &lb.controls().front()}},
+      CompositionKind::kSequential, /*is_ingress=*/true);
+
+  // Per non-entry NF: check_nextNF + its tables + check_sfcFlags;
+  // plus the trailing branching table on ingress.
+  EXPECT_NE(block.find_table("dejavu_check_nextNF_FW"), nullptr);
+  EXPECT_NE(block.find_table("dejavu_check_sfcFlags_FW"), nullptr);
+  EXPECT_NE(block.find_table("FW.acl"), nullptr);
+  EXPECT_NE(block.find_table("dejavu_check_nextNF_LB"), nullptr);
+  EXPECT_NE(block.find_table("LB.lb_session"), nullptr);
+  EXPECT_NE(block.find_table("LB.compute_hash"), nullptr);
+  EXPECT_NE(block.find_table(kBranchingTable), nullptr);
+
+  // Sequential: no branch ids.
+  for (const auto& e : block.apply_order()) {
+    EXPECT_TRUE(e.branch_id.empty());
+  }
+  // Branching is applied last.
+  EXPECT_EQ(block.apply_order().back().table, kBranchingTable);
+  std::string why;
+  EXPECT_TRUE(block.validate(&why)) << why;
+}
+
+TEST(Compose, ParallelPipeletUsesBranchIds) {
+  p4ir::TupleIdTable ids;
+  auto fw = nf::make_firewall(ids);
+  auto lb = nf::make_load_balancer(ids);
+
+  auto block = compose_pipelet(
+      "pipelet_egress0",
+      {{"FW", &fw.controls().front()}, {"LB", &lb.controls().front()}},
+      CompositionKind::kParallel, /*is_ingress=*/false);
+
+  bool saw_fw = false, saw_lb = false;
+  for (const auto& e : block.apply_order()) {
+    if (e.branch_id == "FW") saw_fw = true;
+    if (e.branch_id == "LB") saw_lb = true;
+  }
+  EXPECT_TRUE(saw_fw);
+  EXPECT_TRUE(saw_lb);
+  // No branching table on egress pipelets.
+  EXPECT_EQ(block.find_table(kBranchingTable), nullptr);
+}
+
+TEST(Compose, ParallelSharesStagesSequentialDoesNot) {
+  p4ir::TupleIdTable ids;
+  auto fw = nf::make_firewall(ids);
+  auto police = nf::make_police(ids);
+  std::vector<NfUnit> nfs = {{"FW", &fw.controls().front()},
+                             {"Police", &police.controls().front()}};
+
+  auto seq = compose_pipelet("s", nfs, CompositionKind::kSequential, false);
+  auto par = compose_pipelet("p", nfs, CompositionKind::kParallel, false);
+
+  auto seq_depth = p4ir::analyze_dependencies({&seq}, false)
+                       .critical_path_stages();
+  auto par_depth = p4ir::analyze_dependencies({&par}, false)
+                       .critical_path_stages();
+  // The §3.2 trade-off: parallel composition packs NFs side-by-side.
+  EXPECT_LT(par_depth, seq_depth);
+}
+
+TEST(Compose, EntryNfGatedOnEtherType) {
+  p4ir::TupleIdTable ids;
+  auto classifier = nf::make_classifier(ids);
+  auto block = compose_pipelet(
+      "pipelet_ingress0", {{"Classifier", &classifier.controls().front()}},
+      CompositionKind::kSequential, true);
+
+  // The classifier has no check_nextNF gate...
+  EXPECT_EQ(block.find_table("dejavu_check_nextNF_Classifier"), nullptr);
+  // ...its apply entry is guarded on "no SFC header yet".
+  bool found = false;
+  for (const auto& e : block.apply_order()) {
+    if (e.table == "Classifier.traffic_class") {
+      found = true;
+      ASSERT_TRUE(e.field_guard.has_value());
+      EXPECT_EQ(e.field_guard->field, "ethernet.ether_type");
+      EXPECT_TRUE(e.field_guard->negate);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Compose, ComposeProgramBuildsPerPipeletControls) {
+  p4ir::TupleIdTable ids;
+  auto programs = nf::fig2_nf_programs(ids);
+  std::vector<const p4ir::Program*> ptrs;
+  for (auto& p : programs) ptrs.push_back(&p);
+
+  std::vector<PipeletAssignment> assignment = {
+      {{0, asic::PipeKind::kIngress},
+       CompositionKind::kSequential,
+       {"Classifier", "FW"}},
+      {{1, asic::PipeKind::kEgress},
+       CompositionKind::kSequential,
+       {"VGW"}},
+      {{1, asic::PipeKind::kIngress},
+       CompositionKind::kSequential,
+       {"LB"}},
+      {{0, asic::PipeKind::kEgress},
+       CompositionKind::kSequential,
+       {"Router"}},
+  };
+  auto program = compose_program("sfc", ptrs, assignment, /*pipelines=*/2,
+                                 ids);
+
+  EXPECT_EQ(program.controls().size(), 4u);
+  EXPECT_NE(program.find_control("pipelet_ingress0"), nullptr);
+  EXPECT_NE(program.find_control("pipelet_egress1"), nullptr);
+  std::string why;
+  EXPECT_TRUE(program.validate(ids, &why)) << why;
+
+  // Ingress pipelets end with branching; egress pipelets have none.
+  EXPECT_NE(program.find_control("pipelet_ingress0")
+                ->find_table(kBranchingTable),
+            nullptr);
+  EXPECT_EQ(program.find_control("pipelet_egress0")
+                ->find_table(kBranchingTable),
+            nullptr);
+}
+
+TEST(Compose, UnknownNfInAssignmentThrows) {
+  p4ir::TupleIdTable ids;
+  auto fw = nf::make_firewall(ids);
+  std::vector<const p4ir::Program*> ptrs = {&fw};
+  std::vector<PipeletAssignment> assignment = {
+      {{0, asic::PipeKind::kIngress}, CompositionKind::kSequential, {"Ghost"}},
+  };
+  EXPECT_THROW(compose_program("x", ptrs, assignment, 2, ids),
+               std::invalid_argument);
+}
+
+TEST(Framework, NameHelpers) {
+  EXPECT_EQ(check_next_nf_table("LB"), "dejavu_check_nextNF_LB");
+  EXPECT_EQ(check_sfc_flags_table("FW"), "dejavu_check_sfcFlags_FW");
+  EXPECT_EQ(qualify("FW", "acl"), "FW.acl");
+}
+
+}  // namespace
+}  // namespace dejavu::merge

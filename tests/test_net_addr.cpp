@@ -1,0 +1,104 @@
+#include "net/addr.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dejavu::net {
+namespace {
+
+TEST(MacAddr, ParseAndFormat) {
+  auto mac = MacAddr::parse("02:00:aB:cd:0e:ff");
+  ASSERT_TRUE(mac.has_value());
+  EXPECT_EQ(mac->to_string(), "02:00:ab:cd:0e:ff");
+}
+
+TEST(MacAddr, ParseRejectsMalformed) {
+  EXPECT_FALSE(MacAddr::parse("02:00:ab:cd:0e").has_value());
+  EXPECT_FALSE(MacAddr::parse("02:00:ab:cd:0e:ff:11").has_value());
+  EXPECT_FALSE(MacAddr::parse("02:00:ab:cd:0e:gg").has_value());
+  EXPECT_FALSE(MacAddr::parse("0200abcd0eff").has_value());
+  EXPECT_FALSE(MacAddr::parse("").has_value());
+}
+
+TEST(MacAddr, U64RoundTrip) {
+  const std::uint64_t v = 0x020011223344;
+  EXPECT_EQ(MacAddr::from_u64(v).to_u64(), v);
+  EXPECT_EQ(MacAddr::from_u64(v).to_string(), "02:00:11:22:33:44");
+}
+
+TEST(Ipv4Addr, ParseAndFormat) {
+  auto a = Ipv4Addr::parse("10.1.255.0");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->to_string(), "10.1.255.0");
+  EXPECT_EQ(a->value(), 0x0a01ff00u);
+}
+
+TEST(Ipv4Addr, ParseRejectsMalformed) {
+  EXPECT_FALSE(Ipv4Addr::parse("10.1.2").has_value());
+  EXPECT_FALSE(Ipv4Addr::parse("10.1.2.3.4").has_value());
+  EXPECT_FALSE(Ipv4Addr::parse("10.1.2.256").has_value());
+  EXPECT_FALSE(Ipv4Addr::parse("10.1.2.x").has_value());
+  EXPECT_FALSE(Ipv4Addr::parse("").has_value());
+}
+
+TEST(Ipv4Addr, OctetConstructor) {
+  EXPECT_EQ(Ipv4Addr(192, 168, 0, 1).to_string(), "192.168.0.1");
+}
+
+TEST(Ipv4Prefix, NormalizesHostBits) {
+  Ipv4Prefix p(Ipv4Addr(10, 1, 2, 3), 16);
+  EXPECT_EQ(p.address().to_string(), "10.1.0.0");
+  EXPECT_EQ(p.to_string(), "10.1.0.0/16");
+}
+
+TEST(Ipv4Prefix, ContainsSemantics) {
+  auto p = Ipv4Prefix::parse("10.1.0.0/16");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_TRUE(p->contains(Ipv4Addr(10, 1, 200, 5)));
+  EXPECT_FALSE(p->contains(Ipv4Addr(10, 2, 0, 1)));
+}
+
+TEST(Ipv4Prefix, ZeroLengthMatchesEverything) {
+  auto p = Ipv4Prefix::parse("0.0.0.0/0");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->mask(), 0u);
+  EXPECT_TRUE(p->contains(Ipv4Addr(255, 255, 255, 255)));
+}
+
+TEST(Ipv4Prefix, FullLengthIsExact) {
+  auto p = Ipv4Prefix::parse("10.0.0.1/32");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_TRUE(p->contains(Ipv4Addr(10, 0, 0, 1)));
+  EXPECT_FALSE(p->contains(Ipv4Addr(10, 0, 0, 2)));
+}
+
+TEST(Ipv4Prefix, ParseRejectsMalformed) {
+  EXPECT_FALSE(Ipv4Prefix::parse("10.0.0.0").has_value());
+  EXPECT_FALSE(Ipv4Prefix::parse("10.0.0.0/33").has_value());
+  EXPECT_FALSE(Ipv4Prefix::parse("10.0.0/8").has_value());
+}
+
+/// Property sweep: mask() has exactly `len` leading ones.
+class PrefixMaskSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PrefixMaskSweep, MaskHasLenLeadingOnes) {
+  const int len = GetParam();
+  Ipv4Prefix p(Ipv4Addr(0xffffffffu), static_cast<std::uint8_t>(len));
+  const std::uint32_t mask = p.mask();
+  int ones = 0;
+  for (int bit = 31; bit >= 0; --bit) {
+    if ((mask >> bit) & 1) {
+      ++ones;
+    } else {
+      // No one-bits may follow the first zero.
+      EXPECT_EQ(mask & ((1u << bit) - 1) & mask, mask & ((1u << bit) - 1));
+      break;
+    }
+  }
+  EXPECT_EQ(ones, len);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLengths, PrefixMaskSweep,
+                         ::testing::Range(0, 33));
+
+}  // namespace
+}  // namespace dejavu::net

@@ -1,0 +1,102 @@
+#include "net/bytes.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dejavu::net {
+namespace {
+
+TEST(Bytes, BigEndianRoundTrip16) {
+  std::vector<std::byte> buf(4);
+  write_be16(buf, 1, 0xbeef);
+  EXPECT_EQ(read_be16(buf, 1), 0xbeef);
+  EXPECT_EQ(std::to_integer<int>(buf[0]), 0);  // untouched
+}
+
+TEST(Bytes, BigEndianRoundTrip32And64) {
+  std::vector<std::byte> buf(12);
+  write_be32(buf, 0, 0xdeadbeef);
+  write_be64(buf, 4, 0x0123456789abcdefULL);
+  EXPECT_EQ(read_be32(buf, 0), 0xdeadbeefu);
+  EXPECT_EQ(read_be64(buf, 4), 0x0123456789abcdefULL);
+}
+
+TEST(Bytes, BigEndian24Bit) {
+  std::vector<std::byte> buf(3);
+  write_be24(buf, 0, 0x123456);
+  EXPECT_EQ(read_be24(buf, 0), 0x123456u);
+  EXPECT_EQ(std::to_integer<int>(buf[0]), 0x12);
+  EXPECT_EQ(std::to_integer<int>(buf[2]), 0x56);
+}
+
+TEST(Bytes, ByteOrderIsNetworkOrder) {
+  std::vector<std::byte> buf(2);
+  write_be16(buf, 0, 0x0102);
+  EXPECT_EQ(std::to_integer<int>(buf[0]), 1);
+  EXPECT_EQ(std::to_integer<int>(buf[1]), 2);
+}
+
+TEST(Bytes, OutOfRangeReadThrows) {
+  std::vector<std::byte> buf(3);
+  EXPECT_THROW(read_be32(buf, 0), std::out_of_range);
+  EXPECT_THROW(read_be16(buf, 2), std::out_of_range);
+  EXPECT_THROW(read_u8(buf, 3), std::out_of_range);
+}
+
+TEST(Bytes, HexRoundTrip) {
+  auto bytes = from_hex("00ff10ab");
+  ASSERT_EQ(bytes.size(), 4u);
+  EXPECT_EQ(to_hex(bytes), "00ff10ab");
+}
+
+TEST(Bytes, HexRejectsOddLengthAndBadDigits) {
+  EXPECT_THROW(from_hex("abc"), std::invalid_argument);
+  EXPECT_THROW(from_hex("zz"), std::invalid_argument);
+}
+
+TEST(Bytes, HexAcceptsUppercase) {
+  auto bytes = from_hex("DEADBEEF");
+  EXPECT_EQ(to_hex(bytes), "deadbeef");
+}
+
+TEST(Buffer, SliceBoundsChecked) {
+  Buffer buf(10);
+  EXPECT_EQ(buf.slice(2, 8).size(), 8u);
+  EXPECT_THROW(buf.slice(2, 9), std::out_of_range);
+  EXPECT_THROW(buf.slice(11, 0), std::out_of_range);
+}
+
+TEST(Buffer, InsertZerosShiftsTail) {
+  Buffer buf(from_hex("aabbccdd"));
+  buf.insert_zeros(2, 3);
+  EXPECT_EQ(to_hex(buf.view()), "aabb000000ccdd");
+}
+
+TEST(Buffer, EraseShiftsTailLeft) {
+  Buffer buf(from_hex("aabb000000ccdd"));
+  buf.erase(2, 3);
+  EXPECT_EQ(to_hex(buf.view()), "aabbccdd");
+}
+
+TEST(Buffer, InsertThenEraseIsIdentity) {
+  const Buffer original(from_hex("0102030405060708"));
+  Buffer buf = original;
+  buf.insert_zeros(3, 20);
+  buf.erase(3, 20);
+  EXPECT_EQ(buf, original);
+}
+
+TEST(Buffer, AppendGrows) {
+  Buffer buf(from_hex("01"));
+  auto more = from_hex("0203");
+  buf.append(more);
+  EXPECT_EQ(to_hex(buf.view()), "010203");
+}
+
+TEST(Buffer, EraseOutOfRangeThrows) {
+  Buffer buf(4);
+  EXPECT_THROW(buf.erase(2, 3), std::out_of_range);
+  EXPECT_THROW(buf.insert_zeros(5, 1), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace dejavu::net

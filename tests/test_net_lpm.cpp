@@ -1,0 +1,113 @@
+#include "net/lpm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <random>
+
+namespace dejavu::net {
+namespace {
+
+TEST(LpmTrie, LongestPrefixWins) {
+  LpmTrie<int> trie;
+  trie.insert(*Ipv4Prefix::parse("10.0.0.0/8"), 8);
+  trie.insert(*Ipv4Prefix::parse("10.1.0.0/16"), 16);
+  trie.insert(*Ipv4Prefix::parse("10.1.2.0/24"), 24);
+
+  EXPECT_EQ(*trie.lookup(Ipv4Addr(10, 1, 2, 3)), 24);
+  EXPECT_EQ(*trie.lookup(Ipv4Addr(10, 1, 9, 9)), 16);
+  EXPECT_EQ(*trie.lookup(Ipv4Addr(10, 200, 0, 1)), 8);
+  EXPECT_EQ(trie.lookup(Ipv4Addr(11, 0, 0, 1)), nullptr);
+}
+
+TEST(LpmTrie, DefaultRouteCatchesAll) {
+  LpmTrie<int> trie;
+  trie.insert(*Ipv4Prefix::parse("0.0.0.0/0"), 0);
+  EXPECT_EQ(*trie.lookup(Ipv4Addr(203, 0, 113, 7)), 0);
+}
+
+TEST(LpmTrie, InsertReplacesValue) {
+  LpmTrie<int> trie;
+  EXPECT_TRUE(trie.insert(*Ipv4Prefix::parse("10.0.0.0/8"), 1));
+  EXPECT_FALSE(trie.insert(*Ipv4Prefix::parse("10.0.0.0/8"), 2));
+  EXPECT_EQ(*trie.lookup(Ipv4Addr(10, 0, 0, 1)), 2);
+  EXPECT_EQ(trie.size(), 1u);
+}
+
+TEST(LpmTrie, EraseExposesShorterPrefix) {
+  LpmTrie<int> trie;
+  trie.insert(*Ipv4Prefix::parse("10.0.0.0/8"), 8);
+  trie.insert(*Ipv4Prefix::parse("10.1.0.0/16"), 16);
+  EXPECT_TRUE(trie.erase(*Ipv4Prefix::parse("10.1.0.0/16")));
+  EXPECT_EQ(*trie.lookup(Ipv4Addr(10, 1, 0, 1)), 8);
+  EXPECT_FALSE(trie.erase(*Ipv4Prefix::parse("10.1.0.0/16")));
+}
+
+TEST(LpmTrie, Host32Routes) {
+  LpmTrie<int> trie;
+  trie.insert(*Ipv4Prefix::parse("10.0.0.1/32"), 1);
+  trie.insert(*Ipv4Prefix::parse("10.0.0.2/32"), 2);
+  EXPECT_EQ(*trie.lookup(Ipv4Addr(10, 0, 0, 1)), 1);
+  EXPECT_EQ(*trie.lookup(Ipv4Addr(10, 0, 0, 2)), 2);
+  EXPECT_EQ(trie.lookup(Ipv4Addr(10, 0, 0, 3)), nullptr);
+}
+
+TEST(LpmTrie, EntriesEnumeratesAll) {
+  LpmTrie<int> trie;
+  trie.insert(*Ipv4Prefix::parse("0.0.0.0/0"), 0);
+  trie.insert(*Ipv4Prefix::parse("10.0.0.0/8"), 8);
+  trie.insert(*Ipv4Prefix::parse("10.1.2.0/24"), 24);
+  auto entries = trie.entries();
+  ASSERT_EQ(entries.size(), 3u);
+  std::map<std::string, int> by_prefix;
+  for (const auto& [prefix, v] : entries) by_prefix[prefix.to_string()] = v;
+  EXPECT_EQ(by_prefix.at("0.0.0.0/0"), 0);
+  EXPECT_EQ(by_prefix.at("10.0.0.0/8"), 8);
+  EXPECT_EQ(by_prefix.at("10.1.2.0/24"), 24);
+}
+
+/// Property test: trie lookups agree with a brute-force
+/// longest-matching-prefix scan over random rule sets.
+class LpmRandomSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(LpmRandomSweep, MatchesBruteForce) {
+  std::mt19937 rng(GetParam());
+  std::uniform_int_distribution<std::uint32_t> addr_dist;
+  std::uniform_int_distribution<int> len_dist(0, 32);
+
+  LpmTrie<int> trie;
+  std::vector<std::pair<Ipv4Prefix, int>> rules;
+  for (int i = 0; i < 60; ++i) {
+    Ipv4Prefix prefix(Ipv4Addr(addr_dist(rng)),
+                      static_cast<std::uint8_t>(len_dist(rng)));
+    // The trie replaces on duplicate prefixes; mirror that.
+    std::erase_if(rules, [&](const auto& r) { return r.first == prefix; });
+    rules.emplace_back(prefix, i);
+    trie.insert(prefix, i);
+  }
+
+  for (int probe = 0; probe < 300; ++probe) {
+    Ipv4Addr addr(addr_dist(rng));
+    const int* got = trie.lookup(addr);
+
+    const std::pair<Ipv4Prefix, int>* best = nullptr;
+    for (const auto& rule : rules) {
+      if (!rule.first.contains(addr)) continue;
+      if (best == nullptr || rule.first.length() > best->first.length()) {
+        best = &rule;
+      }
+    }
+    if (best == nullptr) {
+      EXPECT_EQ(got, nullptr) << addr.to_string();
+    } else {
+      ASSERT_NE(got, nullptr) << addr.to_string();
+      EXPECT_EQ(*got, best->second) << addr.to_string();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LpmRandomSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 17, 99, 12345));
+
+}  // namespace
+}  // namespace dejavu::net

@@ -1,0 +1,111 @@
+#include "net/packet.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/checksum.hpp"
+
+namespace dejavu::net {
+namespace {
+
+TEST(Packet, MakeTcpHasCoherentHeaders) {
+  PacketSpec spec;
+  spec.ip_src = Ipv4Addr(10, 0, 0, 1);
+  spec.ip_dst = Ipv4Addr(10, 0, 0, 2);
+  spec.src_port = 1234;
+  spec.dst_port = 80;
+  spec.payload_size = 10;
+  Packet p = Packet::make(spec);
+
+  auto eth = p.ethernet();
+  ASSERT_TRUE(eth.has_value());
+  EXPECT_EQ(eth->ether_type, kEtherTypeIpv4);
+
+  auto ip = p.ipv4();
+  ASSERT_TRUE(ip.has_value());
+  EXPECT_EQ(ip->protocol, kIpProtoTcp);
+  EXPECT_EQ(ip->total_length, 20u + 20u + 10u);
+  EXPECT_EQ(p.size(), 14u + 50u);
+
+  auto tcp = p.tcp();
+  ASSERT_TRUE(tcp.has_value());
+  EXPECT_EQ(tcp->src_port, 1234);
+  EXPECT_EQ(tcp->dst_port, 80);
+}
+
+TEST(Packet, MakeUdp) {
+  PacketSpec spec;
+  spec.protocol = kIpProtoUdp;
+  spec.payload_size = 6;
+  Packet p = Packet::make(spec);
+  auto udp = p.udp();
+  ASSERT_TRUE(udp.has_value());
+  EXPECT_EQ(udp->length, 8u + 6u);
+  EXPECT_FALSE(p.tcp().has_value());
+}
+
+TEST(Packet, MakeIpChecksumIsValid) {
+  Packet p = Packet::make({});
+  auto ip = p.ipv4();
+  ASSERT_TRUE(ip.has_value());
+  EXPECT_EQ(ip->checksum, ip->compute_checksum());
+}
+
+TEST(Packet, FiveTupleExtraction) {
+  PacketSpec spec;
+  spec.ip_src = Ipv4Addr(1, 1, 1, 1);
+  spec.ip_dst = Ipv4Addr(2, 2, 2, 2);
+  spec.src_port = 1111;
+  spec.dst_port = 2222;
+  Packet p = Packet::make(spec);
+
+  auto t = p.five_tuple();
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->src, spec.ip_src);
+  EXPECT_EQ(t->dst, spec.ip_dst);
+  EXPECT_EQ(t->protocol, kIpProtoTcp);
+  EXPECT_EQ(t->src_port, 1111);
+  EXPECT_EQ(t->dst_port, 2222);
+}
+
+TEST(Packet, SetIpv4RewritesInPlace) {
+  Packet p = Packet::make({});
+  auto ip = *p.ipv4();
+  ip.dst = Ipv4Addr(99, 99, 99, 99);
+  p.set_ipv4(ip);
+  EXPECT_EQ(p.ipv4()->dst, Ipv4Addr(99, 99, 99, 99));
+}
+
+TEST(Packet, SetTcpOnUdpPacketThrows) {
+  PacketSpec spec;
+  spec.protocol = kIpProtoUdp;
+  Packet p = Packet::make(spec);
+  EXPECT_THROW(p.set_tcp(TcpHeader{}), std::logic_error);
+}
+
+TEST(Packet, TruncatedFrameYieldsNullopts) {
+  Packet p(Buffer(8));
+  EXPECT_FALSE(p.ethernet().has_value());
+  EXPECT_FALSE(p.ipv4().has_value());
+  EXPECT_FALSE(p.five_tuple().has_value());
+}
+
+TEST(FiveTuple, SessionHashMatchesManualCrc) {
+  FiveTuple t{Ipv4Addr(10, 0, 0, 1), Ipv4Addr(10, 0, 0, 2), 6, 1234, 80};
+  Crc32 crc;
+  crc.add_u32(t.src.value());
+  crc.add_u32(t.dst.value());
+  crc.add_u8(t.protocol);
+  crc.add_u16(t.src_port);
+  crc.add_u16(t.dst_port);
+  EXPECT_EQ(t.session_hash(), crc.finish());
+}
+
+TEST(FiveTuple, HashDistinguishesFlows) {
+  FiveTuple a{Ipv4Addr(10, 0, 0, 1), Ipv4Addr(10, 0, 0, 2), 6, 1234, 80};
+  FiveTuple b = a;
+  b.src_port = 1235;
+  EXPECT_NE(a.session_hash(), b.session_hash());
+}
+
+}  // namespace
+}  // namespace dejavu::net

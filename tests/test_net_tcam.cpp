@@ -1,0 +1,106 @@
+#include "net/tcam.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace dejavu::net {
+namespace {
+
+TEST(Tcam, HigherPriorityWins) {
+  Tcam<int> tcam(1);
+  tcam.insert({TernaryField{0x10, 0xf0}}, 1, 100);
+  tcam.insert({TernaryField{0x12, 0xff}, }, 10, 200);
+  EXPECT_EQ(*tcam.lookup({0x12}), 200);  // both match; higher priority
+  EXPECT_EQ(*tcam.lookup({0x13}), 100);  // only the wide rule
+  EXPECT_EQ(tcam.lookup({0x22}), nullptr);
+}
+
+TEST(Tcam, InsertionOrderBreaksPriorityTies) {
+  Tcam<int> tcam(1);
+  tcam.insert({TernaryField{0x1, 0xf}}, 5, 1);
+  tcam.insert({TernaryField{0x1, 0xf}}, 5, 2);
+  EXPECT_EQ(*tcam.lookup({0x1}), 1);  // earlier install wins
+}
+
+TEST(Tcam, WildcardFieldMatchesAnything) {
+  Tcam<int> tcam(2);
+  tcam.insert({TernaryField{0, 0}, TernaryField{7, 0xff}}, 0, 42);
+  EXPECT_EQ(*tcam.lookup({123456, 7}), 42);
+  EXPECT_EQ(tcam.lookup({123456, 8}), nullptr);
+}
+
+TEST(Tcam, EraseByHandle) {
+  Tcam<int> tcam(1);
+  auto h = tcam.insert({TernaryField{1, 0xff}}, 0, 1);
+  EXPECT_EQ(tcam.size(), 1u);
+  EXPECT_TRUE(tcam.erase(h));
+  EXPECT_FALSE(tcam.erase(h));
+  EXPECT_EQ(tcam.lookup({1}), nullptr);
+  EXPECT_EQ(tcam.size(), 0u);
+}
+
+TEST(Tcam, ArityMismatchThrows) {
+  Tcam<int> tcam(2);
+  EXPECT_THROW(tcam.insert({TernaryField{1, 1}}, 0, 1),
+               std::invalid_argument);
+}
+
+TEST(TernaryField, MatchSemantics) {
+  TernaryField f{0b1010, 0b1110};
+  EXPECT_TRUE(f.matches(0b1010));
+  EXPECT_TRUE(f.matches(0b1011));  // last bit is a wildcard
+  EXPECT_FALSE(f.matches(0b1110));
+}
+
+/// Property sweep: TCAM lookups agree with a brute-force scan of the
+/// rule list ordered by (priority desc, install order asc).
+class TcamRandomSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(TcamRandomSweep, MatchesBruteForce) {
+  std::mt19937 rng(GetParam());
+  std::uniform_int_distribution<std::uint64_t> val(0, 0xff);
+  std::uniform_int_distribution<int> prio(0, 5);
+
+  struct Rule {
+    std::vector<TernaryField> key;
+    int priority;
+    int value;
+    std::size_t order;
+  };
+  Tcam<int> tcam(2);
+  std::vector<Rule> rules;
+  for (int i = 0; i < 50; ++i) {
+    std::vector<TernaryField> key = {TernaryField{val(rng), val(rng)},
+                                     TernaryField{val(rng), val(rng)}};
+    int p = prio(rng);
+    tcam.insert(key, p, i);
+    rules.push_back(Rule{key, p, i, rules.size()});
+  }
+
+  for (int probe = 0; probe < 200; ++probe) {
+    std::vector<std::uint64_t> k = {val(rng), val(rng)};
+    const int* got = tcam.lookup(k);
+
+    const Rule* best = nullptr;
+    for (const Rule& r : rules) {
+      if (!r.key[0].matches(k[0]) || !r.key[1].matches(k[1])) continue;
+      if (best == nullptr || r.priority > best->priority ||
+          (r.priority == best->priority && r.order < best->order)) {
+        best = &r;
+      }
+    }
+    if (best == nullptr) {
+      EXPECT_EQ(got, nullptr);
+    } else {
+      ASSERT_NE(got, nullptr);
+      EXPECT_EQ(*got, best->value);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TcamRandomSweep,
+                         ::testing::Values(7, 21, 42, 1000, 31337));
+
+}  // namespace
+}  // namespace dejavu::net

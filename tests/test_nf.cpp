@@ -1,0 +1,156 @@
+// Structural checks on the NF programs: each follows the §3.1
+// interface (one control block over the generic hdr view), carries a
+// valid parser, and encodes the behavior Fig. 4 / §3 describe.
+#include "nf/nfs.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nf/parser_lib.hpp"
+
+namespace dejavu::nf {
+namespace {
+
+class NfPrograms : public ::testing::Test {
+ protected:
+  p4ir::TupleIdTable ids;
+};
+
+TEST_F(NfPrograms, AllFiveValidateAndHaveOneControl) {
+  auto programs = fig2_nf_programs(ids);
+  ASSERT_EQ(programs.size(), 5u);
+  for (const auto& p : programs) {
+    std::string why;
+    EXPECT_TRUE(p.validate(ids, &why)) << p.name() << ": " << why;
+    EXPECT_EQ(p.controls().size(), 1u) << p.name();
+    EXPECT_TRUE(p.annotation("nf").has_value()) << p.name();
+  }
+}
+
+TEST_F(NfPrograms, LoadBalancerMatchesFig4) {
+  auto lb = make_load_balancer(ids);
+  const auto& control = lb.controls().front();
+
+  // Fig. 4: table lb_session keyed on the session hash, actions
+  // modify_dstIp / toCpu, const default toCpu.
+  const p4ir::Table* session = control.find_table("lb_session");
+  ASSERT_NE(session, nullptr);
+  ASSERT_EQ(session->keys.size(), 1u);
+  EXPECT_EQ(session->keys[0].field, "local.sessionHash");
+  EXPECT_EQ(session->keys[0].kind, p4ir::MatchKind::kExact);
+  EXPECT_EQ(session->default_action, "toCpu");
+  EXPECT_EQ(session->actions,
+            (std::vector<std::string>{"modify_dstIp", "toCpu"}));
+
+  // The hash covers the Fig. 4 five-tuple in order.
+  const p4ir::Action* hash = control.find_action("computeFiveTupleHash");
+  ASSERT_NE(hash, nullptr);
+  ASSERT_EQ(hash->primitives.size(), 1u);
+  EXPECT_EQ(hash->primitives[0].op, p4ir::PrimitiveOp::kHash);
+  EXPECT_EQ(hash->primitives[0].srcs,
+            (std::vector<std::string>{"ipv4.src_addr", "ipv4.dst_addr",
+                                      "ipv4.protocol", "tcp.src_port",
+                                      "tcp.dst_port"}));
+
+  // apply{ computeFiveTupleHash(); lb_session.apply(); }
+  ASSERT_EQ(control.apply_order().size(), 2u);
+  EXPECT_EQ(control.apply_order()[0].table, "compute_hash");
+  EXPECT_EQ(control.apply_order()[1].table, "lb_session");
+}
+
+TEST_F(NfPrograms, ClassifierPushesSfcAndSetsPath) {
+  auto c = make_classifier(ids);
+  const auto& control = c.controls().front();
+  const p4ir::Action* classify = control.find_action("classify");
+  ASSERT_NE(classify, nullptr);
+  ASSERT_FALSE(classify->primitives.empty());
+  EXPECT_EQ(classify->primitives[0].op, p4ir::PrimitiveOp::kPushSfc);
+  auto writes = classify->writes();
+  EXPECT_TRUE(writes.contains("sfc.service_path_id"));
+  EXPECT_TRUE(writes.contains("sfc.service_index"));
+  EXPECT_TRUE(writes.contains("sfc.in_port"));
+}
+
+TEST_F(NfPrograms, RouterPopsAndDecrementsTtl) {
+  auto r = make_router(ids);
+  const auto& control = r.controls().front();
+  const p4ir::Action* route = control.find_action("route");
+  ASSERT_NE(route, nullptr);
+  bool has_pop = false, has_ttl = false;
+  for (const auto& p : route->primitives) {
+    has_pop |= p.op == p4ir::PrimitiveOp::kPopSfc;
+    has_ttl |= p.op == p4ir::PrimitiveOp::kAdd && p.dst == "ipv4.ttl";
+  }
+  EXPECT_TRUE(has_pop);
+  EXPECT_TRUE(has_ttl);
+  const p4ir::Table* lpm = control.find_table("ipv4_lpm");
+  ASSERT_NE(lpm, nullptr);
+  EXPECT_EQ(lpm->keys[0].kind, p4ir::MatchKind::kLpm);
+}
+
+TEST_F(NfPrograms, FirewallIsDefaultDeny) {
+  auto fw = make_firewall(ids);
+  const p4ir::Table* acl = fw.controls().front().find_table("acl");
+  ASSERT_NE(acl, nullptr);
+  EXPECT_EQ(acl->default_action, "deny");
+  EXPECT_TRUE(acl->needs_tcam());
+}
+
+TEST_F(NfPrograms, VgwWritesTenantContext) {
+  auto vgw = make_vgw(ids);
+  const p4ir::Action* translate =
+      vgw.controls().front().find_action("translate");
+  ASSERT_NE(translate, nullptr);
+  bool sets_context = false;
+  for (const auto& p : translate->primitives) {
+    if (p.op == p4ir::PrimitiveOp::kSetContext) {
+      sets_context = true;
+      EXPECT_EQ(p.imm, kCtxTenantId);
+    }
+  }
+  EXPECT_TRUE(sets_context);
+}
+
+TEST_F(NfPrograms, SharedTupleTableKeepsIdsConsistent) {
+  // All NFs intern through the same global-ID table (§3): the same
+  // (header, offset) tuple resolves to the same ID everywhere.
+  auto programs = fig2_nf_programs(ids);
+  auto eth = ids.find({"ethernet", 0});
+  ASSERT_TRUE(eth.has_value());
+  for (const auto& p : programs) {
+    EXPECT_EQ(p.parser().start(), *eth) << p.name();
+  }
+  // The table stays small ("the size of this table should be small").
+  EXPECT_LE(ids.size(), 16u);
+}
+
+TEST_F(NfPrograms, ExtensionNfsValidate) {
+  for (auto program : {make_nat(ids), make_police(ids)}) {
+    std::string why;
+    EXPECT_TRUE(program.validate(ids, &why)) << program.name() << ": " << why;
+    EXPECT_EQ(program.controls().size(), 1u);
+  }
+}
+
+TEST_F(NfPrograms, OnlyInterfaceFieldsAreTouched) {
+  // §3.1: NFs read and write only through the hdr argument — header
+  // fields, SFC fields, standard metadata, and local temporaries.
+  auto programs = fig2_nf_programs(ids);
+  programs.push_back(make_nat(ids));
+  programs.push_back(make_police(ids));
+  for (const auto& program : programs) {
+    const auto& control = program.controls().front();
+    for (const auto& action : control.actions()) {
+      for (const auto& dotted : action.writes()) {
+        auto ref = p4ir::FieldRef::parse(dotted);
+        ASSERT_TRUE(ref.has_value()) << dotted;
+        const bool known = program.find_header_type(ref->header) != nullptr ||
+                           ref->header == "local" ||
+                           ref->header == "standard_metadata";
+        EXPECT_TRUE(known) << program.name() << " writes " << dotted;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dejavu::nf

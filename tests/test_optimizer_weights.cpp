@@ -1,0 +1,114 @@
+// Weight sensitivity of the §3.3 objective: "each SFC policy may carry
+// a weight reflecting the percentage of traffic following that
+// chaining policy ... minimize the weighted sum of the number of
+// recirculations for all service chains." When two chains contend for
+// the cheap pipelets, flipping the weights must flip who gets them.
+#include <gtest/gtest.h>
+
+#include "place/optimizer.hpp"
+
+namespace dejavu::place {
+namespace {
+
+/// Two chains sharing the entry NF but diverging after it. The stage
+/// model only allows two NFs per pipelet, so one chain's tail gets the
+/// free ingress->egress hop and the other pays a recirculation.
+sfc::PolicySet contending_policies(double w_first, double w_second) {
+  sfc::PolicySet set;
+  set.add({.path_id = 1,
+           .name = "first",
+           .nfs = {"C", "X1", "X2"},
+           .weight = w_first,
+           .in_port = 0,
+           .exit_port = 1});
+  set.add({.path_id = 2,
+           .name = "second",
+           .nfs = {"C", "Y1", "Y2"},
+           .weight = w_second,
+           .in_port = 0,
+           .exit_port = 1});
+  return set;
+}
+
+StageModel tight_model() {
+  StageModel model;
+  model.default_nf_stages = 3;  // + 2 glue: two NFs max per pipelet
+  return model;
+}
+
+double chain_recircs(const sfc::PolicySet& policies, std::uint16_t path_id,
+                     const Placement& placement,
+                     const asic::TargetSpec& spec) {
+  TraversalEnv env{.pipelines = spec.pipelines, .can_recirculate = {}};
+  auto t = plan_traversal(*policies.find(path_id), placement, spec, env);
+  EXPECT_TRUE(t.feasible) << t.infeasible_reason;
+  return t.recirculations;
+}
+
+TEST(WeightedPlacement, HeavyChainGetsTheCheaperLayout) {
+  auto spec = asic::TargetSpec::tofino32();
+  TraversalEnv env{.pipelines = spec.pipelines, .can_recirculate = {}};
+
+  auto heavy_first = contending_policies(0.9, 0.1);
+  auto r1 = exhaustive_optimize(heavy_first, spec, env, tight_model());
+  ASSERT_TRUE(r1.feasible);
+
+  auto heavy_second = contending_policies(0.1, 0.9);
+  auto r2 = exhaustive_optimize(heavy_second, spec, env, tight_model());
+  ASSERT_TRUE(r2.feasible);
+
+  // Whoever is heavy must do at least as well as the light chain in
+  // the same solution.
+  EXPECT_LE(chain_recircs(heavy_first, 1, r1.placement, spec),
+            chain_recircs(heavy_first, 2, r1.placement, spec));
+  EXPECT_LE(chain_recircs(heavy_second, 2, r2.placement, spec),
+            chain_recircs(heavy_second, 1, r2.placement, spec));
+}
+
+TEST(WeightedPlacement, ObjectiveIsTheWeightedSum) {
+  auto spec = asic::TargetSpec::tofino32();
+  TraversalEnv env{.pipelines = spec.pipelines, .can_recirculate = {}};
+  env.resubmission_weight = 0;  // the paper's literal objective
+
+  auto policies = contending_policies(0.75, 0.25);
+  auto result = exhaustive_optimize(policies, spec, env, tight_model());
+  ASSERT_TRUE(result.feasible);
+
+  double expected = 0;
+  for (const auto& policy : policies.policies()) {
+    auto t = plan_traversal(policy, result.placement, spec, env);
+    expected += policy.weight * t.recirculations;
+  }
+  EXPECT_NEAR(result.cost, expected, 1e-9);
+}
+
+TEST(WeightedPlacement, ZeroWeightChainsDoNotDistort) {
+  auto spec = asic::TargetSpec::tofino32();
+  TraversalEnv env{.pipelines = spec.pipelines, .can_recirculate = {}};
+  env.resubmission_weight = 0;
+
+  auto lopsided = contending_policies(1.0, 0.0);
+  auto result = exhaustive_optimize(lopsided, spec, env, tight_model());
+  ASSERT_TRUE(result.feasible);
+  // All cost concentrated on chain 1: the optimum serves it free.
+  EXPECT_NEAR(chain_recircs(lopsided, 1, result.placement, spec), 0, 1e-9);
+  EXPECT_NEAR(result.cost, 0, 1e-9);
+}
+
+TEST(WeightedPlacement, AnnealTracksWeightFlip) {
+  auto spec = asic::TargetSpec::tofino32();
+  TraversalEnv env{.pipelines = spec.pipelines, .can_recirculate = {}};
+  AnnealParams params;
+  params.iterations = 20000;
+  params.seed = 3;
+
+  auto heavy_first = contending_policies(0.9, 0.1);
+  auto exact = exhaustive_optimize(heavy_first, spec, env, tight_model());
+  auto annealed =
+      anneal_optimize(heavy_first, spec, env, tight_model(), params);
+  ASSERT_TRUE(annealed.feasible);
+  EXPECT_LE(annealed.cost, exact.cost + 0.5);
+}
+
+}  // namespace
+}  // namespace dejavu::place

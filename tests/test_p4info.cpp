@@ -1,0 +1,65 @@
+#include "control/p4info.hpp"
+
+#include <gtest/gtest.h>
+
+#include "control/deployment.hpp"
+#include "nf/nfs.hpp"
+
+namespace dejavu::control {
+namespace {
+
+TEST(P4Info, DescribesTablesActionsRegisters) {
+  p4ir::TupleIdTable ids;
+  auto limiter = nf::make_rate_limiter(ids);
+  std::string json = p4info_json(limiter);
+
+  EXPECT_NE(json.find("\"name\": \"meter_tbl\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"flow_count\", \"width\": 32, "
+                      "\"size\": 8192"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"over_limit\""), std::string::npos);
+}
+
+TEST(P4Info, KeysCarryMatchKindsAndWidths) {
+  p4ir::TupleIdTable ids;
+  auto router = nf::make_router(ids);
+  std::string json = p4info_json(router);
+  EXPECT_NE(json.find("{\"field\": \"ipv4.dst_addr\", \"match\": \"lpm\", "
+                      "\"bits\": 32}"),
+            std::string::npos);
+}
+
+TEST(P4Info, ComposedProgramListsEveryPipelet) {
+  auto fx = make_fig9_deployment();
+  std::string json = p4info_json(fx.deployment->program());
+  for (const char* control :
+       {"pipelet_ingress0", "pipelet_ingress1", "pipelet_egress0",
+        "pipelet_egress1"}) {
+    EXPECT_NE(json.find(std::string("\"name\": \"") + control + "\""),
+              std::string::npos)
+        << control;
+  }
+  // Qualified NF tables and framework glue are both addressable.
+  EXPECT_NE(json.find("\"name\": \"LB.lb_session\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"dejavu_branching\""), std::string::npos);
+}
+
+TEST(P4Info, StableAcrossIdenticalBuilds) {
+  auto a = make_fig9_deployment();
+  auto b = make_fig9_deployment();
+  EXPECT_EQ(p4info_json(a.deployment->program()),
+            p4info_json(b.deployment->program()));
+}
+
+TEST(P4Info, ActionParametersDescribed) {
+  p4ir::TupleIdTable ids;
+  auto router = nf::make_router(ids);
+  std::string json = p4info_json(router);
+  EXPECT_NE(json.find("{\"name\": \"port\", \"bits\": 9}"),
+            std::string::npos);
+  EXPECT_NE(json.find("{\"name\": \"dmac\", \"bits\": 48}"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace dejavu::control

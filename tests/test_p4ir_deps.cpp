@@ -1,0 +1,189 @@
+// Dependency analysis tests against the NSDI '15 classification the
+// paper leans on for composition and stage placement.
+#include "p4ir/deps.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dejavu::p4ir {
+namespace {
+
+/// A control block with one table writing `writes` and matching
+/// `matches`.
+ControlBlock one_table_block(const std::string& name,
+                             std::vector<std::string> matches,
+                             std::vector<std::string> writes,
+                             std::vector<std::string> action_reads = {}) {
+  ControlBlock block(name);
+  Action act;
+  act.name = name + "_act";
+  for (auto& w : writes) act.primitives.push_back(set_imm(w, 1));
+  for (auto& r : action_reads) {
+    act.primitives.push_back(copy_field("scratch.sink", r));
+  }
+  block.add_action(act);
+  Table t;
+  t.name = name + "_tbl";
+  for (auto& m : matches) {
+    t.keys.push_back(TableKey{m, MatchKind::kExact, 8});
+  }
+  t.actions = {act.name};
+  t.default_action = act.name;
+  block.add_table(t);
+  block.apply_table(t.name);
+  return block;
+}
+
+DepKind dep_between(const DependencyGraph& g, std::size_t from,
+                    std::size_t to) {
+  for (const Dependency& d : g.deps) {
+    if (d.from == from && d.to == to) return d.kind;
+  }
+  return DepKind::kNone;
+}
+
+TEST(Deps, MatchDependency) {
+  auto a = one_table_block("a", {"ipv4.src_addr"}, {"ipv4.dst_addr"});
+  auto b = one_table_block("b", {"ipv4.dst_addr"}, {"ipv4.ttl"});
+  auto g = analyze_dependencies({&a, &b}, /*sequential_barriers=*/false);
+  EXPECT_EQ(dep_between(g, 0, 1), DepKind::kMatch);
+  // Match deps force strictly later stages.
+  EXPECT_EQ(g.min_stages(), (std::vector<std::uint32_t>{0, 1}));
+  EXPECT_EQ(g.critical_path_stages(), 2u);
+}
+
+TEST(Deps, ActionWriteReadDependency) {
+  auto a = one_table_block("a", {}, {"ipv4.ttl"});
+  auto b = one_table_block("b", {"ipv4.src_addr"}, {}, {"ipv4.ttl"});
+  auto g = analyze_dependencies({&a, &b}, false);
+  EXPECT_EQ(dep_between(g, 0, 1), DepKind::kAction);
+}
+
+TEST(Deps, ActionWriteWriteDependency) {
+  auto a = one_table_block("a", {}, {"ipv4.ttl"});
+  auto b = one_table_block("b", {}, {"ipv4.ttl"});
+  auto g = analyze_dependencies({&a, &b}, false);
+  EXPECT_EQ(dep_between(g, 0, 1), DepKind::kAction);
+}
+
+TEST(Deps, MatchBeatsActionWhenBothApply) {
+  // a writes a field that b both matches on and writes: classify as
+  // the stronger (match) dependency.
+  auto a = one_table_block("a", {}, {"ipv4.ttl"});
+  auto b = one_table_block("b", {"ipv4.ttl"}, {"ipv4.ttl"});
+  auto g = analyze_dependencies({&a, &b}, false);
+  EXPECT_EQ(dep_between(g, 0, 1), DepKind::kMatch);
+}
+
+TEST(Deps, IndependentTablesShareStages) {
+  auto a = one_table_block("a", {"ipv4.src_addr"}, {"ipv4.ttl"});
+  auto b = one_table_block("b", {"ipv4.dst_addr"}, {"tcp.window"});
+  auto g = analyze_dependencies({&a, &b}, false);
+  EXPECT_EQ(dep_between(g, 0, 1), DepKind::kNone);
+  EXPECT_EQ(g.critical_path_stages(), 1u);
+}
+
+TEST(Deps, SequentialBarrierForcesStageAdvance) {
+  // Independent tables, but composed sequentially: the §3.2 implicit
+  // dependency still forces separate stages.
+  auto a = one_table_block("a", {"ipv4.src_addr"}, {"ipv4.ttl"});
+  auto b = one_table_block("b", {"ipv4.dst_addr"}, {"tcp.window"});
+  auto g = analyze_dependencies({&a, &b}, /*sequential_barriers=*/true);
+  EXPECT_EQ(dep_between(g, 0, 1), DepKind::kAction);
+  EXPECT_EQ(g.critical_path_stages(), 2u);
+}
+
+TEST(Deps, SuccessorDependencyAllowsStageSharing) {
+  ControlBlock block("combo");
+  Action act;
+  act.name = "nop";
+  block.add_action(act);
+
+  Table gate;
+  gate.name = "gate";
+  gate.keys = {TableKey{"ipv4.ttl", MatchKind::kExact, 8}};
+  gate.actions = {"nop"};
+  block.add_table(gate);
+
+  Table body;
+  body.name = "body";
+  body.keys = {TableKey{"ipv4.src_addr", MatchKind::kExact, 32}};
+  body.actions = {"nop"};
+  block.add_table(body);
+
+  block.apply_table("gate");
+  ApplyEntry gated;
+  gated.table = "body";
+  gated.guard_tables = {"gate"};
+  gated.mode = GuardMode::kIfHit;
+  block.apply(gated);
+
+  auto g = analyze_dependencies({&block}, false);
+  EXPECT_EQ(dep_between(g, 0, 1), DepKind::kSuccessor);
+  // Successor deps may share a stage.
+  EXPECT_EQ(g.critical_path_stages(), 1u);
+}
+
+TEST(Deps, MutuallyExclusiveBranchesHaveNoDeps) {
+  ControlBlock block("par");
+  Action set_ttl;
+  set_ttl.name = "set_ttl";
+  set_ttl.primitives = {set_imm("ipv4.ttl", 1)};
+  block.add_action(set_ttl);
+
+  for (const char* name : {"lb", "fw"}) {
+    Table t;
+    t.name = name;
+    t.keys = {TableKey{"ipv4.dst_addr", MatchKind::kExact, 32}};
+    t.actions = {"set_ttl"};
+    block.add_table(t);
+  }
+  ApplyEntry lb;
+  lb.table = "lb";
+  lb.branch_id = "LB";
+  block.apply(lb);
+  ApplyEntry fw;
+  fw.table = "fw";
+  fw.branch_id = "FW";
+  block.apply(fw);
+
+  // Both write ipv4.ttl, which would be an action dependency — but
+  // the branches are mutually exclusive, so none arises and the
+  // tables overlay in one stage (the parallel-composition payoff).
+  auto g = analyze_dependencies({&block}, false);
+  EXPECT_EQ(dep_between(g, 0, 1), DepKind::kNone);
+  EXPECT_EQ(g.critical_path_stages(), 1u);
+}
+
+TEST(Deps, GuardFieldCreatesMatchDependency) {
+  // a writes sfc.service_index; b is applied under a gateway reading
+  // it -> the gateway match forces b into a later stage.
+  auto a = one_table_block("a", {}, {"sfc.service_index"});
+  ControlBlock b("b");
+  Action nop;
+  nop.name = "nop";
+  b.add_action(nop);
+  Table t;
+  t.name = "b_tbl";
+  t.keys = {TableKey{"ipv4.src_addr", MatchKind::kExact, 32}};
+  t.actions = {"nop"};
+  b.add_table(t);
+  ApplyEntry e;
+  e.table = "b_tbl";
+  e.field_guard = FieldGuard{"sfc.service_index", 2, false};
+  b.apply(e);
+
+  auto g = analyze_dependencies({&a, &b}, false);
+  EXPECT_EQ(dep_between(g, 0, 1), DepKind::kMatch);
+}
+
+TEST(Deps, MinStagesChainsTransitively) {
+  auto a = one_table_block("a", {}, {"ipv4.ttl"});
+  auto b = one_table_block("b", {"ipv4.ttl"}, {"tcp.window"});
+  auto c = one_table_block("c", {"tcp.window"}, {});
+  auto g = analyze_dependencies({&a, &b, &c}, false);
+  EXPECT_EQ(g.min_stages(), (std::vector<std::uint32_t>{0, 1, 2}));
+  EXPECT_EQ(g.critical_path_stages(), 3u);
+}
+
+}  // namespace
+}  // namespace dejavu::p4ir

@@ -1,0 +1,138 @@
+#include "p4ir/parser_graph.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dejavu::p4ir {
+namespace {
+
+TEST(TupleIdTable, InternIsIdempotentAndDense) {
+  TupleIdTable ids;
+  auto a = ids.intern({"ethernet", 0});
+  auto b = ids.intern({"ipv4", 14});
+  auto a2 = ids.intern({"ethernet", 0});
+  EXPECT_EQ(a, a2);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(ids.size(), 2u);
+  EXPECT_EQ(ids.tuple_of(a).header_type, "ethernet");
+}
+
+TEST(TupleIdTable, SameTypeDifferentOffsetIsDistinct) {
+  // The §3 insight: ipv4 at offset 14 (plain) and at offset 34
+  // (behind the SFC header) are different parse vertices.
+  TupleIdTable ids;
+  auto plain = ids.intern({"ipv4", 14});
+  auto shifted = ids.intern({"ipv4", 34});
+  EXPECT_NE(plain, shifted);
+}
+
+TEST(TupleIdTable, FindWithoutAssign) {
+  TupleIdTable ids;
+  EXPECT_FALSE(ids.find({"ethernet", 0}).has_value());
+  ids.intern({"ethernet", 0});
+  EXPECT_TRUE(ids.find({"ethernet", 0}).has_value());
+}
+
+class ParserGraphTest : public ::testing::Test {
+ protected:
+  TupleIdTable ids;
+  ParserGraph g;
+
+  std::uint32_t add(const std::string& type, std::uint32_t off) {
+    return g.add_vertex(ids, {type, off});
+  }
+};
+
+TEST_F(ParserGraphTest, ValidLinearChain) {
+  auto eth = add("ethernet", 0);
+  auto ip = add("ipv4", 14);
+  auto tcp = add("tcp", 34);
+  g.set_start(eth);
+  g.add_edge({eth, ip, "ethernet.ether_type", 0x0800, false});
+  g.add_edge({ip, tcp, "ipv4.protocol", 6, false});
+  std::string why;
+  EXPECT_TRUE(g.validate(ids, &why)) << why;
+}
+
+TEST_F(ParserGraphTest, UnreachableVertexFailsValidation) {
+  auto eth = add("ethernet", 0);
+  add("ipv4", 14);  // never connected
+  g.set_start(eth);
+  std::string why;
+  EXPECT_FALSE(g.validate(ids, &why));
+  EXPECT_NE(why.find("unreachable"), std::string::npos);
+}
+
+TEST_F(ParserGraphTest, NonAdvancingEdgeFailsValidation) {
+  auto eth = add("ethernet", 0);
+  auto bad = add("ipv4", 0);  // same offset: cannot advance
+  g.set_start(eth);
+  g.add_edge({eth, bad, "ethernet.ether_type", 0x0800, false});
+  std::string why;
+  EXPECT_FALSE(g.validate(ids, &why));
+  EXPECT_NE(why.find("advance"), std::string::npos);
+}
+
+TEST_F(ParserGraphTest, ConflictingSelectorThrows) {
+  auto eth = add("ethernet", 0);
+  auto ip = add("ipv4", 14);
+  auto sfc = add("sfc", 14);
+  g.set_start(eth);
+  g.add_edge({eth, ip, "ethernet.ether_type", 0x0800, false});
+  // Same selector value to a different vertex: a merge conflict.
+  EXPECT_THROW(
+      g.add_edge({eth, sfc, "ethernet.ether_type", 0x0800, false}),
+      std::invalid_argument);
+}
+
+TEST_F(ParserGraphTest, DuplicateEdgeIsIdempotent) {
+  auto eth = add("ethernet", 0);
+  auto ip = add("ipv4", 14);
+  g.set_start(eth);
+  ParserEdge e{eth, ip, "ethernet.ether_type", 0x0800, false};
+  g.add_edge(e);
+  g.add_edge(e);
+  EXPECT_EQ(g.edges().size(), 1u);
+}
+
+TEST_F(ParserGraphTest, ConflictingDefaultsThrow) {
+  auto eth = add("ethernet", 0);
+  auto ip = add("ipv4", 14);
+  auto sfc = add("sfc", 14);
+  g.set_start(eth);
+  g.add_edge({eth, ip, "", 0, true});
+  EXPECT_THROW(g.add_edge({eth, sfc, "", 0, true}), std::invalid_argument);
+}
+
+TEST_F(ParserGraphTest, OutEdgesPutDefaultLast) {
+  auto eth = add("ethernet", 0);
+  auto ip = add("ipv4", 14);
+  auto sfc = add("sfc", 14);
+  g.set_start(eth);
+  g.add_edge({eth, sfc, "", 0, true});  // default first in insertion
+  g.add_edge({eth, ip, "ethernet.ether_type", 0x0800, false});
+  auto out = g.out_edges(eth);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_FALSE(out[0].is_default);
+  EXPECT_TRUE(out[1].is_default);
+}
+
+TEST_F(ParserGraphTest, EdgeToUnknownVertexThrows) {
+  auto eth = add("ethernet", 0);
+  g.set_start(eth);
+  EXPECT_THROW(g.add_edge({eth, 999, "f", 0, false}),
+               std::invalid_argument);
+}
+
+TEST_F(ParserGraphTest, StartMustBeAVertex) {
+  EXPECT_THROW(g.set_start(42), std::invalid_argument);
+}
+
+TEST_F(ParserGraphTest, NoStartFailsValidation) {
+  add("ethernet", 0);
+  std::string why;
+  EXPECT_FALSE(g.validate(ids, &why));
+  EXPECT_NE(why.find("start"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dejavu::p4ir

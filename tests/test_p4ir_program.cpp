@@ -1,0 +1,192 @@
+#include "p4ir/program.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nf/parser_lib.hpp"
+
+namespace dejavu::p4ir {
+namespace {
+
+TEST(ControlBlock, DuplicateActionThrows) {
+  ControlBlock c("c");
+  Action a;
+  a.name = "act";
+  c.add_action(a);
+  EXPECT_THROW(c.add_action(a), std::invalid_argument);
+}
+
+TEST(ControlBlock, DuplicateTableThrows) {
+  ControlBlock c("c");
+  Table t;
+  t.name = "t";
+  c.add_table(t);
+  EXPECT_THROW(c.add_table(t), std::invalid_argument);
+}
+
+TEST(ControlBlock, ApplyUnknownTableThrows) {
+  ControlBlock c("c");
+  EXPECT_THROW(c.apply_table("missing"), std::invalid_argument);
+}
+
+TEST(ControlBlock, GuardOnUnknownTableThrows) {
+  ControlBlock c("c");
+  Table t;
+  t.name = "t";
+  c.add_table(t);
+  ApplyEntry e;
+  e.table = "t";
+  e.guard_tables = {"ghost"};
+  EXPECT_THROW(c.apply(e), std::invalid_argument);
+}
+
+TEST(ControlBlock, TableActionReadWriteSets) {
+  ControlBlock c("c");
+  Action a;
+  a.name = "a";
+  a.primitives = {copy_field("ipv4.ttl", "ipv4.dscp_ecn"),
+                  set_imm("tcp.window", 7)};
+  c.add_action(a);
+  Table t;
+  t.name = "t";
+  t.actions = {"a"};
+  c.add_table(t);
+
+  auto reads = c.table_action_reads(*c.find_table("t"));
+  auto writes = c.table_action_writes(*c.find_table("t"));
+  EXPECT_TRUE(reads.contains("ipv4.dscp_ecn"));
+  EXPECT_TRUE(writes.contains("ipv4.ttl"));
+  EXPECT_TRUE(writes.contains("tcp.window"));
+}
+
+TEST(ControlBlock, ValidateCatchesUnknownActionBinding) {
+  ControlBlock c("c");
+  Table t;
+  t.name = "t";
+  t.actions = {"ghost"};
+  c.add_table(t);
+  std::string why;
+  EXPECT_FALSE(c.validate(&why));
+  EXPECT_NE(why.find("ghost"), std::string::npos);
+}
+
+TEST(Program, HeaderTypeConflictThrows) {
+  Program p("p");
+  p.add_header_type(ethernet_type());
+  p.add_header_type(ethernet_type());  // identical re-add is fine
+  HeaderType fake{"ethernet", {{"only_field", 8}}};
+  EXPECT_THROW(p.add_header_type(fake), std::invalid_argument);
+}
+
+TEST(Program, FieldBitsResolvesDottedRefs) {
+  Program p("p");
+  p.add_header_type(ipv4_type());
+  EXPECT_EQ(p.field_bits("ipv4.ttl"), 8);
+  EXPECT_EQ(p.field_bits("ipv4.dst_addr"), 32);
+  EXPECT_FALSE(p.field_bits("ipv4.bogus").has_value());
+  EXPECT_FALSE(p.field_bits("tcp.window").has_value());
+  EXPECT_FALSE(p.field_bits("notdotted").has_value());
+}
+
+TEST(Program, DuplicateControlThrows) {
+  Program p("p");
+  p.add_control(ControlBlock("c"));
+  EXPECT_THROW(p.add_control(ControlBlock("c")), std::invalid_argument);
+}
+
+TEST(Program, Annotations) {
+  Program p("p");
+  p.annotate("nf", "FW");
+  EXPECT_EQ(p.annotation("nf"), "FW");
+  EXPECT_FALSE(p.annotation("missing").has_value());
+}
+
+TEST(Program, ValidateAcceptsStandardParserPrograms) {
+  TupleIdTable ids;
+  Program p("p");
+  nf::add_standard_parser(p, ids);
+  std::string why;
+  EXPECT_TRUE(p.validate(ids, &why)) << why;
+}
+
+TEST(Program, ValidateCatchesUnknownFieldInAction) {
+  TupleIdTable ids;
+  Program p("p");
+  nf::add_standard_parser(p, ids);
+  ControlBlock c("c");
+  Action a;
+  a.name = "bad";
+  a.primitives = {set_imm("ghost.field", 1)};
+  c.add_action(a);
+  Table t;
+  t.name = "t";
+  t.actions = {"bad"};
+  c.add_table(t);
+  c.apply_table("t");
+  p.add_control(c);
+
+  std::string why;
+  EXPECT_FALSE(p.validate(ids, &why));
+  EXPECT_NE(why.find("ghost.field"), std::string::npos);
+}
+
+TEST(Program, ValidateAllowsLocalTemporaries) {
+  TupleIdTable ids;
+  Program p("p");
+  nf::add_standard_parser(p, ids);
+  ControlBlock c("c");
+  Action a;
+  a.name = "hashit";
+  a.primitives = {hash_fields("local.h", {"ipv4.src_addr"})};
+  c.add_action(a);
+  Table t;
+  t.name = "t";
+  t.keys = {TableKey{"local.h", MatchKind::kExact, 32}};
+  t.actions = {"hashit"};
+  c.add_table(t);
+  c.apply_table("t");
+  p.add_control(c);
+
+  std::string why;
+  EXPECT_TRUE(p.validate(ids, &why)) << why;
+}
+
+TEST(Action, ReadsAndWritesClassifyPrimitives) {
+  Action a;
+  a.name = "a";
+  a.primitives = {
+      copy_field("ipv4.ttl", "ipv4.dscp_ecn"),
+      add_imm("tcp.window", 1),
+      hash_fields("local.h", {"ipv4.src_addr", "ipv4.dst_addr"}),
+      drop_primitive(),
+      set_context(1, "tenant"),
+  };
+  auto reads = a.reads();
+  auto writes = a.writes();
+  EXPECT_TRUE(reads.contains("ipv4.dscp_ecn"));
+  EXPECT_TRUE(reads.contains("ipv4.src_addr"));
+  EXPECT_TRUE(reads.contains("tcp.window"));  // add reads its dst
+  EXPECT_TRUE(writes.contains("ipv4.ttl"));
+  EXPECT_TRUE(writes.contains("tcp.window"));
+  EXPECT_TRUE(writes.contains("local.h"));
+  EXPECT_TRUE(writes.contains("standard_metadata.drop_flag"));
+  EXPECT_TRUE(writes.contains("sfc.context"));
+}
+
+TEST(Action, VliwSlotsCountNonNoops) {
+  Action a;
+  a.name = "a";
+  a.primitives = {Primitive{}, set_imm("x.y", 1), add_imm("x.y", 2)};
+  EXPECT_EQ(a.vliw_slots(), 2u);
+}
+
+TEST(Action, ParamBits) {
+  Action a;
+  a.name = "a";
+  a.params = {{"p", 32}, {"q", 9}};
+  EXPECT_EQ(a.param_bits(), 41u);
+  EXPECT_NE(a.find_param("q"), nullptr);
+  EXPECT_EQ(a.find_param("zz"), nullptr);
+}
+
+}  // namespace
+}  // namespace dejavu::p4ir

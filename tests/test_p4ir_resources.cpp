@@ -1,0 +1,143 @@
+#include "p4ir/resources.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dejavu::p4ir {
+namespace {
+
+/// Block with a single configurable table.
+struct Fixture {
+  ControlBlock block{"fx"};
+
+  Fixture() {
+    Action small;
+    small.name = "small";
+    small.primitives = {set_imm("ipv4.ttl", 1)};
+    block.add_action(small);
+
+    Action wide;
+    wide.name = "wide";
+    wide.params = {{"a", 32}, {"b", 16}};
+    wide.primitives = {set_from_param("ipv4.dst_addr", "a"),
+                       set_from_param("tcp.dst_port", "b"),
+                       add_imm("ipv4.ttl", 0xff)};
+    block.add_action(wide);
+  }
+
+  TableResources estimate(Table t, bool gated = false) {
+    block.add_table(t);
+    return estimate_table(block, *block.find_table(t.name), gated);
+  }
+};
+
+TEST(Resources, ExactTableUsesSramAndExactXbar) {
+  Fixture fx;
+  Table t;
+  t.name = "exact";
+  t.keys = {TableKey{"ipv4.dst_addr", MatchKind::kExact, 32}};
+  t.actions = {"small"};
+  t.max_entries = 1024;
+  auto r = fx.estimate(t);
+  EXPECT_EQ(r.table_ids, 1u);
+  EXPECT_EQ(r.tcam_blocks, 0u);
+  EXPECT_GE(r.sram_blocks, 1u);
+  EXPECT_EQ(r.exact_xbar_bytes, 4u);
+  EXPECT_EQ(r.ternary_xbar_bytes, 0u);
+  EXPECT_EQ(r.gateways, 0u);
+}
+
+TEST(Resources, TernaryTableUsesTcamAndTernaryXbar) {
+  Fixture fx;
+  Table t;
+  t.name = "ternary";
+  t.keys = {TableKey{"ipv4.src_addr", MatchKind::kTernary, 32},
+            TableKey{"ipv4.dst_addr", MatchKind::kTernary, 32}};
+  t.actions = {"small"};
+  t.max_entries = 512;
+  auto r = fx.estimate(t);
+  // 64 key bits -> 2 TCAM width units x 1 depth unit.
+  EXPECT_EQ(r.tcam_blocks, 2u);
+  EXPECT_EQ(r.ternary_xbar_bytes, 8u);
+  EXPECT_EQ(r.exact_xbar_bytes, 0u);
+}
+
+TEST(Resources, LpmAccountsAsTcam) {
+  Fixture fx;
+  Table t;
+  t.name = "lpm";
+  t.keys = {TableKey{"ipv4.dst_addr", MatchKind::kLpm, 32}};
+  t.actions = {"small"};
+  t.max_entries = 1024;  // 2 depth units
+  auto r = fx.estimate(t);
+  EXPECT_EQ(r.tcam_blocks, 2u);
+}
+
+TEST(Resources, GatedTableBurnsGatewayAndExtraTableId) {
+  Fixture fx;
+  Table t;
+  t.name = "gated";
+  t.keys = {TableKey{"ipv4.dst_addr", MatchKind::kExact, 32}};
+  t.actions = {"small"};
+  auto r = fx.estimate(t, /*gated=*/true);
+  EXPECT_EQ(r.gateways, 1u);
+  EXPECT_EQ(r.table_ids, 2u);
+}
+
+TEST(Resources, VliwIsWidestActionNotSum) {
+  Fixture fx;
+  Table t;
+  t.name = "multi";
+  t.keys = {TableKey{"ipv4.dst_addr", MatchKind::kExact, 32}};
+  t.actions = {"small", "wide"};  // 1 and 3 primitives
+  auto r = fx.estimate(t);
+  EXPECT_EQ(r.vliw_slots, 3u);
+}
+
+TEST(Resources, KeylessTableIsNearlyFree) {
+  Fixture fx;
+  Table t;
+  t.name = "keyless";
+  t.default_action = "small";
+  t.max_entries = 1;
+  auto r = fx.estimate(t);
+  EXPECT_EQ(r.table_ids, 1u);
+  EXPECT_EQ(r.sram_blocks, 0u);
+  EXPECT_EQ(r.tcam_blocks, 0u);
+  EXPECT_EQ(r.exact_xbar_bytes, 0u);
+}
+
+TEST(Resources, SramScalesWithEntries) {
+  Fixture fx;
+  Table small;
+  small.name = "s1k";
+  small.keys = {TableKey{"local.hash", MatchKind::kExact, 32}};
+  small.actions = {"wide"};
+  small.max_entries = 1024;
+  auto r1 = fx.estimate(small);
+
+  Table big = small;
+  big.name = "s64k";
+  big.max_entries = 65536;
+  auto r64 = fx.estimate(big);
+  EXPECT_GT(r64.sram_blocks, r1.sram_blocks);
+  // 64x the entries needs ~64x the blocks (within rounding).
+  EXPECT_GE(r64.sram_blocks, r1.sram_blocks * 32);
+}
+
+TEST(Resources, ArithmeticAndFit) {
+  TableResources a{1, 0, 2, 0, 3, 4, 0};
+  TableResources b{1, 1, 1, 1, 1, 1, 1};
+  TableResources sum = a + b;
+  EXPECT_EQ(sum.table_ids, 2u);
+  EXPECT_EQ(sum.sram_blocks, 3u);
+  EXPECT_EQ(sum.vliw_slots, 4u);
+
+  TableResources budget{16, 16, 80, 24, 32, 128, 66};
+  EXPECT_TRUE(sum.fits_within(budget));
+  TableResources over = budget;
+  over.sram_blocks = 81;
+  EXPECT_FALSE(over.fits_within(budget));
+}
+
+}  // namespace
+}  // namespace dejavu::p4ir

@@ -1,0 +1,74 @@
+#include "p4ir/types.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dejavu::p4ir {
+namespace {
+
+TEST(HeaderType, BitAndByteWidths) {
+  HeaderType eth = ethernet_type();
+  EXPECT_EQ(eth.bit_width(), 112u);
+  EXPECT_EQ(eth.byte_width(), 14u);
+}
+
+TEST(HeaderType, BuiltinsHaveWireAccurateSizes) {
+  EXPECT_EQ(ethernet_type().byte_width(), 14u);
+  EXPECT_EQ(sfc_type().byte_width(), 20u);   // Fig. 3
+  EXPECT_EQ(ipv4_type().byte_width(), 20u);
+  EXPECT_EQ(tcp_type().byte_width(), 20u);
+  EXPECT_EQ(udp_type().byte_width(), 8u);
+  EXPECT_EQ(vxlan_type().byte_width(), 8u);
+}
+
+TEST(HeaderType, FieldLookup) {
+  HeaderType ip = ipv4_type();
+  const Field* ttl = ip.find_field("ttl");
+  ASSERT_NE(ttl, nullptr);
+  EXPECT_EQ(ttl->bits, 8u);
+  EXPECT_EQ(ip.find_field("nonexistent"), nullptr);
+}
+
+TEST(HeaderType, BitOffsetsAccumulate) {
+  HeaderType ip = ipv4_type();
+  EXPECT_EQ(ip.bit_offset("version"), 0u);
+  EXPECT_EQ(ip.bit_offset("ihl"), 4u);
+  EXPECT_EQ(ip.bit_offset("ttl"), 64u);
+  EXPECT_EQ(ip.bit_offset("src_addr"), 96u);
+  EXPECT_EQ(ip.bit_offset("dst_addr"), 128u);
+  EXPECT_FALSE(ip.bit_offset("bogus").has_value());
+}
+
+TEST(HeaderType, SfcLayoutMatchesCodec) {
+  // The IR's sfc type must agree with sfc::SfcHeader's wire layout:
+  // path id at bit 0, index at 16, in_port at 24, out_port at 33,
+  // flags from 42, context at 56, next_protocol at 152.
+  HeaderType s = sfc_type();
+  EXPECT_EQ(s.bit_offset("service_path_id"), 0u);
+  EXPECT_EQ(s.bit_offset("service_index"), 16u);
+  EXPECT_EQ(s.bit_offset("in_port"), 24u);
+  EXPECT_EQ(s.bit_offset("out_port"), 33u);
+  EXPECT_EQ(s.bit_offset("resubmit_flag"), 42u);
+  EXPECT_EQ(s.bit_offset("recirculate_flag"), 43u);
+  EXPECT_EQ(s.bit_offset("drop_flag"), 44u);
+  EXPECT_EQ(s.bit_offset("mirror_flag"), 45u);
+  EXPECT_EQ(s.bit_offset("to_cpu_flag"), 46u);
+  EXPECT_EQ(s.bit_offset("context"), 56u);
+  EXPECT_EQ(s.bit_offset("next_protocol"), 152u);
+}
+
+TEST(FieldRef, ParseDotted) {
+  auto ref = FieldRef::parse("ipv4.dst_addr");
+  ASSERT_TRUE(ref.has_value());
+  EXPECT_EQ(ref->header, "ipv4");
+  EXPECT_EQ(ref->field, "dst_addr");
+  EXPECT_EQ(ref->dotted(), "ipv4.dst_addr");
+}
+
+TEST(FieldRef, ParseRejectsMalformed) {
+  EXPECT_FALSE(FieldRef::parse("nodot").has_value());
+  EXPECT_FALSE(FieldRef::parse(".field").has_value());
+  EXPECT_FALSE(FieldRef::parse("header.").has_value());
+}
+
+}  // namespace
+}  // namespace dejavu::p4ir

@@ -1,0 +1,318 @@
+// Placement and traversal planning (§3.3, Fig. 6): the planner must
+// reproduce the paper's worked example exactly — 3 recirculations for
+// the naive Fig. 6(a) layout, 1 for the optimized Fig. 6(b) layout —
+// and the optimizer must find a placement at least that good.
+#include "place/optimizer.hpp"
+#include "place/placement.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dejavu::place {
+namespace {
+
+using asic::PipeKind;
+using merge::CompositionKind;
+using merge::PipeletAssignment;
+
+sfc::PolicySet abcdef_policy() {
+  sfc::PolicySet set;
+  // Fig. 6: one chain A-B-C-D-E-F; traffic enters on a pipeline-0
+  // port and must leave from a port on Egress 0.
+  set.add({.path_id = 1,
+           .name = "abcdef",
+           .nfs = {"A", "B", "C", "D", "E", "F"},
+           .weight = 1.0,
+           .in_port = 0,
+           .exit_port = 1});
+  return set;
+}
+
+Placement fig6a() {
+  return Placement({
+      {{0, PipeKind::kIngress}, CompositionKind::kSequential, {"A", "B"}},
+      {{0, PipeKind::kEgress}, CompositionKind::kSequential, {"C"}},
+      {{1, PipeKind::kIngress}, CompositionKind::kSequential, {"D"}},
+      {{1, PipeKind::kEgress}, CompositionKind::kSequential, {"E", "F"}},
+  });
+}
+
+Placement fig6b() {
+  // Fig. 6(b): exchange the locations of C and EF.
+  return Placement({
+      {{0, PipeKind::kIngress}, CompositionKind::kSequential, {"A", "B"}},
+      {{0, PipeKind::kEgress}, CompositionKind::kSequential, {"E", "F"}},
+      {{1, PipeKind::kIngress}, CompositionKind::kSequential, {"D"}},
+      {{1, PipeKind::kEgress}, CompositionKind::kSequential, {"C"}},
+  });
+}
+
+class Fig6Test : public ::testing::Test {
+ protected:
+  asic::TargetSpec spec = asic::TargetSpec::tofino32();
+  TraversalEnv env{.pipelines = 2, .can_recirculate = {true, true}};
+  sfc::PolicySet policies = abcdef_policy();
+};
+
+TEST_F(Fig6Test, NaiveLayoutCostsThreeRecirculations) {
+  auto t = plan_traversal(policies.policies()[0], fig6a(), spec, env);
+  ASSERT_TRUE(t.feasible) << t.infeasible_reason;
+  EXPECT_EQ(t.recirculations, 3u) << t.to_string();
+  EXPECT_EQ(t.resubmissions, 0u);
+}
+
+TEST_F(Fig6Test, NaiveLayoutTraversalMatchesThePaper) {
+  // "Ingress 0 -> Egress 0 -> Ingress 0 -> Egress 1 -> Ingress 1 ->
+  //  Egress 1 -> Ingress 1 -> Egress 0" (§3.3).
+  auto t = plan_traversal(policies.policies()[0], fig6a(), spec, env);
+  ASSERT_TRUE(t.feasible);
+  std::vector<asic::PipeletId> expected = {
+      {0, PipeKind::kIngress}, {0, PipeKind::kEgress},
+      {0, PipeKind::kIngress}, {1, PipeKind::kEgress},
+      {1, PipeKind::kIngress}, {1, PipeKind::kEgress},
+      {1, PipeKind::kIngress}, {0, PipeKind::kEgress}};
+  std::vector<asic::PipeletId> got;
+  for (const auto& s : t.steps) got.push_back(s.pipelet);
+  EXPECT_EQ(got, expected) << t.to_string();
+}
+
+TEST_F(Fig6Test, OptimizedLayoutCostsOneRecirculation) {
+  auto t = plan_traversal(policies.policies()[0], fig6b(), spec, env);
+  ASSERT_TRUE(t.feasible) << t.infeasible_reason;
+  EXPECT_EQ(t.recirculations, 1u) << t.to_string();
+}
+
+TEST_F(Fig6Test, OptimizedLayoutTraversalMatchesThePaper) {
+  // "Ingress 0 -> Egress 1 -> Ingress 1 -> Egress 0" (§3.3).
+  auto t = plan_traversal(policies.policies()[0], fig6b(), spec, env);
+  ASSERT_TRUE(t.feasible);
+  std::vector<asic::PipeletId> expected = {
+      {0, PipeKind::kIngress}, {1, PipeKind::kEgress},
+      {1, PipeKind::kIngress}, {0, PipeKind::kEgress}};
+  std::vector<asic::PipeletId> got;
+  for (const auto& s : t.steps) got.push_back(s.pipelet);
+  EXPECT_EQ(got, expected) << t.to_string();
+}
+
+TEST_F(Fig6Test, ExhaustiveOptimizerBeatsOrTiesFig6b) {
+  auto result = exhaustive_optimize(policies, spec, env, StageModel{});
+  ASSERT_TRUE(result.feasible);
+  EXPECT_LE(result.cost, 1.0 + 1e-9)
+      << "optimizer: " << result.placement.to_string();
+}
+
+TEST_F(Fig6Test, OptimizerNeverWorseThanNaiveBaseline) {
+  Placement naive = naive_alternating(policies, spec);
+  double naive_cost = placement_cost(policies, naive, spec, env, StageModel{});
+  auto result = exhaustive_optimize(policies, spec, env, StageModel{});
+  EXPECT_LE(result.cost, naive_cost);
+}
+
+TEST_F(Fig6Test, AnnealFindsNearOptimalPlacement) {
+  auto exact = exhaustive_optimize(policies, spec, env, StageModel{});
+  AnnealParams params;
+  params.iterations = 30000;
+  params.seed = 7;
+  auto annealed = anneal_optimize(policies, spec, env, StageModel{}, params);
+  ASSERT_TRUE(annealed.feasible);
+  EXPECT_LE(annealed.cost, exact.cost + 1.0);  // within one recirc
+}
+
+TEST(Placement, DuplicateNfThrows) {
+  EXPECT_THROW(Placement({
+                   {{0, PipeKind::kIngress},
+                    CompositionKind::kSequential,
+                    {"A"}},
+                   {{0, PipeKind::kEgress},
+                    CompositionKind::kSequential,
+                    {"A"}},
+               }),
+               std::invalid_argument);
+}
+
+TEST(Placement, LookupAndToString) {
+  Placement p({
+      {{0, PipeKind::kIngress}, CompositionKind::kSequential, {"A", "B"}},
+  });
+  auto loc = p.find("B");
+  ASSERT_TRUE(loc.has_value());
+  EXPECT_EQ(loc->position, 1u);
+  EXPECT_FALSE(p.find("Z").has_value());
+  EXPECT_NE(p.to_string().find("A>B"), std::string::npos);
+}
+
+TEST(Traversal, UnplacedNfIsInfeasible) {
+  sfc::PolicySet set;
+  set.add({.path_id = 1, .name = "x", .nfs = {"A", "B"}});
+  Placement p({
+      {{0, PipeKind::kIngress}, CompositionKind::kSequential, {"A"}},
+  });
+  auto t = plan_traversal(set.policies()[0], p, asic::TargetSpec::tofino32(),
+                          TraversalEnv{});
+  EXPECT_FALSE(t.feasible);
+  EXPECT_NE(t.infeasible_reason.find("B"), std::string::npos);
+}
+
+TEST(Traversal, WrongOrderOnOnePipeletNeedsResubmission) {
+  sfc::PolicySet set;
+  set.add({.path_id = 1,
+           .name = "x",
+           .nfs = {"A", "B"},
+           .in_port = 0,
+           .exit_port = 0});
+  // B placed before A in apply order: one pass runs A, a
+  // resubmission runs B.
+  Placement p({
+      {{0, PipeKind::kIngress}, CompositionKind::kSequential, {"B", "A"}},
+  });
+  auto t = plan_traversal(set.policies()[0], p, asic::TargetSpec::tofino32(),
+                          TraversalEnv{});
+  ASSERT_TRUE(t.feasible) << t.infeasible_reason;
+  EXPECT_EQ(t.resubmissions, 1u);
+  EXPECT_EQ(t.recirculations, 0u);
+}
+
+TEST(Traversal, ParallelCompositionOneNfPerPass) {
+  sfc::PolicySet set;
+  set.add({.path_id = 1,
+           .name = "x",
+           .nfs = {"A", "B"},
+           .in_port = 0,
+           .exit_port = 0});
+  Placement p({
+      {{0, PipeKind::kIngress}, CompositionKind::kParallel, {"A", "B"}},
+  });
+  auto t = plan_traversal(set.policies()[0], p, asic::TargetSpec::tofino32(),
+                          TraversalEnv{});
+  ASSERT_TRUE(t.feasible);
+  // §3.2: "transitions from one branch to another require at least
+  // one resubmission (if on ingress pipe)".
+  EXPECT_EQ(t.resubmissions, 1u);
+}
+
+TEST(Traversal, ParallelOnEgressNeedsRecirculation) {
+  sfc::PolicySet set;
+  set.add({.path_id = 1,
+           .name = "x",
+           .nfs = {"A", "B", "C"},
+           .in_port = 0,
+           .exit_port = 0});
+  Placement p({
+      {{0, PipeKind::kIngress}, CompositionKind::kSequential, {"A"}},
+      {{0, PipeKind::kEgress}, CompositionKind::kParallel, {"B", "C"}},
+  });
+  auto t = plan_traversal(set.policies()[0], p, asic::TargetSpec::tofino32(),
+                          TraversalEnv{});
+  ASSERT_TRUE(t.feasible) << t.infeasible_reason;
+  // §3.2: "...or one recirculation (if on egress pipe)".
+  EXPECT_EQ(t.recirculations, 1u);
+}
+
+TEST(Traversal, IngressThenEgressIsFree) {
+  // §3.3: first NF on an ingress pipe, second on an egress pipe ->
+  // no resubmission or recirculation at all.
+  sfc::PolicySet set;
+  set.add({.path_id = 1,
+           .name = "x",
+           .nfs = {"A", "B"},
+           .in_port = 0,
+           .exit_port = 0});
+  Placement p({
+      {{0, PipeKind::kIngress}, CompositionKind::kSequential, {"A"}},
+      {{0, PipeKind::kEgress}, CompositionKind::kSequential, {"B"}},
+  });
+  auto t = plan_traversal(set.policies()[0], p, asic::TargetSpec::tofino32(),
+                          TraversalEnv{});
+  ASSERT_TRUE(t.feasible);
+  EXPECT_EQ(t.recirculations, 0u);
+  EXPECT_EQ(t.resubmissions, 0u);
+}
+
+TEST(Traversal, NoLoopbackMakesCrossPipelineInfeasible) {
+  sfc::PolicySet set;
+  set.add({.path_id = 1,
+           .name = "x",
+           .nfs = {"A", "B"},
+           .in_port = 0,
+           .exit_port = 0});
+  Placement p({
+      {{0, PipeKind::kIngress}, CompositionKind::kSequential, {"A"}},
+      {{1, PipeKind::kIngress}, CompositionKind::kSequential, {"B"}},
+  });
+  TraversalEnv env{.pipelines = 2, .can_recirculate = {false, false}};
+  auto t = plan_traversal(set.policies()[0], p, asic::TargetSpec::tofino32(),
+                          env);
+  EXPECT_FALSE(t.feasible);
+  EXPECT_NE(t.infeasible_reason.find("loopback"), std::string::npos);
+}
+
+TEST(Traversal, ExitOnOtherPipelineCostsFinalRecirc) {
+  // Chain finishes on egress 1 but must exit from a pipeline-0 port:
+  // one more loop to re-route (the Fig. 6(a) third recirculation).
+  sfc::PolicySet set;
+  set.add({.path_id = 1,
+           .name = "x",
+           .nfs = {"A", "B"},
+           .in_port = 0,
+           .exit_port = 0});
+  Placement p({
+      {{0, PipeKind::kIngress}, CompositionKind::kSequential, {"A"}},
+      {{1, PipeKind::kEgress}, CompositionKind::kSequential, {"B"}},
+  });
+  auto t = plan_traversal(set.policies()[0], p, asic::TargetSpec::tofino32(),
+                          TraversalEnv{});
+  ASSERT_TRUE(t.feasible);
+  EXPECT_EQ(t.recirculations, 1u);
+}
+
+TEST(WeightedObjective, SumsPerPolicyCosts) {
+  asic::TargetSpec spec = asic::TargetSpec::tofino32();
+  sfc::PolicySet set;
+  set.add({.path_id = 1,
+           .name = "cheap",
+           .nfs = {"A"},
+           .weight = 0.9,
+           .in_port = 0,
+           .exit_port = 0});
+  set.add({.path_id = 2,
+           .name = "expensive",
+           .nfs = {"A", "B"},
+           .weight = 0.1,
+           .in_port = 0,
+           .exit_port = 0});
+  // B on ingress 1: path 2 needs one recirculation (transit through
+  // egress 1, loop back into ingress 1), path 1 none.
+  Placement p({
+      {{0, PipeKind::kIngress}, CompositionKind::kSequential, {"A"}},
+      {{1, PipeKind::kIngress}, CompositionKind::kSequential, {"B"}},
+  });
+  EXPECT_NEAR(weighted_recirculations(set, p, spec, TraversalEnv{}),
+              0.1 * 1, 1e-9);
+}
+
+TEST(StageModelTest, SequentialSumsParallelMaxes) {
+  StageModel model;
+  model.default_nf_stages = 2;
+  model.glue_stages = 2;
+  model.branching_stages = 1;
+
+  PipeletAssignment seq{{0, PipeKind::kIngress},
+                        CompositionKind::kSequential,
+                        {"A", "B"}};
+  EXPECT_EQ(model.pipelet_depth(seq), 2 * (2 + 2) + 1);
+
+  PipeletAssignment par{{0, PipeKind::kIngress},
+                        CompositionKind::kParallel,
+                        {"A", "B"}};
+  EXPECT_EQ(model.pipelet_depth(par), (2 + 2) + 1);
+}
+
+TEST(GlobalNfOrder, FirstAppearanceAcrossPolicies) {
+  sfc::PolicySet set;
+  set.add({.path_id = 1, .name = "a", .nfs = {"C", "A"}});
+  set.add({.path_id = 2, .name = "b", .nfs = {"C", "B", "A"}});
+  EXPECT_EQ(global_nf_order(set),
+            (std::vector<std::string>{"C", "A", "B"}));
+}
+
+}  // namespace
+}  // namespace dejavu::place

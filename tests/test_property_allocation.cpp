@@ -1,0 +1,100 @@
+// Stage-allocation invariants over randomized real deployments: for
+// any feasible placement of the Fig. 2 NFs, every pipelet's allocation
+// must respect per-stage resource budgets and every dependency edge
+// (match/action deps strictly later, successor deps not earlier).
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "control/deployment.hpp"
+#include "nf/nfs.hpp"
+#include "p4ir/deps.hpp"
+
+namespace dejavu {
+namespace {
+
+using asic::PipeKind;
+using merge::CompositionKind;
+
+place::Placement random_placement(std::mt19937_64& rng) {
+  const std::vector<asic::PipeletId> pipelets = {
+      {0, PipeKind::kIngress},
+      {0, PipeKind::kEgress},
+      {1, PipeKind::kIngress},
+      {1, PipeKind::kEgress},
+  };
+  std::uniform_int_distribution<std::size_t> pick(0, pipelets.size() - 1);
+  std::uniform_int_distribution<int> coin(0, 1);
+
+  std::vector<merge::PipeletAssignment> assignment;
+  for (const auto& id : pipelets) {
+    assignment.push_back({id,
+                          coin(rng) ? CompositionKind::kSequential
+                                    : CompositionKind::kParallel,
+                          {}});
+  }
+  assignment[0].nfs.push_back(sfc::kClassifier);
+  std::vector<std::string> rest = {sfc::kFirewall, sfc::kVgw,
+                                   sfc::kLoadBalancer, sfc::kRouter};
+  std::shuffle(rest.begin(), rest.end(), rng);
+  for (const auto& nf : rest) assignment[pick(rng)].nfs.push_back(nf);
+  std::erase_if(assignment, [](const merge::PipeletAssignment& pa) {
+    return pa.nfs.empty();
+  });
+  return place::Placement(std::move(assignment));
+}
+
+class AllocationSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AllocationSweep, BudgetsAndDependenciesHold) {
+  std::mt19937_64 rng(GetParam());
+  control::Fig2Deployment fx;
+  try {
+    fx = control::make_fig2_deployment(random_placement(rng));
+  } catch (const std::runtime_error&) {
+    GTEST_SKIP() << "infeasible placement";
+  }
+
+  const auto spec = asic::TargetSpec::tofino32();
+  const auto& program = fx.deployment->program();
+  ASSERT_EQ(fx.deployment->allocations().size(), program.controls().size());
+
+  for (std::size_t ci = 0; ci < program.controls().size(); ++ci) {
+    const auto& control = program.controls()[ci];
+    const auto& alloc = fx.deployment->allocations()[ci];
+    ASSERT_TRUE(alloc.ok) << alloc.error;
+
+    // (1) No stage over budget.
+    for (const auto& stage : alloc.stages) {
+      EXPECT_TRUE(stage.used.fits_within(spec.stage_budget))
+          << control.name();
+    }
+
+    // (2) Dependencies honored (recomputed independently).
+    auto graph = p4ir::analyze_dependencies({&control}, false);
+    ASSERT_EQ(graph.tables.size(), alloc.stage_of.size());
+    for (const auto& dep : graph.deps) {
+      if (dep.kind == p4ir::DepKind::kSuccessor) {
+        EXPECT_GE(alloc.stage_of[dep.to], alloc.stage_of[dep.from])
+            << control.name() << ": " << alloc.table_names[dep.from]
+            << " -> " << alloc.table_names[dep.to];
+      } else {
+        EXPECT_GT(alloc.stage_of[dep.to], alloc.stage_of[dep.from])
+            << control.name() << ": " << alloc.table_names[dep.from]
+            << " -(" << p4ir::to_string(dep.kind) << ")-> "
+            << alloc.table_names[dep.to];
+      }
+    }
+
+    // (3) Every table landed somewhere within the ladder.
+    for (std::uint32_t s : alloc.stage_of) {
+      EXPECT_LT(s, spec.stages_per_pipelet);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AllocationSweep,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace dejavu

@@ -1,0 +1,125 @@
+// The central correctness property of the whole system (§3.2/§3.4):
+// for ANY feasible placement of the Fig. 2 NFs, the composed program
+// running on the behavioral data plane must (a) produce exactly the
+// same packet edits as the chain run in order, and (b) take exactly
+// the number of resubmissions/recirculations the placement planner
+// predicted. Sweeps randomized placements, seeded and deterministic.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "control/deployment.hpp"
+#include "nf/nfs.hpp"
+#include "sfc/header.hpp"
+
+namespace dejavu {
+namespace {
+
+using asic::PipeKind;
+using merge::CompositionKind;
+
+/// Generate a random (not necessarily good) placement of the five
+/// Fig. 2 NFs: Classifier pinned to ingress 0 (arrival), everything
+/// else anywhere, random order within pipelets, random composition
+/// kind per pipelet.
+place::Placement random_placement(std::mt19937_64& rng) {
+  const std::vector<asic::PipeletId> pipelets = {
+      {0, PipeKind::kIngress},
+      {0, PipeKind::kEgress},
+      {1, PipeKind::kIngress},
+      {1, PipeKind::kEgress},
+  };
+  std::uniform_int_distribution<std::size_t> pick(0, pipelets.size() - 1);
+  std::uniform_int_distribution<int> coin(0, 1);
+
+  std::vector<merge::PipeletAssignment> assignment;
+  for (const auto& id : pipelets) {
+    assignment.push_back({id,
+                          coin(rng) ? CompositionKind::kSequential
+                                    : CompositionKind::kParallel,
+                          {}});
+  }
+  assignment[0].nfs.push_back(sfc::kClassifier);
+  std::vector<std::string> rest = {sfc::kFirewall, sfc::kVgw,
+                                   sfc::kLoadBalancer, sfc::kRouter};
+  std::shuffle(rest.begin(), rest.end(), rng);
+  for (const auto& nf : rest) {
+    assignment[pick(rng)].nfs.push_back(nf);
+  }
+  std::erase_if(assignment, [](const merge::PipeletAssignment& pa) {
+    return pa.nfs.empty();
+  });
+  return place::Placement(std::move(assignment));
+}
+
+class PlacementConsistencySweep
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PlacementConsistencySweep, ExecutorAgreesWithPlanner) {
+  std::mt19937_64 rng(GetParam());
+  place::Placement placement = random_placement(rng);
+
+  control::Fig2Deployment fx;
+  try {
+    fx = control::make_fig2_deployment(placement);
+  } catch (const std::runtime_error&) {
+    GTEST_SKIP() << "infeasible placement: " << placement.to_string();
+  }
+  auto& cp = fx.deployment->control();
+
+  struct Case {
+    std::uint16_t path_id;
+    net::Ipv4Addr dst;
+    net::Ipv4Addr expect_dst;  // 0.0.0.0 = "one of the LB backends"
+  };
+  const Case cases[] = {
+      {1, net::Ipv4Addr(10, 1, 0, 10), net::Ipv4Addr(0)},
+      {2, net::Ipv4Addr(10, 2, 0, 20), net::Ipv4Addr(10, 2, 1, 20)},
+      {3, net::Ipv4Addr(10, 3, 0, 1), net::Ipv4Addr(10, 3, 0, 1)},
+  };
+
+  for (const Case& c : cases) {
+    net::PacketSpec spec;
+    spec.ip_dst = c.dst;
+    spec.src_port = 40000;
+
+    // First packet warms the LB session table (path 1 punts once);
+    // the second packet is the steady-state measurement.
+    cp.inject(net::Packet::make(spec), 0);
+    auto out = cp.inject(net::Packet::make(spec), 0);
+
+    ASSERT_EQ(out.out.size(), 1u)
+        << "path " << c.path_id << " under " << placement.to_string()
+        << ": " << out.drop_reason;
+    const auto& packet = out.out.front().packet;
+
+    // (a) Functional equivalence with the chain run in order.
+    EXPECT_FALSE(packet.has_sfc_header()) << placement.to_string();
+    auto ip = packet.ipv4();
+    ASSERT_TRUE(ip.has_value());
+    EXPECT_EQ(ip->ttl, 63) << placement.to_string();
+    if (c.expect_dst == net::Ipv4Addr(0)) {
+      const bool backend = ip->dst == net::Ipv4Addr(10, 1, 2, 1) ||
+                           ip->dst == net::Ipv4Addr(10, 1, 2, 2);
+      EXPECT_TRUE(backend) << ip->dst.to_string() << " under "
+                           << placement.to_string();
+    } else {
+      EXPECT_EQ(ip->dst, c.expect_dst) << placement.to_string();
+    }
+    EXPECT_EQ(out.out.front().port, control::Fig2Deployment::kReceiverPort);
+
+    // (b) The executor took exactly the planned number of loops.
+    const auto& planned = fx.deployment->routing().traversals.at(c.path_id);
+    EXPECT_EQ(out.recirculations, planned.recirculations)
+        << "path " << c.path_id << " under " << placement.to_string()
+        << "\nplanned " << planned.to_string();
+    EXPECT_EQ(out.resubmissions, planned.resubmissions)
+        << "path " << c.path_id << " under " << placement.to_string();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PlacementConsistencySweep,
+                         ::testing::Range<std::uint64_t>(1, 41));
+
+}  // namespace
+}  // namespace dejavu

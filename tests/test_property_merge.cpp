@@ -1,0 +1,174 @@
+// Property sweeps on the generic-parser merge (§3): for random
+// families of NF parsers drawn from a shared header universe, the
+// merge contains exactly the union of vertices and edges, stays a
+// valid DAG, and is idempotent/order-insensitive.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "merge/parser_merge.hpp"
+#include "sfc/header.hpp"
+
+namespace dejavu::merge {
+namespace {
+
+/// A synthetic header universe: a chain of header types at fixed
+/// offsets with branching selectors, from which random NF parsers
+/// draw connected subgraphs.
+struct Universe {
+  std::vector<p4ir::HeaderType> types;
+  struct Edge {
+    p4ir::ParserTuple from, to;
+    std::uint64_t select;
+  };
+  std::vector<Edge> edges;
+  p4ir::ParserTuple start{"h0", 0};
+
+  Universe() {
+    // h0@0 -> {h1@8, h2@8} -> {h3@16, h4@16} -> h5@24.
+    for (int i = 0; i <= 5; ++i) {
+      types.push_back(
+          p4ir::HeaderType{"h" + std::to_string(i), {{"f", 64}}});
+    }
+    auto t = [](const std::string& n, std::uint32_t off) {
+      return p4ir::ParserTuple{n, off};
+    };
+    edges = {
+        {t("h0", 0), t("h1", 8), 1},  {t("h0", 0), t("h2", 8), 2},
+        {t("h1", 8), t("h3", 16), 1}, {t("h1", 8), t("h4", 16), 2},
+        {t("h2", 8), t("h3", 16), 1}, {t("h2", 8), t("h4", 16), 2},
+        {t("h3", 16), t("h5", 24), 1}, {t("h4", 16), t("h5", 24), 1},
+    };
+  }
+
+  /// A random connected sub-parser: BFS from start, keeping each edge
+  /// with probability 1/2 (but at least one outgoing edge where any
+  /// exist, to keep it interesting).
+  p4ir::Program random_program(std::mt19937_64& rng, p4ir::TupleIdTable& ids,
+                               int index) const {
+    p4ir::Program program("nf" + std::to_string(index));
+    for (const auto& type : types) program.add_header_type(type);
+    auto& g = program.parser();
+    std::uint32_t start_id = g.add_vertex(ids, start);
+    g.set_start(start_id);
+
+    std::uniform_int_distribution<int> coin(0, 1);
+    std::vector<p4ir::ParserTuple> frontier = {start};
+    std::set<std::string> visited = {start.to_string()};
+    while (!frontier.empty()) {
+      p4ir::ParserTuple cur = frontier.back();
+      frontier.pop_back();
+      std::vector<const Edge*> out;
+      for (const Edge& e : edges) {
+        if (e.from == cur) out.push_back(&e);
+      }
+      bool kept_any = false;
+      for (std::size_t i = 0; i < out.size(); ++i) {
+        const bool keep = coin(rng) || (!kept_any && i + 1 == out.size());
+        if (!keep) continue;
+        kept_any = true;
+        std::uint32_t from = g.add_vertex(ids, out[i]->from);
+        std::uint32_t to = g.add_vertex(ids, out[i]->to);
+        g.add_edge(p4ir::ParserEdge{from, to,
+                                    out[i]->from.header_type + ".f",
+                                    out[i]->select, false});
+        if (visited.insert(out[i]->to.to_string()).second) {
+          frontier.push_back(out[i]->to);
+        }
+      }
+    }
+    return program;
+  }
+};
+
+class MergeSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MergeSweep, MergeIsTheUnionAndValid) {
+  std::mt19937_64 rng(GetParam());
+  Universe universe;
+  p4ir::TupleIdTable ids;
+
+  std::vector<p4ir::Program> programs;
+  for (int i = 0; i < 4; ++i) {
+    programs.push_back(universe.random_program(rng, ids, i));
+  }
+  std::vector<const p4ir::Program*> ptrs;
+  for (auto& p : programs) ptrs.push_back(&p);
+
+  auto merged = merge_parsers(ptrs, ids);
+  std::string why;
+  EXPECT_TRUE(merged.validate(ids, &why)) << why;
+
+  // Union of vertices and edges, nothing more.
+  std::set<std::uint32_t> expected_vertices;
+  std::size_t expected_edges = 0;
+  std::set<std::string> edge_keys;
+  for (const auto* p : ptrs) {
+    for (auto v : p->parser().vertices()) expected_vertices.insert(v);
+    for (const auto& e : p->parser().edges()) {
+      if (edge_keys
+              .insert(std::to_string(e.from) + ">" + std::to_string(e.to) +
+                      "@" + std::to_string(e.select_value))
+              .second) {
+        ++expected_edges;
+      }
+    }
+  }
+  EXPECT_EQ(merged.vertices().size(), expected_vertices.size());
+  EXPECT_EQ(merged.edges().size(), expected_edges);
+  for (auto v : expected_vertices) EXPECT_TRUE(merged.has_vertex(v));
+
+  // Order-insensitive: merging in reverse gives the same vertex/edge
+  // sets.
+  std::vector<const p4ir::Program*> reversed(ptrs.rbegin(), ptrs.rend());
+  auto merged_rev = merge_parsers(reversed, ids);
+  EXPECT_EQ(merged.vertices().size(), merged_rev.vertices().size());
+  EXPECT_EQ(merged.edges().size(), merged_rev.edges().size());
+
+  // Idempotent: merging the merge with itself changes nothing.
+  p4ir::Program wrapper("merged");
+  for (const auto& type : universe.types) wrapper.add_header_type(type);
+  wrapper.parser() = merged;
+  auto twice = merge_parsers({&wrapper, &wrapper}, ids);
+  EXPECT_EQ(twice.vertices().size(), merged.vertices().size());
+  EXPECT_EQ(twice.edges().size(), merged.edges().size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MergeSweep,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+/// SFC header fuzz: random field values survive encode/decode.
+class SfcFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SfcFuzz, RoundTrip) {
+  std::mt19937_64 rng(GetParam());
+  std::uniform_int_distribution<std::uint32_t> dist;
+
+  sfc::SfcHeader h;
+  h.service_path_id = static_cast<std::uint16_t>(dist(rng));
+  h.service_index = static_cast<std::uint8_t>(dist(rng));
+  h.meta.in_port = static_cast<std::uint16_t>(dist(rng) & 0x1ff);
+  h.meta.out_port = static_cast<std::uint16_t>(dist(rng) & 0x1ff);
+  h.meta.resubmit = dist(rng) & 1;
+  h.meta.recirculate = dist(rng) & 1;
+  h.meta.drop = dist(rng) & 1;
+  h.meta.mirror = dist(rng) & 1;
+  h.meta.to_cpu = dist(rng) & 1;
+  for (std::uint8_t k = 1; k <= 4; ++k) {
+    h.context.set(static_cast<std::uint8_t>(1 + (dist(rng) % 250)),
+                  static_cast<std::uint16_t>(dist(rng)));
+  }
+  h.next_protocol = sfc::NextProtocol::kIpv4;
+
+  std::vector<std::byte> buf(sfc::kSfcHeaderSize);
+  h.encode(buf);
+  auto decoded = sfc::SfcHeader::decode(buf);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, h);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SfcFuzz,
+                         ::testing::Range<std::uint64_t>(1, 33));
+
+}  // namespace
+}  // namespace dejavu::merge

@@ -1,0 +1,177 @@
+// Structural invariants of the traversal planner over random chains
+// and placements: alternation of pipe kinds, complete in-order NF
+// coverage, loop counting consistency, and cost monotonicity.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "place/optimizer.hpp"
+
+namespace dejavu::place {
+namespace {
+
+using asic::PipeKind;
+using merge::CompositionKind;
+
+struct RandomInstance {
+  sfc::PolicySet policies;
+  Placement placement;
+};
+
+RandomInstance make_instance(std::mt19937_64& rng) {
+  std::uniform_int_distribution<int> n_nfs(2, 7);
+  std::uniform_int_distribution<int> coin(0, 1);
+
+  std::vector<std::string> nfs;
+  const int n = n_nfs(rng);
+  for (int i = 0; i < n; ++i) nfs.push_back("N" + std::to_string(i));
+
+  RandomInstance inst;
+  inst.policies.add({.path_id = 1,
+                     .name = "chain",
+                     .nfs = nfs,
+                     .weight = 1.0,
+                     .in_port = 0,
+                     .exit_port = static_cast<std::uint16_t>(
+                         coin(rng) ? 1 : 20)});
+
+  std::vector<asic::PipeletId> pipelets = {{0, PipeKind::kIngress},
+                                           {0, PipeKind::kEgress},
+                                           {1, PipeKind::kIngress},
+                                           {1, PipeKind::kEgress}};
+  std::uniform_int_distribution<std::size_t> pick(0, pipelets.size() - 1);
+  std::vector<merge::PipeletAssignment> assignment;
+  for (const auto& id : pipelets) {
+    assignment.push_back({id,
+                          coin(rng) ? CompositionKind::kSequential
+                                    : CompositionKind::kParallel,
+                          {}});
+  }
+  assignment[0].nfs.push_back(nfs[0]);  // entry NF at arrival ingress
+  for (std::size_t i = 1; i < nfs.size(); ++i) {
+    assignment[pick(rng)].nfs.push_back(nfs[i]);
+  }
+  std::erase_if(assignment, [](const merge::PipeletAssignment& pa) {
+    return pa.nfs.empty();
+  });
+  inst.placement = Placement(std::move(assignment));
+  return inst;
+}
+
+class TraversalSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TraversalSweep, StructuralInvariantsHold) {
+  std::mt19937_64 rng(GetParam());
+  auto spec = asic::TargetSpec::tofino32();
+  TraversalEnv env{.pipelines = 2, .can_recirculate = {true, true}};
+
+  for (int round = 0; round < 10; ++round) {
+    auto inst = make_instance(rng);
+    const auto& policy = inst.policies.policies()[0];
+    Traversal t = plan_traversal(policy, inst.placement, spec, env);
+    ASSERT_TRUE(t.feasible) << inst.placement.to_string();
+    ASSERT_FALSE(t.steps.empty());
+
+    // (1) Step structure: starts at the arrival ingress, ends with a
+    // single kOut from an egress pipe.
+    EXPECT_EQ(t.steps.front().pipelet.pipeline,
+              spec.pipeline_of_port(policy.in_port));
+    EXPECT_EQ(t.steps.front().pipelet.kind, PipeKind::kIngress);
+    EXPECT_EQ(t.steps.back().exit_via, TraversalStep::Exit::kOut);
+    EXPECT_EQ(t.steps.back().pipelet.kind, PipeKind::kEgress);
+    EXPECT_EQ(t.steps.back().pipelet.pipeline,
+              spec.pipeline_of_port(policy.exit_port));
+
+    std::uint32_t recircs = 0, resubs = 0;
+    for (std::size_t i = 0; i < t.steps.size(); ++i) {
+      const TraversalStep& step = t.steps[i];
+      switch (step.exit_via) {
+        case TraversalStep::Exit::kToEgress:
+          // Ingress only, and the next step is an egress pipe.
+          EXPECT_EQ(step.pipelet.kind, PipeKind::kIngress);
+          ASSERT_LT(i + 1, t.steps.size());
+          EXPECT_EQ(t.steps[i + 1].pipelet.kind, PipeKind::kEgress);
+          break;
+        case TraversalStep::Exit::kResubmit:
+          EXPECT_EQ(step.pipelet.kind, PipeKind::kIngress);
+          ASSERT_LT(i + 1, t.steps.size());
+          EXPECT_EQ(t.steps[i + 1].pipelet, step.pipelet);
+          ++resubs;
+          break;
+        case TraversalStep::Exit::kRecirculate:
+          EXPECT_EQ(step.pipelet.kind, PipeKind::kEgress);
+          ASSERT_LT(i + 1, t.steps.size());
+          EXPECT_EQ(t.steps[i + 1].pipelet.kind, PipeKind::kIngress);
+          // Constraint (d): recirculation stays within the pipeline.
+          EXPECT_EQ(t.steps[i + 1].pipelet.pipeline,
+                    step.pipelet.pipeline);
+          ++recircs;
+          break;
+        case TraversalStep::Exit::kOut:
+          EXPECT_EQ(i, t.steps.size() - 1);
+          break;
+      }
+    }
+    // (2) Loop counters agree with the step structure.
+    EXPECT_EQ(t.recirculations, recircs);
+    EXPECT_EQ(t.resubmissions, resubs);
+
+    // (3) The executed NFs, concatenated across steps, are exactly
+    // the chain in order.
+    std::vector<std::string> executed;
+    for (const auto& step : t.steps) {
+      executed.insert(executed.end(), step.executed.begin(),
+                      step.executed.end());
+    }
+    EXPECT_EQ(executed, policy.nfs) << inst.placement.to_string();
+
+    // (4) Every NF ran on the pipelet it was placed on.
+    for (const auto& step : t.steps) {
+      for (const auto& nf : step.executed) {
+        auto loc = inst.placement.find(nf);
+        ASSERT_TRUE(loc.has_value());
+        EXPECT_EQ(loc->pipelet, step.pipelet) << nf;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TraversalSweep,
+                         ::testing::Range<std::uint64_t>(1, 26));
+
+TEST(CostMonotonicity, AddingAChainNeverLowersTheCost) {
+  auto spec = asic::TargetSpec::tofino32();
+  TraversalEnv env{.pipelines = 2, .can_recirculate = {true, true}};
+  StageModel model;
+
+  sfc::PolicySet one;
+  one.add({.path_id = 1,
+           .name = "a",
+           .nfs = {"C", "X"},
+           .weight = 1.0,
+           .in_port = 0,
+           .exit_port = 1});
+  sfc::PolicySet two = one;
+  two.add({.path_id = 2,
+           .name = "b",
+           .nfs = {"C", "Y"},
+           .weight = 1.0,
+           .in_port = 0,
+           .exit_port = 1});
+
+  // For any fixed placement covering both, cost(two) >= cost(one).
+  Placement placement({
+      {{0, asic::PipeKind::kIngress},
+       CompositionKind::kSequential,
+       {"C", "X"}},
+      {{1, asic::PipeKind::kIngress},
+       CompositionKind::kSequential,
+       {"Y"}},
+  });
+  double c1 = placement_cost(one, placement, spec, env, model);
+  double c2 = placement_cost(two, placement, spec, env, model);
+  EXPECT_GE(c2, c1);
+}
+
+}  // namespace
+}  // namespace dejavu::place

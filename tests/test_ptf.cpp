@@ -1,0 +1,100 @@
+// Tests of the PTF-style harness itself: every expectation kind must
+// detect both the matching and the mismatching case.
+#include "ptf/ptf.hpp"
+
+#include <gtest/gtest.h>
+
+#include "control/deployment.hpp"
+
+namespace dejavu::ptf {
+namespace {
+
+class PtfTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fx_ = control::make_fig2_deployment();
+  }
+
+  static net::Packet direct_packet() {
+    net::PacketSpec spec;
+    spec.ip_dst = net::Ipv4Addr(10, 3, 0, 1);
+    return net::Packet::make(spec);
+  }
+
+  control::Fig2Deployment fx_;
+};
+
+TEST_F(PtfTest, PortMismatchIsReported) {
+  Expectation expect;
+  expect.port = 7;  // actually delivered on 1
+  auto result = send_and_expect(fx_.deployment->control(), direct_packet(),
+                                0, expect);
+  EXPECT_FALSE(result.pass);
+  ASSERT_EQ(result.failures.size(), 1u);
+  EXPECT_NE(result.failures[0].find("port"), std::string::npos);
+  EXPECT_NE(result.summary().find("FAIL"), std::string::npos);
+}
+
+TEST_F(PtfTest, FieldMismatchesAreCollected) {
+  Expectation expect;
+  expect.ipv4_dst = net::Ipv4Addr(9, 9, 9, 9);
+  expect.ttl = 60;
+  expect.eth_dst = net::MacAddr::from_u64(0x111111111111);
+  auto result = send_and_expect(fx_.deployment->control(), direct_packet(),
+                                0, expect);
+  EXPECT_FALSE(result.pass);
+  EXPECT_EQ(result.failures.size(), 3u);  // dst, ttl, mac all wrong
+}
+
+TEST_F(PtfTest, DropExpectationBothWays) {
+  // Unclassified traffic drops: expecting a drop passes.
+  net::PacketSpec unknown;
+  unknown.ip_dst = net::Ipv4Addr(172, 16, 0, 1);
+  Expectation expect_drop;
+  expect_drop.outcome = Expectation::Outcome::kDropped;
+  EXPECT_TRUE(send_and_expect(fx_.deployment->control(),
+                              net::Packet::make(unknown), 0, expect_drop)
+                  .pass);
+
+  // Delivered traffic fails a drop expectation.
+  EXPECT_FALSE(send_and_expect(fx_.deployment->control(), direct_packet(),
+                               0, expect_drop)
+                   .pass);
+}
+
+TEST_F(PtfTest, UnexpectedDropExplainsItself) {
+  net::PacketSpec unknown;
+  unknown.ip_dst = net::Ipv4Addr(172, 16, 0, 1);
+  Expectation expect;
+  expect.port = 1;
+  auto result = send_and_expect(fx_.deployment->control(),
+                                net::Packet::make(unknown), 0, expect);
+  EXPECT_FALSE(result.pass);
+  EXPECT_NE(result.failures[0].find("dropped"), std::string::npos);
+  // The data-plane trace is attached for debugging.
+  EXPECT_FALSE(result.trace.empty());
+}
+
+TEST_F(PtfTest, RecirculationCountExpectations) {
+  Expectation expect;
+  expect.recirculations = 0;  // optimizer placement: direct path, 0 loops
+  EXPECT_TRUE(send_and_expect(fx_.deployment->control(), direct_packet(), 0,
+                              expect)
+                  .pass);
+  Expectation wrong;
+  wrong.recirculations = 5;
+  EXPECT_FALSE(send_and_expect(fx_.deployment->control(), direct_packet(),
+                               0, wrong)
+                   .pass);
+}
+
+TEST_F(PtfTest, SfcLeakCheckCanBeDisabled) {
+  Expectation expect;
+  expect.require_no_sfc = false;
+  EXPECT_TRUE(send_and_expect(fx_.deployment->control(), direct_packet(), 0,
+                              expect)
+                  .pass);
+}
+
+}  // namespace
+}  // namespace dejavu::ptf

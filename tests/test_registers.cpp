@@ -1,0 +1,198 @@
+// Stateful (register) processing: primitive semantics in the
+// executor, resource accounting, emission, and the rate-limiter NF end
+// to end in a deployed chain.
+#include <gtest/gtest.h>
+
+#include "control/deployment.hpp"
+#include "merge/compose.hpp"
+#include "nf/nfs.hpp"
+#include "nf/parser_lib.hpp"
+#include "p4ir/emit.hpp"
+#include "sim/dataplane.hpp"
+
+namespace dejavu {
+namespace {
+
+using p4ir::Action;
+using p4ir::ControlBlock;
+using p4ir::RegisterDef;
+using p4ir::Table;
+
+TEST(RegisterDefs, ControlBlockValidation) {
+  ControlBlock c("c");
+  c.add_register(RegisterDef{"r", 32, 16});
+  EXPECT_THROW(c.add_register(RegisterDef{"r", 32, 16}),
+               std::invalid_argument);
+  EXPECT_THROW(c.add_register(RegisterDef{"bad", 0, 16}),
+               std::invalid_argument);
+  EXPECT_THROW(c.add_register(RegisterDef{"bad", 65, 16}),
+               std::invalid_argument);
+  EXPECT_THROW(c.add_register(RegisterDef{"bad", 32, 0}),
+               std::invalid_argument);
+  EXPECT_NE(c.find_register("r"), nullptr);
+  EXPECT_EQ(c.find_register("x"), nullptr);
+}
+
+TEST(RegisterDefs, UnknownRegisterRefFailsValidate) {
+  ControlBlock c("c");
+  Action a;
+  a.name = "a";
+  a.primitives = {p4ir::register_add("ghost", "local.i", 1)};
+  c.add_action(a);
+  std::string why;
+  EXPECT_FALSE(c.validate(&why));
+  EXPECT_NE(why.find("ghost"), std::string::npos);
+}
+
+TEST(RegisterResources, ChargedToTheTableStage) {
+  ControlBlock c("c");
+  c.add_register(RegisterDef{"big", 32, 65536});  // 2M bits = 16 blocks
+  Action a;
+  a.name = "a";
+  a.primitives = {p4ir::register_add("big", "local.i", 1)};
+  c.add_action(a);
+  Table t;
+  t.name = "t";
+  t.default_action = "a";
+  t.max_entries = 1;
+  t.registers = {"big"};
+  c.add_table(t);
+  auto r = p4ir::estimate_table(c, *c.find_table("t"), false);
+  EXPECT_EQ(r.sram_blocks, 16u);
+}
+
+/// Executor-level register semantics on a minimal program.
+class RegisterExec : public ::testing::Test {
+ protected:
+  RegisterExec() : config(asic::TargetSpec::mini()), program("p") {
+    nf::add_standard_parser(program, ids);
+
+    ControlBlock c(
+        merge::pipelet_control_name({0, asic::PipeKind::kIngress}));
+    c.add_register(RegisterDef{"cells", 8, 4});  // 8-bit cells, size 4
+
+    Action bump;
+    bump.name = "bump";
+    bump.primitives = {
+        p4ir::register_add("cells", "ipv4.ttl", 1, "local.seen"),
+        p4ir::copy_field("ipv4.dscp_ecn", "local.seen"),
+        p4ir::set_imm("standard_metadata.egress_spec", 1),
+    };
+    c.add_action(bump);
+    Table t;
+    t.name = "t";
+    t.default_action = "bump";
+    t.registers = {"cells"};
+    c.add_table(t);
+    c.apply_table("t");
+    program.add_control(std::move(c));
+  }
+
+  p4ir::TupleIdTable ids;
+  asic::SwitchConfig config;
+  p4ir::Program program;
+};
+
+TEST_F(RegisterExec, StatePersistsAcrossPackets) {
+  sim::DataPlane dp(program, ids, config);
+  net::PacketSpec spec;
+  spec.ttl = 2;  // index 2
+
+  for (int i = 1; i <= 3; ++i) {
+    auto out = dp.process(net::Packet::make(spec), 0);
+    ASSERT_EQ(out.out.size(), 1u);
+    // The packet carries back the post-increment counter value.
+    EXPECT_EQ(out.out.front().packet.ipv4()->dscp_ecn, i);
+  }
+  auto* cells = dp.register_array(
+      merge::pipelet_control_name({0, asic::PipeKind::kIngress}), "cells");
+  ASSERT_NE(cells, nullptr);
+  EXPECT_EQ((*cells)[2], 3u);
+  EXPECT_EQ((*cells)[0], 0u);
+}
+
+TEST_F(RegisterExec, IndexWrapsModuloSize) {
+  sim::DataPlane dp(program, ids, config);
+  net::PacketSpec spec;
+  spec.ttl = 6;  // 6 % 4 = cell 2
+  dp.process(net::Packet::make(spec), 0);
+  auto* cells = dp.register_array(
+      merge::pipelet_control_name({0, asic::PipeKind::kIngress}), "cells");
+  EXPECT_EQ((*cells)[2], 1u);
+}
+
+TEST_F(RegisterExec, ValueWrapsAtCellWidth) {
+  sim::DataPlane dp(program, ids, config);
+  net::PacketSpec spec;
+  spec.ttl = 1;
+  auto* cells = dp.register_array(
+      merge::pipelet_control_name({0, asic::PipeKind::kIngress}), "cells");
+  (*cells)[1] = 0xff;  // 8-bit cell at max
+  auto out = dp.process(net::Packet::make(spec), 0);
+  EXPECT_EQ((*cells)[1], 0u);  // wrapped
+  EXPECT_EQ(out.out.front().packet.ipv4()->dscp_ecn, 0);
+}
+
+TEST(RateLimiterNf, DropsFlowsOverThreshold) {
+  p4ir::TupleIdTable ids;
+  std::vector<p4ir::Program> nfs;
+  nfs.push_back(nf::make_classifier(ids));
+  nfs.push_back(nf::make_rate_limiter(ids, /*packet_threshold=*/5));
+  nfs.push_back(nf::make_router(ids));
+
+  sfc::PolicySet policies;
+  policies.add({.path_id = 1,
+                .name = "limited",
+                .nfs = {sfc::kClassifier, "Limiter", sfc::kRouter},
+                .weight = 1.0,
+                .in_port = 0,
+                .exit_port = 1,
+                .terminal_pops_sfc = true});
+
+  asic::SwitchConfig config(asic::TargetSpec::tofino32());
+  auto d = control::Deployment::build(std::move(nfs), policies,
+                                      std::move(config), std::move(ids));
+  auto& cp = d->control();
+  cp.add_traffic_class({.src = *net::Ipv4Prefix::parse("0.0.0.0/0"),
+                        .dst = *net::Ipv4Prefix::parse("0.0.0.0/0"),
+                        .protocol = std::nullopt,
+                        .priority = 0,
+                        .path_id = 1,
+                        .tenant = 1});
+  cp.add_route({.prefix = *net::Ipv4Prefix::parse("0.0.0.0/0"),
+                .port = 1,
+                .next_hop_mac = net::MacAddr::from_u64(0x42)});
+
+  net::PacketSpec flow;
+  flow.ip_src = net::Ipv4Addr(192, 168, 7, 7);
+  flow.src_port = 5555;
+
+  int delivered = 0, dropped = 0;
+  for (int i = 0; i < 12; ++i) {
+    auto out = cp.inject(net::Packet::make(flow), 0);
+    delivered += !out.out.empty();
+    dropped += out.dropped;
+  }
+  // Packets 1..5 pass (count <= threshold), 6..12 exceed it.
+  EXPECT_EQ(delivered, 5);
+  EXPECT_EQ(dropped, 7);
+
+  // An unrelated flow is unaffected (its own register cell).
+  net::PacketSpec other = flow;
+  other.src_port = 5556;
+  EXPECT_EQ(cp.inject(net::Packet::make(other), 0).out.size(), 1u);
+}
+
+TEST(RateLimiterNf, EmitsRegisterConstructs) {
+  p4ir::TupleIdTable ids;
+  auto limiter = nf::make_rate_limiter(ids, 100);
+  std::string p4 = p4ir::emit_p4(limiter, ids);
+  EXPECT_NE(p4.find("register<bit<32>>(8192) flow_count;"),
+            std::string::npos);
+  EXPECT_NE(p4.find("flow_count.add(local_flowIdx, 1) -> local_count;"),
+            std::string::npos);
+  EXPECT_NE(p4.find("if (local_count > 100)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dejavu

@@ -1,0 +1,158 @@
+#include "route/routing.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dejavu::route {
+namespace {
+
+using asic::PipeKind;
+using merge::CompositionKind;
+
+class RoutingTest : public ::testing::Test {
+ protected:
+  RoutingTest() : config(asic::TargetSpec::tofino32()) {
+    config.set_pipeline_loopback(1);
+    policies.add({.path_id = 1,
+                  .name = "chain",
+                  .nfs = {"A", "B", "C"},
+                  .weight = 1.0,
+                  .in_port = 0,
+                  .exit_port = 1});
+  }
+
+  asic::SwitchConfig config;
+  sfc::PolicySet policies;
+};
+
+TEST_F(RoutingTest, ChecksCoverEveryPathPosition) {
+  place::Placement p({
+      {{0, PipeKind::kIngress}, CompositionKind::kSequential, {"A"}},
+      {{1, PipeKind::kEgress}, CompositionKind::kSequential, {"B"}},
+      {{0, PipeKind::kEgress}, CompositionKind::kSequential, {"C"}},
+  });
+  auto plan = build_routing(policies, p, config);
+  ASSERT_TRUE(plan.feasible) << plan.infeasible_reason;
+  ASSERT_EQ(plan.checks.size(), 3u);
+  for (std::uint8_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(plan.checks[i].nf, policies.policies()[0].nfs[i]);
+    EXPECT_EQ(plan.checks[i].path_id, 1);
+    EXPECT_EQ(plan.checks[i].service_index, i);
+  }
+}
+
+TEST_F(RoutingTest, BranchingRulesFollowTheTraversal) {
+  // A@I0, B@E1 (loopback pipeline), C@I1... C on ingress 1, exit on
+  // port 1 (pipeline 0).
+  place::Placement p({
+      {{0, PipeKind::kIngress}, CompositionKind::kSequential, {"A"}},
+      {{1, PipeKind::kEgress}, CompositionKind::kSequential, {"B"}},
+      {{1, PipeKind::kIngress}, CompositionKind::kSequential, {"C"}},
+  });
+  auto plan = build_routing(policies, p, config);
+  ASSERT_TRUE(plan.feasible) << plan.infeasible_reason;
+
+  // Ingress 0, after A (index 1): to a loopback port of pipeline 1
+  // (B sits on egress 1, more work follows).
+  const BranchingRule* r0 =
+      plan.find_branching({0, PipeKind::kIngress}, 1, 1);
+  ASSERT_NE(r0, nullptr);
+  EXPECT_EQ(r0->kind, BranchingRule::Kind::kToEgress);
+  EXPECT_TRUE(config.is_loopback(r0->port))
+      << "port " << r0->port << " should be a loopback port";
+  EXPECT_EQ(config.spec().pipeline_of_port(r0->port), 1u);
+
+  // Ingress 1, after C (index 3, chain done): to the exit port.
+  const BranchingRule* r1 =
+      plan.find_branching({1, PipeKind::kIngress}, 1, 3);
+  ASSERT_NE(r1, nullptr);
+  EXPECT_EQ(r1->kind, BranchingRule::Kind::kToEgress);
+  EXPECT_EQ(r1->port, 1);
+}
+
+TEST_F(RoutingTest, ResubmissionRuleForSamePipeletRevisit) {
+  // A and B on ingress 0 but B before A in apply order: the pass
+  // runs A only and the branching entry resubmits.
+  place::Placement p({
+      {{0, PipeKind::kIngress}, CompositionKind::kSequential, {"B", "A"}},
+      {{0, PipeKind::kEgress}, CompositionKind::kSequential, {"C"}},
+  });
+  auto plan = build_routing(policies, p, config);
+  ASSERT_TRUE(plan.feasible) << plan.infeasible_reason;
+
+  const BranchingRule* r = plan.find_branching({0, PipeKind::kIngress}, 1, 1);
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->kind, BranchingRule::Kind::kResubmit);
+}
+
+TEST_F(RoutingTest, DedicatedRecircPortUsedWithoutLoopbacks) {
+  asic::SwitchConfig plain(asic::TargetSpec::tofino32());  // no loopback
+  place::Placement p({
+      {{0, PipeKind::kIngress}, CompositionKind::kSequential, {"A"}},
+      {{1, PipeKind::kIngress}, CompositionKind::kSequential, {"B"}},
+      {{0, PipeKind::kEgress}, CompositionKind::kSequential, {"C"}},
+  });
+  auto plan = build_routing(policies, p, plain);
+  ASSERT_TRUE(plan.feasible) << plan.infeasible_reason;
+  const BranchingRule* r = plan.find_branching({0, PipeKind::kIngress}, 1, 1);
+  ASSERT_NE(r, nullptr);
+  // B is on ingress 1: the hop crosses via pipeline 1's dedicated
+  // recirculation port.
+  EXPECT_EQ(r->port, dedicated_recirc_port(plain.spec(), 1));
+}
+
+TEST_F(RoutingTest, LoopbackPortsRotatePerRule) {
+  sfc::PolicySet two;
+  two.add({.path_id = 1, .name = "p1", .nfs = {"A", "B"},
+           .in_port = 0, .exit_port = 1});
+  two.add({.path_id = 2, .name = "p2", .nfs = {"A", "C"},
+           .in_port = 0, .exit_port = 1});
+  place::Placement p({
+      {{0, PipeKind::kIngress}, CompositionKind::kSequential, {"A"}},
+      {{1, PipeKind::kIngress}, CompositionKind::kSequential, {"B", "C"}},
+  });
+  auto plan = build_routing(two, p, config);
+  ASSERT_TRUE(plan.feasible) << plan.infeasible_reason;
+  const BranchingRule* r1 = plan.find_branching({0, PipeKind::kIngress}, 1, 1);
+  const BranchingRule* r2 = plan.find_branching({0, PipeKind::kIngress}, 2, 1);
+  ASSERT_NE(r1, nullptr);
+  ASSERT_NE(r2, nullptr);
+  // Round-robin across pipeline 1's 16 loopback ports spreads load.
+  EXPECT_NE(r1->port, r2->port);
+}
+
+TEST_F(RoutingTest, InfeasiblePlacementReported) {
+  place::Placement p({
+      {{0, PipeKind::kIngress}, CompositionKind::kSequential, {"A", "B"}},
+  });  // C unplaced
+  auto plan = build_routing(policies, p, config);
+  EXPECT_FALSE(plan.feasible);
+  EXPECT_NE(plan.infeasible_reason.find("C"), std::string::npos);
+}
+
+TEST_F(RoutingTest, TraversalsRecordedPerPath) {
+  place::Placement p({
+      {{0, PipeKind::kIngress}, CompositionKind::kSequential, {"A", "B"}},
+      {{0, PipeKind::kEgress}, CompositionKind::kSequential, {"C"}},
+  });
+  auto plan = build_routing(policies, p, config);
+  ASSERT_TRUE(plan.feasible);
+  ASSERT_TRUE(plan.traversals.contains(1));
+  EXPECT_EQ(plan.traversals.at(1).recirculations, 0u);
+}
+
+TEST(RecircPort, NumberingSitsAboveFrontPanel) {
+  auto spec = asic::TargetSpec::tofino32();
+  EXPECT_EQ(dedicated_recirc_port(spec, 0), 32);
+  EXPECT_EQ(dedicated_recirc_port(spec, 1), 33);
+}
+
+TEST(EnvFor, AllPipelinesCanRecirculate) {
+  asic::SwitchConfig config(asic::TargetSpec::tofino32());
+  auto env = env_for(config);
+  EXPECT_EQ(env.pipelines, 2u);
+  EXPECT_TRUE(env.recirc_ok(0));
+  EXPECT_TRUE(env.recirc_ok(1));
+}
+
+}  // namespace
+}  // namespace dejavu::route

@@ -1,0 +1,89 @@
+#include "sfc/chain.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dejavu::sfc {
+namespace {
+
+TEST(PolicySet, AddAndFind) {
+  PolicySet set;
+  set.add({.path_id = 1, .name = "a", .nfs = {"C", "R"}, .weight = 0.5});
+  set.add({.path_id = 2, .name = "b", .nfs = {"C", "F", "R"}, .weight = 0.5});
+  EXPECT_EQ(set.size(), 2u);
+  ASSERT_NE(set.find(1), nullptr);
+  EXPECT_EQ(set.find(1)->name, "a");
+  EXPECT_EQ(set.find(3), nullptr);
+}
+
+TEST(PolicySet, RejectsDuplicatePathIds) {
+  PolicySet set;
+  set.add({.path_id = 1, .name = "a", .nfs = {"C"}});
+  EXPECT_THROW(set.add({.path_id = 1, .name = "b", .nfs = {"C"}}),
+               std::invalid_argument);
+}
+
+TEST(PolicySet, RejectsEmptyChains) {
+  PolicySet set;
+  EXPECT_THROW(set.add({.path_id = 1, .name = "empty", .nfs = {}}),
+               std::invalid_argument);
+}
+
+TEST(PolicySet, RejectsRepeatedNfInOneChain) {
+  PolicySet set;
+  EXPECT_THROW(set.add({.path_id = 1, .name = "x", .nfs = {"C", "C"}}),
+               std::invalid_argument);
+}
+
+TEST(PolicySet, RejectsNegativeWeight) {
+  PolicySet set;
+  EXPECT_THROW(
+      set.add({.path_id = 1, .name = "x", .nfs = {"C"}, .weight = -1}),
+      std::invalid_argument);
+}
+
+TEST(PolicySet, NfAtIndexSemantics) {
+  PolicySet set;
+  set.add({.path_id = 4, .name = "p", .nfs = {"A", "B", "C"}});
+  EXPECT_EQ(set.nf_at(4, 0), "A");
+  EXPECT_EQ(set.nf_at(4, 2), "C");
+  EXPECT_FALSE(set.nf_at(4, 3).has_value());  // chain complete
+  EXPECT_FALSE(set.nf_at(9, 0).has_value());  // unknown path
+}
+
+TEST(PolicySet, AllNfsIsSortedUnion) {
+  PolicySet set;
+  set.add({.path_id = 1, .name = "a", .nfs = {"C", "B"}});
+  set.add({.path_id = 2, .name = "b", .nfs = {"C", "A"}});
+  EXPECT_EQ(set.all_nfs(), (std::vector<std::string>{"A", "B", "C"}));
+}
+
+TEST(PolicySet, TotalWeight) {
+  PolicySet set;
+  set.add({.path_id = 1, .name = "a", .nfs = {"C"}, .weight = 0.25});
+  set.add({.path_id = 2, .name = "b", .nfs = {"C"}, .weight = 0.5});
+  EXPECT_DOUBLE_EQ(set.total_weight(), 0.75);
+}
+
+TEST(Fig2Policies, MatchesThePaper) {
+  PolicySet set = fig2_policies();
+  ASSERT_EQ(set.size(), 3u);
+  // Red arrows: Classifier-FW-VGW-LB-Router.
+  EXPECT_EQ(set.find(1)->nfs,
+            (std::vector<std::string>{kClassifier, kFirewall, kVgw,
+                                      kLoadBalancer, kRouter}));
+  // Orange: Classifier-VGW-Router.
+  EXPECT_EQ(set.find(2)->nfs,
+            (std::vector<std::string>{kClassifier, kVgw, kRouter}));
+  // Green: Classifier-Router.
+  EXPECT_EQ(set.find(3)->nfs,
+            (std::vector<std::string>{kClassifier, kRouter}));
+  // Every path begins with the Classifier and ends with the Router
+  // (both supplied by the framework, Fig. 2 caption).
+  for (const auto& p : set.policies()) {
+    EXPECT_EQ(p.nfs.front(), kClassifier);
+    EXPECT_EQ(p.nfs.back(), kRouter);
+  }
+}
+
+}  // namespace
+}  // namespace dejavu::sfc

@@ -1,0 +1,88 @@
+#include "sim/bits.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/bytes.hpp"
+
+namespace dejavu::sim {
+namespace {
+
+TEST(Bits, ByteAlignedReads) {
+  auto data = net::from_hex("0123456789abcdef");
+  EXPECT_EQ(read_bits(data, 0, 8), 0x01u);
+  EXPECT_EQ(read_bits(data, 8, 16), 0x2345u);
+  EXPECT_EQ(read_bits(data, 0, 64), 0x0123456789abcdefULL);
+}
+
+TEST(Bits, UnalignedReads) {
+  // 0x4f = 0100 1111: version nibble 4, then 1111...
+  auto data = net::from_hex("4f00");
+  EXPECT_EQ(read_bits(data, 0, 4), 4u);
+  EXPECT_EQ(read_bits(data, 4, 4), 0xfu);
+  EXPECT_EQ(read_bits(data, 4, 8), 0xf0u);
+  EXPECT_EQ(read_bits(data, 1, 3), 0b100u);
+}
+
+TEST(Bits, WriteReadRoundTripUnaligned) {
+  std::vector<std::byte> data(4);
+  write_bits(data, 3, 9, 0x155);  // 9 bits across byte boundary
+  EXPECT_EQ(read_bits(data, 3, 9), 0x155u);
+  // Neighbours untouched.
+  EXPECT_EQ(read_bits(data, 0, 3), 0u);
+  EXPECT_EQ(read_bits(data, 12, 12), 0u);
+}
+
+TEST(Bits, WriteMasksToWidth) {
+  std::vector<std::byte> data(2);
+  write_bits(data, 0, 4, 0xff);  // only low 4 bits land
+  EXPECT_EQ(read_bits(data, 0, 4), 0xfu);
+  EXPECT_EQ(read_bits(data, 4, 4), 0u);
+}
+
+TEST(Bits, OutOfRangeThrows) {
+  std::vector<std::byte> data(2);
+  EXPECT_THROW(read_bits(data, 9, 8), std::out_of_range);
+  EXPECT_THROW(read_bits(data, 0, 65), std::out_of_range);
+  EXPECT_THROW(write_bits(data, 16, 1, 0), std::out_of_range);
+}
+
+TEST(Bits, MaskToWidth) {
+  EXPECT_EQ(mask_to_width(0xffff, 8), 0xffu);
+  EXPECT_EQ(mask_to_width(0x1ff, 9), 0x1ffu);
+  EXPECT_EQ(mask_to_width(~0ULL, 64), ~0ULL);
+}
+
+/// Property sweep: write/read round-trips at every offset/width combo
+/// in a window.
+class BitSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(BitSweep, RoundTrip) {
+  auto [offset, width] = GetParam();
+  std::vector<std::byte> data(12, std::byte{0xa5});
+  const std::uint64_t value =
+      0x123456789abcdef0ULL & ((width >= 64) ? ~0ULL
+                                             : ((1ULL << width) - 1));
+  const std::vector<std::byte> before = data;
+  write_bits(data, offset, width, value);
+  EXPECT_EQ(read_bits(data, offset, width), value);
+  // Bits outside the slice are untouched.
+  if (offset > 0) {
+    EXPECT_EQ(read_bits(data, 0, offset),
+              read_bits(before, 0, offset));
+  }
+  const std::size_t after_off = offset + width;
+  const std::size_t tail = data.size() * 8 - after_off;
+  if (tail > 0) {
+    EXPECT_EQ(read_bits(data, after_off, std::min<std::size_t>(tail, 64)),
+              read_bits(before, after_off, std::min<std::size_t>(tail, 64)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OffsetsAndWidths, BitSweep,
+    ::testing::Combine(::testing::Values(0, 1, 3, 7, 8, 9, 15, 23),
+                       ::testing::Values(1, 4, 8, 9, 16, 24, 33, 48)));
+
+}  // namespace
+}  // namespace dejavu::sim

@@ -1,0 +1,125 @@
+#include "sim/fields.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nf/parser_lib.hpp"
+#include "sfc/header.hpp"
+
+namespace dejavu::sim {
+namespace {
+
+class FieldsTest : public ::testing::Test {
+ protected:
+  FieldsTest() : program("p") { nf::add_standard_parser(program, ids); }
+
+  FieldView view_of(net::Packet& p) {
+    return FieldView(program, p, run_parser(program, ids, p), meta);
+  }
+
+  p4ir::TupleIdTable ids;
+  p4ir::Program program;
+  StandardMetadata meta;
+};
+
+TEST_F(FieldsTest, ReadsHeaderFields) {
+  net::PacketSpec spec;
+  spec.ip_src = net::Ipv4Addr(1, 2, 3, 4);
+  spec.ip_dst = net::Ipv4Addr(5, 6, 7, 8);
+  spec.src_port = 4242;
+  spec.ttl = 33;
+  auto p = net::Packet::make(spec);
+  auto view = view_of(p);
+
+  EXPECT_EQ(view.read("ipv4.src_addr"), 0x01020304u);
+  EXPECT_EQ(view.read("ipv4.dst_addr"), 0x05060708u);
+  EXPECT_EQ(view.read("ipv4.ttl"), 33u);
+  EXPECT_EQ(view.read("ipv4.version"), 4u);
+  EXPECT_EQ(view.read("tcp.src_port"), 4242u);
+  EXPECT_EQ(view.read("ethernet.ether_type"), net::kEtherTypeIpv4);
+}
+
+TEST_F(FieldsTest, WritesShowUpInThePacketBytes) {
+  auto p = net::Packet::make({});
+  auto view = view_of(p);
+  EXPECT_TRUE(view.write("ipv4.dst_addr", 0x0a0b0c0d));
+  EXPECT_EQ(p.ipv4()->dst, net::Ipv4Addr(0x0a0b0c0d));
+}
+
+TEST_F(FieldsTest, MissingHeaderReadsNulloptWritesNoop) {
+  auto p = net::Packet::make({});
+  auto view = view_of(p);
+  EXPECT_FALSE(view.read("sfc.service_index").has_value());
+  const net::Packet before = p;
+  EXPECT_FALSE(view.write("sfc.service_index", 9));
+  EXPECT_EQ(p, before);  // untouched
+}
+
+TEST_F(FieldsTest, UnknownFieldsAreNullopt) {
+  auto p = net::Packet::make({});
+  auto view = view_of(p);
+  EXPECT_FALSE(view.read("ipv4.bogus").has_value());
+  EXPECT_FALSE(view.read("ghost.field").has_value());
+  EXPECT_FALSE(view.read("notdotted").has_value());
+}
+
+TEST_F(FieldsTest, StandardMetadataBacking) {
+  auto p = net::Packet::make({});
+  auto view = view_of(p);
+  meta.ingress_port = 7;
+  EXPECT_EQ(view.read("standard_metadata.ingress_port"), 7u);
+  EXPECT_TRUE(view.write("standard_metadata.egress_spec", 12));
+  EXPECT_EQ(meta.egress_spec, 12);
+  EXPECT_TRUE(view.write("standard_metadata.drop_flag", 1));
+  EXPECT_TRUE(meta.drop_flag);
+  EXPECT_FALSE(view.write("standard_metadata.bogus", 1));
+}
+
+TEST_F(FieldsTest, LocalsNamespace) {
+  auto p = net::Packet::make({});
+  auto view = view_of(p);
+  EXPECT_FALSE(view.read("local.hash").has_value());
+  EXPECT_TRUE(view.write("local.hash", 0xdeadbeef));
+  EXPECT_EQ(view.read("local.hash"), 0xdeadbeefu);
+}
+
+TEST_F(FieldsTest, SfcFieldsReadableAfterPushAndReparse) {
+  auto p = net::Packet::make({});
+  auto view = view_of(p);
+
+  sfc::SfcHeader h;
+  h.service_path_id = 0x77;
+  h.service_index = 2;
+  sfc::push_sfc(p, h);
+  view.reparse(ids);
+
+  EXPECT_EQ(view.read("sfc.service_path_id"), 0x77u);
+  EXPECT_EQ(view.read("sfc.service_index"), 2u);
+  // The IP header is still readable at its shifted offset.
+  EXPECT_EQ(view.read("ipv4.version"), 4u);
+
+  // Field writes agree with the codec view.
+  EXPECT_TRUE(view.write("sfc.service_index", 3));
+  EXPECT_TRUE(view.write("sfc.to_cpu_flag", 1));
+  auto decoded = sfc::read_sfc(p);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->service_index, 3);
+  EXPECT_TRUE(decoded->meta.to_cpu);
+}
+
+TEST_F(FieldsTest, WriteMasksToFieldWidth) {
+  auto p = net::Packet::make({});
+  auto view = view_of(p);
+  view.write("ipv4.ttl", 0x1ff);  // 8-bit field
+  EXPECT_EQ(view.read("ipv4.ttl"), 0xffu);
+}
+
+TEST_F(FieldsTest, OutPortSentinelRoundTrip) {
+  auto p = net::Packet::make({});
+  sfc::push_sfc(p, sfc::SfcHeader{});
+  auto view = view_of(p);
+  // Fresh SFC headers carry out_port = kPortUnset (9-bit all-ones).
+  EXPECT_EQ(view.read("sfc.out_port"), sfc::kPortUnset);
+}
+
+}  // namespace
+}  // namespace dejavu::sim

@@ -1,0 +1,128 @@
+// The §4 recirculation model: closed-form checks against the numbers
+// the paper derives (x = 0.62T, 0.38T, 0.16T) and the qualitative
+// claims of Fig. 8(a), plus agreement between the fluid model and the
+// packet-level feedback-queue simulation (the testbed substitute).
+#include "sim/fluid.hpp"
+#include "sim/queue_sim.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dejavu::sim {
+namespace {
+
+TEST(Fluid, NoAndSingleRecircAreFreeOfLoss) {
+  // §4: "both the no-recirculation path and 1-recirculation path
+  // will have throughput T."
+  EXPECT_DOUBLE_EQ(recirc_throughput_gbps(100, 0), 100.0);
+  EXPECT_DOUBLE_EQ(recirc_throughput_gbps(100, 1), 100.0);
+}
+
+TEST(Fluid, TwoRecircMatchesPaperDerivation) {
+  // §4: "Solving the above equations gives us x = 0.62T. The
+  // effective throughput ... is then T - 0.62T = 0.38T."
+  const double s = loopback_survival(2);
+  EXPECT_NEAR(s, 0.618, 1e-3);  // x = sT = 0.62T
+  EXPECT_NEAR(recirc_throughput_gbps(100, 2), 38.2, 0.1);
+}
+
+TEST(Fluid, ThreeRecircMatchesPaperDerivation) {
+  // §4: "we can also obtain the effective throughput of the traffic
+  // with 3-recirculation as 0.16T."
+  EXPECT_NEAR(recirc_throughput_gbps(100, 3), 16.1, 0.2);
+}
+
+TEST(Fluid, SurvivalSatisfiesDefiningEquation) {
+  for (std::uint32_t k = 2; k <= 8; ++k) {
+    const double s = loopback_survival(k);
+    double sum = 0, pow = 1;
+    for (std::uint32_t i = 0; i < k; ++i) {
+      pow *= s;
+      sum += pow;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9) << "k=" << k;
+  }
+}
+
+TEST(Fluid, ThroughputDecaysSuperLinearly) {
+  // Fig. 8(a): "the effective throughput degrades super-linearly with
+  // the number of recirculations."
+  double prev = recirc_throughput_gbps(100, 1);
+  for (std::uint32_t k = 2; k <= 5; ++k) {
+    double cur = recirc_throughput_gbps(100, k);
+    EXPECT_LT(cur, prev);
+    // Super-linear: the k-th throughput is worse than the linear
+    // share T/k.
+    EXPECT_LT(cur, 100.0 / k);
+    prev = cur;
+  }
+}
+
+TEST(Fluid, GenerationThroughputsAreGeometric) {
+  auto gens = generation_throughputs_gbps(100, 3);
+  ASSERT_EQ(gens.size(), 3u);
+  const double s = loopback_survival(3);
+  EXPECT_NEAR(gens[0], 100 * s, 1e-9);
+  EXPECT_NEAR(gens[1], 100 * s * s, 1e-9);
+  EXPECT_NEAR(gens[2], 100 * s * s * s, 1e-9);
+  // The loopback port is exactly saturated.
+  EXPECT_NEAR(gens[0] + gens[1] + gens[2], 100.0, 1e-6);
+}
+
+TEST(Fluid, CapacitySplit) {
+  // §4 and §5: 16 of 32 ports in loopback halves external capacity
+  // and lets all of it recirculate once.
+  EXPECT_DOUBLE_EQ(external_capacity_fraction(32, 16), 0.5);
+  EXPECT_DOUBLE_EQ(single_recirc_fraction(32, 16), 1.0);
+  EXPECT_DOUBLE_EQ(external_capacity_fraction(32, 0), 1.0);
+  EXPECT_DOUBLE_EQ(single_recirc_fraction(32, 8), 8.0 / 24.0);
+  EXPECT_DOUBLE_EQ(single_recirc_fraction(32, 32), 1.0);
+}
+
+/// The packet-level feedback-queue simulation must agree with the
+/// fluid model within a few percent (the paper's measured Fig. 8(a)
+/// "results match our calculations well").
+class FluidVsPacketSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(FluidVsPacketSweep, Agree) {
+  const std::uint32_t k = GetParam();
+  QueueSimParams params;
+  params.recirculations = k;
+  params.slots = 150000;
+  params.warmup_slots = 30000;
+  auto sim = simulate_recirculation(params);
+  const double fluid = recirc_throughput_gbps(params.capacity_gbps, k);
+  EXPECT_NEAR(sim.delivered_gbps, fluid, 0.05 * params.capacity_gbps)
+      << "k=" << k << " sim=" << sim.delivered_gbps << " fluid=" << fluid;
+}
+
+INSTANTIATE_TEST_SUITE_P(Recircs, FluidVsPacketSweep,
+                         ::testing::Values(0, 1, 2, 3, 4, 5));
+
+TEST(QueueSim, LossGrowsWithRecirculations) {
+  QueueSimParams p2, p4;
+  p2.recirculations = 2;
+  p4.recirculations = 4;
+  auto r2 = simulate_recirculation(p2);
+  auto r4 = simulate_recirculation(p4);
+  EXPECT_GT(r4.loss_fraction, r2.loss_fraction);
+}
+
+TEST(QueueSim, NoRecircIsLossless) {
+  QueueSimParams p;
+  p.recirculations = 0;
+  auto r = simulate_recirculation(p);
+  EXPECT_DOUBLE_EQ(r.delivered_gbps, p.capacity_gbps);
+  EXPECT_DOUBLE_EQ(r.loss_fraction, 0.0);
+}
+
+TEST(QueueSim, QueueFillsUnderContention) {
+  QueueSimParams p;
+  p.recirculations = 3;
+  auto r = simulate_recirculation(p);
+  // Saturated feedback queue: mean depth close to the configured cap.
+  EXPECT_GT(r.mean_queue_depth, p.queue_depth * 0.8);
+  EXPECT_GT(r.mean_extra_slots, 0.0);
+}
+
+}  // namespace
+}  // namespace dejavu::sim

@@ -1,0 +1,91 @@
+#include "sim/parse.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nf/parser_lib.hpp"
+#include "sfc/header.hpp"
+
+namespace dejavu::sim {
+namespace {
+
+class ParseTest : public ::testing::Test {
+ protected:
+  ParseTest() : program("p") { nf::add_standard_parser(program, ids); }
+
+  p4ir::TupleIdTable ids;
+  p4ir::Program program;
+};
+
+TEST_F(ParseTest, PlainTcpPacket) {
+  auto p = net::Packet::make({});
+  auto r = run_parser(program, ids, p);
+  EXPECT_TRUE(r.has("ethernet"));
+  EXPECT_TRUE(r.has("ipv4"));
+  EXPECT_TRUE(r.has("tcp"));
+  EXPECT_FALSE(r.has("udp"));
+  EXPECT_FALSE(r.has("sfc"));
+  EXPECT_EQ(r.offset_of("ipv4"), nf::kIpv4Plain);
+  EXPECT_EQ(r.offset_of("tcp"), nf::kL4Plain);
+}
+
+TEST_F(ParseTest, PlainUdpPacket) {
+  net::PacketSpec spec;
+  spec.protocol = net::kIpProtoUdp;
+  auto r = run_parser(program, ids, net::Packet::make(spec));
+  EXPECT_TRUE(r.has("udp"));
+  EXPECT_FALSE(r.has("tcp"));
+}
+
+TEST_F(ParseTest, SfcEncapsulatedPacketShiftsOffsets) {
+  auto p = net::Packet::make({});
+  sfc::push_sfc(p, sfc::SfcHeader{});
+  auto r = run_parser(program, ids, p);
+  EXPECT_TRUE(r.has("sfc"));
+  EXPECT_EQ(r.offset_of("sfc"), nf::kSfcOffset);
+  EXPECT_EQ(r.offset_of("ipv4"), nf::kIpv4Shifted);
+  EXPECT_EQ(r.offset_of("tcp"), nf::kL4Shifted);
+}
+
+TEST_F(ParseTest, UnknownEtherTypeStopsAtEthernet) {
+  auto p = net::Packet::make({});
+  auto eth = *p.ethernet();
+  eth.ether_type = 0x86dd;  // IPv6: not in the parser
+  p.set_ethernet(eth);
+  auto r = run_parser(program, ids, p);
+  EXPECT_TRUE(r.has("ethernet"));
+  EXPECT_FALSE(r.has("ipv4"));
+}
+
+TEST_F(ParseTest, TruncatedPacketStopsCleanly) {
+  auto p = net::Packet::make({});
+  // Keep Ethernet + 4 bytes of IPv4: the ipv4 vertex cannot extract.
+  p.data().erase(18, p.size() - 18);
+  auto r = run_parser(program, ids, p);
+  EXPECT_TRUE(r.has("ethernet"));
+  EXPECT_FALSE(r.has("ipv4"));
+}
+
+TEST_F(ParseTest, VxlanBehindUdp) {
+  p4ir::TupleIdTable vx_ids;
+  p4ir::Program vx_program("vx");
+  nf::ParserOptions opts;
+  opts.with_vxlan = true;
+  nf::add_standard_parser(vx_program, vx_ids, opts);
+
+  net::PacketSpec spec;
+  spec.protocol = net::kIpProtoUdp;
+  spec.dst_port = net::kVxlanUdpPort;
+  spec.payload_size = 16;
+  auto r = run_parser(vx_program, vx_ids, net::Packet::make(spec));
+  EXPECT_TRUE(r.has("vxlan"));
+  EXPECT_EQ(r.offset_of("vxlan"), nf::kL4Plain + 8);
+}
+
+TEST_F(ParseTest, EmptyParserYieldsNothing) {
+  p4ir::Program empty("empty");
+  auto r = run_parser(empty, ids, net::Packet::make({}));
+  EXPECT_TRUE(r.order().empty());
+}
+
+}  // namespace
+}  // namespace dejavu::sim

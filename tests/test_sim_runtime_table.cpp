@@ -1,0 +1,157 @@
+#include "sim/runtime_table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dejavu::sim {
+namespace {
+
+using p4ir::MatchKind;
+using p4ir::Table;
+using p4ir::TableKey;
+
+Table exact_table() {
+  Table t;
+  t.name = "exact";
+  t.keys = {TableKey{"a.x", MatchKind::kExact, 16},
+            TableKey{"a.y", MatchKind::kExact, 8}};
+  t.actions = {"hit_act"};
+  t.default_action = "miss_act";
+  t.max_entries = 4;
+  return t;
+}
+
+Table lpm_table() {
+  Table t;
+  t.name = "lpm";
+  t.keys = {TableKey{"ipv4.dst", MatchKind::kLpm, 32}};
+  t.actions = {"route"};
+  t.default_action = "miss";
+  t.max_entries = 16;
+  return t;
+}
+
+TEST(RuntimeTable, ExactHitAndMiss) {
+  Table def = exact_table();
+  RuntimeTable rt(def);
+  rt.add_exact({100, 2}, ActionCall{"hit_act", {{"p", 7}}});
+
+  auto hit = rt.lookup({100, 2});
+  EXPECT_TRUE(hit.hit);
+  EXPECT_EQ(hit.action.action, "hit_act");
+  EXPECT_EQ(hit.action.args.at("p"), 7u);
+
+  auto miss = rt.lookup({100, 3});
+  EXPECT_FALSE(miss.hit);
+  EXPECT_EQ(miss.action.action, "miss_act");
+}
+
+TEST(RuntimeTable, MissingFieldIsAMiss) {
+  Table def = exact_table();
+  RuntimeTable rt(def);
+  rt.add_exact({100, 2}, ActionCall{"hit_act", {}});
+  auto res = rt.lookup({std::nullopt, 2});
+  EXPECT_FALSE(res.hit);
+}
+
+TEST(RuntimeTable, ExactReinstallOverwrites) {
+  Table def = exact_table();
+  RuntimeTable rt(def);
+  rt.add_exact({1, 1}, ActionCall{"hit_act", {{"p", 1}}});
+  rt.add_exact({1, 1}, ActionCall{"hit_act", {{"p", 2}}});
+  EXPECT_EQ(rt.entry_count(), 1u);
+  EXPECT_EQ(rt.lookup({1, 1}).action.args.at("p"), 2u);
+}
+
+TEST(RuntimeTable, TableFullThrows) {
+  Table def = exact_table();  // max_entries = 4
+  RuntimeTable rt(def);
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    rt.add_exact({i, 0}, ActionCall{"hit_act", {}});
+  }
+  EXPECT_THROW(rt.add_exact({9, 0}, ActionCall{"hit_act", {}}),
+               std::invalid_argument);
+}
+
+TEST(RuntimeTable, ArityMismatchThrows) {
+  Table def = exact_table();
+  RuntimeTable rt(def);
+  EXPECT_THROW(rt.add_exact({1}, ActionCall{"hit_act", {}}),
+               std::invalid_argument);
+}
+
+TEST(RuntimeTable, KindMismatchThrows) {
+  Table exact = exact_table();
+  RuntimeTable rt_exact(exact);
+  EXPECT_THROW(rt_exact.add_lpm(0, 8, ActionCall{}), std::invalid_argument);
+  EXPECT_THROW(rt_exact.add_ternary({}, 0, ActionCall{}),
+               std::invalid_argument);
+
+  Table lpm = lpm_table();
+  RuntimeTable rt_lpm(lpm);
+  EXPECT_THROW(rt_lpm.add_exact({1}, ActionCall{}), std::invalid_argument);
+}
+
+TEST(RuntimeTable, LpmLongestPrefixWins) {
+  Table def = lpm_table();
+  RuntimeTable rt(def);
+  rt.add_lpm(0x0a000000, 8, ActionCall{"route", {{"port", 8}}});
+  rt.add_lpm(0x0a010000, 16, ActionCall{"route", {{"port", 16}}});
+
+  EXPECT_EQ(rt.lookup({0x0a010203}).action.args.at("port"), 16u);
+  EXPECT_EQ(rt.lookup({0x0a990203}).action.args.at("port"), 8u);
+  EXPECT_FALSE(rt.lookup({0x0b000001}).hit);
+}
+
+TEST(RuntimeTable, LpmDefaultRoute) {
+  Table def = lpm_table();
+  RuntimeTable rt(def);
+  rt.add_lpm(0, 0, ActionCall{"route", {{"port", 1}}});
+  EXPECT_TRUE(rt.lookup({0xffffffff}).hit);
+}
+
+TEST(RuntimeTable, LpmPrefixTooLongThrows) {
+  Table def = lpm_table();
+  RuntimeTable rt(def);
+  EXPECT_THROW(rt.add_lpm(0, 33, ActionCall{}), std::invalid_argument);
+}
+
+TEST(RuntimeTable, TernaryPriorityOrder) {
+  Table def;
+  def.name = "acl";
+  def.keys = {TableKey{"ipv4.src", MatchKind::kTernary, 32}};
+  def.actions = {"permit", "deny"};
+  def.default_action = "deny";
+  def.max_entries = 8;
+  RuntimeTable rt(def);
+  rt.add_ternary({net::TernaryField{0, 0}}, 0, ActionCall{"deny", {}});
+  rt.add_ternary({net::TernaryField{0x0a000000, 0xff000000}}, 10,
+                 ActionCall{"permit", {}});
+
+  EXPECT_EQ(rt.lookup({0x0a123456}).action.action, "permit");
+  EXPECT_EQ(rt.lookup({0x0b000000}).action.action, "deny");
+  EXPECT_TRUE(rt.lookup({0x0b000000}).hit);  // wildcard entry hit
+}
+
+TEST(RuntimeTable, KeylessAlwaysHitsDefault) {
+  Table def;
+  def.name = "keyless";
+  def.default_action = "always";
+  RuntimeTable rt(def);
+  auto res = rt.lookup({});
+  EXPECT_TRUE(res.hit);
+  EXPECT_EQ(res.action.action, "always");
+}
+
+TEST(RuntimeTable, ClearResets) {
+  Table def = exact_table();
+  RuntimeTable rt(def);
+  rt.add_exact({1, 1}, ActionCall{"hit_act", {}});
+  rt.clear();
+  EXPECT_EQ(rt.entry_count(), 0u);
+  EXPECT_FALSE(rt.lookup({1, 1}).hit);
+  rt.add_exact({1, 1}, ActionCall{"hit_act", {}});  // usable after clear
+  EXPECT_TRUE(rt.lookup({1, 1}).hit);
+}
+
+}  // namespace
+}  // namespace dejavu::sim

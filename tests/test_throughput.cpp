@@ -1,0 +1,134 @@
+// The deployment-wide throughput calculator must degenerate to the §4
+// closed forms on a single chain and stay lossless when recirculation
+// demand fits capacity (§5's "all the traffic can recirculate once").
+#include "sim/throughput.hpp"
+
+#include <gtest/gtest.h>
+
+#include "control/deployment.hpp"
+#include "sim/fluid.hpp"
+
+namespace dejavu::sim {
+namespace {
+
+using place::Traversal;
+using place::TraversalStep;
+
+TraversalStep step(std::uint32_t pipeline, asic::PipeKind kind,
+                   TraversalStep::Exit exit) {
+  TraversalStep s;
+  s.pipelet = {pipeline, kind};
+  s.exit_via = exit;
+  return s;
+}
+
+/// A traversal that recirculates k times through pipeline 0.
+Traversal k_loops(std::uint32_t k) {
+  Traversal t;
+  t.feasible = true;
+  t.recirculations = k;
+  for (std::uint32_t i = 0; i < k; ++i) {
+    t.steps.push_back(step(0, asic::PipeKind::kIngress,
+                           TraversalStep::Exit::kToEgress));
+    t.steps.push_back(step(0, asic::PipeKind::kEgress,
+                           TraversalStep::Exit::kRecirculate));
+  }
+  t.steps.push_back(step(0, asic::PipeKind::kIngress,
+                         TraversalStep::Exit::kToEgress));
+  t.steps.push_back(
+      step(0, asic::PipeKind::kEgress, TraversalStep::Exit::kOut));
+  return t;
+}
+
+sfc::PolicySet one_policy() {
+  sfc::PolicySet set;
+  set.add({.path_id = 1, .name = "p", .nfs = {"A"}, .weight = 1.0});
+  return set;
+}
+
+class SectionFourSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(SectionFourSweep, MatchesTheClosedForm) {
+  const std::uint32_t k = GetParam();
+  // One pipeline whose only recirculation bandwidth is the dedicated
+  // 100G port — exactly the Fig. 7(a) single-loopback setting.
+  asic::SwitchConfig config(asic::TargetSpec::tofino32());
+  std::map<std::uint16_t, Traversal> traversals;
+  traversals.emplace(1, k_loops(k));
+
+  auto report = estimate_throughput(one_policy(), traversals, config,
+                                    /*offered=*/100.0);
+  ASSERT_EQ(report.per_path.size(), 1u);
+  EXPECT_NEAR(report.per_path[0].delivered_gbps,
+              recirc_throughput_gbps(100.0, k), 0.5)
+      << "k=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(Recircs, SectionFourSweep,
+                         ::testing::Values(0, 1, 2, 3, 4, 5));
+
+TEST(Throughput, LosslessUnderCapacity) {
+  asic::SwitchConfig config(asic::TargetSpec::tofino32());
+  std::map<std::uint16_t, Traversal> traversals;
+  traversals.emplace(1, k_loops(1));
+  auto report = estimate_throughput(one_policy(), traversals, config,
+                                    /*offered=*/80.0);  // < 100G capacity
+  EXPECT_DOUBLE_EQ(report.total_delivered_gbps, 80.0);
+  EXPECT_NEAR(report.recirc_utilization.at(0), 0.8, 1e-9);
+}
+
+TEST(Throughput, SharedLoopShedsBothPathsProportionally) {
+  asic::SwitchConfig config(asic::TargetSpec::tofino32());
+  sfc::PolicySet policies;
+  policies.add({.path_id = 1, .name = "a", .nfs = {"A"}, .weight = 0.5});
+  policies.add({.path_id = 2, .name = "b", .nfs = {"B"}, .weight = 0.5});
+  std::map<std::uint16_t, Traversal> traversals;
+  traversals.emplace(1, k_loops(1));
+  traversals.emplace(2, k_loops(1));
+
+  // 300G offered, 150G per path, single 100G loop: both shed to the
+  // same fraction.
+  auto report = estimate_throughput(policies, traversals, config, 300.0);
+  ASSERT_EQ(report.per_path.size(), 2u);
+  EXPECT_NEAR(report.per_path[0].delivery_fraction(),
+              report.per_path[1].delivery_fraction(), 1e-9);
+  EXPECT_NEAR(report.total_delivered_gbps, 100.0, 1.0);
+}
+
+TEST(Throughput, Fig9DeploymentCarriesFullLoadOnce) {
+  // §5: 1.6 Tbps external capacity, all of it may recirculate once.
+  auto fx = control::make_fig9_deployment();
+  auto report = estimate_throughput(
+      fx.policies, fx.deployment->routing().traversals,
+      fx.deployment->dataplane().config(), /*offered=*/1600.0);
+  EXPECT_NEAR(report.total_delivered_gbps, 1600.0, 1e-6);
+  for (const auto& [pipeline, util] : report.recirc_utilization) {
+    EXPECT_LE(util, 1.0 + 1e-9) << "pipeline " << pipeline;
+  }
+}
+
+TEST(Throughput, InfeasibleTraversalsAreSkipped) {
+  asic::SwitchConfig config(asic::TargetSpec::tofino32());
+  sfc::PolicySet policies;
+  policies.add({.path_id = 1, .name = "a", .nfs = {"A"}, .weight = 1.0});
+  Traversal bad;
+  bad.feasible = false;
+  std::map<std::uint16_t, Traversal> traversals;
+  traversals.emplace(1, std::move(bad));
+  auto report = estimate_throughput(policies, traversals, config, 100.0);
+  EXPECT_TRUE(report.per_path.empty());
+  EXPECT_DOUBLE_EQ(report.total_delivered_gbps, 0.0);
+}
+
+TEST(Throughput, TableRendering) {
+  asic::SwitchConfig config(asic::TargetSpec::tofino32());
+  std::map<std::uint16_t, Traversal> traversals;
+  traversals.emplace(1, k_loops(2));
+  auto report = estimate_throughput(one_policy(), traversals, config, 100.0);
+  auto table = report.to_table();
+  EXPECT_NE(table.find("delivered"), std::string::npos);
+  EXPECT_NE(table.find("utilization"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dejavu::sim

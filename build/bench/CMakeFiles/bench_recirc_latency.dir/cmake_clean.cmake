@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_recirc_latency.dir/bench_recirc_latency.cpp.o"
+  "CMakeFiles/bench_recirc_latency.dir/bench_recirc_latency.cpp.o.d"
+  "bench_recirc_latency"
+  "bench_recirc_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_recirc_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

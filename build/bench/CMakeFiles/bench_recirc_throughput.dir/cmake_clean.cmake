@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_recirc_throughput.dir/bench_recirc_throughput.cpp.o"
+  "CMakeFiles/bench_recirc_throughput.dir/bench_recirc_throughput.cpp.o.d"
+  "bench_recirc_throughput"
+  "bench_recirc_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_recirc_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dejavu_cli.dir/dejavu_cli.cpp.o"
+  "CMakeFiles/dejavu_cli.dir/dejavu_cli.cpp.o.d"
+  "dejavu_cli"
+  "dejavu_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dejavu_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dump_p4.dir/dump_p4.cpp.o"
+  "CMakeFiles/dump_p4.dir/dump_p4.cpp.o.d"
+  "dump_p4"
+  "dump_p4.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dump_p4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edge_cloud_sfc.dir/edge_cloud_sfc.cpp.o"
+  "CMakeFiles/edge_cloud_sfc.dir/edge_cloud_sfc.cpp.o.d"
+  "edge_cloud_sfc"
+  "edge_cloud_sfc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edge_cloud_sfc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_switch.dir/multi_switch.cpp.o"
+  "CMakeFiles/multi_switch.dir/multi_switch.cpp.o.d"
+  "multi_switch"
+  "multi_switch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_switch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

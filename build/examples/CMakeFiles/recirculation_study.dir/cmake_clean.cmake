@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recirculation_study.dir/recirculation_study.cpp.o"
+  "CMakeFiles/recirculation_study.dir/recirculation_study.cpp.o.d"
+  "recirculation_study"
+  "recirculation_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recirculation_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stateful_security.dir/stateful_security.cpp.o"
+  "CMakeFiles/stateful_security.dir/stateful_security.cpp.o.d"
+  "stateful_security"
+  "stateful_security.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stateful_security.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("net")
+subdirs("sfc")
+subdirs("p4ir")
+subdirs("asic")
+subdirs("compile")
+subdirs("merge")
+subdirs("place")
+subdirs("route")
+subdirs("nf")
+subdirs("sim")
+subdirs("control")
+subdirs("ptf")

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/asic/switch_config.cpp" "src/asic/CMakeFiles/dejavu_asic.dir/switch_config.cpp.o" "gcc" "src/asic/CMakeFiles/dejavu_asic.dir/switch_config.cpp.o.d"
+  "/root/repo/src/asic/target.cpp" "src/asic/CMakeFiles/dejavu_asic.dir/target.cpp.o" "gcc" "src/asic/CMakeFiles/dejavu_asic.dir/target.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/p4ir/CMakeFiles/dejavu_p4ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dejavu_asic.dir/switch_config.cpp.o"
+  "CMakeFiles/dejavu_asic.dir/switch_config.cpp.o.d"
+  "CMakeFiles/dejavu_asic.dir/target.cpp.o"
+  "CMakeFiles/dejavu_asic.dir/target.cpp.o.d"
+  "libdejavu_asic.a"
+  "libdejavu_asic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dejavu_asic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for dejavu_asic.
+# This may be replaced when dependencies are built.

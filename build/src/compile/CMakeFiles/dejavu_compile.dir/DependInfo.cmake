@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compile/allocator.cpp" "src/compile/CMakeFiles/dejavu_compile.dir/allocator.cpp.o" "gcc" "src/compile/CMakeFiles/dejavu_compile.dir/allocator.cpp.o.d"
+  "/root/repo/src/compile/report.cpp" "src/compile/CMakeFiles/dejavu_compile.dir/report.cpp.o" "gcc" "src/compile/CMakeFiles/dejavu_compile.dir/report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/p4ir/CMakeFiles/dejavu_p4ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/asic/CMakeFiles/dejavu_asic.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

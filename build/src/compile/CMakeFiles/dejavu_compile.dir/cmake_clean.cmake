@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dejavu_compile.dir/allocator.cpp.o"
+  "CMakeFiles/dejavu_compile.dir/allocator.cpp.o.d"
+  "CMakeFiles/dejavu_compile.dir/report.cpp.o"
+  "CMakeFiles/dejavu_compile.dir/report.cpp.o.d"
+  "libdejavu_compile.a"
+  "libdejavu_compile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dejavu_compile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

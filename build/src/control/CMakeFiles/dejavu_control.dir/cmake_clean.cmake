@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dejavu_control.dir/control_plane.cpp.o"
+  "CMakeFiles/dejavu_control.dir/control_plane.cpp.o.d"
+  "CMakeFiles/dejavu_control.dir/deployment.cpp.o"
+  "CMakeFiles/dejavu_control.dir/deployment.cpp.o.d"
+  "CMakeFiles/dejavu_control.dir/p4info.cpp.o"
+  "CMakeFiles/dejavu_control.dir/p4info.cpp.o.d"
+  "CMakeFiles/dejavu_control.dir/snapshot.cpp.o"
+  "CMakeFiles/dejavu_control.dir/snapshot.cpp.o.d"
+  "libdejavu_control.a"
+  "libdejavu_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dejavu_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dejavu_merge.dir/compose.cpp.o"
+  "CMakeFiles/dejavu_merge.dir/compose.cpp.o.d"
+  "CMakeFiles/dejavu_merge.dir/framework.cpp.o"
+  "CMakeFiles/dejavu_merge.dir/framework.cpp.o.d"
+  "CMakeFiles/dejavu_merge.dir/parser_merge.cpp.o"
+  "CMakeFiles/dejavu_merge.dir/parser_merge.cpp.o.d"
+  "libdejavu_merge.a"
+  "libdejavu_merge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dejavu_merge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dejavu_net.dir/addr.cpp.o"
+  "CMakeFiles/dejavu_net.dir/addr.cpp.o.d"
+  "CMakeFiles/dejavu_net.dir/bytes.cpp.o"
+  "CMakeFiles/dejavu_net.dir/bytes.cpp.o.d"
+  "CMakeFiles/dejavu_net.dir/checksum.cpp.o"
+  "CMakeFiles/dejavu_net.dir/checksum.cpp.o.d"
+  "CMakeFiles/dejavu_net.dir/five_tuple.cpp.o"
+  "CMakeFiles/dejavu_net.dir/five_tuple.cpp.o.d"
+  "CMakeFiles/dejavu_net.dir/headers.cpp.o"
+  "CMakeFiles/dejavu_net.dir/headers.cpp.o.d"
+  "CMakeFiles/dejavu_net.dir/lpm.cpp.o"
+  "CMakeFiles/dejavu_net.dir/lpm.cpp.o.d"
+  "CMakeFiles/dejavu_net.dir/packet.cpp.o"
+  "CMakeFiles/dejavu_net.dir/packet.cpp.o.d"
+  "CMakeFiles/dejavu_net.dir/tcam.cpp.o"
+  "CMakeFiles/dejavu_net.dir/tcam.cpp.o.d"
+  "libdejavu_net.a"
+  "libdejavu_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dejavu_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nf/nfs.cpp" "src/nf/CMakeFiles/dejavu_nf.dir/nfs.cpp.o" "gcc" "src/nf/CMakeFiles/dejavu_nf.dir/nfs.cpp.o.d"
+  "/root/repo/src/nf/parser_lib.cpp" "src/nf/CMakeFiles/dejavu_nf.dir/parser_lib.cpp.o" "gcc" "src/nf/CMakeFiles/dejavu_nf.dir/parser_lib.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/p4ir/CMakeFiles/dejavu_p4ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dejavu_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sfc/CMakeFiles/dejavu_sfc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

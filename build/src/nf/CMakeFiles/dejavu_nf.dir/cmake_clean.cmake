@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dejavu_nf.dir/nfs.cpp.o"
+  "CMakeFiles/dejavu_nf.dir/nfs.cpp.o.d"
+  "CMakeFiles/dejavu_nf.dir/parser_lib.cpp.o"
+  "CMakeFiles/dejavu_nf.dir/parser_lib.cpp.o.d"
+  "libdejavu_nf.a"
+  "libdejavu_nf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dejavu_nf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdejavu_nf.a"
+)

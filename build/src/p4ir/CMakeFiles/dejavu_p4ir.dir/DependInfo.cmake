@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/p4ir/action.cpp" "src/p4ir/CMakeFiles/dejavu_p4ir.dir/action.cpp.o" "gcc" "src/p4ir/CMakeFiles/dejavu_p4ir.dir/action.cpp.o.d"
+  "/root/repo/src/p4ir/control.cpp" "src/p4ir/CMakeFiles/dejavu_p4ir.dir/control.cpp.o" "gcc" "src/p4ir/CMakeFiles/dejavu_p4ir.dir/control.cpp.o.d"
+  "/root/repo/src/p4ir/deps.cpp" "src/p4ir/CMakeFiles/dejavu_p4ir.dir/deps.cpp.o" "gcc" "src/p4ir/CMakeFiles/dejavu_p4ir.dir/deps.cpp.o.d"
+  "/root/repo/src/p4ir/emit.cpp" "src/p4ir/CMakeFiles/dejavu_p4ir.dir/emit.cpp.o" "gcc" "src/p4ir/CMakeFiles/dejavu_p4ir.dir/emit.cpp.o.d"
+  "/root/repo/src/p4ir/parser_graph.cpp" "src/p4ir/CMakeFiles/dejavu_p4ir.dir/parser_graph.cpp.o" "gcc" "src/p4ir/CMakeFiles/dejavu_p4ir.dir/parser_graph.cpp.o.d"
+  "/root/repo/src/p4ir/program.cpp" "src/p4ir/CMakeFiles/dejavu_p4ir.dir/program.cpp.o" "gcc" "src/p4ir/CMakeFiles/dejavu_p4ir.dir/program.cpp.o.d"
+  "/root/repo/src/p4ir/resources.cpp" "src/p4ir/CMakeFiles/dejavu_p4ir.dir/resources.cpp.o" "gcc" "src/p4ir/CMakeFiles/dejavu_p4ir.dir/resources.cpp.o.d"
+  "/root/repo/src/p4ir/table.cpp" "src/p4ir/CMakeFiles/dejavu_p4ir.dir/table.cpp.o" "gcc" "src/p4ir/CMakeFiles/dejavu_p4ir.dir/table.cpp.o.d"
+  "/root/repo/src/p4ir/types.cpp" "src/p4ir/CMakeFiles/dejavu_p4ir.dir/types.cpp.o" "gcc" "src/p4ir/CMakeFiles/dejavu_p4ir.dir/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dejavu_p4ir.dir/action.cpp.o"
+  "CMakeFiles/dejavu_p4ir.dir/action.cpp.o.d"
+  "CMakeFiles/dejavu_p4ir.dir/control.cpp.o"
+  "CMakeFiles/dejavu_p4ir.dir/control.cpp.o.d"
+  "CMakeFiles/dejavu_p4ir.dir/deps.cpp.o"
+  "CMakeFiles/dejavu_p4ir.dir/deps.cpp.o.d"
+  "CMakeFiles/dejavu_p4ir.dir/emit.cpp.o"
+  "CMakeFiles/dejavu_p4ir.dir/emit.cpp.o.d"
+  "CMakeFiles/dejavu_p4ir.dir/parser_graph.cpp.o"
+  "CMakeFiles/dejavu_p4ir.dir/parser_graph.cpp.o.d"
+  "CMakeFiles/dejavu_p4ir.dir/program.cpp.o"
+  "CMakeFiles/dejavu_p4ir.dir/program.cpp.o.d"
+  "CMakeFiles/dejavu_p4ir.dir/resources.cpp.o"
+  "CMakeFiles/dejavu_p4ir.dir/resources.cpp.o.d"
+  "CMakeFiles/dejavu_p4ir.dir/table.cpp.o"
+  "CMakeFiles/dejavu_p4ir.dir/table.cpp.o.d"
+  "CMakeFiles/dejavu_p4ir.dir/types.cpp.o"
+  "CMakeFiles/dejavu_p4ir.dir/types.cpp.o.d"
+  "libdejavu_p4ir.a"
+  "libdejavu_p4ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dejavu_p4ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

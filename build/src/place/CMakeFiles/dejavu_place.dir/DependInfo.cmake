@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/place/cluster.cpp" "src/place/CMakeFiles/dejavu_place.dir/cluster.cpp.o" "gcc" "src/place/CMakeFiles/dejavu_place.dir/cluster.cpp.o.d"
+  "/root/repo/src/place/optimizer.cpp" "src/place/CMakeFiles/dejavu_place.dir/optimizer.cpp.o" "gcc" "src/place/CMakeFiles/dejavu_place.dir/optimizer.cpp.o.d"
+  "/root/repo/src/place/placement.cpp" "src/place/CMakeFiles/dejavu_place.dir/placement.cpp.o" "gcc" "src/place/CMakeFiles/dejavu_place.dir/placement.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/merge/CMakeFiles/dejavu_merge.dir/DependInfo.cmake"
+  "/root/repo/build/src/asic/CMakeFiles/dejavu_asic.dir/DependInfo.cmake"
+  "/root/repo/build/src/sfc/CMakeFiles/dejavu_sfc.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dejavu_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/p4ir/CMakeFiles/dejavu_p4ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dejavu_place.dir/cluster.cpp.o"
+  "CMakeFiles/dejavu_place.dir/cluster.cpp.o.d"
+  "CMakeFiles/dejavu_place.dir/optimizer.cpp.o"
+  "CMakeFiles/dejavu_place.dir/optimizer.cpp.o.d"
+  "CMakeFiles/dejavu_place.dir/placement.cpp.o"
+  "CMakeFiles/dejavu_place.dir/placement.cpp.o.d"
+  "libdejavu_place.a"
+  "libdejavu_place.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dejavu_place.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dejavu_ptf.dir/ptf.cpp.o"
+  "CMakeFiles/dejavu_ptf.dir/ptf.cpp.o.d"
+  "libdejavu_ptf.a"
+  "libdejavu_ptf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dejavu_ptf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for dejavu_ptf.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dejavu_route.dir/routing.cpp.o"
+  "CMakeFiles/dejavu_route.dir/routing.cpp.o.d"
+  "libdejavu_route.a"
+  "libdejavu_route.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dejavu_route.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sfc/chain.cpp" "src/sfc/CMakeFiles/dejavu_sfc.dir/chain.cpp.o" "gcc" "src/sfc/CMakeFiles/dejavu_sfc.dir/chain.cpp.o.d"
+  "/root/repo/src/sfc/header.cpp" "src/sfc/CMakeFiles/dejavu_sfc.dir/header.cpp.o" "gcc" "src/sfc/CMakeFiles/dejavu_sfc.dir/header.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/dejavu_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dejavu_sfc.dir/chain.cpp.o"
+  "CMakeFiles/dejavu_sfc.dir/chain.cpp.o.d"
+  "CMakeFiles/dejavu_sfc.dir/header.cpp.o"
+  "CMakeFiles/dejavu_sfc.dir/header.cpp.o.d"
+  "libdejavu_sfc.a"
+  "libdejavu_sfc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dejavu_sfc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/bits.cpp" "src/sim/CMakeFiles/dejavu_sim.dir/bits.cpp.o" "gcc" "src/sim/CMakeFiles/dejavu_sim.dir/bits.cpp.o.d"
+  "/root/repo/src/sim/dataplane.cpp" "src/sim/CMakeFiles/dejavu_sim.dir/dataplane.cpp.o" "gcc" "src/sim/CMakeFiles/dejavu_sim.dir/dataplane.cpp.o.d"
+  "/root/repo/src/sim/fields.cpp" "src/sim/CMakeFiles/dejavu_sim.dir/fields.cpp.o" "gcc" "src/sim/CMakeFiles/dejavu_sim.dir/fields.cpp.o.d"
+  "/root/repo/src/sim/fluid.cpp" "src/sim/CMakeFiles/dejavu_sim.dir/fluid.cpp.o" "gcc" "src/sim/CMakeFiles/dejavu_sim.dir/fluid.cpp.o.d"
+  "/root/repo/src/sim/latency.cpp" "src/sim/CMakeFiles/dejavu_sim.dir/latency.cpp.o" "gcc" "src/sim/CMakeFiles/dejavu_sim.dir/latency.cpp.o.d"
+  "/root/repo/src/sim/parse.cpp" "src/sim/CMakeFiles/dejavu_sim.dir/parse.cpp.o" "gcc" "src/sim/CMakeFiles/dejavu_sim.dir/parse.cpp.o.d"
+  "/root/repo/src/sim/queue_sim.cpp" "src/sim/CMakeFiles/dejavu_sim.dir/queue_sim.cpp.o" "gcc" "src/sim/CMakeFiles/dejavu_sim.dir/queue_sim.cpp.o.d"
+  "/root/repo/src/sim/runtime_table.cpp" "src/sim/CMakeFiles/dejavu_sim.dir/runtime_table.cpp.o" "gcc" "src/sim/CMakeFiles/dejavu_sim.dir/runtime_table.cpp.o.d"
+  "/root/repo/src/sim/throughput.cpp" "src/sim/CMakeFiles/dejavu_sim.dir/throughput.cpp.o" "gcc" "src/sim/CMakeFiles/dejavu_sim.dir/throughput.cpp.o.d"
+  "/root/repo/src/sim/workload.cpp" "src/sim/CMakeFiles/dejavu_sim.dir/workload.cpp.o" "gcc" "src/sim/CMakeFiles/dejavu_sim.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/p4ir/CMakeFiles/dejavu_p4ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dejavu_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sfc/CMakeFiles/dejavu_sfc.dir/DependInfo.cmake"
+  "/root/repo/build/src/asic/CMakeFiles/dejavu_asic.dir/DependInfo.cmake"
+  "/root/repo/build/src/merge/CMakeFiles/dejavu_merge.dir/DependInfo.cmake"
+  "/root/repo/build/src/place/CMakeFiles/dejavu_place.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

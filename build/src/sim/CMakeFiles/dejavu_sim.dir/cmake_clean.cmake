@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dejavu_sim.dir/bits.cpp.o"
+  "CMakeFiles/dejavu_sim.dir/bits.cpp.o.d"
+  "CMakeFiles/dejavu_sim.dir/dataplane.cpp.o"
+  "CMakeFiles/dejavu_sim.dir/dataplane.cpp.o.d"
+  "CMakeFiles/dejavu_sim.dir/fields.cpp.o"
+  "CMakeFiles/dejavu_sim.dir/fields.cpp.o.d"
+  "CMakeFiles/dejavu_sim.dir/fluid.cpp.o"
+  "CMakeFiles/dejavu_sim.dir/fluid.cpp.o.d"
+  "CMakeFiles/dejavu_sim.dir/latency.cpp.o"
+  "CMakeFiles/dejavu_sim.dir/latency.cpp.o.d"
+  "CMakeFiles/dejavu_sim.dir/parse.cpp.o"
+  "CMakeFiles/dejavu_sim.dir/parse.cpp.o.d"
+  "CMakeFiles/dejavu_sim.dir/queue_sim.cpp.o"
+  "CMakeFiles/dejavu_sim.dir/queue_sim.cpp.o.d"
+  "CMakeFiles/dejavu_sim.dir/runtime_table.cpp.o"
+  "CMakeFiles/dejavu_sim.dir/runtime_table.cpp.o.d"
+  "CMakeFiles/dejavu_sim.dir/throughput.cpp.o"
+  "CMakeFiles/dejavu_sim.dir/throughput.cpp.o.d"
+  "CMakeFiles/dejavu_sim.dir/workload.cpp.o"
+  "CMakeFiles/dejavu_sim.dir/workload.cpp.o.d"
+  "libdejavu_sim.a"
+  "libdejavu_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dejavu_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_emit_golden.dir/test_emit_golden.cpp.o"
+  "CMakeFiles/test_emit_golden.dir/test_emit_golden.cpp.o.d"
+  "test_emit_golden"
+  "test_emit_golden.pdb"
+  "test_emit_golden[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_emit_golden.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

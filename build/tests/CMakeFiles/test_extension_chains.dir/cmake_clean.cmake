@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_extension_chains.dir/test_extension_chains.cpp.o"
+  "CMakeFiles/test_extension_chains.dir/test_extension_chains.cpp.o.d"
+  "test_extension_chains"
+  "test_extension_chains.pdb"
+  "test_extension_chains[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_extension_chains.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

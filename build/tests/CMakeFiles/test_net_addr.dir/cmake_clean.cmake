@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net_addr.dir/test_net_addr.cpp.o"
+  "CMakeFiles/test_net_addr.dir/test_net_addr.cpp.o.d"
+  "test_net_addr"
+  "test_net_addr.pdb"
+  "test_net_addr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net_addr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net_checksum.dir/test_net_checksum.cpp.o"
+  "CMakeFiles/test_net_checksum.dir/test_net_checksum.cpp.o.d"
+  "test_net_checksum"
+  "test_net_checksum.pdb"
+  "test_net_checksum[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net_checksum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net_lpm.dir/test_net_lpm.cpp.o"
+  "CMakeFiles/test_net_lpm.dir/test_net_lpm.cpp.o.d"
+  "test_net_lpm"
+  "test_net_lpm.pdb"
+  "test_net_lpm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net_lpm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

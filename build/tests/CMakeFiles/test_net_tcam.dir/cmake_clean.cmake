@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net_tcam.dir/test_net_tcam.cpp.o"
+  "CMakeFiles/test_net_tcam.dir/test_net_tcam.cpp.o.d"
+  "test_net_tcam"
+  "test_net_tcam.pdb"
+  "test_net_tcam[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net_tcam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

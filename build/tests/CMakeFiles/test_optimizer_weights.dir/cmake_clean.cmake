@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_optimizer_weights.dir/test_optimizer_weights.cpp.o"
+  "CMakeFiles/test_optimizer_weights.dir/test_optimizer_weights.cpp.o.d"
+  "test_optimizer_weights"
+  "test_optimizer_weights.pdb"
+  "test_optimizer_weights[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_optimizer_weights.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

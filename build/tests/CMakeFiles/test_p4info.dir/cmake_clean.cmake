@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_p4info.dir/test_p4info.cpp.o"
+  "CMakeFiles/test_p4info.dir/test_p4info.cpp.o.d"
+  "test_p4info"
+  "test_p4info.pdb"
+  "test_p4info[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_p4info.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

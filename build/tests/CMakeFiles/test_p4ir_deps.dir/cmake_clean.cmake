@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_p4ir_deps.dir/test_p4ir_deps.cpp.o"
+  "CMakeFiles/test_p4ir_deps.dir/test_p4ir_deps.cpp.o.d"
+  "test_p4ir_deps"
+  "test_p4ir_deps.pdb"
+  "test_p4ir_deps[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_p4ir_deps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_p4ir_emit.dir/test_p4ir_emit.cpp.o"
+  "CMakeFiles/test_p4ir_emit.dir/test_p4ir_emit.cpp.o.d"
+  "test_p4ir_emit"
+  "test_p4ir_emit.pdb"
+  "test_p4ir_emit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_p4ir_emit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

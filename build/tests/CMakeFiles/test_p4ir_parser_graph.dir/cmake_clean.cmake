@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_p4ir_parser_graph.dir/test_p4ir_parser_graph.cpp.o"
+  "CMakeFiles/test_p4ir_parser_graph.dir/test_p4ir_parser_graph.cpp.o.d"
+  "test_p4ir_parser_graph"
+  "test_p4ir_parser_graph.pdb"
+  "test_p4ir_parser_graph[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_p4ir_parser_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

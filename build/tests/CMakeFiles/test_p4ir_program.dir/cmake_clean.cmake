@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_p4ir_program.dir/test_p4ir_program.cpp.o"
+  "CMakeFiles/test_p4ir_program.dir/test_p4ir_program.cpp.o.d"
+  "test_p4ir_program"
+  "test_p4ir_program.pdb"
+  "test_p4ir_program[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_p4ir_program.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_p4ir_resources.dir/test_p4ir_resources.cpp.o"
+  "CMakeFiles/test_p4ir_resources.dir/test_p4ir_resources.cpp.o.d"
+  "test_p4ir_resources"
+  "test_p4ir_resources.pdb"
+  "test_p4ir_resources[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_p4ir_resources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

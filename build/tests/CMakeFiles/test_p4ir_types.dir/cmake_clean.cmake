@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_p4ir_types.dir/test_p4ir_types.cpp.o"
+  "CMakeFiles/test_p4ir_types.dir/test_p4ir_types.cpp.o.d"
+  "test_p4ir_types"
+  "test_p4ir_types.pdb"
+  "test_p4ir_types[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_p4ir_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

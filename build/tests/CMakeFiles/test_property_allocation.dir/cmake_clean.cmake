@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_property_allocation.dir/test_property_allocation.cpp.o"
+  "CMakeFiles/test_property_allocation.dir/test_property_allocation.cpp.o.d"
+  "test_property_allocation"
+  "test_property_allocation.pdb"
+  "test_property_allocation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_property_allocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_property_consistency.dir/test_property_consistency.cpp.o"
+  "CMakeFiles/test_property_consistency.dir/test_property_consistency.cpp.o.d"
+  "test_property_consistency"
+  "test_property_consistency.pdb"
+  "test_property_consistency[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_property_consistency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

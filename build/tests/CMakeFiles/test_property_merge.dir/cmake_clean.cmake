@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_property_merge.dir/test_property_merge.cpp.o"
+  "CMakeFiles/test_property_merge.dir/test_property_merge.cpp.o.d"
+  "test_property_merge"
+  "test_property_merge.pdb"
+  "test_property_merge[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_property_merge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_property_traversal.dir/test_property_traversal.cpp.o"
+  "CMakeFiles/test_property_traversal.dir/test_property_traversal.cpp.o.d"
+  "test_property_traversal"
+  "test_property_traversal.pdb"
+  "test_property_traversal[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_property_traversal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_ptf.cpp" "tests/CMakeFiles/test_ptf.dir/test_ptf.cpp.o" "gcc" "tests/CMakeFiles/test_ptf.dir/test_ptf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ptf/CMakeFiles/dejavu_ptf.dir/DependInfo.cmake"
+  "/root/repo/build/src/control/CMakeFiles/dejavu_control.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dejavu_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/route/CMakeFiles/dejavu_route.dir/DependInfo.cmake"
+  "/root/repo/build/src/place/CMakeFiles/dejavu_place.dir/DependInfo.cmake"
+  "/root/repo/build/src/merge/CMakeFiles/dejavu_merge.dir/DependInfo.cmake"
+  "/root/repo/build/src/compile/CMakeFiles/dejavu_compile.dir/DependInfo.cmake"
+  "/root/repo/build/src/nf/CMakeFiles/dejavu_nf.dir/DependInfo.cmake"
+  "/root/repo/build/src/asic/CMakeFiles/dejavu_asic.dir/DependInfo.cmake"
+  "/root/repo/build/src/p4ir/CMakeFiles/dejavu_p4ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/sfc/CMakeFiles/dejavu_sfc.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dejavu_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

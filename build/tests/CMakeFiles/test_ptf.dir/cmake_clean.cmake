@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ptf.dir/test_ptf.cpp.o"
+  "CMakeFiles/test_ptf.dir/test_ptf.cpp.o.d"
+  "test_ptf"
+  "test_ptf.pdb"
+  "test_ptf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ptf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

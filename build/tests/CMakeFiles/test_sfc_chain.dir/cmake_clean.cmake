@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sfc_chain.dir/test_sfc_chain.cpp.o"
+  "CMakeFiles/test_sfc_chain.dir/test_sfc_chain.cpp.o.d"
+  "test_sfc_chain"
+  "test_sfc_chain.pdb"
+  "test_sfc_chain[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sfc_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sfc_header.dir/test_sfc_header.cpp.o"
+  "CMakeFiles/test_sfc_header.dir/test_sfc_header.cpp.o.d"
+  "test_sfc_header"
+  "test_sfc_header.pdb"
+  "test_sfc_header[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sfc_header.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_dataplane.dir/test_sim_dataplane.cpp.o"
+  "CMakeFiles/test_sim_dataplane.dir/test_sim_dataplane.cpp.o.d"
+  "test_sim_dataplane"
+  "test_sim_dataplane.pdb"
+  "test_sim_dataplane[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_dataplane.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

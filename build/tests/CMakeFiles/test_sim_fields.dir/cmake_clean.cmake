@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_fields.dir/test_sim_fields.cpp.o"
+  "CMakeFiles/test_sim_fields.dir/test_sim_fields.cpp.o.d"
+  "test_sim_fields"
+  "test_sim_fields.pdb"
+  "test_sim_fields[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_fields.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

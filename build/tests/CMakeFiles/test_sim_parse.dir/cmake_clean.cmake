@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_parse.dir/test_sim_parse.cpp.o"
+  "CMakeFiles/test_sim_parse.dir/test_sim_parse.cpp.o.d"
+  "test_sim_parse"
+  "test_sim_parse.pdb"
+  "test_sim_parse[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_parse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

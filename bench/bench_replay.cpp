@@ -1,0 +1,84 @@
+// Replay-engine scaling: packets-per-second through the composed
+// Fig. 2 multi-NF program (Fig. 9 prototype placement) as worker
+// threads are added. This is the substrate every perf PR benchmarks
+// against — the behavioral stand-in for "serve heavy traffic as fast
+// as the hardware allows". Flow sharding gives embarrassingly parallel
+// replay, so scaling is bounded only by host cores; the printed table
+// shows the measured speedup on this machine.
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+#include <thread>
+
+#include "bench_util.hpp"
+#include "control/replay_target.hpp"
+#include "sim/replay.hpp"
+
+namespace {
+
+using namespace dejavu;
+
+sim::ReplayConfig sweep_config(std::uint32_t workers) {
+  sim::ReplayConfig config;
+  config.workers = workers;
+  config.packets_per_flow = 8;
+  config.batch = 4;
+  return config;
+}
+
+void print_scaling_sweep() {
+  bench::heading("Replay scaling: composed Fig. 2 program, Fig. 9 placement");
+  const auto flows = control::fig2_replay_flows(/*total_flows=*/240);
+  std::printf("%zu flows x 8 packets, LB sessions learned via punts; "
+              "%u hardware threads on this host\n",
+              flows.size(), std::thread::hardware_concurrency());
+  std::printf("%-9s %-12s %-14s %-10s\n", "workers", "wall (s)", "pps",
+              "speedup");
+  double base_pps = 0;
+  for (const std::uint32_t workers : {1u, 2u, 4u, 8u}) {
+    sim::ReplayEngine engine(control::fig2_replay_factory());
+    // Warm run learns the LB sessions so the timed run measures the
+    // steady-state fast path.
+    engine.run(flows, sweep_config(workers));
+    const auto report = engine.run(flows, sweep_config(workers));
+    if (workers == 1) base_pps = report.packets_per_second();
+    std::printf("%-9u %-12.3f %-14.0f %-10.2f\n", workers,
+                report.wall_seconds, report.packets_per_second(),
+                base_pps > 0 ? report.packets_per_second() / base_pps : 0.0);
+  }
+  std::printf("(speedup tracks available cores; flow sharding adds no "
+              "synchronization)\n");
+}
+
+void BM_ReplayWorkers(benchmark::State& state) {
+  static const auto flows = control::fig2_replay_flows(/*total_flows=*/80);
+  static std::map<std::int64_t, std::unique_ptr<sim::ReplayEngine>> engines;
+  const std::int64_t workers = state.range(0);
+  auto& engine = engines[workers];
+  if (!engine) {
+    engine =
+        std::make_unique<sim::ReplayEngine>(control::fig2_replay_factory());
+  }
+  sim::ReplayConfig config;
+  config.workers = static_cast<std::uint32_t>(workers);
+  config.packets_per_flow = 4;
+  config.batch = 2;
+  std::uint64_t packets = 0;
+  for (auto _ : state) {
+    const auto report = engine->run(flows, config);
+    packets += report.counters.packets;
+    benchmark::DoNotOptimize(report.counters.delivered);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(packets));
+}
+BENCHMARK(BM_ReplayWorkers)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_scaling_sweep();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -8,6 +8,7 @@
 //   $ ./dejavu_cli resources [--fig9]
 //   $ ./dejavu_cli throughput <offered-gbps> [--fig9]
 //   $ ./dejavu_cli send <dst-ip> [count] [--fig9]
+//   $ ./dejavu_cli replay [workers] [flows] [packets-per-flow] [--fig9]
 //   $ ./dejavu_cli p4info [--fig9]
 #include <cstdio>
 #include <cstdlib>
@@ -17,7 +18,9 @@
 
 #include "control/deployment.hpp"
 #include "control/p4info.hpp"
+#include "control/replay_target.hpp"
 #include "sim/latency.hpp"
+#include "sim/replay.hpp"
 #include "sim/throughput.hpp"
 
 using namespace dejavu;
@@ -96,14 +99,40 @@ int cmd_send(control::Fig2Deployment& fx, const char* dst_text, int count) {
   return 0;
 }
 
+int cmd_replay(bool fig9, std::uint32_t workers, std::uint32_t flows,
+               std::uint32_t packets_per_flow) {
+  sim::ReplayEngine engine(control::fig2_replay_factory(fig9));
+  sim::ReplayConfig config;
+  config.workers = workers;
+  config.packets_per_flow = packets_per_flow;
+  const auto replay_flows = control::fig2_replay_flows(flows);
+  auto report = engine.run(replay_flows, config);
+  std::printf("%s", report.to_table().c_str());
+
+  // Cross-check: feed the measured recirculation demands to the fluid
+  // solver at an interesting offered load (2x the §5 prototype's
+  // single-recirc budget, so saturation shows).
+  asic::SwitchConfig switch_config(asic::TargetSpec::tofino32());
+  switch_config.set_pipeline_loopback(1);
+  const double offered = 2 * switch_config.external_capacity_gbps();
+  auto measured = sim::replay_throughput(report, switch_config, offered);
+  std::printf("-- replay-measured throughput at %.0f Gbps offered --\n%s",
+              offered, measured.to_table().c_str());
+  return 0;
+}
+
 void usage() {
   std::fprintf(stderr,
-               "usage: dejavu_cli <plan|resources|throughput|send|p4info> "
+               "usage: dejavu_cli "
+               "<plan|resources|throughput|send|replay|p4info> "
                "[args] [--fig9]\n"
                "  plan                     placement + traversals\n"
                "  resources                Table-1 style report\n"
                "  throughput <gbps>        predicted per-chain delivery\n"
                "  send <dst-ip> [count]    inject test packets\n"
+               "  replay [workers] [flows] [pkts/flow]\n"
+               "                           parallel traffic replay + "
+               "measured throughput\n"
                "  p4info                   control-plane JSON description\n"
                "  --fig9                   use the paper's prototype "
                "placement\n");
@@ -124,6 +153,17 @@ int main(int argc, char** argv) {
   if (args.empty()) {
     usage();
     return 2;
+  }
+
+  // Replay builds its own per-worker deployments; dispatch before the
+  // shared fixture is constructed.
+  if (args[0] == "replay") {
+    const auto arg_or = [&](std::size_t i, std::uint32_t fallback) {
+      return args.size() > i
+                 ? static_cast<std::uint32_t>(std::atoi(args[i].c_str()))
+                 : fallback;
+    };
+    return cmd_replay(fig9, arg_or(1, 4), arg_or(2, 100), arg_or(3, 4));
   }
 
   auto fx = fig9 ? control::make_fig9_deployment()

@@ -209,6 +209,9 @@ std::size_t ControlPlane::service_punts(sim::SwitchOutput& out, int depth) {
       for (auto& c : re.to_cpu) out.to_cpu.push_back(std::move(c));
       out.resubmissions += re.resubmissions;
       out.recirculations += re.recirculations;
+      out.recirc_ports.insert(out.recirc_ports.end(),
+                              re.recirc_ports.begin(),
+                              re.recirc_ports.end());
       if (re.dropped) {
         out.dropped = true;
         out.drop_reason = "reinjected packet dropped: " + re.drop_reason;

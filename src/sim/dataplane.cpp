@@ -379,6 +379,7 @@ SwitchOutput DataPlane::process(net::Packet packet, std::uint16_t in_port,
     // --- port disposition ---
     if (loops_back(port)) {
       ++out.recirculations;
+      out.recirc_ports.push_back(port);
       // The loopback port transmits and immediately re-receives the
       // packet — these counters are the §4 recirculation-load
       // measurement point.

@@ -38,6 +38,10 @@ struct SwitchOutput {
 
   std::uint32_t resubmissions = 0;
   std::uint32_t recirculations = 0;
+  /// The loopback / dedicated-recirc port taken by each recirculation,
+  /// in order (size == recirculations). Lets observers attribute
+  /// recirculation load to pipelines without parsing the trace.
+  std::vector<std::uint16_t> recirc_ports;
   std::vector<asic::PipeletId> pipelets_visited;
   std::vector<std::string> trace;
 
@@ -94,8 +98,21 @@ class DataPlane {
     std::uint64_t rx_bytes = 0;
     std::uint64_t tx_packets = 0;
     std::uint64_t tx_bytes = 0;
+
+    bool operator==(const PortCounters&) const = default;
+    PortCounters& operator+=(const PortCounters& o) {
+      rx_packets += o.rx_packets;
+      rx_bytes += o.rx_bytes;
+      tx_packets += o.tx_packets;
+      tx_bytes += o.tx_bytes;
+      return *this;
+    }
   };
   const PortCounters& port_counters(std::uint16_t port) const;
+  /// Every port with traffic so far (ports never touched are absent).
+  const std::map<std::uint16_t, PortCounters>& all_port_counters() const {
+    return counters_;
+  }
   void reset_counters();
 
  private:

@@ -45,33 +45,19 @@ std::string ThroughputReport::to_table() const {
   return s;
 }
 
-ThroughputReport estimate_throughput(
-    const sfc::PolicySet& policies,
-    const std::map<std::uint16_t, place::Traversal>& traversals,
-    const asic::SwitchConfig& config, double total_offered_gbps) {
+ThroughputReport solve_fluid_throughput(const std::vector<PathDemand>& paths,
+                                        const asic::SwitchConfig& config) {
   ThroughputReport report;
-  report.total_offered_gbps = total_offered_gbps;
-  const double total_weight = policies.total_weight();
 
   struct PathState {
-    const sfc::ChainPolicy* policy;
-    std::vector<std::uint32_t> loops;  // pipeline per recirculation
-    double offered;
+    const PathDemand* demand;
     /// Survival per recirculation hop (updated each iteration).
     std::vector<double> survival;
   };
-  std::vector<PathState> paths;
-  for (const sfc::ChainPolicy& policy : policies.policies()) {
-    auto it = traversals.find(policy.path_id);
-    if (it == traversals.end() || !it->second.feasible) continue;
-    PathState ps;
-    ps.policy = &policy;
-    ps.loops = recirc_pipelines(it->second);
-    ps.offered = total_weight > 0
-                     ? total_offered_gbps * policy.weight / total_weight
-                     : 0;
-    ps.survival.assign(ps.loops.size(), 1.0);
-    paths.push_back(std::move(ps));
+  std::vector<PathState> states;
+  for (const PathDemand& d : paths) {
+    report.total_offered_gbps += d.offered_gbps;
+    states.push_back({&d, std::vector<double>(d.loop_pipelines.size(), 1.0)});
   }
 
   // Fixed point: compute per-pipeline recirculation demand from the
@@ -81,10 +67,10 @@ ThroughputReport estimate_throughput(
   std::map<std::uint32_t, double> utilization;
   for (int round = 0; round < 50; ++round) {
     std::map<std::uint32_t, double> demand;
-    for (const PathState& ps : paths) {
-      double flow = ps.offered;
-      for (std::size_t hop = 0; hop < ps.loops.size(); ++hop) {
-        demand[ps.loops[hop]] += flow;  // load offered TO this loop
+    for (const PathState& ps : states) {
+      double flow = ps.demand->offered_gbps;
+      for (std::size_t hop = 0; hop < ps.survival.size(); ++hop) {
+        demand[ps.demand->loop_pipelines[hop]] += flow;  // load TO this loop
         flow *= ps.survival[hop];
       }
     }
@@ -96,25 +82,50 @@ ThroughputReport estimate_throughput(
       utilization[pipeline] =
           capacity > 0 ? std::min(d, capacity) / capacity : 0.0;
     }
-    for (PathState& ps : paths) {
-      for (std::size_t hop = 0; hop < ps.loops.size(); ++hop) {
-        ps.survival[hop] = shed[ps.loops[hop]];
+    for (PathState& ps : states) {
+      for (std::size_t hop = 0; hop < ps.survival.size(); ++hop) {
+        ps.survival[hop] = shed[ps.demand->loop_pipelines[hop]];
       }
     }
   }
 
   report.recirc_utilization = std::move(utilization);
-  for (const PathState& ps : paths) {
+  for (const PathState& ps : states) {
     ChainThroughput c;
-    c.path_id = ps.policy->path_id;
-    c.offered_gbps = ps.offered;
-    c.recirculations = static_cast<std::uint32_t>(ps.loops.size());
-    double flow = ps.offered;
+    c.path_id = ps.demand->path_id;
+    c.offered_gbps = ps.demand->offered_gbps;
+    c.recirculations =
+        static_cast<std::uint32_t>(ps.demand->loop_pipelines.size());
+    double flow = ps.demand->offered_gbps;
     for (double s : ps.survival) flow *= s;
     c.delivered_gbps = flow;
     report.total_delivered_gbps += flow;
     report.per_path.push_back(c);
   }
+  return report;
+}
+
+ThroughputReport estimate_throughput(
+    const sfc::PolicySet& policies,
+    const std::map<std::uint16_t, place::Traversal>& traversals,
+    const asic::SwitchConfig& config, double total_offered_gbps) {
+  const double total_weight = policies.total_weight();
+  std::vector<PathDemand> paths;
+  for (const sfc::ChainPolicy& policy : policies.policies()) {
+    auto it = traversals.find(policy.path_id);
+    if (it == traversals.end() || !it->second.feasible) continue;
+    PathDemand d;
+    d.path_id = policy.path_id;
+    d.offered_gbps = total_weight > 0
+                         ? total_offered_gbps * policy.weight / total_weight
+                         : 0;
+    d.loop_pipelines = recirc_pipelines(it->second);
+    paths.push_back(std::move(d));
+  }
+  ThroughputReport report = solve_fluid_throughput(paths, config);
+  // The offered load is what the operator asked about, even when some
+  // paths were skipped as infeasible.
+  report.total_offered_gbps = total_offered_gbps;
   return report;
 }
 

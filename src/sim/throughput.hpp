@@ -43,9 +43,26 @@ struct ThroughputReport {
   std::string to_table() const;
 };
 
+/// One path's demand on the recirculation fabric, however it was
+/// obtained: planned (from a routing traversal) or measured (from a
+/// traffic replay). `loop_pipelines` is the ordered sequence of
+/// pipelines the path's packets recirculate through.
+struct PathDemand {
+  std::uint16_t path_id = 0;
+  double offered_gbps = 0;
+  std::vector<std::uint32_t> loop_pipelines;
+};
+
+/// The Fig. 7 feedback-queue fixed point, factored out of
+/// estimate_throughput so replay-measured demands can drive the very
+/// same solver: per-pipeline recirculation demand -> proportional
+/// shedding where demand exceeds capacity -> iterate to convergence.
+ThroughputReport solve_fluid_throughput(const std::vector<PathDemand>& paths,
+                                        const asic::SwitchConfig& config);
+
 /// Estimate per-chain throughput for an offered load split across the
 /// policies by weight. `traversals` come from the routing plan (or
-/// plan_traversal directly).
+/// plan_traversal directly). Thin wrapper over solve_fluid_throughput.
 ThroughputReport estimate_throughput(
     const sfc::PolicySet& policies,
     const std::map<std::uint16_t, place::Traversal>& traversals,

@@ -1,0 +1,120 @@
+// Differential determinism: the replay engine's merged counters are a
+// pure function of the flow set and the target — worker count, batch
+// size, and per-worker injection order must be invisible in the
+// result. This is the contract that lets every future perf PR change
+// the parallelization freely and prove it changed nothing else.
+#include "sim/replay.hpp"
+
+#include <gtest/gtest.h>
+
+#include "control/replay_target.hpp"
+
+namespace dejavu::sim {
+namespace {
+
+ReplayConfig config_for(std::uint32_t workers) {
+  ReplayConfig config;
+  config.workers = workers;
+  config.packets_per_flow = 3;
+  return config;
+}
+
+/// The canonical mixed workload: all three Fig. 2 paths, LB session
+/// learning on path 1.
+std::vector<ReplayFlow> mixed_flows() {
+  return control::fig2_replay_flows(/*total_flows=*/40, /*seed=*/7);
+}
+
+TEST(ReplayDeterminism, WorkerCountIsInvisibleWithControlPlane) {
+  const auto flows = mixed_flows();
+  const auto one = run_replay(control::fig2_replay_factory(), flows,
+                              config_for(1));
+  const auto two = run_replay(control::fig2_replay_factory(), flows,
+                              config_for(2));
+  const auto eight = run_replay(control::fig2_replay_factory(), flows,
+                                config_for(8));
+
+  // The workload actually exercised everything we claim to merge.
+  EXPECT_GT(one.counters.delivered, 0u);
+  EXPECT_GT(one.counters.recirculations, 0u);
+  EXPECT_EQ(one.counters.per_path.size(), 3u);
+
+  EXPECT_EQ(one.counters, two.counters);
+  EXPECT_EQ(one.counters, eight.counters);
+}
+
+TEST(ReplayDeterminism, WorkerCountIsInvisibleOnBareDataPlane) {
+  // No control plane behind the switch: path 1's session misses stay
+  // punted, which must merge just as deterministically as deliveries.
+  const auto flows = mixed_flows();
+  const auto factory = control::fig2_replay_factory(/*fig9=*/true,
+                                                    /*service_punts=*/false);
+  const auto one = run_replay(factory, flows, config_for(1));
+  const auto four = run_replay(factory, flows, config_for(4));
+
+  EXPECT_GT(one.counters.punted, 0u);
+  EXPECT_EQ(one.counters, four.counters);
+}
+
+TEST(ReplayDeterminism, BatchSizeAndOrderAreInvisible) {
+  const auto flows = mixed_flows();
+
+  ReplayConfig tiny = config_for(4);
+  tiny.batch = 1;
+  ReplayConfig huge = config_for(4);
+  huge.batch = 64;
+  ReplayConfig shuffled = config_for(4);
+  shuffled.shuffle_seed = 0xdecafbad;
+
+  const auto a = run_replay(control::fig2_replay_factory(), flows, tiny);
+  const auto b = run_replay(control::fig2_replay_factory(), flows, huge);
+  const auto c = run_replay(control::fig2_replay_factory(), flows, shuffled);
+
+  EXPECT_EQ(a.counters, b.counters);
+  EXPECT_EQ(a.counters, c.counters);
+}
+
+TEST(ReplayDeterminism, MergedCountersAddUp) {
+  const auto flows = mixed_flows();
+  const auto report = run_replay(control::fig2_replay_factory(), flows,
+                                 config_for(4));
+  const ReplayCounters& c = report.counters;
+
+  EXPECT_EQ(c.packets, flows.size() * 3);
+  std::uint64_t path_offered = 0, path_delivered = 0;
+  for (const auto& [path, p] : c.per_path) {
+    path_offered += p.offered;
+    path_delivered += p.delivered;
+    EXPECT_GT(p.canon_flow_hash, 0u) << "path " << path;
+  }
+  EXPECT_EQ(path_offered, c.packets);
+  EXPECT_EQ(path_delivered, c.delivered);
+
+  std::uint64_t worker_packets = 0;
+  for (const WorkerStats& w : report.workers) worker_packets += w.packets;
+  EXPECT_EQ(worker_packets, c.packets);
+
+  // The sender port saw every injected packet exactly once.
+  EXPECT_EQ(c.ports.at(control::Fig2Deployment::kSenderPort).rx_packets,
+            c.packets);
+}
+
+TEST(ReplayDeterminism, WarmEngineStaysDeterministicAcrossRuns) {
+  // A kept-warm engine (bench usage) re-runs with learned sessions:
+  // punt counts differ from a cold run, but two warm runs must agree
+  // with each other and across worker counts.
+  const auto flows = mixed_flows();
+  ReplayEngine two(control::fig2_replay_factory());
+  ReplayEngine eight(control::fig2_replay_factory());
+  two.run(flows, config_for(2));
+  eight.run(flows, config_for(8));
+  const auto warm_two = two.run(flows, config_for(2));
+  const auto warm_eight = eight.run(flows, config_for(8));
+
+  EXPECT_EQ(warm_two.counters, warm_eight.counters);
+  // Steady state: no packet punts once sessions are in the tables.
+  EXPECT_EQ(warm_two.counters.punted, 0u);
+}
+
+}  // namespace
+}  // namespace dejavu::sim

@@ -1,0 +1,107 @@
+// Cross-model check of §4's "operators can calculate chain throughput
+// after placement": the per-path delivery fractions the fluid
+// fixed-point predicts from the *planned* traversals must agree with
+// what a packet-level replay *measures* — same flow weights, same
+// recirculation demands, same saturated loopback pipeline.
+#include <gtest/gtest.h>
+
+#include "control/replay_target.hpp"
+#include "sim/replay.hpp"
+#include "sim/throughput.hpp"
+
+namespace dejavu::sim {
+namespace {
+
+class ReplayVsFluid : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // packets_per_flow >= 2 so path 1 reaches its post-session-learning
+    // steady state and the canonical loop sequences are the fast path.
+    ReplayConfig config;
+    config.workers = 2;
+    config.packets_per_flow = 3;
+    report_ = run_replay(control::fig2_replay_factory(),
+                         control::fig2_replay_flows(/*total_flows=*/40),
+                         config);
+    fixture_ = control::make_fig9_deployment();
+  }
+
+  const asic::SwitchConfig& config() const {
+    return fixture_.deployment->dataplane().config();
+  }
+
+  ReplayReport report_;
+  control::Fig2Deployment fixture_;
+};
+
+TEST_F(ReplayVsFluid, MeasuredLoopsMatchPlannedTraversals) {
+  // The replay-observed steady-state recirculation sequences are the
+  // planned ones — the behavioral executor adds no hidden loops.
+  for (const auto& [path, counters] : report_.counters.per_path) {
+    const auto it = fixture_.deployment->routing().traversals.find(path);
+    ASSERT_NE(it, fixture_.deployment->routing().traversals.end());
+    std::vector<std::uint32_t> planned;
+    for (const auto& step : it->second.steps) {
+      if (step.exit_via == place::TraversalStep::Exit::kRecirculate) {
+        planned.push_back(step.pipelet.pipeline);
+      }
+    }
+    EXPECT_EQ(counters.loop_pipelines, planned) << "path " << path;
+  }
+}
+
+TEST_F(ReplayVsFluid, SaturatedLoopbackAgreesWithFluidFixedPoint) {
+  // 2x the deployment's external capacity: pipeline 1's loopback
+  // bandwidth saturates and both models must shed the same fractions.
+  const double offered = 2 * config().external_capacity_gbps();
+  const auto fluid = estimate_throughput(
+      fixture_.policies, fixture_.deployment->routing().traversals, config(),
+      offered);
+  const auto measured = replay_throughput(report_, config(), offered);
+
+  ASSERT_EQ(measured.per_path.size(), fluid.per_path.size());
+  double fluid_total = 0, measured_total = 0;
+  for (const ChainThroughput& f : fluid.per_path) {
+    const ChainThroughput* m = nullptr;
+    for (const ChainThroughput& c : measured.per_path) {
+      if (c.path_id == f.path_id) m = &c;
+    }
+    ASSERT_NE(m, nullptr) << "path " << f.path_id;
+    // Flow counts are rounded to integers, so offered shares track the
+    // policy weights only approximately — compare fractions.
+    EXPECT_NEAR(m->delivery_fraction(), f.delivery_fraction(), 0.05)
+        << "path " << f.path_id;
+    EXPECT_EQ(m->recirculations, f.recirculations) << "path " << f.path_id;
+    fluid_total += f.delivered_gbps;
+    measured_total += m->delivered_gbps;
+  }
+  EXPECT_GT(fluid_total, 0);
+  EXPECT_NEAR(measured_total / fluid_total, 1.0, 0.05);
+
+  // Saturation actually happened — the interesting regime.
+  ASSERT_TRUE(measured.recirc_utilization.count(1));
+  EXPECT_NEAR(measured.recirc_utilization.at(1), 1.0, 1e-6);
+  EXPECT_LT(measured.total_delivered_gbps, offered);
+}
+
+TEST_F(ReplayVsFluid, UnderCapacityBothModelsAreLossless) {
+  const double offered = 0.5 * config().external_capacity_gbps();
+  const auto fluid = estimate_throughput(
+      fixture_.policies, fixture_.deployment->routing().traversals, config(),
+      offered);
+  const auto measured = replay_throughput(report_, config(), offered);
+  EXPECT_NEAR(fluid.total_delivered_gbps, offered, 1e-6);
+  EXPECT_NEAR(measured.total_delivered_gbps, offered, offered * 0.01);
+}
+
+TEST_F(ReplayVsFluid, ReplayCountersAreBehaviorallyLossless) {
+  // Nothing in the canonical mix is ACL-denied or unserviceable, so
+  // the behavioral delivery fraction is exactly 1 on every path.
+  for (const auto& [path, counters] : report_.counters.per_path) {
+    EXPECT_EQ(counters.delivered, counters.offered) << "path " << path;
+    EXPECT_EQ(counters.dropped, 0u) << "path " << path;
+  }
+}
+
+}  // namespace
+}  // namespace dejavu::sim

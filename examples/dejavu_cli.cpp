@@ -10,18 +10,26 @@
 //   $ ./dejavu_cli send <dst-ip> [count] [--fig9]
 //   $ ./dejavu_cli replay [workers] [flows] [packets-per-flow] [--fig9]
 //   $ ./dejavu_cli p4info [--fig9]
+//   $ ./dejavu_cli lint [--json] [--target NAME]... [--all]
+//                       [--fixture NAME]... [--fixtures] [--fig9]
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <exception>
+#include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "control/deployment.hpp"
 #include "control/p4info.hpp"
 #include "control/replay_target.hpp"
+#include "example_chains.hpp"
 #include "sim/latency.hpp"
 #include "sim/replay.hpp"
 #include "sim/throughput.hpp"
+#include "verify/fixtures.hpp"
+#include "verify/verify.hpp"
 
 using namespace dejavu;
 
@@ -121,10 +129,126 @@ int cmd_replay(bool fig9, std::uint32_t workers, std::uint32_t flows,
   return 0;
 }
 
+/// Build one shipped deployment and return its verifier report.
+/// Verification is kept non-throwing (DeploymentOptions::verify off)
+/// so lint prints the findings instead of dying on the first error.
+verify::Report lint_example(const std::string& target) {
+  control::DeploymentOptions options;
+  options.verify = false;
+  if (target == "fig2" || target == "edge_cloud") {
+    return control::make_fig2_deployment(std::nullopt, std::move(options))
+        .deployment->verification();
+  }
+  if (target == "fig9") {
+    return control::make_fig9_deployment(std::move(options))
+        .deployment->verification();
+  }
+  examples::ChainSetup setup;
+  if (target == "quickstart") {
+    setup = examples::quickstart_setup();
+  } else if (target == "stateful" || target == "stateful_security") {
+    setup = examples::stateful_security_setup();
+  } else {
+    throw std::invalid_argument("unknown lint target '" + target +
+                                "' (want fig2|fig9|quickstart|stateful)");
+  }
+  auto deployment = control::Deployment::build(
+      std::move(setup.nfs), setup.policies, std::move(setup.config),
+      std::move(setup.ids), std::move(options));
+  return deployment->verification();
+}
+
+int cmd_lint(const std::vector<std::string>& args, bool fig9) {
+  bool json = false;
+  std::vector<std::string> targets;
+  std::vector<std::string> fixture_names;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    const bool has_value = i + 1 < args.size();
+    if (a == "--json") {
+      json = true;
+    } else if (a == "--all") {
+      targets = {"fig2", "fig9", "quickstart", "stateful"};
+    } else if (a == "--fixtures") {
+      fixture_names = verify::fixtures::names();
+    } else if (a == "--target" && has_value) {
+      targets.push_back(args[++i]);
+    } else if (a == "--fixture" && has_value) {
+      fixture_names.push_back(args[++i]);
+    } else {
+      std::fprintf(stderr, "lint: bad argument '%s'\n", a.c_str());
+      return 2;
+    }
+  }
+  if (targets.empty() && fixture_names.empty()) {
+    targets = {fig9 ? "fig9" : "fig2"};
+  }
+
+  struct Item {
+    std::string label;
+    verify::Report report;
+  };
+  std::vector<Item> items;
+  for (const std::string& target : targets) {
+    try {
+      items.push_back({target, lint_example(target)});
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "lint %s: build failed before verification: %s\n",
+                   target.c_str(), e.what());
+      return 1;
+    }
+  }
+  for (const std::string& name : fixture_names) {
+    verify::fixtures::Bundle bundle;
+    try {
+      bundle = verify::fixtures::make(name);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "lint: %s\n", e.what());
+      return 2;
+    }
+    verify::Report report = verify::run_all(bundle.input());
+    for (const std::string& id : bundle.expect_checks) {
+      if (!report.has(id)) {
+        // A fixture that stops tripping its check means the verifier
+        // regressed; shout even though the exit code already reflects
+        // whatever findings remain.
+        std::fprintf(stderr,
+                     "lint: fixture '%s' no longer trips expected check %s\n",
+                     name.c_str(), id.c_str());
+      }
+    }
+    items.push_back({"fixture:" + name, std::move(report)});
+  }
+
+  std::size_t errors = 0;
+  for (const Item& item : items) errors += item.report.errors();
+
+  if (json) {
+    if (items.size() == 1) {
+      // Single selection: the raw report, byte-for-byte what
+      // Report::to_json() produces (the golden tests rely on this).
+      std::fputs(items[0].report.to_json().c_str(), stdout);
+    } else {
+      std::printf("{\n");
+      for (std::size_t i = 0; i < items.size(); ++i) {
+        std::printf("%s\"%s\": %s", i == 0 ? "" : ",",
+                    items[i].label.c_str(), items[i].report.to_json().c_str());
+      }
+      std::printf("}\n");
+    }
+  } else {
+    for (const Item& item : items) {
+      if (items.size() > 1) std::printf("== %s ==\n", item.label.c_str());
+      std::fputs(item.report.to_string().c_str(), stdout);
+    }
+  }
+  return errors > 0 ? 1 : 0;
+}
+
 void usage() {
   std::fprintf(stderr,
                "usage: dejavu_cli "
-               "<plan|resources|throughput|send|replay|p4info> "
+               "<plan|resources|throughput|send|replay|p4info|lint> "
                "[args] [--fig9]\n"
                "  plan                     placement + traversals\n"
                "  resources                Table-1 style report\n"
@@ -134,6 +258,10 @@ void usage() {
                "                           parallel traffic replay + "
                "measured throughput\n"
                "  p4info                   control-plane JSON description\n"
+               "  lint [--json] [--target fig2|fig9|quickstart|stateful]...\n"
+               "       [--all] [--fixture NAME]... [--fixtures]\n"
+               "                           run the chain verifier; exits 1 "
+               "on error findings\n"
                "  --fig9                   use the paper's prototype "
                "placement\n");
 }
@@ -155,8 +283,9 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  // Replay builds its own per-worker deployments; dispatch before the
+  // Lint and replay build their own deployments; dispatch before the
   // shared fixture is constructed.
+  if (args[0] == "lint") return cmd_lint(args, fig9);
   if (args[0] == "replay") {
     const auto arg_or = [&](std::size_t i, std::uint32_t fallback) {
       return args.size() > i

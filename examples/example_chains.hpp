@@ -1,0 +1,56 @@
+// Shared chain setups for the shipped examples. One definition of
+// each example's NF programs / chaining policy / switch profile, so
+// the example binaries and `dejavu_cli lint` build the exact same
+// deployment — what the lint gate checks is what the examples run.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "asic/switch_config.hpp"
+#include "nf/nfs.hpp"
+#include "sfc/chain.hpp"
+
+namespace dejavu::examples {
+
+/// Everything Deployment::build consumes for one example chain.
+struct ChainSetup {
+  p4ir::TupleIdTable ids;
+  std::vector<p4ir::Program> nfs;
+  sfc::PolicySet policies;
+  asic::SwitchConfig config{asic::TargetSpec::tofino32()};
+};
+
+/// quickstart: Classifier -> Router, one policy, port 0 -> port 1.
+inline ChainSetup quickstart_setup() {
+  ChainSetup s;
+  s.nfs.push_back(nf::make_classifier(s.ids));
+  s.nfs.push_back(nf::make_router(s.ids));
+  s.policies.add({.path_id = 1,
+                  .name = "classify-then-route",
+                  .nfs = {sfc::kClassifier, sfc::kRouter},
+                  .weight = 1.0,
+                  .in_port = 0,
+                  .exit_port = 1});
+  return s;
+}
+
+/// stateful_security: Classifier -> Police (blocklist) -> Limiter
+/// (per-flow register rate limiting at `threshold` packets) -> Router.
+inline ChainSetup stateful_security_setup(std::uint32_t threshold = 20) {
+  ChainSetup s;
+  s.nfs.push_back(nf::make_classifier(s.ids));
+  s.nfs.push_back(nf::make_police(s.ids));
+  s.nfs.push_back(nf::make_rate_limiter(s.ids, threshold));
+  s.nfs.push_back(nf::make_router(s.ids));
+  s.policies.add({.path_id = 1,
+                  .name = "protected",
+                  .nfs = {sfc::kClassifier, "Police", "Limiter", sfc::kRouter},
+                  .weight = 1.0,
+                  .in_port = 0,
+                  .exit_port = 1,
+                  .terminal_pops_sfc = true});
+  return s;
+}
+
+}  // namespace dejavu::examples

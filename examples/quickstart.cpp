@@ -10,36 +10,27 @@
 #include <cstdio>
 
 #include "control/deployment.hpp"
-#include "nf/nfs.hpp"
+#include "example_chains.hpp"
 
 using namespace dejavu;
 
 int main() {
-  // 1. Author (or reuse) NF programs against the §3.1 control-block
-  //    interface. Every program interns its parser vertices through a
-  //    shared (header_type, offset) -> global-ID table.
-  p4ir::TupleIdTable ids;
-  std::vector<p4ir::Program> nfs;
-  nfs.push_back(nf::make_classifier(ids));
-  nfs.push_back(nf::make_router(ids));
+  // 1. Gather the inputs: NF programs authored against the §3.1
+  //    control-block interface (parser vertices interned through a
+  //    shared (header_type, offset) -> global-ID table), the chaining
+  //    policy (who visits what, in which order, arriving and leaving
+  //    where), and the switch profile (the paper's Wedge-100B 32X).
+  //    The same setup is what `dejavu_cli lint --target quickstart`
+  //    verifies.
+  auto setup = examples::quickstart_setup();
 
-  // 2. Declare the chaining policy: who visits what, in which order,
-  //    arriving and leaving where.
-  sfc::PolicySet policies;
-  policies.add({.path_id = 1,
-                .name = "classify-then-route",
-                .nfs = {sfc::kClassifier, sfc::kRouter},
-                .weight = 1.0,
-                .in_port = 0,
-                .exit_port = 1});
-
-  // 3. Pick the switch profile (the paper's Wedge-100B 32X here) and
-  //    build: Deployment::build merges the programs, optimizes the
-  //    placement, allocates MAU stages, derives the branching rules,
-  //    and brings up the behavioral data plane.
-  asic::SwitchConfig config(asic::TargetSpec::tofino32());
+  // 2. Build: Deployment::build merges the programs, optimizes the
+  //    placement, statically verifies the composition, allocates MAU
+  //    stages, derives the branching rules, and brings up the
+  //    behavioral data plane.
   auto deployment = control::Deployment::build(
-      std::move(nfs), policies, std::move(config), std::move(ids));
+      std::move(setup.nfs), setup.policies, std::move(setup.config),
+      std::move(setup.ids));
 
   std::printf("placement: %s\n",
               deployment->placement().to_string().c_str());
@@ -47,7 +38,7 @@ int main() {
     std::printf("path %u traversal: %s\n", path, t.to_string().c_str());
   }
 
-  // 4. Program the NF tables through the merged control plane.
+  // 3. Program the NF tables through the merged control plane.
   auto& cp = deployment->control();
   cp.add_traffic_class({.src = *net::Ipv4Prefix::parse("0.0.0.0/0"),
                         .dst = *net::Ipv4Prefix::parse("10.0.0.0/8"),
@@ -59,7 +50,7 @@ int main() {
                 .port = 1,
                 .next_hop_mac = *net::MacAddr::parse("02:00:00:00:00:02")});
 
-  // 5. Send a packet and look at what comes out.
+  // 4. Send a packet and look at what comes out.
   net::PacketSpec spec;
   spec.ip_src = net::Ipv4Addr(192, 168, 0, 1);
   spec.ip_dst = net::Ipv4Addr(10, 0, 0, 42);
@@ -76,7 +67,7 @@ int main() {
     return 1;
   }
 
-  // 6. Ask the compiler-side how much of the switch the framework ate.
+  // 5. Ask the compiler-side how much of the switch the framework ate.
   auto report = deployment->framework_report();
   std::printf("framework overhead: %.1f%% of stages, %.1f%% of SRAM, "
               "%.1f%% of TCAM\n", report.pct_stages(), report.pct_sram(),

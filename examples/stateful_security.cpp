@@ -8,7 +8,7 @@
 #include <cstdio>
 
 #include "control/deployment.hpp"
-#include "nf/nfs.hpp"
+#include "example_chains.hpp"
 #include "sim/workload.hpp"
 
 using namespace dejavu;
@@ -16,25 +16,11 @@ using namespace dejavu;
 int main() {
   constexpr std::uint32_t kThreshold = 20;  // packets per flow
 
-  p4ir::TupleIdTable ids;
-  std::vector<p4ir::Program> nfs;
-  nfs.push_back(nf::make_classifier(ids));
-  nfs.push_back(nf::make_police(ids));
-  nfs.push_back(nf::make_rate_limiter(ids, kThreshold));
-  nfs.push_back(nf::make_router(ids));
-
-  sfc::PolicySet policies;
-  policies.add({.path_id = 1,
-                .name = "protected",
-                .nfs = {sfc::kClassifier, "Police", "Limiter", sfc::kRouter},
-                .weight = 1.0,
-                .in_port = 0,
-                .exit_port = 1,
-                .terminal_pops_sfc = true});
-
-  asic::SwitchConfig config(asic::TargetSpec::tofino32());
+  // Same setup `dejavu_cli lint --target stateful` verifies.
+  auto setup = examples::stateful_security_setup(kThreshold);
   auto deployment = control::Deployment::build(
-      std::move(nfs), policies, std::move(config), std::move(ids));
+      std::move(setup.nfs), setup.policies, std::move(setup.config),
+      std::move(setup.ids));
   std::printf("placement: %s\n",
               deployment->placement().to_string().c_str());
 

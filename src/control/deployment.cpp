@@ -67,23 +67,45 @@ std::unique_ptr<Deployment> Deployment::build(
     throw std::runtime_error("composed program invalid: " + why);
   }
 
-  // --- compile: per-pipelet stage allocation ---
-  for (const p4ir::ControlBlock& control : d->program_->controls()) {
-    p4ir::DependencyGraph graph =
-        p4ir::analyze_dependencies({&control}, /*sequential_barriers=*/false);
-    compile::Allocation alloc = compile::allocate(graph, d->spec_);
-    if (!alloc.ok) {
-      throw std::runtime_error("pipelet '" + control.name() +
-                               "' does not fit: " + alloc.error);
-    }
-    d->allocations_.push_back(std::move(alloc));
-  }
+  // Dependency graphs feed both the verifier and the stage allocator,
+  // so the verifier checks exactly what gets compiled.
+  const std::vector<p4ir::DependencyGraph> graphs =
+      verify::dependency_graphs(*d->program_);
 
   // --- route ---
   d->routing_ = route::build_routing(d->policies_, d->placement_, config);
   if (!d->routing_.feasible) {
     throw std::runtime_error("routing infeasible: " +
                              d->routing_.infeasible_reason);
+  }
+
+  // --- verify: fail fast with named diagnostics before bring-up ---
+  verify::VerifyInput vin;
+  vin.program = d->program_.get();
+  vin.ids = &d->ids_;
+  for (const p4ir::Program& p : d->nf_programs_) {
+    vin.nf_programs.push_back(&p);
+  }
+  vin.dep_graphs = &graphs;
+  vin.placement = &d->placement_;
+  vin.policies = &d->policies_;
+  vin.config = &config;
+  vin.routing = &d->routing_;
+  d->verification_ = verify::run_all(vin);
+  if (options.verify && !d->verification_.ok()) {
+    throw std::runtime_error("chain verifier rejected the deployment:\n" +
+                             d->verification_.to_string());
+  }
+
+  // --- compile: per-pipelet stage allocation ---
+  for (std::size_t i = 0; i < d->program_->controls().size(); ++i) {
+    const p4ir::ControlBlock& control = d->program_->controls()[i];
+    compile::Allocation alloc = compile::allocate(graphs[i], d->spec_);
+    if (!alloc.ok) {
+      throw std::runtime_error("pipelet '" + control.name() +
+                               "' does not fit: " + alloc.error);
+    }
+    d->allocations_.push_back(std::move(alloc));
   }
 
   // --- bring up the data plane + control plane ---
@@ -118,7 +140,7 @@ place::Placement fig9_placement() {
 }
 
 Fig2Deployment make_fig2_deployment(
-    std::optional<place::Placement> placement) {
+    std::optional<place::Placement> placement, DeploymentOptions options) {
   Fig2Deployment result;
 
   p4ir::TupleIdTable ids;
@@ -132,7 +154,6 @@ Fig2Deployment make_fig2_deployment(
   asic::SwitchConfig config(asic::TargetSpec::tofino32());
   config.set_pipeline_loopback(1);
 
-  DeploymentOptions options;
   options.placement = std::move(placement);
   auto deployment =
       Deployment::build(std::move(nfs), result.policies, std::move(config),

@@ -22,6 +22,7 @@
 #include "place/optimizer.hpp"
 #include "route/routing.hpp"
 #include "sim/dataplane.hpp"
+#include "verify/verify.hpp"
 
 namespace dejavu::control {
 
@@ -33,6 +34,11 @@ struct DeploymentOptions {
   std::size_t exhaustive_limit = 8;
   place::StageModel stage_model;
   std::string program_name = "dejavu_sfc";
+  /// Fail the build (std::runtime_error) when the chain verifier finds
+  /// error-severity problems. The report is produced and retained
+  /// either way — set false to inspect a broken deployment's findings
+  /// via verification() (what `dejavu_cli lint` does).
+  bool verify = true;
 };
 
 class Deployment {
@@ -54,6 +60,10 @@ class Deployment {
   const sfc::PolicySet& policies() const { return policies_; }
   const p4ir::TupleIdTable& ids() const { return ids_; }
 
+  /// The chain verifier's report for this deployment (always populated,
+  /// even when DeploymentOptions::verify is false).
+  const verify::Report& verification() const { return verification_; }
+
   sim::DataPlane& dataplane() { return *dataplane_; }
   ControlPlane& control() { return *control_; }
 
@@ -73,6 +83,7 @@ class Deployment {
   std::unique_ptr<p4ir::Program> program_;
   std::vector<compile::Allocation> allocations_;
   route::RoutingPlan routing_;
+  verify::Report verification_;
   std::unique_ptr<sim::DataPlane> dataplane_;
   std::unique_ptr<ControlPlane> control_;
 };
@@ -91,9 +102,12 @@ struct Fig2Deployment {
 };
 
 /// `placement`: use this placement instead of letting the optimizer
-/// choose (nullopt = optimize).
+/// choose (nullopt = optimize). `options.placement` is overwritten by
+/// the `placement` argument; the other options pass through (lint uses
+/// `options.verify = false` to report findings instead of throwing).
 Fig2Deployment make_fig2_deployment(
-    std::optional<place::Placement> placement = std::nullopt);
+    std::optional<place::Placement> placement = std::nullopt,
+    DeploymentOptions options = {});
 
 /// The paper's §5/Fig. 9 prototype layout on 2 pipelines / 4 pipelets:
 /// Classifier+FW on ingress 0, VGW on egress 1, LB on ingress 1,
@@ -104,8 +118,8 @@ Fig2Deployment make_fig2_deployment(
 place::Placement fig9_placement();
 
 /// Fig. 2 deployment pinned to the Fig. 9 layout.
-inline Fig2Deployment make_fig9_deployment() {
-  return make_fig2_deployment(fig9_placement());
+inline Fig2Deployment make_fig9_deployment(DeploymentOptions options = {}) {
+  return make_fig2_deployment(fig9_placement(), std::move(options));
 }
 
 }  // namespace dejavu::control

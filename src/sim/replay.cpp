@@ -4,7 +4,10 @@
 #include <chrono>
 #include <cstdio>
 #include <random>
+#include <stdexcept>
 #include <thread>
+
+#include "verify/verify.hpp"
 
 namespace dejavu::sim {
 
@@ -23,6 +26,18 @@ DataPlaneTarget::DataPlaneTarget(const p4ir::Program& program,
                                  asic::SwitchConfig config,
                                  const std::function<void(DataPlane&)>& setup)
     : dp_(program, ids, std::move(config)) {
+  // Front-of-setup verification: replaying against a program with VLIW
+  // hazards or parser ambiguity produces silently wrong counters, so
+  // reject such targets with named diagnostics instead.
+  verify::VerifyInput vin;
+  vin.program = &program;
+  vin.ids = &ids;
+  vin.config = &dp_.config();
+  const verify::Report report = verify::run_all(vin);
+  if (!report.ok()) {
+    throw std::runtime_error("chain verifier rejected the replay target:\n" +
+                             report.to_string());
+  }
   if (setup) setup(dp_);
 }
 

@@ -1,0 +1,74 @@
+// Structured diagnostics of the chain verifier: every check emits
+// Findings (severity + catalog check id + location + message) into a
+// Report, which renders either human-readable (one line per finding)
+// or as stable JSON for tooling (`dejavu_cli lint --json`). The check
+// catalog is the authoritative list of everything the verifier can
+// prove about a composed SFC program; DESIGN.md documents what each
+// check maps to in the paper.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dejavu::verify {
+
+enum class Severity : std::uint8_t { kInfo, kWarning, kError };
+
+const char* to_string(Severity severity);
+
+/// Catalog entry for one check.
+struct CheckInfo {
+  const char* id;      // stable id, e.g. "DV-H1"
+  const char* name;    // dotted family.name, e.g. "hazard.write-write"
+  Severity severity;   // severity of the findings it emits
+  const char* what;    // one-line description
+};
+
+/// All checks in stable order (the order DESIGN.md documents).
+const std::vector<CheckInfo>& check_catalog();
+
+/// Catalog lookup by id; nullptr for unknown ids.
+const CheckInfo* find_check(const std::string& id);
+
+/// One diagnostic: a check id plus where it fired and why.
+struct Finding {
+  Severity severity = Severity::kError;
+  std::string check;    // catalog id
+  std::string where;    // location, e.g. "pipelet_ingress0/FW.acl"
+  std::string message;
+
+  std::string to_string() const;
+  bool operator==(const Finding&) const = default;
+};
+
+class Report {
+ public:
+  void add(Finding finding);
+  /// Add a finding for catalog check `id` with the catalog severity.
+  /// Throws std::invalid_argument for ids not in the catalog.
+  void add(const std::string& id, std::string where, std::string message);
+
+  const std::vector<Finding>& findings() const { return findings_; }
+  std::size_t count(Severity severity) const;
+  std::size_t errors() const { return count(Severity::kError); }
+  std::size_t warnings() const { return count(Severity::kWarning); }
+  /// True when no error-severity finding is present (warnings allowed).
+  bool ok() const { return errors() == 0; }
+  bool empty() const { return findings_.empty(); }
+
+  /// True when any finding carries `check_id`.
+  bool has(const std::string& check_id) const;
+
+  /// Deterministic order: severity (errors first), check id, location,
+  /// message. Golden tests and --json rely on this.
+  void sort();
+
+  std::string to_string() const;
+  std::string to_json() const;
+
+ private:
+  std::vector<Finding> findings_;
+};
+
+}  // namespace dejavu::verify

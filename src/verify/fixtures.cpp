@@ -1,0 +1,314 @@
+#include "verify/fixtures.hpp"
+
+#include <stdexcept>
+
+namespace dejavu::verify::fixtures {
+
+namespace {
+
+using p4ir::Action;
+using p4ir::ControlBlock;
+using p4ir::MatchKind;
+using p4ir::Table;
+using p4ir::TableKey;
+
+/// Add a one-action table to `block` and apply it.
+void add_simple_table(ControlBlock& block, const std::string& table_name,
+                      Action action, std::vector<TableKey> keys = {},
+                      std::uint32_t max_entries = 16) {
+  Table t;
+  t.name = table_name;
+  t.keys = std::move(keys);
+  t.actions = {action.name};
+  t.max_entries = max_entries;
+  block.add_action(std::move(action));
+  block.add_table(std::move(t));
+  block.apply_table(table_name);
+}
+
+Action one_primitive(const std::string& name, p4ir::Primitive primitive) {
+  Action a;
+  a.name = name;
+  a.primitives = {std::move(primitive)};
+  return a;
+}
+
+/// Stash `block` in the bundle's (unexposed) program and analyze it
+/// with the deployment pipeline's flags. ControlBlocks live in the
+/// program's vector heap storage, so the graph's pointers survive
+/// moving the bundle out of make().
+void analyze_into(Bundle& b, ControlBlock block) {
+  b.program.add_control(std::move(block));
+  b.dep_graphs.push_back(p4ir::analyze_dependencies(
+      {&b.program.controls().back()}, /*sequential_barriers=*/false));
+}
+
+Bundle conflicting_writers() {
+  Bundle b;
+  b.name = "conflicting-writers";
+  b.description =
+      "two tables write (and one also reads) ipv4.ttl, but the "
+      "dependency graph lost its edges, co-scheduling them in stage 0";
+  b.expect_checks = {"DV-H1", "DV-H2"};
+
+  ControlBlock block("broken_writers");
+  add_simple_table(block, "set_ttl",
+                   one_primitive("set64", p4ir::set_imm("ipv4.ttl", 64)));
+  add_simple_table(block, "dec_ttl",
+                   one_primitive("dec", p4ir::add_imm("ipv4.ttl", 0xFF)));
+  analyze_into(b, std::move(block));
+  // Simulate a stale/hand-edited analysis: without the action edge the
+  // stage assignment overlays both writers in stage 0.
+  b.dep_graphs.back().deps.clear();
+  return b;
+}
+
+Bundle unguarded_branch() {
+  Bundle b;
+  b.name = "unguarded-branch";
+  b.description =
+      "two apply entries claim mutual exclusion via distinct branch ids "
+      "but carry no gateway, while both write ipv4.ttl";
+  b.expect_checks = {"DV-H3"};
+
+  ControlBlock block("broken_branches");
+  add_simple_table(block, "left",
+                   one_primitive("set10", p4ir::set_imm("ipv4.ttl", 10)));
+  add_simple_table(block, "right",
+                   one_primitive("set20", p4ir::set_imm("ipv4.ttl", 20)));
+  // Retrofit the branch ids onto the (ungated) apply entries.
+  ControlBlock tagged("broken_branches");
+  for (const Action& a : block.actions()) tagged.add_action(a);
+  for (const Table& t : block.tables()) tagged.add_table(t);
+  const char* branches[] = {"a", "b"};
+  std::size_t i = 0;
+  for (const p4ir::ApplyEntry& e : block.apply_order()) {
+    p4ir::ApplyEntry copy = e;
+    copy.branch_id = branches[i++ % 2];
+    tagged.apply(std::move(copy));
+  }
+  analyze_into(b, std::move(tagged));
+  return b;
+}
+
+Bundle register_span() {
+  Bundle b;
+  b.name = "register-span";
+  b.description =
+      "one register array is read and updated from tables that "
+      "dependencies force into different MAU stages";
+  b.expect_checks = {"DV-H4"};
+
+  ControlBlock block("stateful_span");
+  block.add_register({"ctr", 32, 1024});
+
+  Action bump;
+  bump.name = "bump";
+  bump.primitives = {p4ir::set_imm("meta.x", 1),
+                     p4ir::register_add("ctr", "local.idx", 1)};
+  Table t1;
+  t1.name = "writer";
+  t1.actions = {"bump"};
+  t1.registers = {"ctr"};
+  block.add_action(std::move(bump));
+  block.add_table(std::move(t1));
+  block.apply_table("writer");
+
+  Action probe;
+  probe.name = "probe";
+  probe.primitives = {p4ir::register_read("local.y", "ctr", "local.idx")};
+  Table t2;
+  t2.name = "reader";
+  t2.keys = {TableKey{"meta.x", MatchKind::kExact, 8}};
+  t2.actions = {"probe"};
+  t2.registers = {"ctr"};
+  block.add_action(std::move(probe));
+  block.add_table(std::move(t2));
+  block.apply_table("reader");
+
+  analyze_into(b, std::move(block));
+  return b;
+}
+
+Bundle dependency_cycle() {
+  Bundle b;
+  b.name = "dependency-cycle";
+  b.description =
+      "a hand-built dependency graph carries a back edge, so the "
+      "tables cannot be topologically ordered";
+  b.expect_checks = {"DV-D1"};
+
+  ControlBlock block("cyclic");
+  add_simple_table(block, "first",
+                   one_primitive("w1", p4ir::set_imm("meta.a", 1)));
+  add_simple_table(block, "second",
+                   one_primitive("w2", p4ir::set_imm("meta.b", 1)));
+  analyze_into(b, std::move(block));
+  b.dep_graphs.back().deps = {
+      {0, 1, p4ir::DepKind::kAction, "meta.a"},
+      {1, 0, p4ir::DepKind::kAction, "meta.b"},  // the cycle
+  };
+  return b;
+}
+
+Bundle stage_overflow() {
+  Bundle b;
+  b.name = "stage-overflow";
+  b.description =
+      "a six-deep match-dependency chain cannot fit the 4-stage mini "
+      "pipelet ladder";
+  b.expect_checks = {"DV-D2"};
+
+  ControlBlock block("deep_chain");
+  for (int k = 0; k < 6; ++k) {
+    const std::string in = "meta.f" + std::to_string(k);
+    const std::string out = "meta.f" + std::to_string(k + 1);
+    std::vector<TableKey> keys;
+    if (k > 0) keys.push_back(TableKey{in, MatchKind::kExact, 8});
+    add_simple_table(block, "t" + std::to_string(k),
+                     one_primitive("w" + std::to_string(k),
+                                   p4ir::set_imm(out, 1)),
+                     std::move(keys));
+  }
+  analyze_into(b, std::move(block));
+  return b;
+}
+
+Bundle parser_conflict() {
+  Bundle b;
+  b.name = "parser-conflict";
+  b.description =
+      "two NFs disagree on the merged parser: the same EtherType leads "
+      "to different headers, and a shared header type has two layouts";
+  b.expect_checks = {"DV-P1", "DV-P2"};
+
+  const p4ir::ParserTuple eth{"ethernet", 0};
+  const p4ir::ParserTuple ipv4{"ipv4", 14};
+  const p4ir::ParserTuple telemetry{"telemetry", 14};
+
+  p4ir::Program a("nf_a");
+  a.annotate("nf", "nf_a");
+  a.add_header_type(p4ir::ethernet_type());
+  a.add_header_type(p4ir::ipv4_type());
+  a.add_header_type({"telemetry", {{"flags", 8}, {"latency", 32}}});
+  const std::uint32_t a_eth = a.parser().add_vertex(b.ids, eth);
+  const std::uint32_t a_ipv4 = a.parser().add_vertex(b.ids, ipv4);
+  a.parser().set_start(a_eth);
+  a.parser().add_edge({a_eth, a_ipv4, "ethernet.ether_type", 0x0800, false});
+
+  p4ir::Program c("nf_b");
+  c.annotate("nf", "nf_b");
+  c.add_header_type(p4ir::ethernet_type());
+  // Same type name, different layout (DV-P2).
+  c.add_header_type({"telemetry", {{"flags", 8}, {"queue_depth", 24}}});
+  const std::uint32_t c_eth = c.parser().add_vertex(b.ids, eth);
+  const std::uint32_t c_tel = c.parser().add_vertex(b.ids, telemetry);
+  c.parser().set_start(c_eth);
+  // Same selector value as nf_a, different target vertex (DV-P1).
+  c.parser().add_edge({c_eth, c_tel, "ethernet.ether_type", 0x0800, false});
+
+  b.nf_programs.push_back(std::move(a));
+  b.nf_programs.push_back(std::move(c));
+  return b;
+}
+
+Bundle recirc_loop() {
+  Bundle b;
+  b.name = "recirc-loop";
+  b.description =
+      "a corrupted branching rule steers the chain into pipeline 0's "
+      "loopback port forever instead of toward the NF on egress 1";
+  b.expect_checks = {"DV-L3"};
+
+  asic::TargetSpec spec = asic::TargetSpec::mini();
+  spec.pipelines = 2;  // ports 0-3 on pipeline 0, 4-7 on pipeline 1
+  b.config = asic::SwitchConfig(spec);
+  b.config.set_loopback(2);
+
+  sfc::ChainPolicy policy;
+  policy.path_id = 7;
+  policy.name = "looping";
+  policy.nfs = {"A", "B"};
+  policy.in_port = 0;
+  policy.exit_port = 1;
+  b.policies.add(policy);
+  b.has_policies = true;
+
+  b.placement = place::Placement({
+      {{0, asic::PipeKind::kIngress}, merge::CompositionKind::kSequential,
+       {"A"}},
+      {{1, asic::PipeKind::kEgress}, merge::CompositionKind::kSequential,
+       {"B"}},
+  });
+  b.has_placement = true;
+
+  // The correct rule would steer index 1 toward pipeline 1 (where B
+  // lives); this one bounces it off pipeline 0's own loopback port, so
+  // the packet returns to the same (ingress 0, index 1) state forever.
+  b.routing.checks = {{"A", 7, 0}, {"B", 7, 1}};
+  b.routing.branching = {{{0, asic::PipeKind::kIngress},
+                          7,
+                          1,
+                          route::BranchingRule::Kind::kToEgress,
+                          2}};
+  b.has_routing = true;
+  return b;
+}
+
+Bundle overcommitted_stage() {
+  Bundle b;
+  b.name = "overcommitted-stage";
+  b.description =
+      "a two-million-entry exact-match table with a 2048-bit key "
+      "outgrows the match crossbar of a single stage and the whole "
+      "mini pipelet's SRAM";
+  b.expect_checks = {"DV-R1", "DV-R2"};
+
+  ControlBlock block("overcommitted");
+  // A 2048-bit key is wider than the mini profile's 128-byte exact
+  // crossbar, so even a single-entry slice cannot land in any stage
+  // (DV-R2); two million such entries also dwarf the whole 4-stage
+  // ladder's SRAM (DV-R1).
+  add_simple_table(
+      block, "huge",
+      one_primitive("mark", p4ir::set_imm("local.hit", 1)),
+      {TableKey{"flow.signature", MatchKind::kExact, 2048}},
+      /*max_entries=*/2'000'000);
+  analyze_into(b, std::move(block));
+  return b;
+}
+
+}  // namespace
+
+VerifyInput Bundle::input() const {
+  VerifyInput in;
+  if (has_program) in.program = &program;
+  in.ids = &ids;
+  for (const p4ir::Program& p : nf_programs) in.nf_programs.push_back(&p);
+  if (!dep_graphs.empty()) in.dep_graphs = &dep_graphs;
+  if (has_placement) in.placement = &placement;
+  if (has_policies) in.policies = &policies;
+  in.config = &config;
+  if (has_routing) in.routing = &routing;
+  return in;
+}
+
+std::vector<std::string> names() {
+  return {"conflicting-writers", "unguarded-branch", "register-span",
+          "dependency-cycle",    "stage-overflow",   "parser-conflict",
+          "recirc-loop",         "overcommitted-stage"};
+}
+
+Bundle make(const std::string& name) {
+  if (name == "conflicting-writers") return conflicting_writers();
+  if (name == "unguarded-branch") return unguarded_branch();
+  if (name == "register-span") return register_span();
+  if (name == "dependency-cycle") return dependency_cycle();
+  if (name == "stage-overflow") return stage_overflow();
+  if (name == "parser-conflict") return parser_conflict();
+  if (name == "recirc-loop") return recirc_loop();
+  if (name == "overcommitted-stage") return overcommitted_stage();
+  throw std::invalid_argument("unknown verifier fixture '" + name + "'");
+}
+
+}  // namespace dejavu::verify::fixtures

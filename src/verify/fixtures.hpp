@@ -1,0 +1,49 @@
+// Seeded broken-composition fixtures: self-contained miniature inputs
+// that each trip one family of verifier checks. They serve as negative
+// test cases (tests/test_verify.cpp, the lint golden tests) and as a
+// self-check for operators (`dejavu_cli lint --fixture NAME` /
+// `--fixtures` must fail loudly — a verifier that passes them is
+// broken).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "asic/switch_config.hpp"
+#include "verify/verify.hpp"
+
+namespace dejavu::verify::fixtures {
+
+/// One fixture: the owned inputs plus the check ids it must trip.
+/// Movable; the VerifyInput from input() borrows from this object, so
+/// keep the bundle alive while the report is being produced.
+struct Bundle {
+  std::string name;
+  std::string description;
+  /// Check ids (e.g. "DV-H1") run_all must report for this bundle.
+  std::vector<std::string> expect_checks;
+
+  p4ir::TupleIdTable ids;
+  std::vector<p4ir::Program> nf_programs;
+  bool has_program = false;
+  p4ir::Program program;  // also owns control blocks dep_graphs reference
+  std::vector<p4ir::DependencyGraph> dep_graphs;
+  bool has_placement = false;
+  place::Placement placement;
+  bool has_policies = false;
+  sfc::PolicySet policies;
+  asic::SwitchConfig config{asic::TargetSpec::mini()};
+  bool has_routing = false;
+  route::RoutingPlan routing;
+
+  VerifyInput input() const;
+};
+
+/// All fixture names, in catalog order.
+std::vector<std::string> names();
+
+/// Build a fixture by name. Throws std::invalid_argument for unknown
+/// names.
+Bundle make(const std::string& name);
+
+}  // namespace dejavu::verify::fixtures

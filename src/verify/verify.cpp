@@ -1,0 +1,687 @@
+#include "verify/verify.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <tuple>
+
+#include "p4ir/resources.hpp"
+
+namespace dejavu::verify {
+
+namespace {
+
+/// Sorted intersection of two string sets, for deterministic messages.
+std::vector<std::string> intersect(const std::set<std::string>& a,
+                                   const std::set<std::string>& b) {
+  std::vector<std::string> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+std::string join(const std::vector<std::string>& items) {
+  std::string s;
+  for (const std::string& item : items) {
+    if (!s.empty()) s += ", ";
+    s += item;
+  }
+  return s;
+}
+
+std::string block_name(const p4ir::DependencyGraph& graph) {
+  for (const p4ir::AnalyzedTable& at : graph.tables) {
+    if (at.block != nullptr) return at.block->name();
+  }
+  return "<control>";
+}
+
+std::string table_name(const p4ir::AnalyzedTable& at) {
+  return at.table != nullptr ? at.table->name : "<table>";
+}
+
+/// The def/use sets one table contributes to its MAU stage, recomputed
+/// from the control block's primitives (not taken from the graph's own
+/// cached sets, so a stale or hand-edited graph is still caught) and
+/// extended with the register arrays the actions touch — which
+/// Action::reads()/writes() deliberately exclude, making registers
+/// invisible to dependency analysis.
+struct DefUse {
+  std::set<std::string> reads;   // match keys, gateway fields, action reads
+  std::set<std::string> writes;  // action writes
+  std::set<std::string> regs;    // register arrays accessed
+};
+
+DefUse def_use(const p4ir::AnalyzedTable& at) {
+  DefUse du;
+  if (at.table == nullptr) return du;
+  du.reads = at.table->match_fields();
+  du.reads.insert(at.guard_fields.begin(), at.guard_fields.end());
+  if (at.field_guard) du.reads.insert(at.field_guard->field);
+
+  if (at.block != nullptr) {
+    const std::set<std::string> ar = at.block->table_action_reads(*at.table);
+    const std::set<std::string> aw = at.block->table_action_writes(*at.table);
+    du.reads.insert(ar.begin(), ar.end());
+    du.writes.insert(aw.begin(), aw.end());
+
+    std::vector<std::string> action_names = at.table->actions;
+    if (!at.table->default_action.empty()) {
+      action_names.push_back(at.table->default_action);
+    }
+    for (const std::string& name : action_names) {
+      const p4ir::Action* action = at.block->find_action(name);
+      if (action == nullptr) continue;
+      for (const p4ir::Primitive& p : action->primitives) {
+        if (p.op == p4ir::PrimitiveOp::kRegisterRead ||
+            p.op == p4ir::PrimitiveOp::kRegisterAdd ||
+            p.op == p4ir::PrimitiveOp::kRegisterWrite) {
+          du.regs.insert(p.param);
+        }
+      }
+    }
+  } else {
+    du.reads.insert(at.action_reads.begin(), at.action_reads.end());
+    du.writes.insert(at.action_writes.begin(), at.action_writes.end());
+  }
+  return du;
+}
+
+}  // namespace
+
+std::vector<p4ir::DependencyGraph> dependency_graphs(
+    const p4ir::Program& program) {
+  std::vector<p4ir::DependencyGraph> graphs;
+  graphs.reserve(program.controls().size());
+  for (const p4ir::ControlBlock& control : program.controls()) {
+    // Same flags the deployment pipeline compiles with: each control is
+    // one already-composed pipelet, so no inter-block barriers apply.
+    graphs.push_back(p4ir::analyze_dependencies({&control}, false));
+  }
+  return graphs;
+}
+
+bool check_dependency_order(const p4ir::DependencyGraph& graph, Report& out) {
+  const std::string where = block_name(graph);
+  bool ok = true;
+  for (const p4ir::Dependency& d : graph.deps) {
+    if (d.from >= graph.tables.size() || d.to >= graph.tables.size()) {
+      out.add("DV-D1", where,
+              "dependency edge " + std::to_string(d.from) + " -> " +
+                  std::to_string(d.to) + " references a table index out of "
+                  "range (" + std::to_string(graph.tables.size()) +
+                  " tables)");
+      ok = false;
+      continue;
+    }
+    if (d.from >= d.to) {
+      // Tables sit in apply order, which doubles as the topological
+      // order the allocator consumes; an edge running backward (or a
+      // self-loop) means the tables cannot be ordered at all.
+      out.add("DV-D1", where,
+              "dependency edge from '" + table_name(graph.tables[d.from]) +
+                  "' (index " + std::to_string(d.from) + ") to '" +
+                  table_name(graph.tables[d.to]) + "' (index " +
+                  std::to_string(d.to) + ") runs against apply order — the "
+                  "tables cannot be topologically ordered");
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+void check_stage_hazards(const p4ir::DependencyGraph& graph, Report& out) {
+  const std::string where = block_name(graph);
+  const std::vector<std::uint32_t> stages = graph.min_stages();
+
+  std::vector<DefUse> du;
+  du.reserve(graph.tables.size());
+  for (const p4ir::AnalyzedTable& at : graph.tables) du.push_back(def_use(at));
+
+  for (std::size_t j = 0; j < graph.tables.size(); ++j) {
+    const p4ir::AnalyzedTable& b = graph.tables[j];
+    for (std::size_t i = 0; i < j; ++i) {
+      const p4ir::AnalyzedTable& a = graph.tables[i];
+      if (stages[i] != stages[j]) continue;
+      const std::string stage = std::to_string(stages[i]);
+      const std::string pair =
+          "'" + table_name(a) + "' and '" + table_name(b) + "'";
+
+      const bool cross_branch = !a.branch_id.empty() &&
+                                !b.branch_id.empty() &&
+                                a.branch_id != b.branch_id;
+      if (cross_branch) {
+        // Dependency analysis trusts distinct branch ids to mean "no
+        // packet executes both". That claim is only safe when gateways
+        // actually enforce the exclusion; an ungated entry runs for
+        // every packet, so two branches writing one field would race
+        // in the VLIW. Reads stay benign either way: a stage's match
+        // keys are extracted before any of its actions write, so a
+        // cross-branch reader sees the pre-stage value by design (the
+        // parallel composition's ungated check_nextNF gates match the
+        // index that glue tables advance in the same stage).
+        if (a.gated && b.gated) continue;
+        const std::vector<std::string> conflicts =
+            intersect(du[i].writes, du[j].writes);
+        if (!conflicts.empty()) {
+          out.add("DV-H3", where,
+                  "branches '" + a.branch_id + "' and '" + b.branch_id +
+                      "' claim mutual exclusion but " + pair +
+                      " share stage " + stage +
+                      " with at least one ungated entry, both writing: " +
+                      join(conflicts));
+        }
+        continue;
+      }
+
+      if (std::vector<std::string> ww = intersect(du[i].writes, du[j].writes);
+          !ww.empty()) {
+        out.add("DV-H1", where,
+                pair + " share stage " + stage + " but both write: " +
+                    join(ww));
+      }
+      // Same-stage VLIW semantics: every table reads the stage-input
+      // PHV, so a later table reading what an earlier co-staged table
+      // writes sees the stale value (read-after-write broken); the
+      // reverse (write-after-read) is harmless.
+      if (std::vector<std::string> rw = intersect(du[i].writes, du[j].reads);
+          !rw.empty()) {
+        out.add("DV-H2", where,
+                "'" + table_name(b) + "' matches or reads fields written "
+                    "by '" + table_name(a) + "' in the same stage " + stage +
+                    ": " + join(rw));
+      }
+    }
+  }
+
+  // A Tofino register array lives in exactly one MAU stage; actions in
+  // other stages cannot reach it. Registers never show up in the
+  // field-level read/write sets, so only this check catches it.
+  std::map<std::string, std::map<std::uint32_t, std::vector<std::string>>>
+      reg_stages;
+  for (std::size_t i = 0; i < graph.tables.size(); ++i) {
+    for (const std::string& reg : du[i].regs) {
+      reg_stages[reg][stages[i]].push_back(table_name(graph.tables[i]));
+    }
+  }
+  for (const auto& [reg, by_stage] : reg_stages) {
+    if (by_stage.size() < 2) continue;
+    std::string detail;
+    for (const auto& [stage, users] : by_stage) {
+      if (!detail.empty()) detail += "; ";
+      detail += "stage " + std::to_string(stage) + ": " + join(users);
+    }
+    out.add("DV-H4", where + "/" + reg,
+            "register '" + reg + "' is accessed from tables in " +
+                std::to_string(by_stage.size()) + " different MAU stages (" +
+                detail + ")");
+  }
+}
+
+void check_stage_depth(const p4ir::DependencyGraph& graph,
+                       const asic::TargetSpec& spec, Report& out) {
+  if (graph.tables.empty()) return;
+  const std::uint32_t need = graph.critical_path_stages();
+  if (need > spec.stages_per_pipelet) {
+    out.add("DV-D2", block_name(graph),
+            "dependency critical path needs " + std::to_string(need) +
+                " MAU stages but the pipelet ladder has " +
+                std::to_string(spec.stages_per_pipelet));
+  }
+}
+
+void check_resources(const p4ir::DependencyGraph& graph,
+                     const asic::TargetSpec& spec, Report& out) {
+  const std::string where = block_name(graph);
+  p4ir::TableResources total;
+  for (const p4ir::AnalyzedTable& at : graph.tables) {
+    if (at.block == nullptr || at.table == nullptr) continue;
+    const p4ir::TableResources r = p4ir::estimate_table(at);
+    total += r;
+    // Mirrors compile::allocate: an oversized table is sliced into
+    // per-stage entry chunks (only the first keeps the gateway), so it
+    // is unplaceable only when even a single-entry slice overflows an
+    // empty stage — e.g. a key wider than the match crossbar.
+    if (!r.fits_within(spec.stage_budget)) {
+      p4ir::Table slice = *at.table;
+      slice.max_entries = 1;
+      const p4ir::TableResources first =
+          p4ir::estimate_table(*at.block, slice, at.gated);
+      const p4ir::TableResources rest =
+          p4ir::estimate_table(*at.block, slice, /*gated=*/false);
+      if (!first.fits_within(spec.stage_budget) ||
+          !rest.fits_within(spec.stage_budget)) {
+        out.add("DV-R2", where + "/" + at.table->name,
+                "even a single-entry slice needs " + first.to_string() +
+                    " but a single stage provides only " +
+                    spec.stage_budget.to_string());
+      }
+    }
+  }
+
+  p4ir::TableResources ladder = spec.stage_budget;
+  ladder.table_ids *= spec.stages_per_pipelet;
+  ladder.gateways *= spec.stages_per_pipelet;
+  ladder.sram_blocks *= spec.stages_per_pipelet;
+  ladder.tcam_blocks *= spec.stages_per_pipelet;
+  ladder.vliw_slots *= spec.stages_per_pipelet;
+  ladder.exact_xbar_bytes *= spec.stages_per_pipelet;
+  ladder.ternary_xbar_bytes *= spec.stages_per_pipelet;
+  if (!total.fits_within(ladder)) {
+    out.add("DV-R1", where,
+            "tables need " + total.to_string() + " but the whole " +
+                std::to_string(spec.stages_per_pipelet) +
+                "-stage pipelet provides only " + ladder.to_string());
+  }
+}
+
+void check_parser_merge(const std::vector<const p4ir::Program*>& nf_programs,
+                        const p4ir::TupleIdTable& ids, Report& out) {
+  auto program_label = [](const p4ir::Program& p) {
+    return p.annotation("nf").value_or(p.name());
+  };
+  auto tuple_label = [&](std::uint32_t id) {
+    return id < ids.size() ? ids.tuple_of(id).to_string()
+                           : "vertex#" + std::to_string(id);
+  };
+
+  // Header layouts must agree structurally across NFs (§3: the merged
+  // program carries one definition per header type).
+  std::map<std::string, std::pair<const p4ir::HeaderType*, std::string>>
+      layouts;
+  for (const p4ir::Program* p : nf_programs) {
+    if (p == nullptr) continue;
+    const std::string label = program_label(*p);
+    for (const p4ir::HeaderType& type : p->header_types()) {
+      auto [it, inserted] = layouts.emplace(type.name,
+                                            std::make_pair(&type, label));
+      if (!inserted && !(*it->second.first == type)) {
+        out.add("DV-P2", type.name,
+                "NFs '" + it->second.second + "' and '" + label +
+                    "' define header type '" + type.name +
+                    "' with different field layouts");
+      }
+    }
+  }
+
+  // Transitions: the same (vertex, selector field, value) must lead
+  // every NF to the same next vertex, and all NFs must agree on the
+  // start vertex — otherwise the merged generic parser is ambiguous.
+  using EdgeKey = std::tuple<std::uint32_t, std::string, std::uint64_t, bool>;
+  std::map<EdgeKey, std::pair<std::uint32_t, std::string>> transitions;
+  std::pair<std::uint32_t, std::string> start{0, ""};
+  bool have_start = false;
+  for (const p4ir::Program* p : nf_programs) {
+    if (p == nullptr || p->parser().vertices().empty()) continue;
+    const std::string label = program_label(*p);
+
+    if (!have_start) {
+      start = {p->parser().start(), label};
+      have_start = true;
+    } else if (p->parser().start() != start.first) {
+      out.add("DV-P1", "start",
+              "NFs '" + start.second + "' and '" + label +
+                  "' start parsing at different vertices (" +
+                  tuple_label(start.first) + " vs " +
+                  tuple_label(p->parser().start()) + ")");
+    }
+
+    for (const p4ir::ParserEdge& e : p->parser().edges()) {
+      const EdgeKey key{e.from, e.select_field, e.select_value, e.is_default};
+      auto [it, inserted] = transitions.emplace(
+          key, std::make_pair(e.to, label));
+      if (inserted || it->second.first == e.to) continue;
+      std::string selector =
+          e.is_default ? "default transition"
+                       : e.select_field + " == " +
+                             std::to_string(e.select_value);
+      out.add("DV-P1", tuple_label(e.from),
+              "NFs '" + it->second.second + "' and '" + label +
+                  "' map " + selector + " to different headers (" +
+                  tuple_label(it->second.first) + " vs " + tuple_label(e.to) +
+                  ")");
+    }
+  }
+}
+
+void check_parser_graph(const p4ir::Program& program,
+                        const p4ir::TupleIdTable& ids, Report& out) {
+  const p4ir::ParserGraph& parser = program.parser();
+  if (parser.vertices().empty()) return;
+  auto tuple_label = [&](std::uint32_t id) {
+    return id < ids.size() ? ids.tuple_of(id).to_string()
+                           : "vertex#" + std::to_string(id);
+  };
+
+  for (std::uint32_t v : parser.vertices()) {
+    std::size_t defaults = 0;
+    std::map<std::pair<std::string, std::uint64_t>, std::uint32_t> selective;
+    std::set<std::string> fields;
+    for (const p4ir::ParserEdge& e : parser.out_edges(v)) {
+      if (e.is_default) {
+        ++defaults;
+        continue;
+      }
+      fields.insert(e.select_field);
+      auto [it, inserted] = selective.emplace(
+          std::make_pair(e.select_field, e.select_value), e.to);
+      if (!inserted && it->second != e.to) {
+        out.add("DV-P1", tuple_label(v),
+                "selector " + e.select_field + " == " +
+                    std::to_string(e.select_value) +
+                    " transitions to two different headers (" +
+                    tuple_label(it->second) + " vs " + tuple_label(e.to) +
+                    ")");
+      }
+    }
+    if (defaults > 1) {
+      out.add("DV-P1", tuple_label(v),
+              "vertex has " + std::to_string(defaults) +
+                  " default transitions");
+    }
+    if (fields.size() > 1) {
+      // Hardware select keys are per-state; selecting on several
+      // fields at once needs key concatenation the merge does not do.
+      out.add("DV-P3", tuple_label(v),
+              "vertex selects its transition on " +
+                  std::to_string(fields.size()) + " different fields (" +
+                  join({fields.begin(), fields.end()}) + ")");
+    }
+  }
+}
+
+namespace {
+
+std::string policy_label(const sfc::ChainPolicy& policy) {
+  std::string s = "path " + std::to_string(policy.path_id);
+  if (!policy.name.empty()) s += " (" + policy.name + ")";
+  return s;
+}
+
+}  // namespace
+
+void check_placement(const sfc::PolicySet& policies,
+                     const place::Placement& placement,
+                     const asic::SwitchConfig& config, Report& out) {
+  const asic::TargetSpec& spec = config.spec();
+  const place::TraversalEnv env = route::env_for(config);
+
+  for (const sfc::ChainPolicy& policy : policies.policies()) {
+    const std::string where = policy_label(policy);
+
+    bool unplaced = false;
+    for (const std::string& nf : policy.nfs) {
+      if (!placement.find(nf)) {
+        out.add("DV-L1", where,
+                "NF '" + nf + "' is not placed on any pipelet");
+        unplaced = true;
+      }
+    }
+    if (unplaced) continue;
+
+    const place::Traversal t =
+        place::plan_traversal(policy, placement, spec, env);
+    if (!t.feasible) {
+      if (t.infeasible_reason.find("did not terminate") !=
+          std::string::npos) {
+        out.add("DV-L3", where,
+                "traversal never completes the chain: " +
+                    t.infeasible_reason);
+      } else {
+        out.add("DV-L2", where, t.infeasible_reason);
+      }
+      continue;
+    }
+
+    // Re-check every planned step against the ASIC's §3.3 rules, as
+    // defense in depth for traversals that reach us from other
+    // planners or hand-written deployment descriptions.
+    const asic::RecircConstraints& rc = spec.recirc;
+    for (std::size_t s = 0; s < t.steps.size(); ++s) {
+      const place::TraversalStep& step = t.steps[s];
+      const bool ingress = step.pipelet.kind == asic::PipeKind::kIngress;
+      const place::TraversalStep* next =
+          s + 1 < t.steps.size() ? &t.steps[s + 1] : nullptr;
+      const std::string at = "step " + std::to_string(s) + " (" +
+                             step.pipelet.to_string() + ")";
+      switch (step.exit_via) {
+        case place::TraversalStep::Exit::kResubmit:
+          if (!ingress && rc.loopback_at_pipe_boundary) {
+            out.add("DV-L4", where,
+                    at + " resubmits from an egress pipe; resubmission is "
+                         "only possible after ingress");
+          }
+          if (rc.within_pipeline && next != nullptr &&
+              next->pipelet.pipeline != step.pipelet.pipeline) {
+            out.add("DV-L4", where,
+                    at + " resubmits into a different pipeline");
+          }
+          break;
+        case place::TraversalStep::Exit::kRecirculate:
+          if (ingress && rc.loopback_at_pipe_boundary) {
+            out.add("DV-L4", where,
+                    at + " recirculates from an ingress pipe; recirculation "
+                         "is only possible after egress");
+          }
+          if (!env.recirc_ok(step.pipelet.pipeline)) {
+            out.add("DV-L4", where,
+                    at + " recirculates in pipeline " +
+                        std::to_string(step.pipelet.pipeline) +
+                        " which has no loopback/recirculation capacity");
+          }
+          if (rc.within_pipeline && next != nullptr &&
+              next->pipelet.pipeline != step.pipelet.pipeline) {
+            out.add("DV-L4", where,
+                    at + " recirculates into a different pipeline");
+          }
+          break;
+        case place::TraversalStep::Exit::kToEgress:
+          if (!ingress) {
+            out.add("DV-L4", where,
+                    at + " hops pipe-to-pipe from an egress pipe");
+          }
+          break;
+        case place::TraversalStep::Exit::kOut:
+          if (ingress) {
+            out.add("DV-L4", where,
+                    at + " exits the switch from an ingress pipe");
+          }
+          if (next != nullptr) {
+            out.add("DV-L4", where, at + " exits mid-traversal");
+          }
+          break;
+      }
+    }
+
+    // Consecutive chain NFs on one sequential pipelet against apply
+    // order cost a resubmission each pass — legal, but usually a
+    // placement mistake worth surfacing.
+    for (std::size_t i = 0; i + 1 < policy.nfs.size(); ++i) {
+      const place::NfLocation a = *placement.find(policy.nfs[i]);
+      const place::NfLocation b = *placement.find(policy.nfs[i + 1]);
+      if (!(a.pipelet == b.pipelet)) continue;
+      const merge::PipeletAssignment* pa = placement.pipelet(a.pipelet);
+      if (pa == nullptr || pa->kind != merge::CompositionKind::kSequential) {
+        continue;
+      }
+      if (b.position < a.position) {
+        out.add("DV-L5", where,
+                "NF '" + policy.nfs[i + 1] + "' precedes '" + policy.nfs[i] +
+                    "' in the apply order of " + a.pipelet.to_string() +
+                    " but follows it in the chain — each pass costs an "
+                    "extra resubmission");
+      }
+    }
+  }
+}
+
+void check_routing(const sfc::PolicySet& policies,
+                   const place::Placement& placement,
+                   const asic::SwitchConfig& config,
+                   const route::RoutingPlan& routing, Report& out) {
+  if (!routing.feasible) {
+    out.add("DV-L2", "routing", routing.infeasible_reason);
+    return;
+  }
+  const asic::TargetSpec& spec = config.spec();
+
+  auto has_check = [&](const std::string& nf, std::uint16_t path,
+                       std::size_t idx) {
+    for (const route::CheckRule& c : routing.checks) {
+      if (c.nf == nf && c.path_id == path &&
+          c.service_index == static_cast<std::uint8_t>(idx)) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  for (const sfc::ChainPolicy& policy : policies.policies()) {
+    bool unplaced = false;
+    for (const std::string& nf : policy.nfs) {
+      if (!placement.find(nf)) unplaced = true;  // DV-L1 already reported
+    }
+    if (unplaced) continue;
+
+    const std::string where = policy_label(policy);
+
+    // Walk the installed rules exactly as the dataplane would: consume
+    // chain NFs per pipelet pass (mirroring the traversal planner's
+    // pass semantics), then obey the branching rule of the resulting
+    // (pipelet, path, index) state. The walk is deterministic, so
+    // revisiting a state proves unbounded recirculation.
+    enum class Phase : std::uint8_t { kIngress, kEgress };
+    Phase phase = Phase::kIngress;
+    std::uint32_t pipeline = spec.pipeline_of_port(policy.in_port);
+    std::size_t idx = 0;
+    bool loop_back = false;  // pending egress-side loopback
+    std::set<std::tuple<int, std::uint32_t, std::size_t, bool>> visited;
+
+    auto consume = [&](const asic::PipeletId& pid) {
+      const merge::PipeletAssignment* pa = placement.pipelet(pid);
+      if (pa == nullptr) return;
+      bool first = true;
+      std::size_t last_pos = 0;
+      while (idx < policy.nfs.size()) {
+        const auto loc = placement.find(policy.nfs[idx]);
+        if (!loc || !(loc->pipelet == pid)) break;
+        if (!first) {
+          if (pa->kind == merge::CompositionKind::kParallel) break;
+          if (loc->position <= last_pos) break;
+        }
+        if (!has_check(policy.nfs[idx], policy.path_id, idx)) {
+          out.add("DV-L6", where,
+                  "no check_nextNF entry for NF '" + policy.nfs[idx] +
+                      "' at service index " + std::to_string(idx));
+        }
+        last_pos = loc->position;
+        first = false;
+        ++idx;
+      }
+    };
+
+    while (true) {
+      const auto key = std::make_tuple(phase == Phase::kIngress ? 0 : 1,
+                                       pipeline, idx, loop_back);
+      if (!visited.insert(key).second) {
+        out.add("DV-L3", where,
+                "the branching rules revisit " +
+                    asic::PipeletId{pipeline,
+                                    phase == Phase::kIngress
+                                        ? asic::PipeKind::kIngress
+                                        : asic::PipeKind::kEgress}
+                        .to_string() +
+                    " at service index " + std::to_string(idx) +
+                    " — the recirculation count is unbounded");
+        break;
+      }
+
+      if (phase == Phase::kIngress) {
+        const asic::PipeletId pid{pipeline, asic::PipeKind::kIngress};
+        consume(pid);
+        const route::BranchingRule* rule = routing.find_branching(
+            pid, policy.path_id, static_cast<std::uint8_t>(idx));
+        if (rule == nullptr) {
+          out.add("DV-L6", where,
+                  "no branching rule on " + pid.to_string() +
+                      " for service index " + std::to_string(idx) +
+                      " — the packet would hit the default drop");
+          break;
+        }
+        if (rule->kind == route::BranchingRule::Kind::kResubmit) {
+          continue;  // same ingress pipe, next pass
+        }
+        if (rule->port >= spec.total_ports()) {
+          // Dedicated per-pipeline recirculation port.
+          pipeline = rule->port - spec.total_ports();
+          loop_back = true;
+        } else {
+          pipeline = spec.pipeline_of_port(rule->port);
+          loop_back = config.is_loopback(rule->port);
+        }
+        phase = Phase::kEgress;
+        continue;
+      }
+
+      consume({pipeline, asic::PipeKind::kEgress});
+      if (loop_back) {
+        loop_back = false;
+        phase = Phase::kIngress;
+        continue;
+      }
+      if (idx < policy.nfs.size()) {
+        out.add("DV-L6", where,
+                "the packet exits the switch with " +
+                    std::to_string(policy.nfs.size() - idx) +
+                    " chain NF(s) unvisited (next: '" + policy.nfs[idx] +
+                    "')");
+      }
+      break;
+    }
+  }
+}
+
+Report run_all(const VerifyInput& in) {
+  Report report;
+
+  std::vector<p4ir::DependencyGraph> local_graphs;
+  const std::vector<p4ir::DependencyGraph>* graphs = in.dep_graphs;
+  if (graphs == nullptr && in.program != nullptr) {
+    local_graphs = dependency_graphs(*in.program);
+    graphs = &local_graphs;
+  }
+
+  if (graphs != nullptr) {
+    for (const p4ir::DependencyGraph& graph : *graphs) {
+      // A graph whose edges are malformed has no meaningful stage
+      // assignment; skip the stage-derived checks for it.
+      if (!check_dependency_order(graph, report)) continue;
+      check_stage_hazards(graph, report);
+      if (in.config != nullptr) {
+        check_stage_depth(graph, in.config->spec(), report);
+        check_resources(graph, in.config->spec(), report);
+      }
+    }
+  }
+
+  if (in.ids != nullptr && in.nf_programs.size() > 1) {
+    check_parser_merge(in.nf_programs, *in.ids, report);
+  }
+  if (in.program != nullptr && in.ids != nullptr) {
+    check_parser_graph(*in.program, *in.ids, report);
+  }
+
+  if (in.policies != nullptr && in.placement != nullptr &&
+      in.config != nullptr) {
+    check_placement(*in.policies, *in.placement, *in.config, report);
+    if (in.routing != nullptr) {
+      check_routing(*in.policies, *in.placement, *in.config, *in.routing,
+                    report);
+    }
+  }
+
+  report.sort();
+  return report;
+}
+
+}  // namespace dejavu::verify

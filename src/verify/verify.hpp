@@ -1,0 +1,118 @@
+// The chain verifier: a static-analysis pass that proves a composed
+// SFC program safe *before* deployment or replay. Where the rest of
+// the toolchain discovers a bad composition packet by packet (or by
+// failing mid-allocation), this pass inspects the composed
+// p4ir::Program, its DependencyGraph, the place::Placement, and the
+// derived route::RoutingPlan up front and emits structured findings:
+//
+//   * VLIW hazards   — cross-NF write-write / read-after-write field
+//     conflicts between tables co-scheduled in one MAU stage, checked
+//     over Primitive def/use sets independently of the dependency
+//     analysis (so a stale or hand-built graph is caught too), plus
+//     register arrays spanning stages and branch ids whose claimed
+//     mutual exclusion no gateway enforces.
+//   * dependency discipline — cycles/back-edges in the graph and
+//     critical paths that cannot fit the stage ladder (Jose et al.'s
+//     table-dependency rules, which the paper's §3.2 resource model
+//     relies on).
+//   * parser merging — (header_type, offset) ParserTuples mapped to
+//     conflicting transitions or field layouts by different NFs (§3's
+//     generic-parser scheme), and select-field ambiguity in the merged
+//     DAG.
+//   * placement & routing — §3.3's Tofino rules (resubmit only after
+//     ingress, recirculate only after egress, stay within one
+//     pipeline), unplaced NFs, infeasible traversals, and chain
+//     policies whose recirculation count is unbounded because the
+//     branching rules cycle through the pipelet graph.
+//   * resources — per-stage SRAM/TCAM/VLIW overcommit against the
+//     TargetSpec budgets, reusing p4ir::resources.
+//
+// Deployment::build and sim::DataPlaneTarget run this pass at the
+// front of their setup; `dejavu_cli lint` exposes it to operators.
+#pragma once
+
+#include <vector>
+
+#include "asic/switch_config.hpp"
+#include "p4ir/deps.hpp"
+#include "p4ir/program.hpp"
+#include "place/placement.hpp"
+#include "route/routing.hpp"
+#include "sfc/chain.hpp"
+#include "verify/finding.hpp"
+
+namespace dejavu::verify {
+
+/// Everything the verifier may look at. All pointers are optional and
+/// borrowed (the caller keeps them alive for the run_all call);
+/// run_all runs exactly the checks whose inputs are present.
+struct VerifyInput {
+  /// The composed multi-pipelet program.
+  const p4ir::Program* program = nullptr;
+  const p4ir::TupleIdTable* ids = nullptr;
+  /// The pre-merge NF programs (enables the cross-NF parser checks).
+  std::vector<const p4ir::Program*> nf_programs;
+  /// Per-control-block dependency graphs, aligned with
+  /// program->controls(). Recomputed via dependency_graphs() when
+  /// absent; pass the graphs you will actually compile with to have
+  /// them cross-checked against the program.
+  const std::vector<p4ir::DependencyGraph>* dep_graphs = nullptr;
+  const place::Placement* placement = nullptr;
+  const sfc::PolicySet* policies = nullptr;
+  const asic::SwitchConfig* config = nullptr;
+  /// The derived routing plan (enables the rule-walk checks).
+  const route::RoutingPlan* routing = nullptr;
+};
+
+/// Run every applicable check; the returned report is sorted.
+Report run_all(const VerifyInput& in);
+
+/// The per-control dependency graphs the pipeline checks default to
+/// (same flags Deployment::build compiles with: no sequential
+/// barriers, since each control block is already one composed pipelet).
+std::vector<p4ir::DependencyGraph> dependency_graphs(
+    const p4ir::Program& program);
+
+// --- individual checks (append findings to `out`) --------------------
+
+/// DV-D1: dependency edges must run forward in apply order (the apply
+/// sequence is the topological order the allocator consumes). Returns
+/// false when the graph is too broken for stage-derived checks.
+bool check_dependency_order(const p4ir::DependencyGraph& graph, Report& out);
+
+/// DV-H1/H2/H3/H4 over one analyzed control block. Recomputes def/use
+/// sets from Primitives (including register accesses) rather than
+/// trusting the graph's own sets.
+void check_stage_hazards(const p4ir::DependencyGraph& graph, Report& out);
+
+/// DV-D2: dependency critical path vs. the stage ladder.
+void check_stage_depth(const p4ir::DependencyGraph& graph,
+                       const asic::TargetSpec& spec, Report& out);
+
+/// DV-R1/R2: resource overcommit of one analyzed control block.
+void check_resources(const p4ir::DependencyGraph& graph,
+                     const asic::TargetSpec& spec, Report& out);
+
+/// DV-P1/P2: cross-NF parser-merge conflicts (pre-merge programs).
+void check_parser_merge(const std::vector<const p4ir::Program*>& nf_programs,
+                        const p4ir::TupleIdTable& ids, Report& out);
+
+/// DV-P1/P3: ambiguity inside one (typically merged) parser DAG.
+void check_parser_graph(const p4ir::Program& program,
+                        const p4ir::TupleIdTable& ids, Report& out);
+
+/// DV-L1/L2/L3/L4/L5: placement feasibility per chain policy.
+void check_placement(const sfc::PolicySet& policies,
+                     const place::Placement& placement,
+                     const asic::SwitchConfig& config, Report& out);
+
+/// DV-L3/L6: walk the installed branching/check rules for every chain
+/// policy and prove each reaches "chain complete and out" without
+/// revisiting a pipelet state (bounded recirculation) or falling into
+/// a routing gap.
+void check_routing(const sfc::PolicySet& policies,
+                   const place::Placement& placement,
+                   const asic::SwitchConfig& config,
+                   const route::RoutingPlan& routing, Report& out);
+
+}  // namespace dejavu::verify

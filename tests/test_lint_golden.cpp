@@ -1,0 +1,54 @@
+// Golden diagnostics: the exact JSON `dejavu_cli lint --json` prints
+// for the Fig. 2 / Fig. 9 deployments and for every seeded fixture,
+// compared byte-for-byte against the checked-in expectations in
+// tests/golden/. The CLI prints Report::to_json() verbatim for a
+// single selection, so comparing the library output here pins the
+// CLI's contract too. Regenerate after an intentional change with:
+//
+//   dejavu_cli lint --json --target fig2 > golden/lint_fig2.json
+//   dejavu_cli lint --json --fixture NAME > golden/lint_fixture_NAME.json
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "control/deployment.hpp"
+#include "verify/fixtures.hpp"
+#include "verify/verify.hpp"
+
+namespace dejavu {
+namespace {
+
+std::string read_golden(const std::string& file) {
+  const std::string path = std::string(DEJAVU_GOLDEN_DIR) + "/" + file;
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "missing golden file " << path;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(LintGolden, Fig2DeploymentMatches) {
+  auto fx = control::make_fig2_deployment();
+  EXPECT_EQ(fx.deployment->verification().to_json(),
+            read_golden("lint_fig2.json"));
+}
+
+TEST(LintGolden, Fig9DeploymentMatches) {
+  auto fx = control::make_fig9_deployment();
+  EXPECT_EQ(fx.deployment->verification().to_json(),
+            read_golden("lint_fig9.json"));
+}
+
+TEST(LintGolden, EveryFixtureMatches) {
+  for (const std::string& name : verify::fixtures::names()) {
+    const verify::fixtures::Bundle bundle = verify::fixtures::make(name);
+    const verify::Report report = verify::run_all(bundle.input());
+    EXPECT_EQ(report.to_json(), read_golden("lint_fixture_" + name + ".json"))
+        << name;
+  }
+}
+
+}  // namespace
+}  // namespace dejavu

@@ -1,0 +1,114 @@
+// Chain-verifier unit tests: catalog integrity, report formatting,
+// every seeded broken-composition fixture tripping exactly its
+// expected checks, shipped deployments verifying clean, and the
+// front-of-setup gates in Deployment::build / DataPlaneTarget.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+#include <string>
+
+#include "control/deployment.hpp"
+#include "sim/replay.hpp"
+#include "verify/fixtures.hpp"
+#include "verify/verify.hpp"
+
+namespace dejavu {
+namespace {
+
+TEST(FindingCatalog, IdsAndNamesUniqueAndResolvable) {
+  std::set<std::string> ids;
+  std::set<std::string> names;
+  for (const verify::CheckInfo& info : verify::check_catalog()) {
+    EXPECT_TRUE(ids.insert(info.id).second) << info.id;
+    EXPECT_TRUE(names.insert(info.name).second) << info.name;
+    EXPECT_EQ(verify::find_check(info.id), &info);
+    EXPECT_NE(info.what, nullptr) << info.id;
+    EXPECT_NE(std::string(info.what), "") << info.id;
+  }
+  EXPECT_EQ(verify::find_check("DV-XX"), nullptr);
+}
+
+TEST(Report, AddByIdPicksCatalogSeverityAndSortsErrorsFirst) {
+  verify::Report r;
+  r.add("DV-L5", "w", "warning added first");
+  r.add("DV-H1", "x", "error added second");
+  EXPECT_EQ(r.errors(), 1u);
+  EXPECT_EQ(r.warnings(), 1u);
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.has("DV-H1"));
+  EXPECT_FALSE(r.has("DV-H2"));
+  r.sort();
+  EXPECT_EQ(r.findings().front().check, "DV-H1");
+  EXPECT_THROW(r.add("DV-NOPE", "", ""), std::invalid_argument);
+}
+
+TEST(Report, TextAndJsonRenderings) {
+  verify::Report clean;
+  EXPECT_TRUE(clean.ok());
+  EXPECT_EQ(clean.to_string(), "clean (0 findings)\n");
+  EXPECT_NE(clean.to_json().find("\"ok\": true"), std::string::npos);
+  EXPECT_NE(clean.to_json().find("\"findings\": []"), std::string::npos);
+
+  verify::Report bad;
+  bad.add("DV-D1", "ctrl", "a \"quoted\" message");
+  EXPECT_NE(bad.to_string().find("error[DV-D1] ctrl: a \"quoted\""),
+            std::string::npos);
+  EXPECT_NE(bad.to_json().find("\\\"quoted\\\""), std::string::npos);
+  EXPECT_NE(bad.to_json().find("\"name\": \"deps.cycle\""),
+            std::string::npos);
+}
+
+TEST(Fixtures, EveryFixtureTripsExactlyItsExpectedChecks) {
+  for (const std::string& name : verify::fixtures::names()) {
+    const verify::fixtures::Bundle bundle = verify::fixtures::make(name);
+    EXPECT_EQ(bundle.name, name);
+    EXPECT_FALSE(bundle.expect_checks.empty()) << name;
+    const verify::Report report = verify::run_all(bundle.input());
+    EXPECT_FALSE(report.ok()) << name << ":\n" << report.to_string();
+    std::set<std::string> fired;
+    for (const verify::Finding& f : report.findings()) fired.insert(f.check);
+    const std::set<std::string> expected(bundle.expect_checks.begin(),
+                                         bundle.expect_checks.end());
+    EXPECT_EQ(fired, expected) << name << ":\n" << report.to_string();
+  }
+}
+
+TEST(Fixtures, UnknownNameThrows) {
+  EXPECT_THROW(verify::fixtures::make("no-such-fixture"),
+               std::invalid_argument);
+}
+
+TEST(Verifier, DependencyGraphsCoverEveryPipelet) {
+  auto fx = control::make_fig9_deployment();
+  const auto graphs = verify::dependency_graphs(fx.deployment->program());
+  EXPECT_EQ(graphs.size(), fx.deployment->program().controls().size());
+}
+
+TEST(Verifier, ShippedFig9DeploymentIsClean) {
+  auto fx = control::make_fig9_deployment();
+  const verify::Report& report = fx.deployment->verification();
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  EXPECT_TRUE(report.empty()) << report.to_string();
+}
+
+TEST(Verifier, VerifyOffStillPopulatesTheReport) {
+  control::DeploymentOptions options;
+  options.verify = false;
+  auto fx = control::make_fig9_deployment(std::move(options));
+  EXPECT_TRUE(fx.deployment->verification().ok());
+}
+
+TEST(Verifier, ReplayTargetRejectsBrokenProgram) {
+  // The stage-overflow fixture's program (a six-deep match-dependency
+  // chain) cannot fit the bundled mini profile's 4-stage ladder, so
+  // the replay target's front-of-setup verification must throw.
+  const verify::fixtures::Bundle bundle =
+      verify::fixtures::make("stage-overflow");
+  EXPECT_THROW(sim::DataPlaneTarget(bundle.program, bundle.ids,
+                                    asic::SwitchConfig(bundle.config), {}),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace dejavu

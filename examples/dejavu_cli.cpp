@@ -12,6 +12,8 @@
 //   $ ./dejavu_cli p4info [--fig9]
 //   $ ./dejavu_cli lint [--json] [--target NAME]... [--all]
 //                       [--fixture NAME]... [--fixtures] [--fig9]
+//   $ ./dejavu_cli explore [--json] [--target NAME]... [--all]
+//                          [--fixture NAME]... [--fixtures] [--fig9]
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -25,6 +27,8 @@
 #include "control/p4info.hpp"
 #include "control/replay_target.hpp"
 #include "example_chains.hpp"
+#include "explore/explorer.hpp"
+#include "explore/fixtures.hpp"
 #include "sim/latency.hpp"
 #include "sim/replay.hpp"
 #include "sim/throughput.hpp"
@@ -245,10 +249,138 @@ int cmd_lint(const std::vector<std::string>& args, bool fig9) {
   return errors > 0 ? 1 : 0;
 }
 
+/// Build one shipped deployment, install its example rules, and run
+/// the symbolic packet-path explorer over the installed state.
+explore::ExploreResult explore_example(const std::string& target) {
+  control::DeploymentOptions options;
+  options.verify = false;
+  if (target == "fig2" || target == "edge_cloud") {
+    auto fx = control::make_fig2_deployment(std::nullopt, std::move(options));
+    return fx.deployment->run_explorer();
+  }
+  if (target == "fig9") {
+    auto fx = control::make_fig9_deployment(std::move(options));
+    return fx.deployment->run_explorer();
+  }
+  examples::ChainSetup setup;
+  bool stateful = false;
+  if (target == "quickstart") {
+    setup = examples::quickstart_setup();
+  } else if (target == "stateful" || target == "stateful_security") {
+    setup = examples::stateful_security_setup();
+    stateful = true;
+  } else {
+    throw std::invalid_argument("unknown explore target '" + target +
+                                "' (want fig2|fig9|quickstart|stateful)");
+  }
+  auto deployment = control::Deployment::build(
+      std::move(setup.nfs), setup.policies, std::move(setup.config),
+      std::move(setup.ids), std::move(options));
+  if (stateful) {
+    examples::install_stateful_rules(*deployment);
+  } else {
+    examples::install_quickstart_rules(*deployment);
+  }
+  return deployment->run_explorer();
+}
+
+int cmd_explore(const std::vector<std::string>& args, bool fig9) {
+  bool json = false;
+  std::vector<std::string> targets;
+  std::vector<std::string> fixture_names;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    const bool has_value = i + 1 < args.size();
+    if (a == "--json") {
+      json = true;
+    } else if (a == "--all") {
+      targets = {"fig2", "fig9", "quickstart", "stateful"};
+    } else if (a == "--fixtures") {
+      fixture_names = explore::fixtures::names();
+    } else if (a == "--target" && has_value) {
+      targets.push_back(args[++i]);
+    } else if (a == "--fixture" && has_value) {
+      fixture_names.push_back(args[++i]);
+    } else {
+      std::fprintf(stderr, "explore: bad argument '%s'\n", a.c_str());
+      return 2;
+    }
+  }
+  if (targets.empty() && fixture_names.empty()) {
+    targets = {fig9 ? "fig9" : "fig2"};
+  }
+
+  struct Item {
+    std::string label;
+    explore::ExploreResult result;
+  };
+  std::vector<Item> items;
+  for (const std::string& target : targets) {
+    try {
+      items.push_back({target, explore_example(target)});
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "explore %s: build failed before exploration: %s\n",
+                   target.c_str(), e.what());
+      return 1;
+    }
+  }
+  for (const std::string& name : fixture_names) {
+    explore::fixtures::Bundle bundle;
+    try {
+      bundle = explore::fixtures::make(name);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "explore: %s\n", e.what());
+      return 2;
+    }
+    explore::ExploreResult result = bundle.deployment->run_explorer();
+    for (const std::string& id : bundle.expect_checks) {
+      if (!result.report.has(id)) {
+        // A fixture that stops tripping its check means the explorer
+        // regressed; shout even though the exit code already reflects
+        // whatever findings remain.
+        std::fprintf(
+            stderr,
+            "explore: fixture '%s' no longer trips expected check %s\n",
+            name.c_str(), id.c_str());
+      }
+    }
+    items.push_back({"fixture:" + name, std::move(result)});
+  }
+
+  std::size_t errors = 0;
+  for (const Item& item : items) errors += item.result.report.errors();
+
+  if (json) {
+    if (items.size() == 1) {
+      // Single selection: the raw report, byte-for-byte what
+      // Report::to_json() produces (the golden tests rely on this).
+      std::fputs(items[0].result.report.to_json().c_str(), stdout);
+    } else {
+      std::printf("{\n");
+      for (std::size_t i = 0; i < items.size(); ++i) {
+        std::printf("%s\"%s\": %s", i == 0 ? "" : ",",
+                    items[i].label.c_str(),
+                    items[i].result.report.to_json().c_str());
+      }
+      std::printf("}\n");
+    }
+  } else {
+    for (const Item& item : items) {
+      if (items.size() > 1) std::printf("== %s ==\n", item.label.c_str());
+      std::fputs(item.result.report.to_string().c_str(), stdout);
+      const explore::ExploreStats& s = item.result.stats;
+      std::printf("%zu symbolic paths (%zu infeasible forks pruned, "
+                  "%zu truncated), %zu differential replays\n",
+                  s.paths, s.infeasible, s.truncated, s.replays);
+    }
+  }
+  return errors > 0 ? 1 : 0;
+}
+
 void usage() {
   std::fprintf(stderr,
                "usage: dejavu_cli "
-               "<plan|resources|throughput|send|replay|p4info|lint> "
+               "<plan|resources|throughput|send|replay|p4info|lint|explore> "
                "[args] [--fig9]\n"
                "  plan                     placement + traversals\n"
                "  resources                Table-1 style report\n"
@@ -262,6 +394,13 @@ void usage() {
                "       [--all] [--fixture NAME]... [--fixtures]\n"
                "                           run the chain verifier; exits 1 "
                "on error findings\n"
+               "  explore [--json] [--target fig2|fig9|quickstart|stateful]"
+               "...\n"
+               "       [--all] [--fixture NAME]... [--fixtures]\n"
+               "                           run the symbolic packet-path "
+               "explorer over\n"
+               "                           the installed rules; exits 1 on "
+               "error findings\n"
                "  --fig9                   use the paper's prototype "
                "placement\n");
 }
@@ -283,9 +422,10 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  // Lint and replay build their own deployments; dispatch before the
-  // shared fixture is constructed.
+  // Lint, explore, and replay build their own deployments; dispatch
+  // before the shared fixture is constructed.
   if (args[0] == "lint") return cmd_lint(args, fig9);
+  if (args[0] == "explore") return cmd_explore(args, fig9);
   if (args[0] == "replay") {
     const auto arg_or = [&](std::size_t i, std::uint32_t fallback) {
       return args.size() > i

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "asic/switch_config.hpp"
+#include "control/deployment.hpp"
 #include "nf/nfs.hpp"
 #include "sfc/chain.hpp"
 
@@ -51,6 +52,47 @@ inline ChainSetup stateful_security_setup(std::uint32_t threshold = 20) {
                   .exit_port = 1,
                   .terminal_pops_sfc = true});
   return s;
+}
+
+/// The quickstart example's NF rules: everything toward 10/8 goes on
+/// path 1 and routes out of port 1. The quickstart binary and
+/// `dejavu_cli explore --target quickstart` install the same rules.
+inline void install_quickstart_rules(control::Deployment& deployment) {
+  auto& cp = deployment.control();
+  cp.add_traffic_class({.src = *net::Ipv4Prefix::parse("0.0.0.0/0"),
+                        .dst = *net::Ipv4Prefix::parse("10.0.0.0/8"),
+                        .protocol = std::nullopt,
+                        .priority = 10,
+                        .path_id = 1,
+                        .tenant = 7});
+  cp.add_route({.prefix = *net::Ipv4Prefix::parse("10.0.0.0/8"),
+                .port = 1,
+                .next_hop_mac = *net::MacAddr::parse("02:00:00:00:00:02")});
+}
+
+/// The source the stateful_security example blocklists.
+inline net::Ipv4Addr stateful_bad_source() {
+  return net::Ipv4Addr(203, 0, 113, 66);
+}
+
+/// The stateful_security example's NF rules: the quickstart-style
+/// class + route, plus one blocklisted source in the Police NF.
+inline void install_stateful_rules(control::Deployment& deployment) {
+  auto& cp = deployment.control();
+  cp.add_traffic_class({.src = *net::Ipv4Prefix::parse("0.0.0.0/0"),
+                        .dst = *net::Ipv4Prefix::parse("10.0.0.0/8"),
+                        .protocol = std::nullopt,
+                        .priority = 10,
+                        .path_id = 1,
+                        .tenant = 1});
+  cp.add_route({.prefix = *net::Ipv4Prefix::parse("10.0.0.0/8"),
+                .port = 1,
+                .next_hop_mac = *net::MacAddr::parse("02:00:00:00:00:02")});
+  for (sim::RuntimeTable* t :
+       deployment.dataplane().tables_named("Police.blocklist")) {
+    t->add_exact({stateful_bad_source().value()},
+                 sim::ActionCall{"Police.block", {}});
+  }
 }
 
 }  // namespace dejavu::examples

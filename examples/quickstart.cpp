@@ -38,17 +38,10 @@ int main() {
     std::printf("path %u traversal: %s\n", path, t.to_string().c_str());
   }
 
-  // 3. Program the NF tables through the merged control plane.
+  // 3. Program the NF tables through the merged control plane (the
+  //    same rules `dejavu_cli explore --target quickstart` verifies).
+  examples::install_quickstart_rules(*deployment);
   auto& cp = deployment->control();
-  cp.add_traffic_class({.src = *net::Ipv4Prefix::parse("0.0.0.0/0"),
-                        .dst = *net::Ipv4Prefix::parse("10.0.0.0/8"),
-                        .protocol = std::nullopt,
-                        .priority = 10,
-                        .path_id = 1,
-                        .tenant = 7});
-  cp.add_route({.prefix = *net::Ipv4Prefix::parse("10.0.0.0/8"),
-                .port = 1,
-                .next_hop_mac = *net::MacAddr::parse("02:00:00:00:00:02")});
 
   // 4. Send a packet and look at what comes out.
   net::PacketSpec spec;

@@ -24,24 +24,11 @@ int main() {
   std::printf("placement: %s\n",
               deployment->placement().to_string().c_str());
 
+  // Rules (including the blocklisted source) shared with
+  // `dejavu_cli explore --target stateful`.
+  examples::install_stateful_rules(*deployment);
   auto& cp = deployment->control();
-  cp.add_traffic_class({.src = *net::Ipv4Prefix::parse("0.0.0.0/0"),
-                        .dst = *net::Ipv4Prefix::parse("10.0.0.0/8"),
-                        .protocol = std::nullopt,
-                        .priority = 10,
-                        .path_id = 1,
-                        .tenant = 1});
-  cp.add_route({.prefix = *net::Ipv4Prefix::parse("10.0.0.0/8"),
-                .port = 1,
-                .next_hop_mac = *net::MacAddr::parse("02:00:00:00:00:02")});
-
-  // Blocklist one known-bad source.
-  const net::Ipv4Addr bad_source(203, 0, 113, 66);
-  for (sim::RuntimeTable* t :
-       deployment->dataplane().tables_named("Police.blocklist")) {
-    t->add_exact({bad_source.value()},
-                 sim::ActionCall{"Police.block", {}});
-  }
+  const net::Ipv4Addr bad_source = examples::stateful_bad_source();
 
   // Workload: 10 polite flows sending 10 packets each, one flood flow
   // sending 100, and 5 packets from the blocklisted source.

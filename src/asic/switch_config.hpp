@@ -45,9 +45,17 @@ class SwitchConfig {
   /// Ports (indices) currently in loopback mode.
   std::vector<std::uint32_t> loopback_ports() const;
 
+  /// Upper bound on pipeline passes (initial pass + resubmissions +
+  /// recirculations) one packet may consume before the traffic manager
+  /// drops it as a routing loop. Mirrors the recirculation budget a
+  /// real switch OS enforces so loops cannot starve external traffic.
+  std::uint32_t max_pipeline_passes() const { return max_pipeline_passes_; }
+  void set_max_pipeline_passes(std::uint32_t n) { max_pipeline_passes_ = n; }
+
  private:
   TargetSpec spec_;
   std::vector<bool> loopback_;
+  std::uint32_t max_pipeline_passes_ = 64;
 };
 
 }  // namespace dejavu::asic

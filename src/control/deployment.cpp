@@ -113,7 +113,22 @@ std::unique_ptr<Deployment> Deployment::build(
                                                    std::move(config));
   d->control_ = std::make_unique<ControlPlane>(*d->dataplane_, d->policies_);
   d->control_->install_routing(d->routing_);
+
+  if (options.explore) {
+    const explore::ExploreResult& result =
+        d->run_explorer(options.explore_options);
+    if (!result.report.ok()) {
+      throw std::runtime_error("symbolic explorer rejected the deployment:\n" +
+                               result.report.to_string());
+    }
+  }
   return d;
+}
+
+const explore::ExploreResult& Deployment::run_explorer(
+    const explore::ExploreOptions& options) {
+  exploration_ = explore::run(*dataplane_, policies_, options);
+  return exploration_;
 }
 
 compile::ResourceReport Deployment::framework_report() const {

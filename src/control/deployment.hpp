@@ -18,6 +18,7 @@
 #include "compile/allocator.hpp"
 #include "compile/report.hpp"
 #include "control/control_plane.hpp"
+#include "explore/explorer.hpp"
 #include "merge/compose.hpp"
 #include "place/optimizer.hpp"
 #include "route/routing.hpp"
@@ -39,6 +40,13 @@ struct DeploymentOptions {
   /// either way — set false to inspect a broken deployment's findings
   /// via verification() (what `dejavu_cli lint` does).
   bool verify = true;
+  /// Run the symbolic packet-path explorer right after bring-up and
+  /// fail the build (std::runtime_error) on error-severity findings.
+  /// At build time only the framework rules are installed, so this
+  /// checks the routing skeleton; after installing NF rules, call
+  /// run_explorer() to verify the deployment the packets actually see.
+  bool explore = false;
+  explore::ExploreOptions explore_options;
 };
 
 class Deployment {
@@ -64,6 +72,16 @@ class Deployment {
   /// even when DeploymentOptions::verify is false).
   const verify::Report& verification() const { return verification_; }
 
+  /// Run the symbolic packet-path explorer against the data plane's
+  /// *currently installed* rules (framework + whatever NF rules the
+  /// control plane has added so far) and retain the result. The DV-S
+  /// report includes the differential cross-check against a concrete
+  /// replay of every witness packet.
+  const explore::ExploreResult& run_explorer(
+      const explore::ExploreOptions& options = {});
+  /// The most recent run_explorer() result (empty until then).
+  const explore::ExploreResult& exploration() const { return exploration_; }
+
   sim::DataPlane& dataplane() { return *dataplane_; }
   ControlPlane& control() { return *control_; }
 
@@ -84,6 +102,7 @@ class Deployment {
   std::vector<compile::Allocation> allocations_;
   route::RoutingPlan routing_;
   verify::Report verification_;
+  explore::ExploreResult exploration_;
   std::unique_ptr<sim::DataPlane> dataplane_;
   std::unique_ptr<ControlPlane> control_;
 };

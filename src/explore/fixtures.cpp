@@ -1,0 +1,310 @@
+#include "explore/fixtures.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "merge/framework.hpp"
+#include "nf/nfs.hpp"
+#include "nf/parser_lib.hpp"
+#include "route/routing.hpp"
+
+namespace dejavu::explore::fixtures {
+
+namespace {
+
+using p4ir::Action;
+using p4ir::ControlBlock;
+using p4ir::MatchKind;
+using p4ir::Program;
+using p4ir::Table;
+using p4ir::TableKey;
+
+/// A minimal custom NF shell (standard parser, one control block).
+Program custom_nf(const std::string& name, p4ir::TupleIdTable& ids) {
+  Program program(name);
+  program.annotate("nf", name);
+  nf::add_standard_parser(program, ids, {});
+  return program;
+}
+
+void install_rogue_branching(control::Deployment& d,
+                             std::vector<std::uint64_t> key,
+                             sim::ActionCall call) {
+  for (sim::RuntimeTable* rt :
+       d.dataplane().tables_named(merge::kBranchingTable)) {
+    rt->add_exact(key, call);
+  }
+}
+
+/// DV-S1: a traffic class the operator added later steers path 9 to a
+/// dedicated recirculation port at every service index — the packet
+/// never leaves. Structurally fine (every table/route of the declared
+/// policy checks out); only value-level exploration sees the loop.
+Bundle value_recirc_loop() {
+  Bundle b;
+  b.name = "value-recirc-loop";
+  b.description =
+      "rogue traffic class routes to a recirc port forever (DV-S1)";
+  b.expect_checks = {"DV-S1"};
+
+  p4ir::TupleIdTable ids;
+  std::vector<Program> nfs;
+  nfs.push_back(nf::make_classifier(ids));
+  nfs.push_back(nf::make_router(ids));
+  b.policies.add({.path_id = 1,
+                  .name = "classify-then-route",
+                  .nfs = {sfc::kClassifier, sfc::kRouter},
+                  .weight = 1.0,
+                  .in_port = 0,
+                  .exit_port = 1});
+  asic::SwitchConfig config{asic::TargetSpec::tofino32()};
+  b.deployment = control::Deployment::build(std::move(nfs), b.policies,
+                                            std::move(config), std::move(ids));
+
+  auto& cp = b.deployment->control();
+  cp.add_traffic_class({.src = *net::Ipv4Prefix::parse("0.0.0.0/0"),
+                        .dst = *net::Ipv4Prefix::parse("10.0.0.0/8"),
+                        .protocol = std::nullopt,
+                        .priority = 10,
+                        .path_id = 1,
+                        .tenant = 7});
+  cp.add_route({.prefix = *net::Ipv4Prefix::parse("10.0.0.0/8"),
+                .port = 1,
+                .next_hop_mac = *net::MacAddr::parse("02:00:00:00:00:02")});
+
+  // The bug: 10.9.0.0/16 (inside the serviced /8, higher priority)
+  // is classified onto path 9 — a path no policy declares — and the
+  // branching state for (9, 1) sends it to pipeline 0's dedicated
+  // recirculation port. Every later pass misses all check tables, so
+  // (9, 1) routes it there again, forever.
+  const std::uint16_t recirc = route::dedicated_recirc_port(
+      b.deployment->dataplane().config().spec(), 0);
+  for (sim::RuntimeTable* rt : b.deployment->dataplane().tables_named(
+           merge::qualify(sfc::kClassifier, "traffic_class"))) {
+    rt->add_ternary(
+        {{0, 0}, {0x0A090000, 0xFFFF0000}, {0, 0}}, 20,
+        {merge::qualify(sfc::kClassifier, "classify"),
+         {{"path_id", 9}, {"tenant", 9}}});
+  }
+  install_rogue_branching(*b.deployment, {9, 1},
+                          {merge::kActRouteToEgress, {{"port", recirc}}});
+  return b;
+}
+
+/// DV-S3: a hand-rolled terminal NF that routes like the stock Router
+/// but forgets pop_sfc — the SFC transport header (with the platform
+/// metadata bits inside it) leaves the switch on the wire.
+Bundle metadata_leak() {
+  Bundle b;
+  b.name = "metadata-leak";
+  b.description = "terminal NF routes without popping SFC (DV-S3)";
+  b.expect_checks = {"DV-S3"};
+
+  p4ir::TupleIdTable ids;
+  std::vector<Program> nfs;
+  nfs.push_back(nf::make_classifier(ids));
+
+  Program leaky = custom_nf("Leaky", ids);
+  ControlBlock control("Leaky_control");
+  Action route;
+  route.name = "route";
+  route.params = {{"port", 9}, {"dmac", 48}};
+  route.primitives = {
+      p4ir::set_from_param("standard_metadata.egress_spec", "port"),
+      p4ir::set_from_param("ethernet.dst_addr", "dmac"),
+      // No pop_sfc: the bug under test.
+  };
+  control.add_action(route);
+  Action route_miss;
+  route_miss.name = "route_miss";
+  route_miss.primitives = {p4ir::set_imm("sfc.to_cpu_flag", 1)};
+  control.add_action(route_miss);
+  Table lpm;
+  lpm.name = "ipv4_lpm";
+  lpm.keys = {TableKey{"ipv4.dst_addr", MatchKind::kLpm, 32}};
+  lpm.actions = {"route", "route_miss"};
+  lpm.default_action = "route_miss";
+  lpm.max_entries = 1024;
+  control.add_table(lpm);
+  control.apply_table("ipv4_lpm");
+  leaky.add_control(std::move(control));
+  nfs.push_back(std::move(leaky));
+
+  b.policies.add({.path_id = 1,
+                  .name = "classify-then-leak",
+                  .nfs = {sfc::kClassifier, "Leaky"},
+                  .weight = 1.0,
+                  .in_port = 0,
+                  .exit_port = 1});
+  asic::SwitchConfig config{asic::TargetSpec::tofino32()};
+  b.deployment = control::Deployment::build(std::move(nfs), b.policies,
+                                            std::move(config), std::move(ids));
+
+  auto& cp = b.deployment->control();
+  cp.add_traffic_class({.src = *net::Ipv4Prefix::parse("0.0.0.0/0"),
+                        .dst = *net::Ipv4Prefix::parse("10.0.0.0/8"),
+                        .protocol = std::nullopt,
+                        .priority = 10,
+                        .path_id = 1,
+                        .tenant = 1});
+  for (sim::RuntimeTable* rt : b.deployment->dataplane().tables_named(
+           merge::qualify("Leaky", "ipv4_lpm"))) {
+    rt->add_lpm(net::Ipv4Addr(10, 0, 0, 0).value(), 8,
+                {merge::qualify("Leaky", "route"),
+                 {{"port", 1},
+                  {"dmac", net::MacAddr::parse("02:00:00:00:00:02")
+                               ->to_u64()}}});
+  }
+  return b;
+}
+
+/// DV-S2: a middle NF that zeroes sfc.service_index (a botched
+/// "restart the chain" feature). Beyond the index regression itself,
+/// the rewound packet falls off the routing plan — the branching
+/// table has no entry for revisiting hop 1, so the chain's tail goes
+/// dead (the DV-S6 warnings on the Router's rules).
+Bundle index_rewind() {
+  Bundle b;
+  b.name = "index-rewind";
+  b.description = "middle NF rewinds sfc.service_index (DV-S2)";
+  b.expect_checks = {"DV-S2"};
+
+  p4ir::TupleIdTable ids;
+  std::vector<Program> nfs;
+  nfs.push_back(nf::make_classifier(ids));
+
+  Program rewind = custom_nf("Rewind", ids);
+  ControlBlock control("Rewind_control");
+  Action reset;
+  reset.name = "reset";
+  reset.primitives = {p4ir::set_imm("sfc.service_index", 0)};
+  control.add_action(reset);
+  Table tab;
+  tab.name = "rewind";
+  tab.actions = {"reset"};
+  tab.default_action = "reset";
+  control.add_table(tab);
+  control.apply_table("rewind");
+  rewind.add_control(std::move(control));
+  nfs.push_back(std::move(rewind));
+
+  nfs.push_back(nf::make_router(ids));
+  b.policies.add({.path_id = 1,
+                  .name = "classify-rewind-route",
+                  .nfs = {sfc::kClassifier, "Rewind", sfc::kRouter},
+                  .weight = 1.0,
+                  .in_port = 0,
+                  .exit_port = 1});
+  asic::SwitchConfig config{asic::TargetSpec::tofino32()};
+  b.deployment = control::Deployment::build(std::move(nfs), b.policies,
+                                            std::move(config), std::move(ids));
+
+  auto& cp = b.deployment->control();
+  cp.add_traffic_class({.src = *net::Ipv4Prefix::parse("0.0.0.0/0"),
+                        .dst = *net::Ipv4Prefix::parse("10.0.0.0/8"),
+                        .protocol = std::nullopt,
+                        .priority = 10,
+                        .path_id = 1,
+                        .tenant = 1});
+  cp.add_route({.prefix = *net::Ipv4Prefix::parse("10.0.0.0/8"),
+                .port = 1,
+                .next_hop_mac = *net::MacAddr::parse("02:00:00:00:00:02")});
+  return b;
+}
+
+/// DV-S5: two NFs composed in parallel in the same pipelet whose
+/// check_nextNF gates both accept (path 1, index 1) after a sloppy
+/// manual entry — which NF services the packet now depends on apply
+/// order, not on the declared policies.
+Bundle parallel_overlap() {
+  Bundle b;
+  b.name = "parallel-overlap";
+  b.description = "parallel branch gates accept the same key (DV-S5)";
+  b.expect_checks = {"DV-S5"};
+
+  p4ir::TupleIdTable ids;
+  std::vector<Program> nfs;
+  nfs.push_back(nf::make_classifier(ids));
+  nfs.push_back(nf::make_firewall(ids));
+  nfs.push_back(nf::make_police(ids));
+  nfs.push_back(nf::make_router(ids));
+  b.policies.add({.path_id = 1,
+                  .name = "firewalled",
+                  .nfs = {sfc::kClassifier, sfc::kFirewall, sfc::kRouter},
+                  .weight = 0.5,
+                  .in_port = 0,
+                  .exit_port = 1});
+  b.policies.add({.path_id = 2,
+                  .name = "policed",
+                  .nfs = {sfc::kClassifier, "Police", sfc::kRouter},
+                  .weight = 0.5,
+                  .in_port = 0,
+                  .exit_port = 1});
+
+  place::Placement placement{{
+      {{0, asic::PipeKind::kIngress},
+       merge::CompositionKind::kParallel,
+       {sfc::kClassifier, sfc::kFirewall, "Police"}},
+      {{0, asic::PipeKind::kEgress},
+       merge::CompositionKind::kSequential,
+       {sfc::kRouter}},
+  }};
+  control::DeploymentOptions options;
+  options.placement = std::move(placement);
+  asic::SwitchConfig config{asic::TargetSpec::tofino32()};
+  b.deployment =
+      control::Deployment::build(std::move(nfs), b.policies,
+                                 std::move(config), std::move(ids),
+                                 std::move(options));
+
+  auto& cp = b.deployment->control();
+  cp.add_traffic_class({.src = *net::Ipv4Prefix::parse("0.0.0.0/0"),
+                        .dst = *net::Ipv4Prefix::parse("10.0.0.0/8"),
+                        .protocol = std::nullopt,
+                        .priority = 10,
+                        .path_id = 1,
+                        .tenant = 1});
+  cp.add_traffic_class({.src = *net::Ipv4Prefix::parse("0.0.0.0/0"),
+                        .dst = *net::Ipv4Prefix::parse("11.0.0.0/8"),
+                        .protocol = std::nullopt,
+                        .priority = 10,
+                        .path_id = 2,
+                        .tenant = 2});
+  cp.add_firewall_rule({.src = *net::Ipv4Prefix::parse("0.0.0.0/0"),
+                        .dst = *net::Ipv4Prefix::parse("0.0.0.0/0"),
+                        .protocol = std::nullopt,
+                        .dst_port = std::nullopt,
+                        .priority = 1,
+                        .permit = true});
+  cp.add_route({.prefix = *net::Ipv4Prefix::parse("10.0.0.0/8"),
+                .port = 1,
+                .next_hop_mac = *net::MacAddr::parse("02:00:00:00:00:02")});
+  cp.add_route({.prefix = *net::Ipv4Prefix::parse("11.0.0.0/8"),
+                .port = 1,
+                .next_hop_mac = *net::MacAddr::parse("02:00:00:00:00:03")});
+
+  // The bug: a manual entry makes Police's gate accept path 1's
+  // (index 1) slot — the key FW's gate already owns.
+  for (sim::RuntimeTable* rt : b.deployment->dataplane().tables_named(
+           merge::check_next_nf_table("Police"))) {
+    rt->add_exact({1, 1, 0, 0}, {merge::check_hit_action("Police"), {}});
+  }
+  return b;
+}
+
+}  // namespace
+
+std::vector<std::string> names() {
+  return {"value-recirc-loop", "metadata-leak", "index-rewind",
+          "parallel-overlap"};
+}
+
+Bundle make(const std::string& name) {
+  if (name == "value-recirc-loop") return value_recirc_loop();
+  if (name == "metadata-leak") return metadata_leak();
+  if (name == "index-rewind") return index_rewind();
+  if (name == "parallel-overlap") return parallel_overlap();
+  throw std::invalid_argument("unknown explore fixture '" + name + "'");
+}
+
+}  // namespace dejavu::explore::fixtures

@@ -1,0 +1,38 @@
+// Seeded semantic-bug fixtures: deployments that the static chain
+// verifier accepts (lint-clean compositions, well-formed routing) but
+// whose *installed rules* misbehave — value-dependent routing loops,
+// platform metadata leaking onto the wire, service-index rewinds,
+// overlapping parallel gates. Each must trip its DV-S checks in the
+// symbolic explorer; an explorer that passes them is broken. They back
+// the golden tests and `dejavu_cli explore --fixture NAME`.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "control/deployment.hpp"
+#include "sfc/chain.hpp"
+
+namespace dejavu::explore::fixtures {
+
+/// One fixture: a fully built deployment with its (buggy) rules
+/// already installed, plus the check ids explore must report.
+struct Bundle {
+  std::string name;
+  std::string description;
+  /// Check ids (e.g. "DV-S1") the explorer must report.
+  std::vector<std::string> expect_checks;
+
+  std::unique_ptr<control::Deployment> deployment;
+  sfc::PolicySet policies;
+};
+
+/// All fixture names, in catalog order.
+std::vector<std::string> names();
+
+/// Build a fixture by name. Throws std::invalid_argument for unknown
+/// names.
+Bundle make(const std::string& name);
+
+}  // namespace dejavu::explore::fixtures

@@ -1,0 +1,86 @@
+// The symbolic-value layer of the packet-path explorer: a small
+// bit-vector constraint system over the symbolic input header fields.
+// Each symbolic variable tracks forced bits (from exact/ternary/LPM
+// match constraints), an inclusive value interval (from range guards),
+// and a set of forbidden ternary patterns (from negated matches and
+// higher-priority TCAM exclusions). The domain is deliberately exact
+// for the constraint shapes the dataplane can generate — equality,
+// masked equality, ranges, and negations — so feasibility checks are
+// decisive, not heuristic.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/tcam.hpp"
+
+namespace dejavu::explore {
+
+/// Declaration of one symbolic input variable: which packet field it
+/// overlays, its bit width, and the template value the witness
+/// concretizer prefers when the constraints leave it free.
+struct VarDef {
+  std::string field;  // dotted ref, e.g. "ipv4.dst_addr"
+  std::uint16_t bits = 32;
+  std::uint64_t template_value = 0;
+};
+
+/// The accumulated constraints on one variable.
+struct VarConstraints {
+  std::uint64_t known_mask = 0;   // bits with a forced value
+  std::uint64_t known_value = 0;  // forced values (only bits in mask)
+  std::uint64_t lo = 0;           // inclusive interval
+  std::uint64_t hi = 0;           // set to the width mask on init
+  /// Patterns the value must NOT match ((v & mask) == value is
+  /// forbidden). A full-width mask encodes plain disequality.
+  std::vector<net::TernaryField> forbidden;
+};
+
+/// A set of constraints over the declared variables. Mutating
+/// `require_*` / `forbid_*` calls return false when the constraint
+/// makes the variable unsatisfiable — the caller abandons that fork
+/// (the set is then poisoned and must not be reused).
+class ConstraintSet {
+ public:
+  /// Declare a variable; returns its id.
+  int add_var(VarDef def);
+
+  const std::vector<VarDef>& vars() const { return defs_; }
+  const VarDef& def(int var) const { return defs_[var]; }
+
+  /// v & mask == value & mask.
+  bool require_masked(int var, std::uint64_t value, std::uint64_t mask);
+  /// v == value.
+  bool require_eq(int var, std::uint64_t value);
+  /// v != value.
+  bool require_ne(int var, std::uint64_t value);
+  /// NOT (v & mask == value & mask).
+  bool forbid_masked(int var, std::uint64_t value, std::uint64_t mask);
+  bool require_lt(int var, std::uint64_t value);
+  bool require_gt(int var, std::uint64_t value);
+  bool require_le(int var, std::uint64_t value);
+  bool require_ge(int var, std::uint64_t value);
+
+  /// Find a concrete value satisfying the variable's constraints.
+  /// Deterministic: prefers the template value, then the interval
+  /// endpoints, then deposits counter bits into the free positions.
+  /// nullopt means the constraints are unsatisfiable.
+  std::optional<std::uint64_t> solve(int var) const;
+
+  /// Solve and then constrain the variable to that single value
+  /// (eager concretization before arithmetic the constraint domain
+  /// cannot express). nullopt when unsatisfiable.
+  std::optional<std::uint64_t> pin(int var);
+
+  std::uint64_t width_mask(int var) const;
+
+ private:
+  bool ok(int var, std::uint64_t v) const;
+
+  std::vector<VarDef> defs_;
+  std::vector<VarConstraints> cons_;
+};
+
+}  // namespace dejavu::explore

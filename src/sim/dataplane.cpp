@@ -11,7 +11,10 @@ namespace dejavu::sim {
 DataPlane::DataPlane(const p4ir::Program& program,
                      const p4ir::TupleIdTable& ids,
                      asic::SwitchConfig config)
-    : program_(&program), ids_(&ids), config_(std::move(config)) {
+    : program_(&program),
+      ids_(&ids),
+      config_(std::move(config)),
+      max_passes_(config_.max_pipeline_passes()) {
   for (const p4ir::ControlBlock& control : program.controls()) {
     auto& per_control = tables_[control.name()];
     for (const p4ir::Table& t : control.tables()) {
@@ -401,6 +404,12 @@ SwitchOutput DataPlane::process(net::Packet packet, std::uint16_t in_port,
   out.dropped = true;
   out.drop_reason = "packet exceeded " + std::to_string(max_passes_) +
                     " pipeline passes (routing loop?)";
+  if (!out.recirc_ports.empty()) {
+    out.drop_reason += "; recirc ports:";
+    for (std::uint16_t p : out.recirc_ports) {
+      out.drop_reason += " " + std::to_string(p);
+    }
+  }
   return out;
 }
 

@@ -58,6 +58,8 @@ class DataPlane {
 
   const asic::SwitchConfig& config() const { return config_; }
   const p4ir::Program& program() const { return *program_; }
+  const p4ir::TupleIdTable& ids() const { return *ids_; }
+  std::optional<std::uint16_t> mirror_port() const { return mirror_port_; }
 
   /// Table handle for the control plane. Searches all pipelet controls
   /// and returns every instance (an NF's table exists once per pipelet
@@ -86,6 +88,8 @@ class DataPlane {
   /// Pipeline that owns `port` (front-panel or dedicated recirc).
   std::uint32_t pipeline_of(std::uint16_t port) const;
 
+  /// Pass cap; seeded from SwitchConfig::max_pipeline_passes().
+  std::uint32_t max_passes() const { return max_passes_; }
   void set_max_passes(std::uint32_t n) { max_passes_ = n; }
   /// Mirror copies go to this port when the mirror flag is raised.
   void set_mirror_port(std::uint16_t port) { mirror_port_ = port; }

@@ -69,6 +69,33 @@ const std::vector<CheckInfo>& check_catalog() {
        "a single table overflows the per-stage resource budget even "
        "when sliced into single-entry chunks (e.g. its key is wider "
        "than the match crossbar), so no stage can ever host it"},
+      {"DV-S1", "semantic.recirc-loop", Severity::kError,
+       "a symbolic packet path recirculates or resubmits past the "
+       "dataplane pass cap; the witness packet loops forever on the "
+       "deployed rules"},
+      {"DV-S2", "semantic.index-monotonic", Severity::kError,
+       "the SFC service index moves backwards along a packet path; "
+       "chain progress must be monotone or branching rules can replay "
+       "already-traversed NFs"},
+      {"DV-S3", "semantic.metadata-leak", Severity::kError,
+       "a packet leaves the switch on a final emit with the platform "
+       "SFC header still on the wire; internal metadata must be popped "
+       "before external egress"},
+      {"DV-S4", "semantic.header-validity", Severity::kWarning,
+       "an action reads or writes a field of a header the parser never "
+       "extracted on this path; the dataplane substitutes zeros / "
+       "drops the write silently"},
+      {"DV-S5", "semantic.parallel-overlap", Severity::kError,
+       "gate tables of two parallel branches accept the same installed "
+       "(path, index) key; which NF wins depends on apply order, so "
+       "sequential and parallel composition diverge"},
+      {"DV-S6", "semantic.dead-rule", Severity::kWarning,
+       "an installed table entry or parser state is unreachable on "
+       "every explored symbolic path"},
+      {"DV-S7", "semantic.differential", Severity::kError,
+       "the concrete dataplane disagrees with the symbolic prediction "
+       "when replaying a witness packet; the explorer's model of the "
+       "deployment is wrong"},
   };
   return catalog;
 }

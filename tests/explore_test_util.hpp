@@ -1,0 +1,59 @@
+// Shared helper for the explorer tests: build one shipped target with
+// its example rules installed — the exact deployments `dejavu_cli
+// explore --target NAME` runs, via the same example_chains helpers.
+#pragma once
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "control/deployment.hpp"
+#include "example_chains.hpp"
+
+namespace dejavu::test {
+
+struct ExploreTarget {
+  std::unique_ptr<control::Deployment> deployment;
+  sfc::PolicySet policies;
+};
+
+inline ExploreTarget build_explore_target(const std::string& name) {
+  ExploreTarget t;
+  control::DeploymentOptions options;
+  options.verify = false;
+  if (name == "fig2") {
+    auto fx = control::make_fig2_deployment(std::nullopt, std::move(options));
+    t.deployment = std::move(fx.deployment);
+    t.policies = std::move(fx.policies);
+    return t;
+  }
+  if (name == "fig9") {
+    auto fx = control::make_fig9_deployment(std::move(options));
+    t.deployment = std::move(fx.deployment);
+    t.policies = std::move(fx.policies);
+    return t;
+  }
+  examples::ChainSetup setup;
+  bool stateful = false;
+  if (name == "quickstart") {
+    setup = examples::quickstart_setup();
+  } else if (name == "stateful") {
+    setup = examples::stateful_security_setup();
+    stateful = true;
+  } else {
+    throw std::invalid_argument("unknown explore target '" + name + "'");
+  }
+  t.policies = setup.policies;
+  t.deployment = control::Deployment::build(
+      std::move(setup.nfs), setup.policies, std::move(setup.config),
+      std::move(setup.ids), std::move(options));
+  if (stateful) {
+    examples::install_stateful_rules(*t.deployment);
+  } else {
+    examples::install_quickstart_rules(*t.deployment);
+  }
+  return t;
+}
+
+}  // namespace dejavu::test

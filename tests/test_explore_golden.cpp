@@ -1,0 +1,63 @@
+// Golden diagnostics for the symbolic explorer: the exact JSON
+// `dejavu_cli explore --json` prints for the shipped targets and for
+// every seeded semantic-bug fixture, compared byte-for-byte against
+// the checked-in expectations in tests/golden/. The CLI prints
+// Report::to_json() verbatim for a single selection, so comparing the
+// library output here pins the CLI's contract too. Regenerate after an
+// intentional change with:
+//
+//   dejavu_cli explore --json --target fig2 > golden/explore_fig2.json
+//   dejavu_cli explore --json --fixture NAME > golden/explore_fixture_NAME.json
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "explore/explorer.hpp"
+#include "explore/fixtures.hpp"
+#include "explore_test_util.hpp"
+
+namespace dejavu {
+namespace {
+
+std::string read_golden(const std::string& file) {
+  const std::string path = std::string(DEJAVU_GOLDEN_DIR) + "/" + file;
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "missing golden file " << path;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+class ExploreGolden : public testing::TestWithParam<const char*> {};
+
+TEST_P(ExploreGolden, TargetMatches) {
+  const std::string name = GetParam();
+  test::ExploreTarget target = test::build_explore_target(name);
+  const explore::ExploreResult& result = target.deployment->run_explorer();
+  EXPECT_EQ(result.report.to_json(), read_golden("explore_" + name + ".json"));
+  // The shipped targets must stay error-free — the CI gate
+  // (`dejavu_cli explore --all`) relies on exit code 0.
+  EXPECT_EQ(result.report.errors(), 0u) << result.report.to_string();
+}
+
+INSTANTIATE_TEST_SUITE_P(ShippedTargets, ExploreGolden,
+                         testing::Values("fig2", "fig9", "quickstart",
+                                         "stateful"),
+                         [](const auto& info) {
+                           return std::string(info.param);
+                         });
+
+TEST(ExploreGolden, EveryFixtureMatches) {
+  for (const std::string& name : explore::fixtures::names()) {
+    explore::fixtures::Bundle bundle = explore::fixtures::make(name);
+    const explore::ExploreResult& result = bundle.deployment->run_explorer();
+    EXPECT_EQ(result.report.to_json(),
+              read_golden("explore_fixture_" + name + ".json"))
+        << name;
+  }
+}
+
+}  // namespace
+}  // namespace dejavu

@@ -14,6 +14,9 @@
 //                       [--fixture NAME]... [--fixtures] [--fig9]
 //   $ ./dejavu_cli explore [--json] [--target NAME]... [--all]
 //                          [--fixture NAME]... [--fixtures] [--fig9]
+//   $ ./dejavu_cli chaos [--seed N] [--schedule NAME] [--workers N]
+//                        [--flows N] [--repair bypass|replace|none]
+//                        [--target fig2|fig9] [--json]
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -23,6 +26,7 @@
 #include <utility>
 #include <vector>
 
+#include "control/chaos.hpp"
 #include "control/deployment.hpp"
 #include "control/p4info.hpp"
 #include "control/replay_target.hpp"
@@ -377,11 +381,54 @@ int cmd_explore(const std::vector<std::string>& args, bool fig9) {
   return errors > 0 ? 1 : 0;
 }
 
+int cmd_chaos(const std::vector<std::string>& args, bool fig9) {
+  control::ChaosOptions options;
+  options.fig9 = fig9;
+  bool json = false;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= args.size()) {
+        throw std::invalid_argument(a + " needs a value");
+      }
+      return args[++i];
+    };
+    if (a == "--json") {
+      json = true;
+    } else if (a == "--seed") {
+      options.seed = std::strtoull(value().c_str(), nullptr, 10);
+    } else if (a == "--schedule") {
+      options.schedule = value();
+    } else if (a == "--workers") {
+      options.workers = static_cast<std::uint32_t>(std::atoi(value().c_str()));
+    } else if (a == "--flows") {
+      options.flows = static_cast<std::uint32_t>(std::atoi(value().c_str()));
+    } else if (a == "--repair") {
+      options.repair = value();
+    } else if (a == "--target") {
+      const std::string t = value();
+      if (t == "fig9") {
+        options.fig9 = true;
+      } else if (t == "fig2") {
+        options.fig9 = false;
+      } else {
+        throw std::invalid_argument("chaos targets are fig2|fig9, got " + t);
+      }
+    } else {
+      throw std::invalid_argument("unknown chaos option " + a);
+    }
+  }
+  control::ChaosResult result = control::run_chaos(options);
+  std::fputs(json ? result.to_json().c_str() : result.to_string().c_str(),
+             stdout);
+  return result.ok() ? 0 : 1;
+}
+
 void usage() {
   std::fprintf(stderr,
                "usage: dejavu_cli "
-               "<plan|resources|throughput|send|replay|p4info|lint|explore> "
-               "[args] [--fig9]\n"
+               "<plan|resources|throughput|send|replay|p4info|lint|explore|"
+               "chaos> [args] [--fig9]\n"
                "  plan                     placement + traversals\n"
                "  resources                Table-1 style report\n"
                "  throughput <gbps>        predicted per-chain delivery\n"
@@ -401,6 +448,15 @@ void usage() {
                "explorer over\n"
                "                           the installed rules; exits 1 on "
                "error findings\n"
+               "  chaos [--seed N] [--schedule none|writes|evictions|"
+               "recirc|mixed]\n"
+               "        [--workers N] [--flows N] [--repair bypass|replace|"
+               "none]\n"
+               "        [--target fig2|fig9] [--json]\n"
+               "                           seeded fault injection + repair "
+               "drill; exits 1\n"
+               "                           on invariant violation or failed "
+               "repair\n"
                "  --fig9                   use the paper's prototype "
                "placement\n");
 }
@@ -426,6 +482,14 @@ int main(int argc, char** argv) {
   // before the shared fixture is constructed.
   if (args[0] == "lint") return cmd_lint(args, fig9);
   if (args[0] == "explore") return cmd_explore(args, fig9);
+  if (args[0] == "chaos") {
+    try {
+      return cmd_chaos(args, fig9);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "chaos: %s\n", e.what());
+      return 2;
+    }
+  }
   if (args[0] == "replay") {
     const auto arg_or = [&](std::size_t i, std::uint32_t fallback) {
       return args.size() > i

@@ -1,0 +1,333 @@
+#include "control/chaos.hpp"
+
+#include <algorithm>
+#include <random>
+#include <stdexcept>
+
+#include "control/replay_target.hpp"
+#include "merge/compose.hpp"
+#include "merge/framework.hpp"
+
+namespace dejavu::control {
+
+sim::FaultProfile profile_for_schedule(const std::string& name) {
+  sim::FaultProfile p = sim::FaultProfile::fig2_mixed();
+  if (name == "mixed") return p;
+  if (name == "none") {
+    p.write_fails = p.write_timeouts = 0;
+    p.evictions = p.recirc_downs = p.register_corruptions = 0;
+    return p;
+  }
+  if (name == "writes") {
+    p.evictions = p.recirc_downs = p.register_corruptions = 0;
+    return p;
+  }
+  if (name == "evictions") {
+    p.write_fails = p.write_timeouts = 0;
+    p.recirc_downs = p.register_corruptions = 0;
+    p.evictions = 6;
+    return p;
+  }
+  if (name == "recirc") {
+    p.write_fails = p.write_timeouts = 0;
+    p.evictions = p.register_corruptions = 0;
+    p.recirc_downs = 4;
+    return p;
+  }
+  throw std::invalid_argument("unknown chaos schedule '" + name +
+                              "' (want none|writes|evictions|recirc|mixed)");
+}
+
+namespace {
+
+double delivery_fraction(const std::map<std::uint16_t, PathWindow>& windows) {
+  std::uint64_t offered = 0;
+  std::uint64_t delivered = 0;
+  for (const auto& [path_id, w] : windows) {
+    offered += w.offered;
+    delivered += w.delivered;
+  }
+  return offered > 0 ? static_cast<double>(delivered) / offered : 1.0;
+}
+
+std::uint64_t window_offered(const std::map<std::uint16_t, PathWindow>& windows) {
+  std::uint64_t offered = 0;
+  for (const auto& [path_id, w] : windows) offered += w.offered;
+  return offered;
+}
+
+/// Phase 2: sabotage one NF on a live deployment, detect it from the
+/// gate telemetry, repair around it, and measure packets-to-detection
+/// and packets-to-recovery. Windows are one packet per flow.
+void run_drill(ChaosResult& r, const ChaosOptions& options) {
+  r.drill_run = true;
+
+  // The victim is seed-chosen from the bypassable middle NFs (the FW
+  // is never_bypass by policy, Classifier is the chain head, Router is
+  // terminal — repairs refuse all three).
+  std::mt19937_64 rng(options.seed ^ 0xd211c4a05ULL);
+  r.victim_nf = (rng() & 1) != 0 ? sfc::kLoadBalancer : sfc::kVgw;
+
+  Fig2Deployment fx =
+      options.fig9 ? make_fig9_deployment() : make_fig2_deployment();
+  Deployment* dep = fx.deployment.get();
+
+  const std::uint32_t drill_flows =
+      std::clamp<std::uint32_t>(options.flows, 24, 48);
+  std::vector<sim::ReplayFlow> flows =
+      fig2_replay_flows(drill_flows, options.seed);
+
+  auto run_window = [&]() {
+    std::map<std::uint16_t, PathWindow> windows;
+    for (const sim::ReplayFlow& rf : flows) {
+      sim::SwitchOutput out =
+          dep->control().inject(rf.flow.packet(), rf.in_port);
+      PathWindow& w = windows[rf.path_id];
+      ++w.offered;
+      if (out.delivered()) ++w.delivered;
+      if (out.dropped) ++w.dropped;
+      r.violations += sim::ChaosTarget::check_output(out);
+    }
+    return windows;
+  };
+
+  // Window 1 warms the LB sessions through the punt path; window 2 is
+  // the clean baseline the recovery criterion compares against.
+  run_window();
+  r.delivery_before = delivery_fraction(run_window());
+
+  // Sabotage: the victim's check gates vanish (it stops claiming its
+  // packets) and every branching entry that steered toward it vanishes
+  // with them — packets bound for the victim now miss the branching
+  // table and die loudly on its default route-drop action.
+  sim::DataPlane& dp = dep->dataplane();
+  for (const route::CheckRule& cr : dep->routing().checks) {
+    if (cr.nf != r.victim_nf) continue;
+    for (sim::RuntimeTable* t :
+         dp.tables_named(merge::check_next_nf_table(cr.nf))) {
+      t->remove_exact({cr.path_id, cr.service_index, 0, 0});
+    }
+  }
+  for (const route::BranchingRule& br : dep->routing().branching) {
+    auto next = dep->policies().nf_at(br.path_id, br.service_index);
+    if (!next || *next != r.victim_nf) continue;
+    sim::RuntimeTable* t = dp.table_in(
+        merge::pipelet_control_name(br.pipelet), merge::kBranchingTable);
+    if (t != nullptr) t->remove_exact({br.path_id, br.service_index});
+  }
+
+  // Detection: feed windows to the health monitor until the victim's
+  // silent gate crosses the sustained-suspicion threshold.
+  HealthMonitor monitor(dp, dep->policies());
+  constexpr std::uint32_t kMaxDetectWindows = 8;
+  bool detected = false;
+  for (std::uint32_t i = 0; i < kMaxDetectWindows && !detected; ++i) {
+    auto windows = run_window();
+    r.packets_to_detect += window_offered(windows);
+    r.delivery_faulted = delivery_fraction(windows);
+    monitor.observe(windows);
+    for (const std::string& nf : monitor.unhealthy()) {
+      if (nf == r.victim_nf) detected = true;
+    }
+  }
+  if (!detected) {
+    r.error = "health monitor did not detect sabotaged " + r.victim_nf;
+    return;
+  }
+
+  // Repair, with the plan's write-lane faults injected into the live
+  // commit (retry budget sized so transient runs still land).
+  RepairPolicy policy;
+  policy.never_bypass = {sfc::kFirewall};
+  policy.retry.max_attempts = 6;
+  policy.retry.seed = options.seed;
+  ChainRepair repair(*dep, policy);
+  sim::FaultInjector injector(r.plan);
+
+  if (options.repair == "bypass") {
+    r.repair_report = repair.bypass(r.victim_nf, &injector);
+  } else if (options.repair == "replace") {
+    ChainRepair::Replacement repl = repair.replace(r.victim_nf);
+    r.repair_report = repl.report;
+    if (repl.report.succeeded) {
+      // Cut over: table state came across via the snapshot migration;
+      // the LB pool is control-plane soft state and moves by hand.
+      repl.deployment->control().set_lb_pool(dep->control().lb_pool());
+      fx.deployment = std::move(repl.deployment);
+      dep = fx.deployment.get();
+    }
+  } else {
+    r.error = "unknown repair strategy '" + options.repair +
+              "' (want bypass|replace|none)";
+    return;
+  }
+  if (!r.repair_report.succeeded) {
+    r.error = "repair failed: " + r.repair_report.error;
+    return;
+  }
+
+  // Recovery: windows until delivery is back to >= 95% of baseline.
+  constexpr std::uint32_t kMaxRecoverWindows = 8;
+  bool recovered = false;
+  for (std::uint32_t i = 0; i < kMaxRecoverWindows && !recovered; ++i) {
+    auto windows = run_window();
+    r.packets_to_recover += window_offered(windows);
+    r.delivery_recovered = delivery_fraction(windows);
+    recovered = r.delivery_recovered >= 0.95 * r.delivery_before;
+  }
+  if (!recovered) {
+    r.error = "delivery did not recover (" +
+              std::to_string(r.delivery_recovered) + " vs baseline " +
+              std::to_string(r.delivery_before) + ")";
+  }
+}
+
+}  // namespace
+
+ChaosResult run_chaos(const ChaosOptions& options) {
+  ChaosResult r;
+  r.options = options;
+  r.plan =
+      sim::FaultPlan::from_seed(options.seed, profile_for_schedule(options.schedule));
+
+  // Phase 1: the full fault schedule against the parallel replay
+  // engine, one fault-injecting shim per worker-private replica.
+  std::vector<sim::ChaosTarget*> shims;
+  sim::ReplayEngine engine(
+      sim::chaos_factory(fig2_replay_factory(options.fig9), r.plan, &shims));
+  sim::ReplayConfig config;
+  config.workers = options.workers;
+  config.packets_per_flow = options.packets_per_flow;
+  r.replay = engine.run(fig2_replay_flows(options.flows, options.seed), config);
+  for (const sim::ChaosTarget* shim : shims) {
+    r.violations += shim->violations();
+    for (const auto& [kind, count] : shim->faults_applied()) {
+      r.faults_applied[kind] += count;
+    }
+  }
+
+  // Phase 2: the sabotage -> detect -> repair -> recover drill.
+  if (options.repair != "none") run_drill(r, options);
+  return r;
+}
+
+bool ChaosResult::ok() const {
+  if (!error.empty()) return false;
+  if (violations.total() != 0) return false;
+  if (drill_run && !repair_report.succeeded) return false;
+  return true;
+}
+
+std::string ChaosResult::to_string() const {
+  std::string s = "chaos run (seed " + std::to_string(options.seed) +
+                  ", schedule " + options.schedule + ", " +
+                  std::to_string(options.workers) + " workers)\n";
+  s += "  plan: " + std::to_string(plan.events.size()) + " fault events\n";
+  s += "  replay: " + std::to_string(replay.counters.packets) + " packets, " +
+       std::to_string(replay.counters.delivered) + " delivered, " +
+       std::to_string(replay.counters.dropped) + " dropped, " +
+       std::to_string(replay.counters.punted) + " punted\n";
+  s += "  faults applied:";
+  if (faults_applied.empty()) s += " none";
+  for (const auto& [kind, count] : faults_applied) {
+    s += " " + kind + "=" + std::to_string(count);
+  }
+  s += "\n  invariants: " + violations.to_string() + "\n";
+  if (drill_run) {
+    s += "  drill: victim " + victim_nf + ", strategy " + options.repair +
+         "\n";
+    s += "    detect after " + std::to_string(packets_to_detect) +
+         " packets, recover after " + std::to_string(packets_to_recover) +
+         " packets\n";
+    s += "    delivery " + std::to_string(delivery_before) + " -> " +
+         std::to_string(delivery_faulted) + " (faulted) -> " +
+         std::to_string(delivery_recovered) + " (repaired)\n";
+    s += "    " + repair_report.to_string() + "\n";
+  }
+  if (!error.empty()) s += "  error: " + error + "\n";
+  s += ok() ? "  OK\n" : "  FAILED\n";
+  return s;
+}
+
+namespace {
+
+std::string json_escape(const std::string& in) {
+  std::string out;
+  out.reserve(in.size());
+  for (char c : in) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr const char* hex = "0123456789abcdef";
+          out += "\\u00";
+          out += hex[(c >> 4) & 0xf];
+          out += hex[c & 0xf];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string ChaosResult::to_json() const {
+  std::string s = "{\n";
+  s += "  \"ok\": " + std::string(ok() ? "true" : "false") + ",\n";
+  s += "  \"seed\": " + std::to_string(options.seed) + ",\n";
+  s += "  \"schedule\": \"" + json_escape(options.schedule) + "\",\n";
+  s += "  \"workers\": " + std::to_string(options.workers) + ",\n";
+  s += "  \"fault_events\": " + std::to_string(plan.events.size()) + ",\n";
+  s += "  \"replay\": {\"packets\": " +
+       std::to_string(replay.counters.packets) +
+       ", \"delivered\": " + std::to_string(replay.counters.delivered) +
+       ", \"dropped\": " + std::to_string(replay.counters.dropped) +
+       ", \"punted\": " + std::to_string(replay.counters.punted) + "},\n";
+  s += "  \"faults_applied\": {";
+  bool first = true;
+  for (const auto& [kind, count] : faults_applied) {
+    if (!first) s += ", ";
+    first = false;
+    s += "\"" + json_escape(kind) + "\": " + std::to_string(count);
+  }
+  s += "},\n";
+  s += "  \"violations\": {\"unattributed_drops\": " +
+       std::to_string(violations.unattributed_drops) +
+       ", \"corrupt_packets\": " + std::to_string(violations.corrupt_packets) +
+       ", \"metadata_leaks\": " + std::to_string(violations.metadata_leaks) +
+       ", \"forwarding_loops\": " +
+       std::to_string(violations.forwarding_loops) + "},\n";
+  s += "  \"drill\": ";
+  if (drill_run) {
+    s += "{\"victim\": \"" + json_escape(victim_nf) + "\", \"strategy\": \"" +
+         json_escape(options.repair) + "\", \"repaired\": " +
+         std::string(repair_report.succeeded ? "true" : "false") +
+         ", \"packets_to_detect\": " + std::to_string(packets_to_detect) +
+         ", \"packets_to_recover\": " + std::to_string(packets_to_recover) +
+         ", \"delivery_before\": " + std::to_string(delivery_before) +
+         ", \"delivery_faulted\": " + std::to_string(delivery_faulted) +
+         ", \"delivery_recovered\": " + std::to_string(delivery_recovered) +
+         "}";
+  } else {
+    s += "null";
+  }
+  s += ",\n";
+  s += "  \"error\": \"" + json_escape(error) + "\"\n";
+  s += "}\n";
+  return s;
+}
+
+}  // namespace dejavu::control

@@ -1,0 +1,72 @@
+// The chaos driver: replay randomized-but-replayable fault schedules
+// through the multi-worker replay engine and assert the standing
+// invariants — no packet corruption, no forwarding loops, every drop
+// carries a DropCode — then (optionally) run the full failure drill:
+// sabotage one NF, detect it from gate telemetry, repair around it
+// (bypass or re-placement) with fault-injected transactional writes,
+// and measure packets-to-detection / packets-to-recovery.
+//
+// Everything is a pure function of the seed: the fault plan, the
+// victim choice, the flow set, and — because packet-lane faults are
+// flow-local — the merged counters, bit-identical across 1/2/8
+// workers. `dejavu_cli chaos` is a thin wrapper over run_chaos.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "control/repair.hpp"
+#include "sim/fault.hpp"
+#include "sim/replay.hpp"
+
+namespace dejavu::control {
+
+struct ChaosOptions {
+  std::uint64_t seed = 1;
+  /// Named fault schedule: none | writes | evictions | recirc | mixed.
+  std::string schedule = "mixed";
+  std::uint32_t workers = 2;
+  std::uint32_t flows = 60;
+  std::uint32_t packets_per_flow = 16;
+  /// Pin the Fig. 9 prototype placement (false: let the optimizer
+  /// place, as `--target fig2`).
+  bool fig9 = true;
+  /// Repair drill strategy: bypass | replace | none.
+  std::string repair = "bypass";
+};
+
+/// The profile behind a named schedule; throws std::invalid_argument
+/// for unknown names.
+sim::FaultProfile profile_for_schedule(const std::string& name);
+
+struct ChaosResult {
+  ChaosOptions options;
+  sim::FaultPlan plan;
+
+  // --- phase 1: faulted parallel replay ---
+  sim::ReplayReport replay;
+  sim::InvariantViolations violations;
+  std::map<std::string, std::uint64_t> faults_applied;
+
+  // --- phase 2: failure drill (skipped when repair == "none") ---
+  bool drill_run = false;
+  std::string victim_nf;
+  std::uint64_t packets_to_detect = 0;
+  std::uint64_t packets_to_recover = 0;
+  double delivery_before = 0.0;
+  double delivery_faulted = 0.0;
+  double delivery_recovered = 0.0;
+  RepairReport repair_report;
+
+  std::string error;
+
+  /// All invariants held, and (when the drill ran) the repair landed
+  /// and throughput recovered to at least 95% of the pre-fault level.
+  bool ok() const;
+  std::string to_string() const;
+  std::string to_json() const;
+};
+
+ChaosResult run_chaos(const ChaosOptions& options);
+
+}  // namespace dejavu::control

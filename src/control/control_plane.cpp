@@ -213,8 +213,8 @@ std::size_t ControlPlane::service_punts(sim::SwitchOutput& out, int depth) {
                               re.recirc_ports.begin(),
                               re.recirc_ports.end());
       if (re.dropped) {
-        out.dropped = true;
-        out.drop_reason = "reinjected packet dropped: " + re.drop_reason;
+        out.set_drop(re.drop_code,
+                     "reinjected packet dropped: " + re.drop_reason);
       }
       continue;
     }

@@ -31,6 +31,7 @@ class ControlPlane {
   void add_vgw_mapping(const VgwMapping& mapping);
   void add_route(const RouteEntry& entry);
   void set_lb_pool(LbPool pool) { lb_pool_ = std::move(pool); }
+  const LbPool& lb_pool() const { return lb_pool_; }
 
   /// Directly install an LB session (hash of the packet's 5-tuple at
   /// LB time -> backend). Normally sessions are learned via punts.
@@ -51,6 +52,17 @@ class ControlPlane {
 
   std::size_t sessions_learned() const { return sessions_learned_; }
   std::size_t route_misses() const { return route_misses_; }
+
+  const sfc::PolicySet& policies() const { return policies_; }
+  /// Swap the policy view after a repair rewired the chains (the
+  /// reinjection-port logic follows the policies' NF order).
+  void set_policies(sfc::PolicySet policies) {
+    policies_ = std::move(policies);
+  }
+  /// Adopt a routing plan *without* installing it (the repair's
+  /// Transaction already wrote the rule diff to the switch); keeps
+  /// reinjection-port steering aligned with the new traversals.
+  void adopt_routing(route::RoutingPlan plan) { routing_ = std::move(plan); }
 
  private:
   /// Install into every instance of a qualified table name; throws

@@ -131,6 +131,14 @@ const explore::ExploreResult& Deployment::run_explorer(
   return exploration_;
 }
 
+void Deployment::apply_repair(sfc::PolicySet policies,
+                              route::RoutingPlan routing) {
+  policies_ = std::move(policies);
+  routing_ = std::move(routing);
+  control_->set_policies(policies_);
+  control_->adopt_routing(routing_);
+}
+
 compile::ResourceReport Deployment::framework_report() const {
   return compile::report(allocations_, spec_, compile::is_framework_table);
 }

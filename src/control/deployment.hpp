@@ -67,6 +67,17 @@ class Deployment {
   }
   const sfc::PolicySet& policies() const { return policies_; }
   const p4ir::TupleIdTable& ids() const { return ids_; }
+  /// The NF source programs the deployment was composed from (a
+  /// re-placement repair rebuilds from these).
+  const std::vector<p4ir::Program>& nf_programs() const {
+    return nf_programs_;
+  }
+
+  /// Adopt the policy/routing view a committed repair produced. Does
+  /// not touch the data plane: the caller has already installed the
+  /// rule diff through a Transaction. Keeps the control plane's punt
+  /// steering consistent with the new chains.
+  void apply_repair(sfc::PolicySet policies, route::RoutingPlan routing);
 
   /// The chain verifier's report for this deployment (always populated,
   /// even when DeploymentOptions::verify is false).

@@ -1,0 +1,435 @@
+#include "control/repair.hpp"
+
+#include <algorithm>
+
+#include "compile/report.hpp"
+#include "merge/compose.hpp"
+#include "merge/framework.hpp"
+#include "route/routing.hpp"
+#include "verify/verify.hpp"
+
+namespace dejavu::control {
+
+HealthMonitor::HealthMonitor(sim::DataPlane& dp,
+                             const sfc::PolicySet& policies,
+                             HealthThresholds thresholds)
+    : dp_(&dp), policies_(&policies), thresholds_(thresholds) {
+  reset();
+}
+
+std::optional<std::uint64_t> HealthMonitor::gate_hits(
+    const std::string& nf) const {
+  auto tables = dp_->tables_named(merge::check_next_nf_table(nf));
+  if (tables.empty()) return std::nullopt;  // ungated (entry NF)
+  std::uint64_t hits = 0;
+  for (const sim::RuntimeTable* t : tables) hits += t->hits();
+  return hits;
+}
+
+void HealthMonitor::reset() {
+  health_.clear();
+  last_hits_.clear();
+  windows_observed_ = 0;
+  for (const std::string& nf : policies_->all_nfs()) {
+    if (auto hits = gate_hits(nf)) last_hits_[nf] = *hits;
+  }
+}
+
+void HealthMonitor::observe(
+    const std::map<std::uint16_t, PathWindow>& windows) {
+  ++windows_observed_;
+  // Current gate deltas for every observable NF.
+  std::map<std::string, std::uint64_t> delta;
+  for (const std::string& nf : policies_->all_nfs()) {
+    auto hits = gate_hits(nf);
+    if (!hits) continue;
+    delta[nf] = *hits - last_hits_[nf];
+    last_hits_[nf] = *hits;
+    NfHealth& h = health_[nf];
+    h.nf = nf;
+    h.gate_delta = delta[nf];
+  }
+
+  std::uint64_t offered_total = 0;
+  for (const auto& [path_id, w] : windows) offered_total += w.offered;
+  if (offered_total < thresholds_.min_window_packets) return;
+
+  // Per suffering path, the culprit is the first NF (chain order)
+  // whose gate went silent while everything before it still fired.
+  std::set<std::string> culprits;
+  for (const auto& [path_id, w] : windows) {
+    if (w.offered == 0) continue;
+    const double drop_fraction =
+        static_cast<double>(w.dropped) / static_cast<double>(w.offered);
+    if (drop_fraction <= thresholds_.max_drop_fraction) continue;
+    const sfc::ChainPolicy* policy = policies_->find(path_id);
+    if (policy == nullptr) continue;
+    bool upstream_fired = true;  // offered > 0 covers the chain head
+    for (const std::string& nf : policy->nfs) {
+      auto it = delta.find(nf);
+      if (it == delta.end()) continue;  // ungated: no signal
+      if (it->second == 0 && upstream_fired) {
+        culprits.insert(nf);
+        break;
+      }
+      upstream_fired = it->second > 0;
+    }
+  }
+
+  for (auto& [nf, h] : health_) {
+    if (culprits.count(nf) > 0) {
+      ++h.suspect_windows;
+    } else {
+      h.suspect_windows = 0;
+    }
+    h.unhealthy = h.suspect_windows >= thresholds_.sustained_windows;
+  }
+}
+
+std::vector<std::string> HealthMonitor::unhealthy() const {
+  std::vector<std::string> out;
+  for (const auto& [nf, h] : health_) {
+    if (h.unhealthy) out.push_back(nf);
+  }
+  return out;
+}
+
+std::string RepairReport::to_string() const {
+  std::string s = "repair " + strategy + " " + nf + ": ";
+  s += succeeded ? "succeeded" : (attempted ? "failed" : "refused");
+  s += " (removed " + std::to_string(rules_removed) + ", installed " +
+       std::to_string(rules_installed) + " rules";
+  if (attempted) {
+    s += std::string(", verify ") + (verify_ok ? "ok" : "FAILED");
+    s += std::string(", explore ") + (explore_ok ? "ok" : "FAILED");
+  }
+  s += ")";
+  if (!error.empty()) s += " error: " + error;
+  return s;
+}
+
+Snapshot nf_state_snapshot(sim::DataPlane& dp) {
+  Snapshot snap = take_snapshot(dp);
+  std::erase_if(snap.tables, [](const Snapshot::TableState& t) {
+    return compile::is_framework_table(t.table);
+  });
+  return snap;
+}
+
+ChainRepair::ChainRepair(Deployment& deployment, RepairPolicy policy)
+    : deployment_(&deployment), policy_(std::move(policy)) {}
+
+std::string ChainRepair::bypass_policies(const std::string& nf,
+                                         sfc::PolicySet& out) const {
+  if (policy_.never_bypass.count(nf) > 0) {
+    return "policy forbids bypassing " + nf;
+  }
+  bool used = false;
+  for (const sfc::ChainPolicy& p : deployment_->policies().policies()) {
+    sfc::ChainPolicy reduced = p;
+    auto it = std::find(reduced.nfs.begin(), reduced.nfs.end(), nf);
+    if (it != reduced.nfs.end()) {
+      used = true;
+      if (it + 1 == reduced.nfs.end()) {
+        // The terminal NF (e.g. the Router) pops the SFC header and
+        // picks the exit port; a chain without it strands its packets.
+        return "cannot bypass terminal NF " + nf + " of path " +
+               std::to_string(p.path_id);
+      }
+      reduced.nfs.erase(it);
+      if (reduced.nfs.empty()) {
+        return "bypassing " + nf + " would empty path " +
+               std::to_string(p.path_id);
+      }
+    }
+    out.add(std::move(reduced));
+  }
+  if (!used) return nf + " is not part of any chain";
+  return "";
+}
+
+namespace {
+
+/// One rule of the routing diff a bypass swaps in.
+struct DiffOp {
+  bool install = false;
+  std::string control;  // empty: every instance of `table`
+  std::string table;
+  std::vector<std::uint64_t> key;
+  sim::ActionCall action;
+};
+
+sim::ActionCall branching_action(const route::BranchingRule& rule) {
+  sim::ActionCall call;
+  if (rule.kind == route::BranchingRule::Kind::kResubmit) {
+    call.action = merge::kActRouteResubmit;
+  } else {
+    call.action = merge::kActRouteToEgress;
+    call.args["port"] = rule.port;
+  }
+  return call;
+}
+
+/// The installable delta between two routing plans: removals first,
+/// then installs/overwrites (an entry changing action is one install).
+std::vector<DiffOp> routing_diff(const route::RoutingPlan& from,
+                                 const route::RoutingPlan& to,
+                                 sim::DataPlane& dp) {
+  std::vector<DiffOp> diff;
+  using BranchKey = std::tuple<std::string, std::uint16_t, std::uint8_t>;
+  std::map<BranchKey, sim::ActionCall> old_branch;
+  std::map<BranchKey, sim::ActionCall> new_branch;
+  for (const route::BranchingRule& r : from.branching) {
+    old_branch[{merge::pipelet_control_name(r.pipelet), r.path_id,
+                r.service_index}] = branching_action(r);
+  }
+  for (const route::BranchingRule& r : to.branching) {
+    new_branch[{merge::pipelet_control_name(r.pipelet), r.path_id,
+                r.service_index}] = branching_action(r);
+  }
+  for (const auto& entry : old_branch) {
+    const BranchKey& key = entry.first;
+    if (new_branch.count(key) == 0) {
+      DiffOp op;
+      op.control = std::get<0>(key);
+      op.table = merge::kBranchingTable;
+      op.key = {std::get<1>(key), std::get<2>(key)};
+      diff.push_back(std::move(op));
+    }
+  }
+  for (const auto& [key, action] : new_branch) {
+    auto it = old_branch.find(key);
+    if (it != old_branch.end() && it->second == action) {
+      // Both plans agree — but the fault being repaired may have
+      // evicted the live entry (that is often the sabotage itself), so
+      // only skip when the switch really holds the desired rule.
+      sim::RuntimeTable* t =
+          dp.table_in(std::get<0>(key), merge::kBranchingTable);
+      const sim::RuntimeTable::ExactEntry* live =
+          t != nullptr
+              ? t->find_exact({std::get<1>(key), std::get<2>(key)})
+              : nullptr;
+      if (live != nullptr && live->action == action) continue;
+    }
+    DiffOp op;
+    op.install = true;
+    op.control = std::get<0>(key);
+    op.table = merge::kBranchingTable;
+    op.key = {std::get<1>(key), std::get<2>(key)};
+    op.action = action;
+    diff.push_back(std::move(op));
+  }
+
+  // Check-gate entries: keyed {path, index, toCpu=0, drop=0} in the
+  // NF's check table. NFs without a check table (the entry NF) have
+  // no installable gate — skip, matching install_routing.
+  auto check_key = [](const route::CheckRule& r) {
+    return std::vector<std::uint64_t>{r.path_id, r.service_index, 0, 0};
+  };
+  auto has_gate = [&dp](const std::string& nf) {
+    return !dp.tables_named(merge::check_next_nf_table(nf)).empty();
+  };
+  std::set<std::tuple<std::string, std::uint16_t, std::uint8_t>> old_checks;
+  std::set<std::tuple<std::string, std::uint16_t, std::uint8_t>> new_checks;
+  for (const route::CheckRule& r : from.checks) {
+    old_checks.insert({r.nf, r.path_id, r.service_index});
+  }
+  for (const route::CheckRule& r : to.checks) {
+    new_checks.insert({r.nf, r.path_id, r.service_index});
+  }
+  for (const route::CheckRule& r : from.checks) {
+    if (new_checks.count({r.nf, r.path_id, r.service_index}) > 0) continue;
+    if (!has_gate(r.nf)) continue;
+    DiffOp op;
+    op.table = merge::check_next_nf_table(r.nf);
+    op.key = check_key(r);
+    diff.push_back(std::move(op));
+  }
+  for (const route::CheckRule& r : to.checks) {
+    if (old_checks.count({r.nf, r.path_id, r.service_index}) > 0) {
+      // Same live-existence caveat as branching entries above.
+      bool live_everywhere = true;
+      for (sim::RuntimeTable* t :
+           dp.tables_named(merge::check_next_nf_table(r.nf))) {
+        live_everywhere &= t->find_exact(check_key(r)) != nullptr;
+      }
+      if (live_everywhere) continue;
+    }
+    if (!has_gate(r.nf)) continue;
+    DiffOp op;
+    op.install = true;
+    op.table = merge::check_next_nf_table(r.nf);
+    op.key = check_key(r);
+    op.action = sim::ActionCall{merge::check_hit_action(r.nf), {}};
+    diff.push_back(std::move(op));
+  }
+
+  // Planned removals may already be gone from the live switch (the
+  // very fault being repaired can have evicted them); removing a
+  // phantom entry would fail the whole transaction, so drop those.
+  std::erase_if(diff, [&dp](const DiffOp& op) {
+    if (op.install) return false;
+    if (!op.control.empty()) {
+      sim::RuntimeTable* t = dp.table_in(op.control, op.table);
+      return t == nullptr || t->find_exact(op.key) == nullptr;
+    }
+    for (sim::RuntimeTable* t : dp.tables_named(op.table)) {
+      if (t->find_exact(op.key) != nullptr) return false;
+    }
+    return true;
+  });
+  return diff;
+}
+
+void fill_transaction(Transaction& txn, const std::vector<DiffOp>& diff) {
+  // Removals first: an overwrite-install of a key another rule is
+  // about to vacate must not race the capacity check.
+  for (const DiffOp& op : diff) {
+    if (op.install) continue;
+    if (op.control.empty()) {
+      txn.remove_exact(op.table, op.key);
+    } else {
+      txn.remove_exact_in(op.control, op.table, op.key);
+    }
+  }
+  for (const DiffOp& op : diff) {
+    if (!op.install) continue;
+    if (op.control.empty()) {
+      txn.install_exact(op.table, op.key, op.action);
+    } else {
+      txn.install_exact_in(op.control, op.table, op.key, op.action);
+    }
+  }
+}
+
+}  // namespace
+
+RepairReport ChainRepair::bypass(const std::string& nf,
+                                 sim::FaultInjector* injector) {
+  RepairReport report;
+  report.nf = nf;
+  report.strategy = "bypass";
+
+  sfc::PolicySet reduced;
+  report.error = bypass_policies(nf, reduced);
+  if (!report.error.empty()) return report;
+
+  sim::DataPlane& live = deployment_->dataplane();
+  route::RoutingPlan plan = route::build_routing(
+      reduced, deployment_->placement(), live.config());
+  if (!plan.feasible) {
+    report.error = "rerouted plan infeasible: " + plan.infeasible_reason;
+    return report;
+  }
+
+  std::vector<DiffOp> diff =
+      routing_diff(deployment_->routing(), plan, live);
+  for (const DiffOp& op : diff) {
+    (op.install ? report.rules_installed : report.rules_removed) += 1;
+  }
+  report.attempted = true;
+
+  if (policy_.run_gates) {
+    // Stage the repaired ruleset on a scratch switch: same program,
+    // current live state, candidate diff applied — then prove it.
+    sim::DataPlane staging(deployment_->program(), deployment_->ids(),
+                           live.config());
+    restore_snapshot(take_snapshot(live), staging);
+    Transaction stage_txn(staging);
+    fill_transaction(stage_txn, diff);
+    Transaction::Result staged = stage_txn.commit();
+    if (!staged.committed) {
+      report.error = "staging failed: " + staged.error;
+      return report;
+    }
+    verify::VerifyInput vin;
+    vin.program = &deployment_->program();
+    vin.ids = &deployment_->ids();
+    vin.placement = &deployment_->placement();
+    vin.policies = &reduced;
+    vin.config = &live.config();
+    vin.routing = &plan;
+    verify::Report vreport = verify::run_all(vin);
+    report.verify_ok = vreport.ok();
+    explore::ExploreResult explored =
+        explore::run(staging, reduced, policy_.explore_options);
+    report.explore_ok = explored.report.ok();
+    if (!report.verify_ok || !report.explore_ok) {
+      report.error = "repair gates rejected the candidate ruleset";
+      if (!report.verify_ok) report.error += "\n" + vreport.to_string();
+      if (!report.explore_ok) {
+        report.error += "\n" + explored.report.to_string();
+      }
+      return report;
+    }
+  }
+
+  Transaction txn(live, policy_.retry, injector);
+  fill_transaction(txn, diff);
+  report.txn = txn.commit();
+  if (!report.txn.committed) {
+    report.error = "commit failed (rolled back): " + report.txn.error;
+    return report;
+  }
+  deployment_->apply_repair(std::move(reduced), std::move(plan));
+  report.succeeded = true;
+  return report;
+}
+
+ChainRepair::Replacement ChainRepair::replace(const std::string& nf) {
+  Replacement result;
+  RepairReport& report = result.report;
+  report.nf = nf;
+  report.strategy = "replace";
+
+  sfc::PolicySet reduced;
+  report.error = bypass_policies(nf, reduced);
+  if (!report.error.empty()) return result;
+  report.attempted = true;
+
+  // Rebuild with the failed NF's program dropped and the optimizer
+  // free to re-place (and re-route recirculations for) the survivors.
+  std::vector<p4ir::Program> programs;
+  for (const p4ir::Program& p : deployment_->nf_programs()) {
+    if (p.name() != nf) programs.push_back(p);
+  }
+  DeploymentOptions options;
+  options.verify = policy_.run_gates;
+  try {
+    result.deployment = Deployment::build(
+        std::move(programs), reduced, deployment_->dataplane().config(),
+        deployment_->ids(), std::move(options));
+  } catch (const std::exception& e) {
+    report.error = std::string("rebuild failed: ") + e.what();
+    return result;
+  }
+  report.verify_ok = result.deployment->verification().ok();
+
+  // Migrate surviving NF state (framework rules are freshly derived;
+  // the failed NF's tables no longer exist and are filtered out).
+  Snapshot snap = nf_state_snapshot(deployment_->dataplane());
+  const std::string prefix = nf + ".";
+  std::erase_if(snap.tables, [&prefix](const Snapshot::TableState& t) {
+    return t.table.rfind(prefix, 0) == 0;
+  });
+  std::erase_if(snap.registers, [&prefix](const Snapshot::RegisterState& r) {
+    return r.name.rfind(prefix, 0) == 0;
+  });
+  restore_snapshot(snap, result.deployment->dataplane());
+
+  if (policy_.run_gates) {
+    const explore::ExploreResult& explored =
+        result.deployment->run_explorer(policy_.explore_options);
+    report.explore_ok = explored.report.ok();
+    if (!report.explore_ok) {
+      report.error = "explorer rejected the rebuilt deployment\n" +
+                     explored.report.to_string();
+      result.deployment.reset();
+      return result;
+    }
+  }
+  report.succeeded = true;
+  return result;
+}
+
+}  // namespace dejavu::control

@@ -1,0 +1,394 @@
+#include "control/transaction.hpp"
+
+#include <cmath>
+#include <map>
+#include <random>
+#include <stdexcept>
+
+namespace dejavu::control {
+
+std::uint32_t RetryPolicy::backoff_ms(std::uint32_t retry) const {
+  if (retry == 0) return 0;
+  double delay =
+      static_cast<double>(base_ms) * std::pow(multiplier, retry - 1);
+  delay = std::min(delay, static_cast<double>(max_ms));
+  // Deterministic jitter: the factor for retry N depends only on
+  // (seed, N), never on call order.
+  std::mt19937_64 rng(seed ^ (0x9e3779b97f4a7c15ULL * retry));
+  const double u =
+      static_cast<double>(rng() >> 11) * (1.0 / 9007199254740992.0);
+  const double factor = 1.0 - jitter + 2.0 * jitter * u;
+  return static_cast<std::uint32_t>(std::llround(delay * factor));
+}
+
+Transaction::Transaction(sim::DataPlane& dp, RetryPolicy retry,
+                         sim::FaultInjector* injector)
+    : dp_(&dp), retry_(retry), injector_(injector) {}
+
+void Transaction::install_exact(std::string table,
+                                std::vector<std::uint64_t> key,
+                                sim::ActionCall action) {
+  Op op;
+  op.kind = OpKind::kInstallExact;
+  op.table = std::move(table);
+  op.exact_key = std::move(key);
+  op.action = std::move(action);
+  ops_.push_back(std::move(op));
+}
+
+void Transaction::install_exact_in(std::string control, std::string table,
+                                   std::vector<std::uint64_t> key,
+                                   sim::ActionCall action) {
+  install_exact(std::move(table), std::move(key), std::move(action));
+  ops_.back().control = std::move(control);
+}
+
+void Transaction::remove_exact_in(std::string control, std::string table,
+                                  std::vector<std::uint64_t> key) {
+  remove_exact(std::move(table), std::move(key));
+  ops_.back().control = std::move(control);
+}
+
+void Transaction::install_ternary(std::string table,
+                                  std::vector<net::TernaryField> key,
+                                  std::int32_t priority,
+                                  sim::ActionCall action) {
+  Op op;
+  op.kind = OpKind::kInstallTernary;
+  op.table = std::move(table);
+  op.ternary_key = std::move(key);
+  op.priority = priority;
+  op.action = std::move(action);
+  ops_.push_back(std::move(op));
+}
+
+void Transaction::install_lpm(std::string table, std::uint64_t value,
+                              std::uint8_t prefix_len,
+                              sim::ActionCall action) {
+  Op op;
+  op.kind = OpKind::kInstallLpm;
+  op.table = std::move(table);
+  op.lpm_value = value;
+  op.prefix_len = prefix_len;
+  op.action = std::move(action);
+  ops_.push_back(std::move(op));
+}
+
+void Transaction::remove_exact(std::string table,
+                               std::vector<std::uint64_t> key) {
+  Op op;
+  op.kind = OpKind::kRemoveExact;
+  op.table = std::move(table);
+  op.exact_key = std::move(key);
+  ops_.push_back(std::move(op));
+}
+
+void Transaction::remove_ternary(std::string table,
+                                 std::vector<net::TernaryField> key,
+                                 std::int32_t priority) {
+  Op op;
+  op.kind = OpKind::kRemoveTernary;
+  op.table = std::move(table);
+  op.ternary_key = std::move(key);
+  op.priority = priority;
+  ops_.push_back(std::move(op));
+}
+
+void Transaction::write_register(std::string control, std::string reg,
+                                 std::uint64_t index, std::uint64_t value) {
+  Op op;
+  op.kind = OpKind::kWriteRegister;
+  op.table = std::move(control);
+  op.reg = std::move(reg);
+  op.reg_index = index;
+  op.reg_value = value;
+  ops_.push_back(std::move(op));
+}
+
+std::vector<sim::RuntimeTable*> Transaction::resolve(const Op& op) const {
+  if (op.control.empty()) return dp_->tables_named(op.table);
+  sim::RuntimeTable* t = dp_->table_in(op.control, op.table);
+  if (t == nullptr) return {};
+  return {t};
+}
+
+std::string Transaction::Op::describe() const {
+  switch (kind) {
+    case OpKind::kInstallExact:
+      return "install_exact " + table;
+    case OpKind::kInstallTernary:
+      return "install_ternary " + table;
+    case OpKind::kInstallLpm:
+      return "install_lpm " + table;
+    case OpKind::kRemoveExact:
+      return "remove_exact " + table;
+    case OpKind::kRemoveTernary:
+      return "remove_ternary " + table;
+    case OpKind::kWriteRegister:
+      return "write_register " + table + "." + reg;
+  }
+  return "op";
+}
+
+std::string Transaction::Result::to_string() const {
+  std::string s = committed ? "committed" : "failed";
+  s += " applied=" + std::to_string(applied) +
+       " attempts=" + std::to_string(attempts) +
+       " retries=" + std::to_string(retries) +
+       " backoff_ms=" + std::to_string(total_backoff_ms);
+  if (rolled_back) s += " rolled-back";
+  if (!error.empty()) s += " error: " + error;
+  return s;
+}
+
+std::string Transaction::validate() const {
+  // Net installs queued per table instance, for the capacity check.
+  std::map<const sim::RuntimeTable*, std::size_t> pending;
+  for (const Op& op : ops_) {
+    if (op.kind == OpKind::kWriteRegister) {
+      auto* arr = dp_->register_array(op.table, op.reg);
+      if (arr == nullptr) {
+        return op.describe() + ": no such register";
+      }
+      if (op.reg_index >= arr->size()) {
+        return op.describe() + ": index " + std::to_string(op.reg_index) +
+               " out of range (size " + std::to_string(arr->size()) + ")";
+      }
+      continue;
+    }
+    std::vector<sim::RuntimeTable*> instances = resolve(op);
+    if (instances.empty()) {
+      return op.describe() + ": table does not exist in the deployment";
+    }
+    for (sim::RuntimeTable* t : instances) {
+      const p4ir::Table& def = t->def();
+      const bool tcam = def.needs_tcam();
+      switch (op.kind) {
+        case OpKind::kInstallExact:
+          if (tcam) return op.describe() + ": table is ternary/LPM";
+          if (op.exact_key.size() != def.keys.size()) {
+            return op.describe() + ": key arity mismatch";
+          }
+          if (t->find_exact(op.exact_key) == nullptr) ++pending[t];
+          break;
+        case OpKind::kInstallTernary:
+          if (!tcam) return op.describe() + ": table is exact";
+          if (op.ternary_key.size() != def.keys.size()) {
+            return op.describe() + ": key arity mismatch";
+          }
+          ++pending[t];
+          break;
+        case OpKind::kInstallLpm: {
+          if (!tcam) return op.describe() + ": table is exact";
+          bool has_lpm = false;
+          for (const auto& k : def.keys) {
+            if (k.kind == p4ir::MatchKind::kLpm) {
+              has_lpm = true;
+              if (op.prefix_len > k.bits) {
+                return op.describe() + ": prefix length exceeds key width";
+              }
+            }
+          }
+          if (!has_lpm) {
+            return op.describe() + ": table has no LPM key component";
+          }
+          ++pending[t];
+          break;
+        }
+        case OpKind::kRemoveExact:
+          if (tcam) return op.describe() + ": table is ternary/LPM";
+          if (op.exact_key.size() != def.keys.size()) {
+            return op.describe() + ": key arity mismatch";
+          }
+          break;
+        case OpKind::kRemoveTernary:
+          if (!tcam) return op.describe() + ": table is exact";
+          break;
+        case OpKind::kWriteRegister:
+          break;
+      }
+    }
+    // Removals must name an installed entry somewhere (removing a
+    // phantom rule is a control-plane bug worth failing loudly on).
+    if (op.kind == OpKind::kRemoveExact) {
+      bool found = false;
+      for (sim::RuntimeTable* t : instances) {
+        if (t->find_exact(op.exact_key) != nullptr) found = true;
+      }
+      if (!found) return op.describe() + ": entry not installed";
+    }
+    if (op.kind == OpKind::kRemoveTernary) {
+      bool found = false;
+      for (sim::RuntimeTable* t : instances) {
+        for (const auto& e : t->ternary_entries()) {
+          if (e.key == op.ternary_key && e.priority == op.priority) {
+            found = true;
+          }
+        }
+      }
+      if (!found) return op.describe() + ": entry not installed";
+    }
+  }
+  // Capacity: every queued install must fit alongside what is already
+  // there (removals in the same batch are not credited — conservative,
+  // like reserving the space up front).
+  for (const auto& [t, added] : pending) {
+    if (t->entry_count() + added > t->def().max_entries) {
+      return "table '" + t->def().name + "' cannot fit " +
+             std::to_string(added) + " new entries (" +
+             std::to_string(t->entry_count()) + "/" +
+             std::to_string(t->def().max_entries) + " used)";
+    }
+  }
+  return "";
+}
+
+void Transaction::apply(const Op& op, std::vector<UndoEntry>& undo) {
+  if (op.kind == OpKind::kWriteRegister) {
+    auto* arr = dp_->register_array(op.table, op.reg);
+    const std::uint64_t old = (*arr)[op.reg_index];
+    (*arr)[op.reg_index] = op.reg_value;
+    UndoEntry u;
+    u.kind = UndoEntry::Kind::kWriteRegister;
+    u.reg_array = arr;
+    u.reg_index = op.reg_index;
+    u.reg_value = old;
+    undo.push_back(std::move(u));
+    return;
+  }
+  for (sim::RuntimeTable* t : resolve(op)) {
+    switch (op.kind) {
+      case OpKind::kInstallExact: {
+        UndoEntry u;
+        u.target = t;
+        u.exact_key = op.exact_key;
+        if (const auto* old = t->find_exact(op.exact_key)) {
+          u.kind = UndoEntry::Kind::kReinstallExact;
+          u.action = old->action;
+        } else {
+          u.kind = UndoEntry::Kind::kRemoveExact;
+        }
+        t->add_exact(op.exact_key, op.action);
+        undo.push_back(std::move(u));
+        break;
+      }
+      case OpKind::kInstallTernary: {
+        UndoEntry u;
+        u.kind = UndoEntry::Kind::kEraseTernary;
+        u.target = t;
+        u.handle = t->add_ternary(op.ternary_key, op.priority, op.action);
+        undo.push_back(std::move(u));
+        break;
+      }
+      case OpKind::kInstallLpm: {
+        UndoEntry u;
+        u.kind = UndoEntry::Kind::kEraseTernary;
+        u.target = t;
+        u.handle = t->add_lpm(op.lpm_value, op.prefix_len, op.action);
+        undo.push_back(std::move(u));
+        break;
+      }
+      case OpKind::kRemoveExact: {
+        const auto* old = t->find_exact(op.exact_key);
+        if (old == nullptr) break;  // replica without the entry
+        UndoEntry u;
+        u.kind = UndoEntry::Kind::kReinstallExact;
+        u.target = t;
+        u.exact_key = op.exact_key;
+        u.action = old->action;
+        t->remove_exact(op.exact_key);
+        undo.push_back(std::move(u));
+        break;
+      }
+      case OpKind::kRemoveTernary: {
+        for (const auto& e : t->ternary_entries()) {
+          if (e.key == op.ternary_key && e.priority == op.priority) {
+            UndoEntry u;
+            u.kind = UndoEntry::Kind::kReinstallTernary;
+            u.target = t;
+            u.ternary_key = e.key;
+            u.priority = e.priority;
+            u.action = e.value;
+            t->erase_ternary(e.handle);
+            undo.push_back(std::move(u));
+            break;  // entries() invalidated; one match per instance
+          }
+        }
+        break;
+      }
+      case OpKind::kWriteRegister:
+        break;
+    }
+  }
+}
+
+void Transaction::rollback(std::vector<UndoEntry>& undo) {
+  for (auto it = undo.rbegin(); it != undo.rend(); ++it) {
+    switch (it->kind) {
+      case UndoEntry::Kind::kRemoveExact:
+        it->target->remove_exact(it->exact_key);
+        break;
+      case UndoEntry::Kind::kReinstallExact:
+        it->target->add_exact(it->exact_key, it->action);
+        break;
+      case UndoEntry::Kind::kEraseTernary:
+        it->target->erase_ternary(it->handle);
+        break;
+      case UndoEntry::Kind::kReinstallTernary:
+        it->target->add_ternary(it->ternary_key, it->priority, it->action);
+        break;
+      case UndoEntry::Kind::kWriteRegister:
+        (*it->reg_array)[it->reg_index] = it->reg_value;
+        break;
+    }
+  }
+  undo.clear();
+}
+
+Transaction::Result Transaction::commit() {
+  if (committed_) {
+    throw std::logic_error("Transaction::commit called twice");
+  }
+  committed_ = true;
+  Result result;
+  std::string err = validate();
+  if (!err.empty()) {
+    result.error = std::move(err);
+    return result;
+  }
+  std::vector<UndoEntry> undo;
+  for (std::size_t i = 0; i < ops_.size(); ++i) {
+    std::uint32_t attempt = 0;
+    for (;;) {
+      ++result.attempts;
+      ++attempt;
+      try {
+        if (injector_ != nullptr) {
+          injector_->on_write(static_cast<std::uint32_t>(i));
+        }
+        apply(ops_[i], undo);
+        break;
+      } catch (const sim::TransientWriteError& e) {
+        if (attempt >= retry_.max_attempts) {
+          result.error =
+              ops_[i].describe() + ": " + e.what() + " (retries exhausted)";
+          rollback(undo);
+          result.rolled_back = true;
+          return result;
+        }
+        ++result.retries;
+        result.total_backoff_ms += retry_.backoff_ms(attempt);
+      } catch (const std::exception& e) {
+        result.error = ops_[i].describe() + ": " + e.what();
+        rollback(undo);
+        result.rolled_back = true;
+        return result;
+      }
+    }
+    ++result.applied;
+  }
+  result.committed = true;
+  return result;
+}
+
+}  // namespace dejavu::control

@@ -963,18 +963,21 @@ void Explorer::explore_from(const std::string& shape, std::uint16_t in_port) {
   const asic::TargetSpec& spec = dp_->config().spec();
   if (in_port >= spec.total_ports() + spec.pipelines) {
     s.out.dropped = true;
+    s.out.drop_code = sim::DropCode::kInvalidIngressPort;
     s.out.drop_reason = "invalid ingress port";
     finish(std::move(s));
     return;
   }
   if (in_port >= spec.total_ports()) {
     s.out.dropped = true;
+    s.out.drop_code = sim::DropCode::kRecircPortExternal;
     s.out.drop_reason = "dedicated recirculation port";
     finish(std::move(s));
     return;
   }
   if (dp_->config().is_loopback(in_port)) {
     s.out.dropped = true;
+    s.out.drop_code = sim::DropCode::kLoopbackPortExternal;
     s.out.drop_reason = "loopback port takes no external traffic";
     finish(std::move(s));
     return;
@@ -1006,6 +1009,7 @@ void Explorer::start_pass(PathState s) {
   }
   if (s.pass >= max_passes_) {
     s.out.dropped = true;
+    s.out.drop_code = sim::DropCode::kMaxPassesExceeded;
     s.out.drop_reason = "exceeded " + std::to_string(max_passes_) +
                         " pipeline passes";
     s.hit_pass_cap = true;
@@ -1033,6 +1037,7 @@ void Explorer::after_ingress(PathState s, std::uint32_t pipeline) {
   }
   if (s.meta.drop_flag) {
     s.out.dropped = true;
+    s.out.drop_code = sim::DropCode::kIngressDrop;
     s.out.drop_reason = "dropped in ingress pipe " + std::to_string(pipeline);
     finish(std::move(s));
     return;
@@ -1045,6 +1050,7 @@ void Explorer::after_ingress(PathState s, std::uint32_t pipeline) {
   }
   if (s.meta.egress_spec == sfc::kPortUnset) {
     s.out.dropped = true;
+    s.out.drop_code = sim::DropCode::kNoEgressDecision;
     s.out.drop_reason = "no egress decision after ingress pipe";
     finish(std::move(s));
     return;
@@ -1053,6 +1059,7 @@ void Explorer::after_ingress(PathState s, std::uint32_t pipeline) {
   const asic::TargetSpec& spec = dp_->config().spec();
   if (port >= spec.total_ports() + spec.pipelines) {
     s.out.dropped = true;
+    s.out.drop_code = sim::DropCode::kInvalidEgressSpec;
     s.out.drop_reason = "egress_spec " + std::to_string(port) +
                         " is not a valid port";
     finish(std::move(s));
@@ -1082,6 +1089,7 @@ void Explorer::after_egress(PathState s, std::uint16_t port,
   }
   if (s.meta.drop_flag) {
     s.out.dropped = true;
+    s.out.drop_code = sim::DropCode::kEgressDrop;
     s.out.drop_reason =
         "dropped in egress pipe " + std::to_string(egress_pipeline);
     finish(std::move(s));
@@ -1271,11 +1279,13 @@ void Explorer::differential_replay(const PathSummary& path) {
   concrete_ports.reserve(out.out.size());
   for (const auto& e : out.out) concrete_ports.push_back(e.port);
 
-  auto describe = [](bool dropped, std::size_t punts,
+  auto describe = [](bool dropped, sim::DropCode code, std::size_t punts,
                      const std::vector<std::uint16_t>& out_ports,
                      const std::vector<std::uint16_t>& recirc,
                      std::uint32_t resubmits) {
-    std::string s = dropped ? "drop" : "deliver " + ports_string(out_ports);
+    std::string s = dropped
+                        ? "drop[" + std::string(sim::drop_code_name(code)) + "]"
+                        : "deliver " + ports_string(out_ports);
     if (punts > 0) s += " punt x" + std::to_string(punts);
     if (!recirc.empty()) s += " recirc " + ports_string(recirc);
     if (resubmits > 0) s += " resubmit x" + std::to_string(resubmits);
@@ -1283,6 +1293,8 @@ void Explorer::differential_replay(const PathSummary& path) {
   };
 
   const bool agree = path.outcome.dropped == out.dropped &&
+                     (!out.dropped ||
+                      path.outcome.drop_code == out.drop_code) &&
                      path.outcome.to_cpu == out.to_cpu.size() &&
                      path.outcome.out_ports == concrete_ports &&
                      path.outcome.recirc_ports == out.recirc_ports &&
@@ -1291,12 +1303,12 @@ void Explorer::differential_replay(const PathSummary& path) {
   add_finding(
       "DV-S7", path_where(),
       "symbolic prediction '" +
-          describe(path.outcome.dropped, path.outcome.to_cpu,
-                   path.outcome.out_ports, path.outcome.recirc_ports,
-                   path.outcome.resubmissions) +
+          describe(path.outcome.dropped, path.outcome.drop_code,
+                   path.outcome.to_cpu, path.outcome.out_ports,
+                   path.outcome.recirc_ports, path.outcome.resubmissions) +
           "' but the concrete dataplane did '" +
-          describe(out.dropped, out.to_cpu.size(), concrete_ports,
-                   out.recirc_ports, out.resubmissions) +
+          describe(out.dropped, out.drop_code, out.to_cpu.size(),
+                   concrete_ports, out.recirc_ports, out.resubmissions) +
           "' for witness " + path.to_string());
 }
 

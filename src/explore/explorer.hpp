@@ -43,6 +43,10 @@ struct ExploreOptions {
 /// equivalence class of packets (mirror of sim::SwitchOutput).
 struct PredictedOutcome {
   bool dropped = false;
+  /// Canonical drop code (sim::DropCode vocabulary); the string keeps
+  /// the human-readable detail. The differential replay (DV-S7)
+  /// requires the concrete dataplane to agree on the code.
+  sim::DropCode drop_code = sim::DropCode::kNone;
   std::string drop_reason;
   std::uint32_t to_cpu = 0;
   std::vector<std::uint16_t> out_ports;

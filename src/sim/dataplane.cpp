@@ -52,6 +52,14 @@ RuntimeTable* DataPlane::table_in(const std::string& control_name,
   return tit == cit->second.end() ? nullptr : &tit->second;
 }
 
+void DataPlane::set_port_down(std::uint16_t port, bool down) {
+  if (down) {
+    down_ports_.insert(port);
+  } else {
+    down_ports_.erase(port);
+  }
+}
+
 bool DataPlane::loops_back(std::uint16_t port) const {
   if (port >= config_.spec().total_ports()) {
     // Dedicated recirculation ports always loop back.
@@ -293,19 +301,23 @@ SwitchOutput DataPlane::process(net::Packet packet, std::uint16_t in_port,
   SwitchOutput out;
   const asic::TargetSpec& spec = config_.spec();
   if (in_port >= spec.total_ports() + spec.pipelines) {
-    out.dropped = true;
-    out.drop_reason = "invalid ingress port";
+    out.set_drop(DropCode::kInvalidIngressPort, "invalid ingress port");
     return out;
   }
   if (!from_cpu && in_port >= spec.total_ports()) {
-    out.dropped = true;
-    out.drop_reason = "dedicated recirculation ports take no external traffic";
+    out.set_drop(DropCode::kRecircPortExternal,
+                 "dedicated recirculation ports take no external traffic");
     return out;
   }
   if (!from_cpu && config_.is_loopback(in_port)) {
-    out.dropped = true;
-    out.drop_reason = "port " + std::to_string(in_port) +
-                      " is in loopback mode and takes no external traffic";
+    out.set_drop(DropCode::kLoopbackPortExternal,
+                 "port " + std::to_string(in_port) +
+                     " is in loopback mode and takes no external traffic");
+    return out;
+  }
+  if (is_port_down(in_port)) {
+    out.set_drop(DropCode::kPortDown,
+                 "ingress port " + std::to_string(in_port) + " is down");
     return out;
   }
 
@@ -331,8 +343,8 @@ SwitchOutput DataPlane::process(net::Packet packet, std::uint16_t in_port,
       return out;
     }
     if (meta.drop_flag) {
-      out.dropped = true;
-      out.drop_reason = "dropped in ingress pipe " + std::to_string(pipeline);
+      out.set_drop(DropCode::kIngressDrop,
+                   "dropped in ingress pipe " + std::to_string(pipeline));
       return out;
     }
     if (meta.resubmit_flag) {
@@ -341,16 +353,25 @@ SwitchOutput DataPlane::process(net::Packet packet, std::uint16_t in_port,
       continue;
     }
     if (meta.egress_spec == sfc::kPortUnset) {
-      out.dropped = true;
-      out.drop_reason = "no egress decision after ingress pipe";
+      out.set_drop(DropCode::kNoEgressDecision,
+                   "no egress decision after ingress pipe");
       return out;
     }
 
     const std::uint16_t port = meta.egress_spec;
     if (port >= spec.total_ports() + spec.pipelines) {
-      out.dropped = true;
-      out.drop_reason = "egress_spec " + std::to_string(port) +
-                        " is not a valid port";
+      out.set_drop(DropCode::kInvalidEgressSpec,
+                   "egress_spec " + std::to_string(port) +
+                       " is not a valid port");
+      return out;
+    }
+    if (is_port_down(port)) {
+      // The traffic manager's view of a dead link or faulted
+      // recirculation port: the packet has nowhere to go.
+      out.set_drop(DropCode::kPortDown,
+                   (loops_back(port) ? "recirculation port "
+                                     : "egress port ") +
+                       std::to_string(port) + " is down");
       return out;
     }
 
@@ -373,9 +394,8 @@ SwitchOutput DataPlane::process(net::Packet packet, std::uint16_t in_port,
       return out;
     }
     if (meta.drop_flag) {
-      out.dropped = true;
-      out.drop_reason = "dropped in egress pipe " +
-                        std::to_string(egress_pipeline);
+      out.set_drop(DropCode::kEgressDrop,
+                   "dropped in egress pipe " + std::to_string(egress_pipeline));
       return out;
     }
 
@@ -401,9 +421,9 @@ SwitchOutput DataPlane::process(net::Packet packet, std::uint16_t in_port,
     return out;
   }
 
-  out.dropped = true;
-  out.drop_reason = "packet exceeded " + std::to_string(max_passes_) +
-                    " pipeline passes (routing loop?)";
+  out.set_drop(DropCode::kMaxPassesExceeded,
+               "packet exceeded " + std::to_string(max_passes_) +
+                   " pipeline passes (routing loop?)");
   if (!out.recirc_ports.empty()) {
     out.drop_reason += "; recirc ports:";
     for (std::uint16_t p : out.recirc_ports) {

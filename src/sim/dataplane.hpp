@@ -9,12 +9,14 @@
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "asic/switch_config.hpp"
 #include "net/packet.hpp"
 #include "p4ir/program.hpp"
+#include "sim/drop_reason.hpp"
 #include "sim/fields.hpp"
 #include "sim/runtime_table.hpp"
 
@@ -34,7 +36,17 @@ struct SwitchOutput {
   std::vector<Emitted> out;
   std::vector<CpuPunt> to_cpu;
   bool dropped = false;
+  /// Canonical code for the drop (kNone when delivered/punted); the
+  /// string carries the per-packet detail for humans. Match on the
+  /// code, not the string.
+  DropCode drop_code = DropCode::kNone;
   std::string drop_reason;
+
+  void set_drop(DropCode code, std::string reason) {
+    dropped = true;
+    drop_code = code;
+    drop_reason = std::move(reason);
+  }
 
   std::uint32_t resubmissions = 0;
   std::uint32_t recirculations = 0;
@@ -94,6 +106,16 @@ class DataPlane {
   /// Mirror copies go to this port when the mirror flag is raised.
   void set_mirror_port(std::uint16_t port) { mirror_port_ = port; }
 
+  /// Administratively (or by fault injection) mark a port down:
+  /// packets whose egress decision or recirculation lands on a down
+  /// port are dropped with DropCode::kPortDown. Ingress on a down
+  /// port is refused the same way.
+  void set_port_down(std::uint16_t port, bool down = true);
+  bool is_port_down(std::uint16_t port) const {
+    return down_ports_.count(port) > 0;
+  }
+  const std::set<std::uint16_t>& down_ports() const { return down_ports_; }
+
   /// Per-port packet/byte counters, as a switch OS would expose them.
   /// Loopback and dedicated recirculation ports accumulate the
   /// recirculating traffic — the §4 measurement point.
@@ -132,6 +154,7 @@ class DataPlane {
   asic::SwitchConfig config_;
   std::uint32_t max_passes_ = 64;
   std::optional<std::uint16_t> mirror_port_;
+  std::set<std::uint16_t> down_ports_;
   // control name -> table name -> runtime table
   std::map<std::string, std::map<std::string, RuntimeTable>> tables_;
   // control name -> register name -> cells

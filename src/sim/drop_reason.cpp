@@ -1,0 +1,57 @@
+#include "sim/drop_reason.hpp"
+
+namespace dejavu::sim {
+
+const char* drop_code_name(DropCode code) {
+  switch (code) {
+    case DropCode::kNone:
+      return "none";
+    case DropCode::kInvalidIngressPort:
+      return "invalid-ingress-port";
+    case DropCode::kRecircPortExternal:
+      return "recirc-port-external";
+    case DropCode::kLoopbackPortExternal:
+      return "loopback-port-external";
+    case DropCode::kIngressDrop:
+      return "ingress-drop";
+    case DropCode::kNoEgressDecision:
+      return "no-egress-decision";
+    case DropCode::kInvalidEgressSpec:
+      return "invalid-egress-spec";
+    case DropCode::kEgressDrop:
+      return "egress-drop";
+    case DropCode::kPortDown:
+      return "port-down";
+    case DropCode::kMaxPassesExceeded:
+      return "max-passes-exceeded";
+  }
+  return "unknown";
+}
+
+const char* drop_code_description(DropCode code) {
+  switch (code) {
+    case DropCode::kNone:
+      return "not dropped";
+    case DropCode::kInvalidIngressPort:
+      return "injected on a port the target does not have";
+    case DropCode::kRecircPortExternal:
+      return "dedicated recirculation ports take no external traffic";
+    case DropCode::kLoopbackPortExternal:
+      return "loopback-mode ports take no external traffic";
+    case DropCode::kIngressDrop:
+      return "an ingress-pipe table raised the drop flag";
+    case DropCode::kNoEgressDecision:
+      return "ingress pass ended without an egress decision";
+    case DropCode::kInvalidEgressSpec:
+      return "egress_spec names a port the target does not have";
+    case DropCode::kEgressDrop:
+      return "an egress-pipe table raised the drop flag";
+    case DropCode::kPortDown:
+      return "the chosen egress or recirculation port is down";
+    case DropCode::kMaxPassesExceeded:
+      return "pipeline-pass budget exhausted (routing loop)";
+  }
+  return "unknown drop code";
+}
+
+}  // namespace dejavu::sim

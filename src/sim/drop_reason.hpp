@@ -1,0 +1,42 @@
+// The canonical drop vocabulary: every way the behavioral data plane
+// (or the symbolic explorer's model of it) can discard a packet gets a
+// stable DropCode. The human-readable drop_reason string stays free to
+// carry per-packet detail (port numbers, pass counts); tests, the
+// chaos invariants, and operator tooling match on the code.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace dejavu::sim {
+
+enum class DropCode : std::uint8_t {
+  kNone = 0,              ///< not dropped
+  kInvalidIngressPort,    ///< injected on a port the target does not have
+  kRecircPortExternal,    ///< external traffic on a dedicated recirc port
+  kLoopbackPortExternal,  ///< external traffic on a loopback-mode port
+  kIngressDrop,           ///< an ingress-pipe table raised the drop flag
+  kNoEgressDecision,      ///< ingress pass ended without an egress_spec
+  kInvalidEgressSpec,     ///< egress_spec names a nonexistent port
+  kEgressDrop,            ///< an egress-pipe table raised the drop flag
+  kPortDown,              ///< egress or recirculation port is down (fault)
+  kMaxPassesExceeded,     ///< pipeline-pass budget exhausted (routing loop)
+};
+
+/// Every code except kNone, for exhaustive table tests.
+inline constexpr DropCode kAllDropCodes[] = {
+    DropCode::kInvalidIngressPort, DropCode::kRecircPortExternal,
+    DropCode::kLoopbackPortExternal, DropCode::kIngressDrop,
+    DropCode::kNoEgressDecision, DropCode::kInvalidEgressSpec,
+    DropCode::kEgressDrop, DropCode::kPortDown,
+    DropCode::kMaxPassesExceeded,
+};
+
+/// Stable kebab-case slug (JSON output, counters keyed by code).
+const char* drop_code_name(DropCode code);
+
+/// Generic one-line description of the code (the message table; the
+/// per-packet drop_reason string adds instance detail on top).
+const char* drop_code_description(DropCode code);
+
+}  // namespace dejavu::sim

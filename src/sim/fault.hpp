@@ -1,0 +1,232 @@
+// Deterministic fault injection for the behavioral data plane.
+//
+// Two fault lanes share one seed-driven schedule (FaultPlan):
+//
+//  - the *write lane* (FaultInjector) fails control-plane table writes
+//    — transiently or until retries exhaust — and is consumed by
+//    control::Transaction's retry/rollback machinery;
+//  - the *packet lane* (ChaosTarget) perturbs the switch around
+//    individual packet injections — entry evictions, recirculation
+//    ports going down, register corruption — and checks the standing
+//    chaos invariants on every output.
+//
+// Determinism contract (mirrors replay.hpp): every packet-lane fault
+// is keyed on (flow-hash bucket, per-flow packet index), never on
+// global arrival order, and every perturbation is applied and undone
+// around a single injection of the owning flow. A flow therefore
+// experiences the identical fault sequence on 1, 2, or 8 workers, so
+// a seeded chaos run's merged counters and violation totals are
+// bit-identical across worker counts.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/replay.hpp"
+
+namespace dejavu::sim {
+
+enum class FaultKind : std::uint8_t {
+  kWriteFail,        ///< table write returns a transient error
+  kWriteTimeout,     ///< table write times out (also transient)
+  kEvictEntry,       ///< the flow's own entries vanish from a table
+  kRecircPortDown,   ///< a pipeline's recirc ports down for one packet
+  kRegisterCorrupt,  ///< the flow's own register cell is flipped
+};
+
+const char* fault_kind_name(FaultKind kind);
+
+/// One scheduled fault. Write-lane events use {op_index, count};
+/// packet-lane events use {flow_bucket, packet_index} plus the
+/// kind-specific target (table / control+reg / pipeline).
+struct FaultEvent {
+  FaultKind kind = FaultKind::kWriteFail;
+
+  // --- write lane ---
+  /// Logical write op (0-based, within one transaction) to fail.
+  std::uint32_t op_index = 0;
+  /// Consecutive attempts that fail (count >= retry budget makes the
+  /// fault effectively permanent).
+  std::uint32_t count = 1;
+
+  // --- packet lane ---
+  /// session_hash % FaultPlan::kFlowBuckets of the victim flow.
+  std::uint32_t flow_bucket = 0;
+  /// The victim flow's per-flow injection index the fault fires at.
+  std::uint32_t packet_index = 0;
+  std::string table;    ///< kEvictEntry: table whose entries vanish
+  std::string control;  ///< kRegisterCorrupt: control block name
+  std::string reg;      ///< kRegisterCorrupt: register array name
+  std::uint32_t pipeline = 0;  ///< kRecircPortDown: victim pipeline
+
+  std::string to_string() const;
+  bool operator==(const FaultEvent&) const = default;
+};
+
+/// Knobs for seed-driven schedule synthesis: how many events of each
+/// kind, and the candidate targets to draw from.
+struct FaultProfile {
+  std::uint32_t write_fails = 2;
+  std::uint32_t write_timeouts = 1;
+  std::uint32_t evictions = 4;
+  std::uint32_t recirc_downs = 2;
+  std::uint32_t register_corruptions = 2;
+
+  /// Write-lane ops are drawn from [0, max_op_index).
+  std::uint32_t max_op_index = 8;
+  /// Transient failure runs are drawn from [1, max_fail_count].
+  std::uint32_t max_fail_count = 2;
+  /// Packet-lane indices are drawn from [min_packet_index,
+  /// max_packet_index). min >= 1 so the victim flow has already been
+  /// through the switch once (and e.g. owns an LB session entry).
+  std::uint32_t min_packet_index = 1;
+  std::uint32_t max_packet_index = 12;
+
+  std::vector<std::string> evict_tables;  ///< kEvictEntry candidates
+  /// kRegisterCorrupt candidates as (control block, register) pairs.
+  std::vector<std::pair<std::string, std::string>> corrupt_registers;
+  std::vector<std::uint32_t> pipelines;  ///< kRecircPortDown candidates
+
+  /// The Fig. 2 deployment's candidates: evict lb_session entries,
+  /// knock pipeline 1 (the loopback pipeline) recirc ports down.
+  static FaultProfile fig2_mixed();
+};
+
+/// A replayable fault schedule. Same seed + same profile -> same
+/// events, always.
+struct FaultPlan {
+  /// Flow-identity buckets for packet-lane targeting. Coarse enough
+  /// that most buckets are hit in a ~100-flow run, fine enough to
+  /// leave healthy flows as controls.
+  static constexpr std::uint32_t kFlowBuckets = 64;
+
+  std::uint64_t seed = 0;
+  std::vector<FaultEvent> events;
+
+  static FaultPlan from_seed(std::uint64_t seed, const FaultProfile& profile);
+
+  /// Packet-lane events scheduled for this (bucket, index) injection.
+  std::vector<const FaultEvent*> packet_events(std::uint32_t flow_bucket,
+                                               std::uint32_t packet_index) const;
+  /// All write-lane events (kWriteFail / kWriteTimeout).
+  std::vector<const FaultEvent*> write_events() const;
+
+  std::string to_string() const;
+};
+
+/// Thrown by FaultInjector for kWriteFail / kWriteTimeout events; the
+/// transaction layer treats it as retryable.
+class TransientWriteError : public std::runtime_error {
+ public:
+  explicit TransientWriteError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Write-lane consumer: control::Transaction calls on_write(op) before
+/// every physical write attempt. Each scheduled event fails `count`
+/// consecutive attempts at its op index, then lets the op through —
+/// so count < retry budget exercises retry, count >= budget forces
+/// rollback.
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultPlan& plan);
+
+  /// Throws TransientWriteError when the plan schedules a fault (with
+  /// remaining budget) at logical op `op_index`.
+  void on_write(std::uint32_t op_index);
+
+  std::uint32_t faults_fired() const { return fired_; }
+  /// Re-arm the schedule (each Transaction commit counts ops from 0).
+  void reset();
+
+ private:
+  std::vector<FaultEvent> write_events_;
+  // op_index -> (kind, remaining failures)
+  std::map<std::uint32_t, std::pair<FaultKind, std::uint32_t>> budget_;
+  std::uint32_t fired_ = 0;
+};
+
+/// The standing invariants every chaos run asserts, counted per shim
+/// and summed by the driver. All zeros == healthy.
+struct InvariantViolations {
+  /// Dropped packets whose DropCode is kNone: a drop with no reason.
+  std::uint64_t unattributed_drops = 0;
+  /// Emitted packets whose IPv4 header checksum is stale/invalid.
+  std::uint64_t corrupt_packets = 0;
+  /// Emitted packets still carrying the SFC header (metadata leak).
+  std::uint64_t metadata_leaks = 0;
+  /// Packets dropped as kMaxPassesExceeded (forwarding loop).
+  std::uint64_t forwarding_loops = 0;
+
+  std::uint64_t total() const {
+    return unattributed_drops + corrupt_packets + metadata_leaks +
+           forwarding_loops;
+  }
+  InvariantViolations& operator+=(const InvariantViolations& o) {
+    unattributed_drops += o.unattributed_drops;
+    corrupt_packets += o.corrupt_packets;
+    metadata_leaks += o.metadata_leaks;
+    forwarding_loops += o.forwarding_loops;
+    return *this;
+  }
+  bool operator==(const InvariantViolations&) const = default;
+  std::string to_string() const;
+};
+
+/// Packet-lane shim: wraps a worker's private ReplayTarget, applies
+/// the plan's packet-lane faults around each injection, and checks the
+/// chaos invariants on every SwitchOutput. One shim per worker; the
+/// shim only ever touches its own worker's private replica, so no
+/// locking is needed and determinism is preserved.
+class ChaosTarget : public ReplayTarget {
+ public:
+  ChaosTarget(std::unique_ptr<ReplayTarget> inner, FaultPlan plan);
+
+  SwitchOutput inject(net::Packet packet, std::uint16_t in_port) override;
+  DataPlane& dataplane() override { return inner_->dataplane(); }
+
+  const InvariantViolations& violations() const { return violations_; }
+  /// Faults actually applied, keyed by fault_kind_name (an eviction
+  /// scheduled for a flow that owns no entries applies zero times).
+  const std::map<std::string, std::uint64_t>& faults_applied() const {
+    return faults_applied_;
+  }
+
+  /// Check one SwitchOutput against the invariants (also used by the
+  /// repair drill, which drives the switch without a shim).
+  static InvariantViolations check_output(const SwitchOutput& out);
+
+ private:
+  void apply_evict(const FaultEvent& ev, const net::FiveTuple& tuple);
+  void learn_new_entries(const std::string& table,
+                         const net::FiveTuple& tuple);
+
+  std::unique_ptr<ReplayTarget> inner_;
+  FaultPlan plan_;
+  InvariantViolations violations_;
+  std::map<std::string, std::uint64_t> faults_applied_;
+  // Per-flow injection counters (keyed by full 5-tuple: two flows in
+  // one hash bucket must still count independently).
+  std::map<net::FiveTuple, std::uint32_t> flow_index_;
+  // Tables with scheduled evictions: table -> key set seen before the
+  // current injection, and table -> (flow -> keys that flow created).
+  std::map<std::string, std::set<std::vector<std::uint64_t>>> known_keys_;
+  std::map<std::string, std::map<net::FiveTuple,
+                                 std::set<std::vector<std::uint64_t>>>>
+      owned_keys_;
+  std::set<std::string> evict_watch_;
+};
+
+/// Wrap `inner` so every worker gets a fault-injecting shim. When
+/// `shims` is non-null it collects the shim of each worker (pointers
+/// stay valid while the engine holding the targets is alive) so the
+/// driver can sum violations and fault counts after the run.
+TargetFactory chaos_factory(TargetFactory inner, FaultPlan plan,
+                            std::vector<ChaosTarget*>* shims = nullptr);
+
+}  // namespace dejavu::sim

@@ -47,8 +47,9 @@ void RuntimeTable::add_exact(const std::vector<std::uint64_t>& key,
   ++size_;
 }
 
-void RuntimeTable::add_ternary(const std::vector<net::TernaryField>& key,
-                               std::int32_t priority, ActionCall action) {
+std::size_t RuntimeTable::add_ternary(const std::vector<net::TernaryField>& key,
+                                      std::int32_t priority,
+                                      ActionCall action) {
   if (!tcam_) {
     throw std::invalid_argument("table '" + def_->name +
                                 "' is exact; use add_exact");
@@ -56,12 +57,13 @@ void RuntimeTable::add_ternary(const std::vector<net::TernaryField>& key,
   if (size_ >= def_->max_entries) {
     throw std::invalid_argument("table '" + def_->name + "' is full");
   }
-  tcam_->insert(key, priority, std::move(action));
+  const std::size_t handle = tcam_->insert(key, priority, std::move(action));
   ++size_;
+  return handle;
 }
 
-void RuntimeTable::add_lpm(std::uint64_t value, std::uint8_t prefix_len,
-                           ActionCall action) {
+std::size_t RuntimeTable::add_lpm(std::uint64_t value, std::uint8_t prefix_len,
+                                  ActionCall action) {
   if (!tcam_) {
     throw std::invalid_argument("table '" + def_->name +
                                 "' is exact; use add_exact");
@@ -89,7 +91,28 @@ void RuntimeTable::add_lpm(std::uint64_t value, std::uint8_t prefix_len,
     throw std::invalid_argument("table '" + def_->name +
                                 "' has no LPM key component");
   }
-  add_ternary(key, prefix_len, std::move(action));
+  return add_ternary(key, prefix_len, std::move(action));
+}
+
+bool RuntimeTable::remove_exact(const std::vector<std::uint64_t>& key) {
+  if (tcam_) return false;
+  if (exact_.erase(exact_key_string(key)) == 0) return false;
+  --size_;
+  return true;
+}
+
+bool RuntimeTable::erase_ternary(std::size_t handle) {
+  if (!tcam_) return false;
+  if (!tcam_->erase(handle)) return false;
+  --size_;
+  return true;
+}
+
+const RuntimeTable::ExactEntry* RuntimeTable::find_exact(
+    const std::vector<std::uint64_t>& key) const {
+  if (tcam_) return nullptr;
+  auto it = exact_.find(exact_key_string(key));
+  return it == exact_.end() ? nullptr : &it->second;
 }
 
 LookupResult RuntimeTable::lookup(

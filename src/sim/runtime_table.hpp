@@ -37,19 +37,38 @@ class RuntimeTable {
 
   const p4ir::Table& def() const { return *def_; }
 
+  /// One installed exact entry (state export, §7 service upgrade /
+  /// failure handling).
+  struct ExactEntry {
+    std::vector<std::uint64_t> key;
+    ActionCall action;
+  };
+
   /// Install an exact-match entry: one value per key component.
   /// Throws std::invalid_argument on arity mismatch, table kind
   /// mismatch, or table-full.
   void add_exact(const std::vector<std::uint64_t>& key, ActionCall action);
 
   /// Install a ternary entry (value/mask per component, priority).
-  void add_ternary(const std::vector<net::TernaryField>& key,
-                   std::int32_t priority, ActionCall action);
+  /// Returns the entry's handle (usable with erase_ternary).
+  std::size_t add_ternary(const std::vector<net::TernaryField>& key,
+                          std::int32_t priority, ActionCall action);
 
   /// Install an LPM entry on the (single) LPM key component:
   /// value/prefix_len, with exact values for any other components.
-  void add_lpm(std::uint64_t value, std::uint8_t prefix_len,
-               ActionCall action);
+  /// Returns the entry's handle (usable with erase_ternary).
+  std::size_t add_lpm(std::uint64_t value, std::uint8_t prefix_len,
+                      ActionCall action);
+
+  /// Remove one exact entry; false when the key is not installed
+  /// (entry eviction and transactional rollback).
+  bool remove_exact(const std::vector<std::uint64_t>& key);
+
+  /// Remove one ternary/LPM entry by handle; false when absent.
+  bool erase_ternary(std::size_t handle);
+
+  /// The installed entry for `key`, or nullptr (exact tables only).
+  const ExactEntry* find_exact(const std::vector<std::uint64_t>& key) const;
 
   /// Look up the key values in key-component order. Missing fields in
   /// the packet are the caller's concern (pass nullopt -> miss).
@@ -67,10 +86,6 @@ class RuntimeTable {
 
   /// State export (§7 service upgrade / failure handling): enumerate
   /// installed entries.
-  struct ExactEntry {
-    std::vector<std::uint64_t> key;
-    ActionCall action;
-  };
   std::vector<ExactEntry> exact_entries() const;
   /// Ternary/LPM entries (empty for exact tables).
   const std::vector<net::Tcam<ActionCall>::Entry>& ternary_entries() const;

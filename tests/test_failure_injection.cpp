@@ -8,6 +8,7 @@
 #include "merge/framework.hpp"
 #include "nf/nfs.hpp"
 #include "sfc/header.hpp"
+#include "sim/drop_reason.hpp"
 #include "sim/workload.hpp"
 
 namespace dejavu {
@@ -27,6 +28,7 @@ TEST(FailureInjection, MissingBranchingRuleDropsWithReason) {
   spec.ip_dst = net::Ipv4Addr(10, 3, 0, 1);
   auto out = dp.process(net::Packet::make(spec), 0);
   EXPECT_TRUE(out.dropped);
+  EXPECT_EQ(out.drop_code, sim::DropCode::kIngressDrop);
   EXPECT_NE(out.drop_reason.find("ingress pipe 0"), std::string::npos);
 }
 
@@ -102,6 +104,7 @@ TEST(FailureInjection, CorruptSfcHeaderDropsAtBranching) {
 
   auto out = fx.deployment->dataplane().process(std::move(p), 0);
   EXPECT_TRUE(out.dropped);
+  EXPECT_EQ(out.drop_code, sim::DropCode::kIngressDrop);
 }
 
 TEST(FailureInjection, TruncatedPacketIsNotServiced) {
@@ -110,6 +113,7 @@ TEST(FailureInjection, TruncatedPacketIsNotServiced) {
   net::Packet runt(net::Buffer(10));
   auto out = fx.deployment->dataplane().process(std::move(runt), 0);
   EXPECT_TRUE(out.dropped);
+  EXPECT_NE(out.drop_code, sim::DropCode::kNone);  // attributed, always
   EXPECT_TRUE(out.out.empty());
 }
 
@@ -164,7 +168,7 @@ TEST(FailureInjection, UnroutablePolicyRejectedAtBuildTime) {
                                       std::move(config), std::move(ids));
   auto out = d->dataplane().process(net::Packet::make({}), 20);
   EXPECT_TRUE(out.dropped);
-  EXPECT_NE(out.drop_reason.find("loopback"), std::string::npos);
+  EXPECT_EQ(out.drop_code, sim::DropCode::kLoopbackPortExternal);
 }
 
 }  // namespace

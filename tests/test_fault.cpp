@@ -1,0 +1,136 @@
+// Deterministic fault injection: seeded plans are replayable, the
+// write lane's budgets drive retry/rollback, and the chaos invariant
+// checker attributes every way a packet can go wrong.
+#include <gtest/gtest.h>
+
+#include "net/packet.hpp"
+#include "sfc/header.hpp"
+#include "sim/fault.hpp"
+
+namespace dejavu {
+namespace {
+
+using sim::FaultEvent;
+using sim::FaultKind;
+using sim::FaultPlan;
+using sim::FaultProfile;
+
+TEST(FaultPlan, SameSeedSamePlan) {
+  const FaultProfile profile = FaultProfile::fig2_mixed();
+  const FaultPlan a = FaultPlan::from_seed(7, profile);
+  const FaultPlan b = FaultPlan::from_seed(7, profile);
+  ASSERT_EQ(a.events.size(), b.events.size());
+  for (std::size_t i = 0; i < a.events.size(); ++i) {
+    EXPECT_EQ(a.events[i], b.events[i]) << a.events[i].to_string();
+  }
+  const FaultPlan c = FaultPlan::from_seed(8, profile);
+  EXPECT_NE(a.events, c.events);
+}
+
+TEST(FaultPlan, ProfileCountsRespected) {
+  const FaultPlan plan = FaultPlan::from_seed(3, FaultProfile::fig2_mixed());
+  std::map<FaultKind, int> by_kind;
+  for (const FaultEvent& ev : plan.events) ++by_kind[ev.kind];
+  EXPECT_EQ(by_kind[FaultKind::kWriteFail], 2);
+  EXPECT_EQ(by_kind[FaultKind::kWriteTimeout], 1);
+  EXPECT_EQ(by_kind[FaultKind::kEvictEntry], 4);
+  EXPECT_EQ(by_kind[FaultKind::kRecircPortDown], 2);
+  // fig2_mixed declares no register candidates, so no corruption
+  // events are synthesized even though the count knob is nonzero.
+  EXPECT_EQ(by_kind[FaultKind::kRegisterCorrupt], 0);
+}
+
+TEST(FaultPlan, LaneFilters) {
+  const FaultPlan plan = FaultPlan::from_seed(11, FaultProfile::fig2_mixed());
+  for (const FaultEvent* ev : plan.write_events()) {
+    EXPECT_TRUE(ev->kind == FaultKind::kWriteFail ||
+                ev->kind == FaultKind::kWriteTimeout);
+  }
+  // Every packet-lane event is discoverable through its own slot and
+  // only through it.
+  std::size_t packet_events = 0;
+  for (const FaultEvent& ev : plan.events) {
+    if (ev.kind == FaultKind::kWriteFail ||
+        ev.kind == FaultKind::kWriteTimeout) {
+      continue;
+    }
+    ++packet_events;
+    auto hits = plan.packet_events(ev.flow_bucket, ev.packet_index);
+    bool found = false;
+    for (const FaultEvent* h : hits) found |= *h == ev;
+    EXPECT_TRUE(found) << ev.to_string();
+  }
+  EXPECT_GT(packet_events, 0u);
+  EXPECT_TRUE(plan.packet_events(FaultPlan::kFlowBuckets + 1, 0).empty());
+}
+
+TEST(FaultInjector, BudgetThenPass) {
+  FaultPlan plan;
+  FaultEvent ev;
+  ev.kind = FaultKind::kWriteFail;
+  ev.op_index = 3;
+  ev.count = 2;
+  plan.events.push_back(ev);
+
+  sim::FaultInjector injector(plan);
+  injector.on_write(0);  // unscheduled op: no throw
+  EXPECT_THROW(injector.on_write(3), sim::TransientWriteError);
+  EXPECT_THROW(injector.on_write(3), sim::TransientWriteError);
+  injector.on_write(3);  // budget exhausted: passes
+  EXPECT_EQ(injector.faults_fired(), 2u);
+
+  injector.reset();  // re-armed for the next transaction
+  EXPECT_THROW(injector.on_write(3), sim::TransientWriteError);
+}
+
+TEST(InvariantChecker, AttributedDropIsClean) {
+  sim::SwitchOutput out;
+  out.set_drop(sim::DropCode::kIngressDrop, "dropped in ingress pipe 0");
+  EXPECT_EQ(sim::ChaosTarget::check_output(out).total(), 0u);
+}
+
+TEST(InvariantChecker, UnattributedDropCounts) {
+  sim::SwitchOutput out;
+  out.dropped = true;  // no code set
+  const auto v = sim::ChaosTarget::check_output(out);
+  EXPECT_EQ(v.unattributed_drops, 1u);
+  EXPECT_EQ(v.total(), 1u);
+}
+
+TEST(InvariantChecker, ForwardingLoopCounts) {
+  sim::SwitchOutput out;
+  out.set_drop(sim::DropCode::kMaxPassesExceeded, "loop");
+  const auto v = sim::ChaosTarget::check_output(out);
+  EXPECT_EQ(v.forwarding_loops, 1u);
+  EXPECT_EQ(v.unattributed_drops, 0u);
+}
+
+TEST(InvariantChecker, MetadataLeakCounts) {
+  net::Packet p = net::Packet::make({});
+  sfc::SfcHeader hdr;
+  hdr.service_path_id = 1;
+  sfc::push_sfc(p, hdr);
+
+  sim::SwitchOutput out;
+  out.out.push_back({1, std::move(p)});
+  EXPECT_EQ(sim::ChaosTarget::check_output(out).metadata_leaks, 1u);
+}
+
+TEST(InvariantChecker, StaleChecksumCounts) {
+  net::Packet p = net::Packet::make({});
+  ASSERT_TRUE(p.ipv4().has_value());
+  // Flip a checksum bit in the raw bytes (set_ipv4 would recompute it).
+  auto bytes = p.data().mutable_slice(p.ipv4_offset(0) + 10, 2);
+  bytes[0] ^= std::byte{0x1};
+
+  sim::SwitchOutput out;
+  out.out.push_back({1, std::move(p)});
+  EXPECT_EQ(sim::ChaosTarget::check_output(out).corrupt_packets, 1u);
+
+  sim::SwitchOutput clean;
+  clean.out.push_back({1, net::Packet::make({})});
+  EXPECT_EQ(sim::ChaosTarget::check_output(clean).corrupt_packets, 0u);
+}
+
+}  // namespace
+}  // namespace dejavu

@@ -1,0 +1,213 @@
+// Self-healing chain repair: gate-counter health detection pinpoints a
+// dead NF, and both repair strategies (bypass on the same placement,
+// re-placement rebuild) restore delivery — gated on the verifier and
+// the symbolic explorer, committed transactionally.
+#include <gtest/gtest.h>
+
+#include "compile/report.hpp"
+#include "control/repair.hpp"
+#include "control/replay_target.hpp"
+#include "control/snapshot.hpp"
+#include "merge/compose.hpp"
+#include "merge/framework.hpp"
+#include "route/routing.hpp"
+
+namespace dejavu::control {
+namespace {
+
+/// Remove the NF's check-gate entries and every branching entry that
+/// steered toward it — the observable signature of a dead pipelet.
+void sabotage(Deployment& dep, const std::string& nf) {
+  sim::DataPlane& dp = dep.dataplane();
+  for (const route::CheckRule& cr : dep.routing().checks) {
+    if (cr.nf != nf) continue;
+    for (sim::RuntimeTable* t :
+         dp.tables_named(merge::check_next_nf_table(cr.nf))) {
+      t->remove_exact({cr.path_id, cr.service_index, 0, 0});
+    }
+  }
+  for (const route::BranchingRule& br : dep.routing().branching) {
+    auto next = dep.policies().nf_at(br.path_id, br.service_index);
+    if (!next || *next != nf) continue;
+    sim::RuntimeTable* t = dp.table_in(
+        merge::pipelet_control_name(br.pipelet), merge::kBranchingTable);
+    if (t != nullptr) t->remove_exact({br.path_id, br.service_index});
+  }
+}
+
+/// One observation window: one packet per flow through the control
+/// plane (punts serviced), tallied per path.
+std::map<std::uint16_t, PathWindow> window(
+    Deployment& dep, const std::vector<sim::ReplayFlow>& flows) {
+  std::map<std::uint16_t, PathWindow> out;
+  for (const sim::ReplayFlow& rf : flows) {
+    auto result = dep.control().inject(rf.flow.packet(), rf.in_port);
+    PathWindow& w = out[rf.path_id];
+    ++w.offered;
+    if (result.delivered()) ++w.delivered;
+    if (result.dropped) ++w.dropped;
+  }
+  return out;
+}
+
+double delivery(const std::map<std::uint16_t, PathWindow>& windows) {
+  std::uint64_t offered = 0;
+  std::uint64_t delivered = 0;
+  for (const auto& [path_id, w] : windows) {
+    offered += w.offered;
+    delivered += w.delivered;
+  }
+  return offered > 0 ? static_cast<double>(delivered) / offered : 1.0;
+}
+
+TEST(HealthMonitor, PinpointsTheSilentGate) {
+  auto fx = make_fig9_deployment();
+  auto flows = fig2_replay_flows(30);
+  window(*fx.deployment, flows);  // warm LB sessions
+
+  sabotage(*fx.deployment, sfc::kVgw);
+  HealthMonitor monitor(fx.deployment->dataplane(),
+                        fx.deployment->policies());
+  monitor.observe(window(*fx.deployment, flows));
+  EXPECT_TRUE(monitor.unhealthy().empty());  // debounced: 1 < sustained 2
+  monitor.observe(window(*fx.deployment, flows));
+  EXPECT_EQ(monitor.unhealthy(), std::vector<std::string>{sfc::kVgw});
+
+  // The culprit is the VGW specifically: downstream NFs also went
+  // silent on the suffering paths, but only the first silent gate
+  // after a firing upstream is blamed.
+  const auto& health = monitor.health();
+  EXPECT_FALSE(health.at(sfc::kFirewall).unhealthy);
+  EXPECT_FALSE(health.at(sfc::kLoadBalancer).unhealthy);
+
+  monitor.reset();
+  monitor.observe(window(*fx.deployment, flows));
+  EXPECT_TRUE(monitor.unhealthy().empty());  // suspicion forgotten
+}
+
+TEST(HealthMonitor, HealthyDeploymentStaysQuiet) {
+  auto fx = make_fig9_deployment();
+  auto flows = fig2_replay_flows(30);
+  window(*fx.deployment, flows);
+  HealthMonitor monitor(fx.deployment->dataplane(),
+                        fx.deployment->policies());
+  for (int i = 0; i < 4; ++i) {
+    monitor.observe(window(*fx.deployment, flows));
+  }
+  EXPECT_TRUE(monitor.unhealthy().empty());
+}
+
+TEST(ChainRepair, BypassRestoresDelivery) {
+  auto fx = make_fig9_deployment();
+  auto flows = fig2_replay_flows(30);
+  window(*fx.deployment, flows);
+  const double before = delivery(window(*fx.deployment, flows));
+  EXPECT_GE(before, 0.95);
+
+  sabotage(*fx.deployment, sfc::kVgw);
+  const double faulted = delivery(window(*fx.deployment, flows));
+  EXPECT_LT(faulted, before);  // paths 1 and 2 are down
+
+  ChainRepair repair(*fx.deployment);
+  const RepairReport report = repair.bypass(sfc::kVgw);
+  EXPECT_TRUE(report.succeeded) << report.to_string();
+  EXPECT_TRUE(report.verify_ok);
+  EXPECT_TRUE(report.explore_ok);
+  EXPECT_TRUE(report.txn.committed);
+  EXPECT_GT(report.rules_installed, 0u);
+
+  // The deployment's policy view dropped the NF...
+  for (const auto& p : fx.deployment->policies().policies()) {
+    for (const auto& nf : p.nfs) EXPECT_NE(nf, sfc::kVgw);
+  }
+  // ...and traffic flows again (LB re-learns sessions for the now
+  // untranslated destinations via punts).
+  const double repaired = delivery(window(*fx.deployment, flows));
+  EXPECT_GE(repaired, 0.95 * before);
+}
+
+TEST(ChainRepair, BypassRefusals) {
+  auto fx = make_fig9_deployment();
+  RepairPolicy policy;
+  policy.never_bypass = {sfc::kFirewall};
+  ChainRepair repair(*fx.deployment, policy);
+
+  const RepairReport fw = repair.bypass(sfc::kFirewall);
+  EXPECT_FALSE(fw.attempted);
+  EXPECT_NE(fw.error.find("forbids"), std::string::npos);
+
+  const RepairReport router = repair.bypass(sfc::kRouter);
+  EXPECT_FALSE(router.attempted);
+  EXPECT_NE(router.error.find("terminal"), std::string::npos);
+
+  const RepairReport ghost = repair.bypass("Ghost");
+  EXPECT_FALSE(ghost.attempted);
+  EXPECT_NE(ghost.error.find("not part of any chain"), std::string::npos);
+}
+
+TEST(ChainRepair, BypassRollsBackOnPermanentWriteFailure) {
+  auto fx = make_fig9_deployment();
+  auto flows = fig2_replay_flows(30);
+  window(*fx.deployment, flows);
+  sabotage(*fx.deployment, sfc::kVgw);
+  const std::string before =
+      take_snapshot(fx.deployment->dataplane()).to_text();
+  const auto policies_before = fx.deployment->policies().policies();
+
+  sim::FaultPlan plan;
+  sim::FaultEvent ev;
+  ev.kind = sim::FaultKind::kWriteFail;
+  ev.op_index = 0;
+  ev.count = 100;  // > any retry budget: permanent
+  plan.events.push_back(ev);
+  sim::FaultInjector injector(plan);
+
+  ChainRepair repair(*fx.deployment);
+  const RepairReport report = repair.bypass(sfc::kVgw, &injector);
+  EXPECT_FALSE(report.succeeded);
+  EXPECT_TRUE(report.txn.rolled_back);
+  EXPECT_NE(report.error.find("rolled back"), std::string::npos);
+
+  // Live switch untouched, policy view unchanged.
+  EXPECT_EQ(take_snapshot(fx.deployment->dataplane()).to_text(), before);
+  EXPECT_EQ(fx.deployment->policies().policies(), policies_before);
+}
+
+TEST(ChainRepair, ReplaceRebuildsAndMigratesState) {
+  auto fx = make_fig9_deployment();
+  auto flows = fig2_replay_flows(30);
+  window(*fx.deployment, flows);
+  sabotage(*fx.deployment, sfc::kVgw);
+
+  ChainRepair repair(*fx.deployment);
+  ChainRepair::Replacement repl = repair.replace(sfc::kVgw);
+  ASSERT_TRUE(repl.report.succeeded) << repl.report.to_string();
+  ASSERT_NE(repl.deployment, nullptr);
+  EXPECT_TRUE(repl.report.explore_ok);
+
+  // The rebuilt program no longer contains the failed NF...
+  EXPECT_TRUE(repl.deployment->dataplane()
+                  .tables_named("VGW.vip_map")
+                  .empty());
+  // ...but the survivors' rule state came across.
+  EXPECT_FALSE(repl.deployment->dataplane()
+                   .tables_named("Router.ipv4_lpm")
+                   .empty());
+
+  // Cut over (LB pool is soft state) and confirm delivery.
+  repl.deployment->control().set_lb_pool(fx.deployment->control().lb_pool());
+  const double repaired = delivery(window(*repl.deployment, flows));
+  EXPECT_GE(repaired, 0.95);
+}
+
+TEST(NfStateSnapshot, ExcludesFrameworkTables) {
+  auto fx = make_fig9_deployment();
+  const Snapshot snap = nf_state_snapshot(fx.deployment->dataplane());
+  EXPECT_FALSE(snap.tables.empty());
+  for (const auto& t : snap.tables) {
+    EXPECT_FALSE(compile::is_framework_table(t.table)) << t.table;
+  }
+}
+
+}  // namespace
+}  // namespace dejavu::control

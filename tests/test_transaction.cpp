@@ -1,0 +1,251 @@
+// Transactional rule updates: all-or-nothing semantics against the
+// behavioral data plane. The critical property (ISSUE: acceptance) is
+// that a mid-transaction write failure leaves the switch byte-identical
+// to its pre-transaction snapshot — registers included.
+#include <gtest/gtest.h>
+
+#include "control/deployment.hpp"
+#include "control/snapshot.hpp"
+#include "control/transaction.hpp"
+#include "merge/compose.hpp"
+#include "nf/nfs.hpp"
+#include "sim/fault.hpp"
+
+namespace dejavu::control {
+namespace {
+
+sim::FaultPlan write_fail_plan(std::uint32_t op_index, std::uint32_t count) {
+  sim::FaultPlan plan;
+  sim::FaultEvent ev;
+  ev.kind = sim::FaultKind::kWriteFail;
+  ev.op_index = op_index;
+  ev.count = count;
+  plan.events.push_back(ev);
+  return plan;
+}
+
+/// Classifier -> Limiter -> Router: the smallest deployment with a
+/// register array (the Limiter's flow_count), for register rollback.
+std::unique_ptr<Deployment> make_stateful_deployment() {
+  p4ir::TupleIdTable ids;
+  std::vector<p4ir::Program> nfs;
+  nfs.push_back(nf::make_classifier(ids));
+  nfs.push_back(nf::make_rate_limiter(ids, 100));
+  nfs.push_back(nf::make_router(ids));
+  sfc::PolicySet policies;
+  policies.add({.path_id = 1,
+                .name = "limited",
+                .nfs = {sfc::kClassifier, "Limiter", sfc::kRouter},
+                .weight = 1.0,
+                .in_port = 0,
+                .exit_port = 1,
+                .terminal_pops_sfc = true});
+  asic::SwitchConfig config(asic::TargetSpec::tofino32());
+  return Deployment::build(std::move(nfs), policies, std::move(config),
+                           std::move(ids));
+}
+
+TEST(RetryPolicy, BackoffIsDeterministicAndBounded) {
+  const RetryPolicy p;
+  for (std::uint32_t retry = 1; retry <= 8; ++retry) {
+    const std::uint32_t ms = p.backoff_ms(retry);
+    EXPECT_EQ(ms, p.backoff_ms(retry)) << "retry " << retry;
+    // base * mult^(retry-1) clamped to max_ms, then +/- 20% jitter.
+    EXPECT_LE(ms, static_cast<std::uint32_t>(p.max_ms * (1.0 + p.jitter)));
+    EXPECT_GE(ms, 1u);
+  }
+  // Exponential until the clamp.
+  EXPECT_LT(p.backoff_ms(1), p.backoff_ms(3));
+
+  RetryPolicy reseeded = p;
+  reseeded.seed = 0xfeed;
+  bool any_differs = false;
+  for (std::uint32_t retry = 1; retry <= 8; ++retry) {
+    any_differs |= reseeded.backoff_ms(retry) != p.backoff_ms(retry);
+  }
+  EXPECT_TRUE(any_differs);
+}
+
+TEST(Transaction, CommitsBatch) {
+  auto fx = make_fig9_deployment();
+  sim::DataPlane& dp = fx.deployment->dataplane();
+
+  Transaction txn(dp);
+  txn.install_exact("LB.lb_session", {0x4242},
+                    {"LB.modify_dstIp", {{"dip", 0x0a010201}}});
+  txn.install_lpm("Router.ipv4_lpm", net::Ipv4Addr(10, 77, 0, 0).value(), 16,
+                  {"Router.route", {{"port", 1}, {"dmac", 0x42}}});
+  const auto result = txn.commit();
+  EXPECT_TRUE(result.committed) << result.to_string();
+  EXPECT_EQ(result.applied, 2u);
+  EXPECT_EQ(result.attempts, 2u);
+  EXPECT_EQ(result.retries, 0u);
+  ASSERT_EQ(dp.tables_named("LB.lb_session").size(), 1u);
+  EXPECT_NE(dp.tables_named("LB.lb_session")[0]->find_exact({0x4242}),
+            nullptr);
+}
+
+TEST(Transaction, IsSingleUse) {
+  auto fx = make_fig9_deployment();
+  Transaction txn(fx.deployment->dataplane());
+  txn.commit();
+  EXPECT_THROW(txn.commit(), std::logic_error);
+}
+
+TEST(Transaction, ValidationRejectsWithoutTouchingTheSwitch) {
+  auto fx = make_fig9_deployment();
+  sim::DataPlane& dp = fx.deployment->dataplane();
+  const std::string before = take_snapshot(dp).to_text();
+
+  {  // unknown table
+    Transaction txn(dp);
+    txn.install_exact("LB.lb_session", {1},
+                      {"LB.modify_dstIp", {{"dip", 1}}});
+    txn.install_exact("Ghost.table", {1}, {"Ghost.act", {}});
+    const auto r = txn.commit();
+    EXPECT_FALSE(r.committed);
+    EXPECT_NE(r.error.find("does not exist"), std::string::npos);
+    EXPECT_EQ(r.applied, 0u);
+  }
+  {  // key arity mismatch
+    Transaction txn(dp);
+    txn.install_exact("LB.lb_session", {1, 2},
+                      {"LB.modify_dstIp", {{"dip", 1}}});
+    const auto r = txn.commit();
+    EXPECT_FALSE(r.committed);
+    EXPECT_NE(r.error.find("arity"), std::string::npos);
+  }
+  {  // removing a phantom entry
+    Transaction txn(dp);
+    txn.remove_exact("LB.lb_session", {0xdead});
+    const auto r = txn.commit();
+    EXPECT_FALSE(r.committed);
+    EXPECT_NE(r.error.find("not installed"), std::string::npos);
+  }
+  {  // exact install into a ternary table
+    Transaction txn(dp);
+    txn.install_exact("Classifier.traffic_class", {1, 2, 3},
+                      {"Classifier.classify", {}});
+    const auto r = txn.commit();
+    EXPECT_FALSE(r.committed);
+  }
+  EXPECT_EQ(take_snapshot(dp).to_text(), before);
+}
+
+TEST(Transaction, CapacityCheckCoversTheWholeBatch) {
+  auto fx = make_fig9_deployment();
+  sim::DataPlane& dp = fx.deployment->dataplane();
+  auto tables = dp.tables_named("LB.lb_session");
+  ASSERT_EQ(tables.size(), 1u);
+  const auto capacity = tables[0]->def().max_entries;
+  for (std::uint64_t i = 0; i < capacity; ++i) {
+    tables[0]->add_exact({i}, {"LB.modify_dstIp", {{"dip", 1}}});
+  }
+
+  // A brand-new key cannot fit...
+  Transaction full(dp);
+  full.install_exact("LB.lb_session", {capacity + 7},
+                     {"LB.modify_dstIp", {{"dip", 2}}});
+  const auto rejected = full.commit();
+  EXPECT_FALSE(rejected.committed);
+  EXPECT_NE(rejected.error.find("cannot fit"), std::string::npos);
+
+  // ...but overwriting an existing key consumes no new capacity.
+  Transaction overwrite(dp);
+  overwrite.install_exact("LB.lb_session", {0},
+                          {"LB.modify_dstIp", {{"dip", 9}}});
+  EXPECT_TRUE(overwrite.commit().committed);
+}
+
+TEST(Transaction, TransientFaultsRetryUnderBackoff) {
+  auto fx = make_fig9_deployment();
+  const sim::FaultPlan plan = write_fail_plan(/*op_index=*/0, /*count=*/2);
+  sim::FaultInjector injector(plan);
+
+  Transaction txn(fx.deployment->dataplane(), RetryPolicy{}, &injector);
+  txn.install_exact("LB.lb_session", {0x77},
+                    {"LB.modify_dstIp", {{"dip", 3}}});
+  const auto result = txn.commit();
+  EXPECT_TRUE(result.committed) << result.to_string();
+  EXPECT_EQ(result.retries, 2u);
+  EXPECT_EQ(result.attempts, 3u);
+  EXPECT_GT(result.total_backoff_ms, 0u);
+}
+
+TEST(Transaction, ExhaustedRetriesRollBackByteIdentical) {
+  auto fx = make_fig9_deployment();
+  sim::DataPlane& dp = fx.deployment->dataplane();
+  // Pre-existing state the transaction will overwrite and remove: the
+  // rollback must restore both.
+  fx.deployment->control().install_lb_session(0x42,
+                                              net::Ipv4Addr(10, 1, 2, 1));
+  fx.deployment->control().install_lb_session(0x43,
+                                              net::Ipv4Addr(10, 1, 2, 2));
+  const std::string before = take_snapshot(dp).to_text();
+
+  const sim::FaultPlan plan = write_fail_plan(/*op_index=*/3, /*count=*/10);
+  sim::FaultInjector injector(plan);
+  Transaction txn(dp, RetryPolicy{}, &injector);
+  txn.install_exact("LB.lb_session", {0x42},  // overwrite
+                    {"LB.modify_dstIp", {{"dip", 0xbad}}});
+  txn.remove_exact("LB.lb_session", {0x43});  // removal
+  txn.install_lpm("Router.ipv4_lpm", net::Ipv4Addr(10, 99, 0, 0).value(), 16,
+                  {"Router.route", {{"port", 1}, {"dmac", 0x99}}});
+  txn.install_exact("LB.lb_session", {0x55},  // never applied: op 3 fails
+                    {"LB.modify_dstIp", {{"dip", 4}}});
+  const auto result = txn.commit();
+  EXPECT_FALSE(result.committed);
+  EXPECT_TRUE(result.rolled_back);
+  EXPECT_EQ(result.applied, 3u);
+  EXPECT_NE(result.error.find("retries exhausted"), std::string::npos);
+
+  EXPECT_EQ(take_snapshot(dp).to_text(), before);
+}
+
+TEST(Transaction, RegisterWritesRollBackToo) {
+  auto d = make_stateful_deployment();
+  sim::DataPlane& dp = d->dataplane();
+  auto loc = d->placement().find("Limiter");
+  ASSERT_TRUE(loc.has_value());
+  const std::string ctrl = merge::pipelet_control_name(loc->pipelet);
+  auto* cells = dp.register_array(ctrl, "Limiter.flow_count");
+  ASSERT_NE(cells, nullptr);
+  (*cells)[5] = 1111;  // live state the rollback must restore
+  const std::string before = take_snapshot(dp).to_text();
+
+  const sim::FaultPlan plan = write_fail_plan(/*op_index=*/2, /*count=*/10);
+  sim::FaultInjector injector(plan);
+  Transaction txn(dp, RetryPolicy{}, &injector);
+  txn.write_register(ctrl, "Limiter.flow_count", 5, 2222);
+  txn.install_lpm("Router.ipv4_lpm", net::Ipv4Addr(10, 88, 0, 0).value(), 16,
+                  {"Router.route", {{"port", 1}, {"dmac", 0x88}}});
+  txn.install_ternary("Classifier.traffic_class", {{0, 0}, {0, 0}, {0, 0}},
+                      /*priority=*/1, {"Classifier.classify",
+                                       {{"path_id", 1}, {"tenant", 1}}});
+  const auto result = txn.commit();
+  EXPECT_FALSE(result.committed);
+  EXPECT_TRUE(result.rolled_back);
+  EXPECT_EQ(result.applied, 2u);
+
+  EXPECT_EQ((*cells)[5], 1111u);
+  EXPECT_EQ(take_snapshot(dp).to_text(), before);
+}
+
+TEST(Transaction, RegisterValidation) {
+  auto d = make_stateful_deployment();
+  auto loc = d->placement().find("Limiter");
+  ASSERT_TRUE(loc.has_value());
+  const std::string ctrl = merge::pipelet_control_name(loc->pipelet);
+
+  Transaction bad_name(d->dataplane());
+  bad_name.write_register(ctrl, "Limiter.ghost", 0, 1);
+  EXPECT_NE(bad_name.commit().error.find("no such register"),
+            std::string::npos);
+
+  Transaction bad_index(d->dataplane());
+  bad_index.write_register(ctrl, "Limiter.flow_count", 1u << 20, 1);
+  EXPECT_NE(bad_index.commit().error.find("out of range"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dejavu::control

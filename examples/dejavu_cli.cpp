@@ -17,6 +17,8 @@
 //   $ ./dejavu_cli chaos [--seed N] [--schedule NAME] [--workers N]
 //                        [--flows N] [--repair bypass|replace|none]
 //                        [--target fig2|fig9] [--json]
+//   $ ./dejavu_cli update [--nf NAME] [--kill none|shadow|flip|drain]
+//                         [--workers N] [--seed N] [--json]
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -424,11 +426,217 @@ int cmd_chaos(const std::vector<std::string>& args, bool fig9) {
   return result.ok() ? 0 : 1;
 }
 
+/// The bypass update used by `update`: the victim NF removed from
+/// every chain, rerouted on the same placement. Throws for NFs whose
+/// removal would not leave well-formed chains.
+route::RoutingPlan bypass_plan(control::Deployment& dep,
+                               const std::string& nf,
+                               sfc::PolicySet& reduced) {
+  if (nf != sfc::kVgw && nf != sfc::kLoadBalancer) {
+    throw std::invalid_argument(
+        "update drill bypasses a middle NF: --nf VGW|LB, got " + nf);
+  }
+  for (const sfc::ChainPolicy& p : dep.policies().policies()) {
+    sfc::ChainPolicy rp = p;
+    std::erase(rp.nfs, nf);
+    reduced.add(std::move(rp));
+  }
+  route::RoutingPlan plan = route::build_routing(
+      reduced, dep.placement(), dep.dataplane().config());
+  if (!plan.feasible) {
+    throw std::runtime_error("rerouted plan infeasible: " +
+                             plan.infeasible_reason);
+  }
+  return plan;
+}
+
+control::CrashPoint parse_kill(const std::string& kill) {
+  if (kill == "none") return control::CrashPoint::kNone;
+  if (kill == "shadow") return control::CrashPoint::kAfterShadow;
+  if (kill == "flip") return control::CrashPoint::kAfterFlip;
+  if (kill == "drain") return control::CrashPoint::kAfterDrain;
+  throw std::invalid_argument("--kill wants none|shadow|flip|drain, got " +
+                              kill);
+}
+
+int cmd_update(const std::vector<std::string>& args, bool fig9) {
+  std::string nf = sfc::kLoadBalancer;
+  std::string kill = "none";
+  std::uint32_t workers = 4;
+  std::uint32_t flows = 60;
+  std::uint32_t packets_per_flow = 8;
+  std::uint64_t seed = 1;
+  bool json = false;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= args.size()) {
+        throw std::invalid_argument(a + " needs a value");
+      }
+      return args[++i];
+    };
+    if (a == "--json") {
+      json = true;
+    } else if (a == "--nf") {
+      nf = value();
+    } else if (a == "--kill") {
+      kill = value();
+    } else if (a == "--workers") {
+      workers = static_cast<std::uint32_t>(std::atoi(value().c_str()));
+    } else if (a == "--flows") {
+      flows = static_cast<std::uint32_t>(std::atoi(value().c_str()));
+    } else if (a == "--packets") {
+      packets_per_flow =
+          static_cast<std::uint32_t>(std::atoi(value().c_str()));
+    } else if (a == "--seed") {
+      seed = std::strtoull(value().c_str(), nullptr, 10);
+    } else {
+      throw std::invalid_argument("unknown update option " + a);
+    }
+  }
+  const control::CrashPoint crash = parse_kill(kill);
+
+  // --- part 1: per-packet consistency under a concurrent update.
+  // The same flip fires mid-stream at 1 worker and at N workers; the
+  // merged counters (including packets-by-epoch) must be bit-identical
+  // and every packet must land in exactly one generation.
+  auto run_at = [&](std::uint32_t w, std::vector<std::string>& errors) {
+    errors.assign(w, "");
+    sim::ReplayEngine engine(control::fig2_replay_factory(fig9));
+    sim::ReplayConfig config;
+    config.workers = w;
+    config.packets_per_flow = packets_per_flow;
+    config.update = sim::ReplayConfig::ReplayUpdate{};
+    config.update->at_packet = packets_per_flow / 2;
+    config.update->apply = [&](sim::ReplayTarget& t, std::uint32_t worker) {
+      auto& dt = static_cast<control::DeploymentTarget&>(t);
+      control::Deployment& dep = *dt.fixture().deployment;
+      sfc::PolicySet reduced;
+      route::RoutingPlan plan = bypass_plan(dep, nf, reduced);
+      control::RuleDiff diff =
+          control::routing_rule_diff(dep.routing(), plan, t.dataplane());
+      control::LiveUpdate update(t.dataplane());
+      control::UpdateReport rep = update.run(diff);
+      if (!rep.committed) errors[worker] = rep.error;
+    };
+    return engine.run(control::fig2_replay_flows(flows, seed), config);
+  };
+  std::vector<std::string> errors1, errorsN;
+  sim::ReplayReport r1 = run_at(1, errors1);
+  sim::ReplayReport rn = run_at(workers, errorsN);
+
+  std::string error;
+  for (const std::string& e : errors1) {
+    if (!e.empty()) error = "mid-stream update failed (1 worker): " + e;
+  }
+  for (const std::string& e : errorsN) {
+    if (!e.empty() && error.empty()) {
+      error = "mid-stream update failed (" + std::to_string(workers) +
+              " workers): " + e;
+    }
+  }
+  const bool identical = r1.counters == rn.counters;
+  std::uint64_t attributed = 0;
+  for (const auto& [epoch, n] : rn.counters.packets_by_epoch) {
+    attributed += n;
+  }
+  const bool all_attributed = attributed == rn.counters.packets;
+  const bool two_generations = rn.counters.packets_by_epoch.size() == 2;
+  double flip_mean = 0;
+  for (const sim::WorkerStats& w : rn.workers) flip_mean += w.update_seconds;
+  if (!rn.workers.empty()) flip_mean /= static_cast<double>(rn.workers.size());
+
+  // --- part 2: the kill drill. One live switch, journaled two-phase
+  // update, controller crash at --kill, journal-driven recovery; the
+  // final state must be byte-identical to a clean rollback or a clean
+  // commit (never a blend).
+  auto fx = fig9 ? control::make_fig9_deployment()
+                 : control::make_fig2_deployment();
+  control::Deployment& dep = *fx.deployment;
+  sim::DataPlane& dp = dep.dataplane();
+  sfc::PolicySet reduced;
+  route::RoutingPlan plan = bypass_plan(dep, nf, reduced);
+  control::RuleDiff diff = control::routing_rule_diff(dep.routing(), plan, dp);
+
+  control::Snapshot pre = control::take_snapshot(dp);
+  const std::string rollback_ref = pre.to_text();
+  sim::DataPlane scratch(dep.program(), dep.ids(), dp.config());
+  control::restore_snapshot(pre, scratch);
+  control::LiveUpdate clean(scratch);
+  control::UpdateReport clean_report = clean.run(diff);
+  if (!clean_report.committed && error.empty()) {
+    error = "clean reference update failed: " + clean_report.error;
+  }
+  const std::string committed_ref = control::take_snapshot(scratch).to_text();
+
+  control::Journal journal;
+  control::LiveUpdateOptions opts;
+  opts.crash_point = crash;
+  control::LiveUpdate update(dp, &journal, opts);
+  control::UpdateReport rep = update.run(diff);
+  control::RecoveryReport recovery;
+  if (rep.crashed) {
+    recovery = control::recover(dp, journal);
+  }
+  const std::string final_state = control::take_snapshot(dp).to_text();
+  const bool landed =
+      rep.committed ||
+      recovery.action == control::RecoveryAction::kRolledForward;
+  const std::string outcome = rep.committed        ? "committed"
+                              : landed             ? "recovered-forward"
+                                                   : "rolled-back";
+  const bool consistent =
+      landed ? final_state == committed_ref : final_state == rollback_ref;
+
+  const bool ok = error.empty() && identical && all_attributed &&
+                  two_generations && consistent;
+  if (json) {
+    std::string by_epoch;
+    for (const auto& [epoch, n] : rn.counters.packets_by_epoch) {
+      if (!by_epoch.empty()) by_epoch += ", ";
+      by_epoch +=
+          "\"" + std::to_string(epoch) + "\": " + std::to_string(n);
+    }
+    std::printf(
+        "{\n  \"ok\": %s,\n  \"nf\": \"%s\",\n  \"kill\": \"%s\",\n"
+        "  \"workers\": %u,\n  \"seed\": %llu,\n"
+        "  \"replay\": {\"identical\": %s, \"packets\": %llu, "
+        "\"packets_by_epoch\": {%s}, \"flip_seconds_mean\": %.6f},\n"
+        "  \"drill\": {\"outcome\": \"%s\", \"consistent\": %s},\n"
+        "  \"error\": \"%s\"\n}\n",
+        ok ? "true" : "false", nf.c_str(), kill.c_str(), workers,
+        static_cast<unsigned long long>(seed), identical ? "true" : "false",
+        static_cast<unsigned long long>(rn.counters.packets),
+        by_epoch.c_str(), flip_mean, outcome.c_str(),
+        consistent ? "true" : "false", error.c_str());
+  } else {
+    std::printf("update drill: bypass %s, kill %s, %u flows x %u packets\n",
+                nf.c_str(), kill.c_str(), flows, packets_per_flow);
+    std::printf(
+        "  replay: 1 vs %u workers: counters %s; %llu packets, "
+        "%zu generation(s)\n",
+        workers, identical ? "bit-identical" : "DIVERGED",
+        static_cast<unsigned long long>(rn.counters.packets),
+        rn.counters.packets_by_epoch.size());
+    for (const auto& [epoch, n] : rn.counters.packets_by_epoch) {
+      std::printf("    epoch %u: %llu packets\n", epoch,
+                  static_cast<unsigned long long>(n));
+    }
+    std::printf("  flip latency: %.1f us mean per worker\n", flip_mean * 1e6);
+    std::printf("  kill drill: %s -> %s (%s)\n", kill.c_str(),
+                outcome.c_str(),
+                consistent ? "state consistent" : "STATE INCONSISTENT");
+    if (!error.empty()) std::printf("  error: %s\n", error.c_str());
+    std::printf("%s\n", ok ? "OK" : "FAILED");
+  }
+  return ok ? 0 : 1;
+}
+
 void usage() {
   std::fprintf(stderr,
                "usage: dejavu_cli "
                "<plan|resources|throughput|send|replay|p4info|lint|explore|"
-               "chaos> [args] [--fig9]\n"
+               "chaos|update> [args] [--fig9]\n"
                "  plan                     placement + traversals\n"
                "  resources                Table-1 style report\n"
                "  throughput <gbps>        predicted per-chain delivery\n"
@@ -457,6 +665,14 @@ void usage() {
                "drill; exits 1\n"
                "                           on invariant violation or failed "
                "repair\n"
+               "  update [--nf VGW|LB] [--kill none|shadow|flip|drain]\n"
+               "         [--workers N] [--flows N] [--packets N] [--seed N]"
+               " [--json]\n"
+               "                           hitless live-update drill: "
+               "mid-stream flip\n"
+               "                           consistency + crash recovery; "
+               "exits 1 on any\n"
+               "                           inconsistency\n"
                "  --fig9                   use the paper's prototype "
                "placement\n");
 }
@@ -487,6 +703,14 @@ int main(int argc, char** argv) {
       return cmd_chaos(args, fig9);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "chaos: %s\n", e.what());
+      return 2;
+    }
+  }
+  if (args[0] == "update") {
+    try {
+      return cmd_update(args, fig9);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "update: %s\n", e.what());
       return 2;
     }
   }

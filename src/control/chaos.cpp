@@ -5,8 +5,10 @@
 #include <stdexcept>
 
 #include "control/replay_target.hpp"
+#include "control/snapshot.hpp"
 #include "merge/compose.hpp"
 #include "merge/framework.hpp"
+#include "route/routing.hpp"
 
 namespace dejavu::control {
 
@@ -182,6 +184,99 @@ void run_drill(ChaosResult& r, const ChaosOptions& options) {
   }
 }
 
+/// Phase 3: drive a bypass diff through the two-phase live update with
+/// the plan's write-lane faults injected and a seed-chosen controller
+/// crash inside the update window, then recover from the journal. The
+/// consistency oracle is byte-identity of Snapshot::to_text: the final
+/// switch state must equal either the pre-update snapshot (rolled
+/// back) or the same update applied cleanly on a scratch switch
+/// (committed / rolled forward) — a blend of the two generations is a
+/// drill failure even if every individual write succeeded.
+void run_update_drill(ChaosResult& r, const ChaosOptions& options) {
+  ChaosResult::UpdateDrill& d = r.update_drill;
+  d.run = true;
+
+  std::mt19937_64 rng(options.seed ^ 0x11f70c8a7ULL);
+  d.victim_nf = (rng() & 1) != 0 ? sfc::kLoadBalancer : sfc::kVgw;
+  static constexpr const char* kCrashNames[] = {"none", "shadow", "flip",
+                                                "drain"};
+  static constexpr CrashPoint kCrashPoints[] = {
+      CrashPoint::kNone, CrashPoint::kAfterShadow, CrashPoint::kAfterFlip,
+      CrashPoint::kAfterDrain};
+  const std::size_t crash = rng() % 4;
+  d.crash_point = kCrashNames[crash];
+
+  Fig2Deployment fx =
+      options.fig9 ? make_fig9_deployment() : make_fig2_deployment();
+  Deployment* dep = fx.deployment.get();
+  sim::DataPlane& dp = dep->dataplane();
+
+  // The update under test: route around the victim (a middle NF, so
+  // the reduced chains stay well-formed).
+  sfc::PolicySet reduced;
+  for (const sfc::ChainPolicy& p : dep->policies().policies()) {
+    sfc::ChainPolicy rp = p;
+    std::erase(rp.nfs, d.victim_nf);
+    reduced.add(std::move(rp));
+  }
+  route::RoutingPlan plan =
+      route::build_routing(reduced, dep->placement(), dp.config());
+  if (!plan.feasible) {
+    r.error = "update drill: rerouted plan infeasible: " +
+              plan.infeasible_reason;
+    return;
+  }
+  RuleDiff diff = routing_rule_diff(dep->routing(), plan, dp);
+
+  // References for the oracle, before anything touches the live switch.
+  Snapshot pre = take_snapshot(dp);
+  const std::string rollback_ref = pre.to_text();
+  sim::DataPlane scratch(dep->program(), dep->ids(), dp.config());
+  restore_snapshot(pre, scratch);
+  LiveUpdate clean(scratch);
+  UpdateReport clean_report = clean.run(diff);
+  if (!clean_report.committed) {
+    r.error = "update drill: clean reference update failed: " +
+              clean_report.error;
+    return;
+  }
+  const std::string committed_ref = take_snapshot(scratch).to_text();
+
+  // The faulted run: write-lane faults from the chaos plan, crash
+  // point from the seed, every phase journaled.
+  Journal journal;
+  LiveUpdateOptions opts;
+  opts.crash_point = kCrashPoints[crash];
+  opts.retry.max_attempts = 6;
+  opts.retry.seed = options.seed;
+  LiveUpdate update(dp, &journal, opts);
+  sim::FaultInjector injector(r.plan);
+  d.update = update.run(diff, &injector);
+
+  if (d.update.crashed) {
+    LiveUpdateOptions recover_opts = opts;
+    recover_opts.crash_point = CrashPoint::kNone;
+    d.recovery = recover(dp, journal, recover_opts);
+  }
+
+  const std::string final_state = take_snapshot(dp).to_text();
+  const bool landed =
+      d.update.committed ||
+      (d.update.crashed && d.recovery.action == RecoveryAction::kRolledForward);
+  if (landed) {
+    d.outcome = d.update.committed ? "committed" : "recovered-forward";
+    d.consistent = final_state == committed_ref;
+  } else {
+    d.outcome = "rolled-back";
+    d.consistent = final_state == rollback_ref;
+  }
+  if (!d.consistent) {
+    r.error = "update drill: post-" + d.outcome +
+              " switch state matches neither the rollback nor the "
+              "committed reference (mixed generations)";
+  }
+}
+
 }  // namespace
 
 ChaosResult run_chaos(const ChaosOptions& options) {
@@ -208,6 +303,9 @@ ChaosResult run_chaos(const ChaosOptions& options) {
 
   // Phase 2: the sabotage -> detect -> repair -> recover drill.
   if (options.repair != "none") run_drill(r, options);
+
+  // Phase 3: crash-inside-the-update-window drill.
+  if (r.error.empty() && options.update_drill) run_update_drill(r, options);
   return r;
 }
 
@@ -215,6 +313,7 @@ bool ChaosResult::ok() const {
   if (!error.empty()) return false;
   if (violations.total() != 0) return false;
   if (drill_run && !repair_report.succeeded) return false;
+  if (update_drill.run && !update_drill.consistent) return false;
   return true;
 }
 
@@ -243,6 +342,16 @@ std::string ChaosResult::to_string() const {
          std::to_string(delivery_faulted) + " (faulted) -> " +
          std::to_string(delivery_recovered) + " (repaired)\n";
     s += "    " + repair_report.to_string() + "\n";
+  }
+  if (update_drill.run) {
+    s += "  update drill: bypass " + update_drill.victim_nf + ", crash " +
+         update_drill.crash_point + " -> " + update_drill.outcome +
+         (update_drill.consistent ? " (consistent)" : " (INCONSISTENT)") +
+         "\n";
+    s += "    " + update_drill.update.to_string() + "\n";
+    if (update_drill.update.crashed) {
+      s += "    " + update_drill.recovery.to_string() + "\n";
+    }
   }
   if (!error.empty()) s += "  error: " + error + "\n";
   s += ok() ? "  OK\n" : "  FAILED\n";
@@ -321,6 +430,17 @@ std::string ChaosResult::to_json() const {
          ", \"delivery_faulted\": " + std::to_string(delivery_faulted) +
          ", \"delivery_recovered\": " + std::to_string(delivery_recovered) +
          "}";
+  } else {
+    s += "null";
+  }
+  s += ",\n";
+  s += "  \"update_drill\": ";
+  if (update_drill.run) {
+    s += "{\"victim\": \"" + json_escape(update_drill.victim_nf) +
+         "\", \"crash\": \"" + json_escape(update_drill.crash_point) +
+         "\", \"outcome\": \"" + json_escape(update_drill.outcome) +
+         "\", \"consistent\": " +
+         std::string(update_drill.consistent ? "true" : "false") + "}";
   } else {
     s += "null";
   }

@@ -33,6 +33,10 @@ struct ChaosOptions {
   bool fig9 = true;
   /// Repair drill strategy: bypass | replace | none.
   std::string repair = "bypass";
+  /// Run the live-update drill (phase 3): a two-phase hitless update
+  /// with write-lane faults and a seed-chosen controller crash inside
+  /// the update window, followed by journal-driven recovery.
+  bool update_drill = true;
 };
 
 /// The profile behind a named schedule; throws std::invalid_argument
@@ -57,6 +61,22 @@ struct ChaosResult {
   double delivery_faulted = 0.0;
   double delivery_recovered = 0.0;
   RepairReport repair_report;
+
+  // --- phase 3: live-update drill (crash inside the update window) ---
+  struct UpdateDrill {
+    bool run = false;
+    std::string victim_nf;    ///< NF whose bypass diff drives the update
+    std::string crash_point;  ///< none | shadow | flip | drain (seed-chosen)
+    UpdateReport update;
+    RecoveryReport recovery;
+    /// The post-recovery switch state is byte-identical
+    /// (Snapshot::to_text) to the pre-update snapshot (rolled back) or
+    /// to the same update applied cleanly on a scratch switch
+    /// (completed) — never a mixed-generation blend.
+    bool consistent = false;
+    std::string outcome;  ///< committed | recovered-forward | rolled-back
+  };
+  UpdateDrill update_drill;
 
   std::string error;
 

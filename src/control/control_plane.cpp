@@ -198,8 +198,11 @@ std::size_t ControlPlane::service_punts(sim::SwitchOutput& out, int depth) {
 
       const std::uint16_t entry_port = reinjection_port(
           header->service_path_id, *nf, header->meta.in_port);
+      // Reinject under the punt's original epoch stamp: the packet
+      // finishes on the chain generation it started on, even if a live
+      // update flipped the version gate while it sat with the CPU.
       sim::SwitchOutput re = dp_->process(std::move(punt.packet), entry_port,
-                                          /*from_cpu=*/true);
+                                          /*from_cpu=*/true, punt.epoch);
       ++handled;
       // Service only the reinjection's own punts (bounded), then fold
       // everything into the original output. Punts this pass chose

@@ -1,0 +1,579 @@
+#include "control/live_update.hpp"
+
+#include <map>
+#include <set>
+#include <tuple>
+#include <utility>
+
+#include "merge/compose.hpp"
+#include "merge/framework.hpp"
+
+namespace dejavu::control {
+
+std::string UpdateReport::to_string() const {
+  std::string s = "update " + std::to_string(from_epoch) + "->" +
+                  std::to_string(to_epoch) + ": ";
+  if (committed) {
+    s += "committed";
+  } else if (crashed) {
+    s += "CRASHED mid-flight";
+  } else {
+    s += rolled_back ? "rolled back" : "refused";
+  }
+  s += " (drained " + std::to_string(drained) + ", flushed " +
+       std::to_string(flushed) + ")";
+  if (!error.empty()) s += " error: " + error;
+  return s;
+}
+
+std::string RecoveryReport::to_string() const {
+  std::string s = "recovery: ";
+  switch (action) {
+    case RecoveryAction::kNone:
+      return s + "no pending update";
+    case RecoveryAction::kRolledBack:
+      s += "rolled back";
+      break;
+    case RecoveryAction::kRolledForward:
+      s += "rolled forward";
+      break;
+  }
+  s += " update " + std::to_string(update_id) + " (" +
+       std::to_string(from_epoch) + "->" + std::to_string(to_epoch) + ")";
+  if (!detail.empty()) s += ": " + detail;
+  return s;
+}
+
+namespace {
+
+int rank(JournalState state) { return static_cast<int>(state); }
+
+std::vector<sim::RuntimeTable*> resolve_op(sim::DataPlane& dp,
+                                           const RuleOp& op) {
+  if (!op.control.empty()) {
+    sim::RuntimeTable* t = dp.table_in(op.control, op.table);
+    if (t == nullptr) return {};
+    return {t};
+  }
+  return dp.tables_named(op.table);
+}
+
+/// Dedup identity of a ternary op (TernaryField is not ordered).
+std::string ternary_id(const RuleOp& op) {
+  std::string s = op.table + "|" + std::to_string(op.priority);
+  for (const auto& f : op.tkey) {
+    s += "|" + std::to_string(f.value) + "/" + std::to_string(f.mask);
+  }
+  return s;
+}
+
+/// The open-window ternary version matching key+priority, if any.
+std::optional<std::size_t> ternary_version(const sim::RuntimeTable& rt,
+                                           const RuleOp& op,
+                                           sim::EpochWindow window) {
+  for (const auto& e : rt.ternary_entries()) {
+    if (e.priority != op.priority || e.key != op.tkey) continue;
+    if (rt.ternary_window(e.handle) == window) return e.handle;
+  }
+  return std::nullopt;
+}
+
+/// Does the live switch already hold the complete shadow of `diff`?
+/// Installs must be visible at `to` with the intended action; leaving
+/// entries must have no version still open for generation `from`.
+bool shadow_observed(sim::DataPlane& dp, const RuleDiff& diff,
+                     std::uint32_t from, std::uint32_t to) {
+  for (const RuleOp& op : diff.ops) {
+    if (op.kind == RuleOp::Kind::kRegister) continue;
+    auto tables = resolve_op(dp, op);
+    if (tables.empty()) return false;
+    for (sim::RuntimeTable* rt : tables) {
+      if (op.kind == RuleOp::Kind::kExact) {
+        if (op.install) {
+          const auto* e = rt->find_exact(op.key, to);
+          if (e == nullptr || !(e->action == op.action)) return false;
+        } else if (const auto* versions = rt->exact_versions(op.key)) {
+          for (const auto& v : *versions) {
+            if (v.window.open() && v.window.from <= from) return false;
+          }
+        }
+      } else {
+        if (op.install) {
+          bool seen = false;
+          for (const auto& e : rt->ternary_entries()) {
+            if (e.priority == op.priority && e.key == op.tkey &&
+                rt->ternary_window(e.handle).contains(to) &&
+                e.value == op.action) {
+              seen = true;
+            }
+          }
+          if (!seen) return false;
+        } else if (auto h = rt->find_ternary(op.tkey, op.priority)) {
+          if (rt->ternary_window(*h).from <= from) return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+/// Flip-time register writes grouped per bank, applied bank by bank
+/// with the bank tag set last — the unit crash recovery reasons about.
+void apply_register_banks(sim::DataPlane& dp, const RuleDiff& diff,
+                          std::uint32_t to, bool only_untagged) {
+  std::map<std::pair<std::string, std::string>, std::vector<const RuleOp*>>
+      banks;
+  for (const RuleOp& op : diff.ops) {
+    if (op.kind != RuleOp::Kind::kRegister) continue;
+    banks[{op.control, op.reg}].push_back(&op);
+  }
+  for (const auto& [bank, ops] : banks) {
+    if (only_untagged && dp.register_epoch(bank.first, bank.second) == to) {
+      continue;  // this bank's writes already landed before the crash
+    }
+    auto* cells = dp.register_array(bank.first, bank.second);
+    if (cells == nullptr) continue;
+    for (const RuleOp* op : ops) {
+      if (op->index < cells->size()) (*cells)[op->index] = op->value;
+    }
+    dp.set_register_epoch(bank.first, bank.second, to);
+  }
+}
+
+/// Drain generation `from`: pump the control plane until no punt
+/// stamped below `to` is outstanding, then force-flush stragglers.
+std::pair<std::uint64_t, std::uint64_t> drain(sim::DataPlane& dp,
+                                              std::uint32_t to,
+                                              std::uint32_t max_rounds,
+                                              const DrainPump& pump) {
+  std::uint64_t pumped = 0;
+  std::uint32_t rounds = 0;
+  while (pump && dp.punts_outstanding_below(to) > 0 && rounds < max_rounds) {
+    pumped += pump();
+    ++rounds;
+  }
+  const std::uint64_t flushed = dp.flush_stale_punts(to - 1);
+  return {pumped, flushed};
+}
+
+}  // namespace
+
+LiveUpdate::LiveUpdate(sim::DataPlane& dp, Journal* journal,
+                       LiveUpdateOptions options)
+    : dp_(&dp), journal_(journal), options_(options) {}
+
+UpdateReport LiveUpdate::run(const RuleDiff& diff, sim::FaultInjector* injector,
+                             DrainPump pump) {
+  UpdateReport report;
+  report.from_epoch = dp_->epoch();
+  report.to_epoch = report.from_epoch + 1;
+  const std::uint32_t from = report.from_epoch;
+  const std::uint32_t to = report.to_epoch;
+
+  if (diff.empty()) {
+    report.error = "refusing an empty update diff";
+    return report;
+  }
+
+  // Capture pre-update register state into the journaled intent, so a
+  // post-crash rollback can restore it from the journal alone.
+  RuleDiff intent = diff;
+  std::string invalid;
+  for (RuleOp& op : intent.ops) {
+    if (op.kind == RuleOp::Kind::kRegister) {
+      auto* cells = dp_->register_array(op.control, op.reg);
+      if (cells == nullptr) {
+        invalid = "unknown register " + op.control + "." + op.reg;
+      } else if (op.index >= cells->size()) {
+        invalid = "register " + op.reg + " index " +
+                  std::to_string(op.index) + " out of range";
+      } else {
+        op.old_value = (*cells)[op.index];
+        op.old_bank_epoch = dp_->register_epoch(op.control, op.reg);
+      }
+    } else if (op.kind == RuleOp::Kind::kTernary && !op.control.empty()) {
+      invalid = "control-scoped ternary ops are not supported";
+    }
+  }
+
+  if (journal_ != nullptr) {
+    report.update_id = journal_->begin(from, to, intent);
+  }
+  auto mark = [&](JournalState state, std::string note = "") {
+    if (journal_ != nullptr) {
+      journal_->append(report.update_id, state, std::move(note));
+    }
+  };
+
+  if (!invalid.empty()) {
+    report.error = invalid;
+    mark(JournalState::kAborted, invalid);
+    return report;
+  }
+
+  // ---- Phase 1: shadow-install generation `to`. Retires are queued
+  // before installs: a shadow window [to, open] overlaps the live
+  // [x, open] version until the old one is capped at `from`.
+  Transaction txn(*dp_, options_.retry, injector);
+  std::set<std::tuple<std::string, std::string, std::vector<std::uint64_t>>>
+      retiring_exact;
+  std::set<std::string> retiring_ternary;
+  for (const RuleOp& op : intent.ops) {
+    if (op.kind == RuleOp::Kind::kRegister || op.install) continue;
+    if (op.kind == RuleOp::Kind::kExact) {
+      if (op.control.empty()) {
+        txn.retire_exact(op.table, op.key, from);
+      } else {
+        txn.retire_exact_in(op.control, op.table, op.key, from);
+      }
+      retiring_exact.insert({op.control, op.table, op.key});
+    } else {
+      txn.retire_ternary(op.table, op.tkey, op.priority, from);
+      retiring_ternary.insert(ternary_id(op));
+    }
+  }
+  // An install whose key already has a live version is an overwrite:
+  // the old version retires (generation `from` keeps seeing it) and
+  // the new one rides in shadowed.
+  for (const RuleOp& op : intent.ops) {
+    if (op.kind == RuleOp::Kind::kRegister || !op.install) continue;
+    if (op.kind == RuleOp::Kind::kExact) {
+      if (retiring_exact.count({op.control, op.table, op.key}) > 0) continue;
+      bool live = false;
+      for (sim::RuntimeTable* rt : resolve_op(*dp_, op)) {
+        const auto* e = rt->find_exact(op.key);
+        live |= e != nullptr && e->window.from <= from;
+      }
+      if (!live) continue;
+      if (op.control.empty()) {
+        txn.retire_exact(op.table, op.key, from);
+      } else {
+        txn.retire_exact_in(op.control, op.table, op.key, from);
+      }
+      retiring_exact.insert({op.control, op.table, op.key});
+    } else {
+      if (retiring_ternary.count(ternary_id(op)) > 0) continue;
+      bool live = false;
+      for (sim::RuntimeTable* rt : resolve_op(*dp_, op)) {
+        auto h = rt->find_ternary(op.tkey, op.priority);
+        live |= h && rt->ternary_window(*h).from <= from;
+      }
+      if (!live) continue;
+      txn.retire_ternary(op.table, op.tkey, op.priority, from);
+      retiring_ternary.insert(ternary_id(op));
+    }
+  }
+  const sim::EpochWindow shadow_window{to, sim::kEpochOpen};
+  for (const RuleOp& op : intent.ops) {
+    if (op.kind == RuleOp::Kind::kRegister || !op.install) continue;
+    if (op.kind == RuleOp::Kind::kExact) {
+      if (op.control.empty()) {
+        txn.install_exact(op.table, op.key, op.action, shadow_window);
+      } else {
+        txn.install_exact_in(op.control, op.table, op.key, op.action,
+                             shadow_window);
+      }
+    } else {
+      txn.install_ternary(op.table, op.tkey, op.priority, op.action,
+                          shadow_window);
+    }
+  }
+  report.shadow = txn.commit();
+  if (!report.shadow.committed) {
+    report.rolled_back = report.shadow.rolled_back;
+    report.error = "shadow install failed: " + report.shadow.error;
+    mark(JournalState::kAborted, report.error);
+    return report;
+  }
+  mark(JournalState::kShadowed);
+  if (options_.crash_point == CrashPoint::kAfterShadow) {
+    report.crashed = true;
+    report.error = "controller crashed after the shadow phase";
+    return report;
+  }
+
+  // ---- Phase 2: flip the version gate. Register banks first (each
+  // tagged as it lands), then the single epoch register: from here on
+  // new arrivals are stamped `to` while packets stamped `from` keep
+  // resolving against their own generation.
+  apply_register_banks(*dp_, intent, to, /*only_untagged=*/false);
+  dp_->set_epoch(to);
+  mark(JournalState::kFlipped);
+  if (options_.crash_point == CrashPoint::kAfterFlip) {
+    report.crashed = true;
+    report.error = "controller crashed after the flip phase";
+    return report;
+  }
+
+  // ---- Phase 3: drain generation `from`.
+  auto [pumped, flushed] = drain(*dp_, to, options_.max_drain_rounds, pump);
+  report.drained = pumped;
+  report.flushed = flushed;
+  mark(JournalState::kDrained,
+       "pumped " + std::to_string(pumped) + " flushed " +
+           std::to_string(flushed));
+  if (options_.crash_point == CrashPoint::kAfterDrain) {
+    report.crashed = true;
+    report.error = "controller crashed after the drain phase";
+    return report;
+  }
+
+  // ---- Phase 4: garbage-collect generation `from`.
+  const std::size_t removed = dp_->gc_epochs(to);
+  mark(JournalState::kCommitted, "gc removed " + std::to_string(removed));
+  report.committed = true;
+  return report;
+}
+
+RecoveryReport recover(sim::DataPlane& dp, Journal& journal,
+                       LiveUpdateOptions options, DrainPump pump) {
+  RecoveryReport report;
+  auto pending = journal.pending();
+  if (!pending) return report;
+  report.update_id = pending->update_id;
+  report.from_epoch = pending->from_epoch;
+  report.to_epoch = pending->to_epoch;
+  const RuleDiff& diff = *pending->diff;
+  const std::uint32_t from = pending->from_epoch;
+  const std::uint32_t to = pending->to_epoch;
+
+  // Decide from the journal AND the observed switch state. The gate
+  // already moved, or the full shadow is visible on the switch: the
+  // writes landed, so the update rolls forward — adopt, never
+  // reinstall. Anything less rolls back.
+  const bool flipped = dp.epoch() >= to ||
+                       rank(pending->last_state) >= rank(JournalState::kFlipped);
+  const bool shadowed =
+      rank(pending->last_state) >= rank(JournalState::kShadowed) ||
+      shadow_observed(dp, diff, from, to);
+
+  if (flipped || shadowed) {
+    if (rank(pending->last_state) < rank(JournalState::kShadowed)) {
+      journal.append(pending->update_id, JournalState::kShadowed,
+                     "recovery: adopted shadow observed on the switch");
+    }
+    apply_register_banks(dp, diff, to, /*only_untagged=*/true);
+    if (dp.epoch() < to) dp.set_epoch(to);
+    if (rank(pending->last_state) < rank(JournalState::kFlipped)) {
+      journal.append(pending->update_id, JournalState::kFlipped, "recovery");
+    }
+    auto [pumped, flushed] = drain(dp, to, options.max_drain_rounds, pump);
+    report.drained = pumped;
+    report.flushed = flushed;
+    if (rank(pending->last_state) < rank(JournalState::kDrained)) {
+      journal.append(pending->update_id, JournalState::kDrained,
+                     "recovery: pumped " + std::to_string(pumped) +
+                         " flushed " + std::to_string(flushed));
+    }
+    const std::size_t removed = dp.gc_epochs(to);
+    journal.append(pending->update_id, JournalState::kCommitted,
+                   "recovery: gc removed " + std::to_string(removed));
+    report.action = RecoveryAction::kRolledForward;
+    report.detail = "resumed from " + std::string(to_string(pending->last_state));
+    return report;
+  }
+
+  // Roll back from the observed state only: remove whatever fraction
+  // of the shadow landed, re-open whatever was retired, restore
+  // register banks that were already tagged with the new generation.
+  const sim::EpochWindow shadow_window{to, sim::kEpochOpen};
+  for (const RuleOp& op : diff.ops) {
+    if (op.kind == RuleOp::Kind::kRegister || !op.install) continue;
+    for (sim::RuntimeTable* rt : resolve_op(dp, op)) {
+      if (op.kind == RuleOp::Kind::kExact) {
+        rt->remove_exact_version(op.key, shadow_window);
+      } else if (auto h = ternary_version(*rt, op, shadow_window)) {
+        rt->erase_ternary(*h);
+      }
+    }
+  }
+  for (const RuleOp& op : diff.ops) {
+    if (op.kind == RuleOp::Kind::kRegister) continue;
+    for (sim::RuntimeTable* rt : resolve_op(dp, op)) {
+      if (op.kind == RuleOp::Kind::kExact) {
+        rt->unretire_exact(op.key, from);
+      } else {
+        for (const auto& e : rt->ternary_entries()) {
+          if (e.priority == op.priority && e.key == op.tkey &&
+              rt->ternary_window(e.handle).to == from) {
+            rt->unretire_ternary(e.handle, from);
+          }
+        }
+      }
+    }
+  }
+  for (const RuleOp& op : diff.ops) {
+    if (op.kind != RuleOp::Kind::kRegister) continue;
+    if (dp.register_epoch(op.control, op.reg) != to) continue;
+    auto* cells = dp.register_array(op.control, op.reg);
+    if (cells != nullptr && op.index < cells->size()) {
+      (*cells)[op.index] = op.old_value;
+    }
+  }
+  for (const RuleOp& op : diff.ops) {
+    if (op.kind != RuleOp::Kind::kRegister) continue;
+    if (dp.register_epoch(op.control, op.reg) == to) {
+      dp.set_register_epoch(op.control, op.reg, op.old_bank_epoch);
+    }
+  }
+  if (dp.epoch() >= to) dp.set_epoch(from);
+  journal.append(pending->update_id, JournalState::kRolledBack,
+                 "recovery: shadow incomplete, undone from observed state");
+  report.action = RecoveryAction::kRolledBack;
+  report.detail = "shadow incomplete at crash";
+  return report;
+}
+
+RuleDiff routing_rule_diff(const route::RoutingPlan& from,
+                           const route::RoutingPlan& to, sim::DataPlane& dp) {
+  RuleDiff diff;
+  auto branching_action = [](const route::BranchingRule& rule) {
+    sim::ActionCall call;
+    if (rule.kind == route::BranchingRule::Kind::kResubmit) {
+      call.action = merge::kActRouteResubmit;
+    } else {
+      call.action = merge::kActRouteToEgress;
+      call.args["port"] = rule.port;
+    }
+    return call;
+  };
+
+  using BranchKey = std::tuple<std::string, std::uint16_t, std::uint8_t>;
+  std::map<BranchKey, sim::ActionCall> old_branch;
+  std::map<BranchKey, sim::ActionCall> new_branch;
+  for (const route::BranchingRule& r : from.branching) {
+    old_branch[{merge::pipelet_control_name(r.pipelet), r.path_id,
+                r.service_index}] = branching_action(r);
+  }
+  for (const route::BranchingRule& r : to.branching) {
+    new_branch[{merge::pipelet_control_name(r.pipelet), r.path_id,
+                r.service_index}] = branching_action(r);
+  }
+  for (const auto& entry : old_branch) {
+    const BranchKey& key = entry.first;
+    if (new_branch.count(key) == 0) {
+      RuleOp op;
+      op.install = false;
+      op.control = std::get<0>(key);
+      op.table = merge::kBranchingTable;
+      op.key = {std::get<1>(key), std::get<2>(key)};
+      diff.ops.push_back(std::move(op));
+    }
+  }
+  for (const auto& [key, action] : new_branch) {
+    auto it = old_branch.find(key);
+    if (it != old_branch.end() && it->second == action) {
+      // Both plans agree — but the fault being repaired may have
+      // evicted the live entry (that is often the sabotage itself), so
+      // only skip when the switch really holds the desired rule.
+      sim::RuntimeTable* t =
+          dp.table_in(std::get<0>(key), merge::kBranchingTable);
+      const sim::RuntimeTable::ExactEntry* live =
+          t != nullptr
+              ? t->find_exact({std::get<1>(key), std::get<2>(key)})
+              : nullptr;
+      if (live != nullptr && live->action == action) continue;
+    }
+    RuleOp op;
+    op.control = std::get<0>(key);
+    op.table = merge::kBranchingTable;
+    op.key = {std::get<1>(key), std::get<2>(key)};
+    op.action = action;
+    diff.ops.push_back(std::move(op));
+  }
+
+  // Check-gate entries: keyed {path, index, toCpu=0, drop=0} in the
+  // NF's check table. NFs without a check table (the entry NF) have
+  // no installable gate — skip, matching install_routing.
+  auto check_key = [](const route::CheckRule& r) {
+    return std::vector<std::uint64_t>{r.path_id, r.service_index, 0, 0};
+  };
+  auto has_gate = [&dp](const std::string& nf) {
+    return !dp.tables_named(merge::check_next_nf_table(nf)).empty();
+  };
+  std::set<std::tuple<std::string, std::uint16_t, std::uint8_t>> old_checks;
+  std::set<std::tuple<std::string, std::uint16_t, std::uint8_t>> new_checks;
+  for (const route::CheckRule& r : from.checks) {
+    old_checks.insert({r.nf, r.path_id, r.service_index});
+  }
+  for (const route::CheckRule& r : to.checks) {
+    new_checks.insert({r.nf, r.path_id, r.service_index});
+  }
+  for (const route::CheckRule& r : from.checks) {
+    if (new_checks.count({r.nf, r.path_id, r.service_index}) > 0) continue;
+    if (!has_gate(r.nf)) continue;
+    RuleOp op;
+    op.install = false;
+    op.table = merge::check_next_nf_table(r.nf);
+    op.key = check_key(r);
+    diff.ops.push_back(std::move(op));
+  }
+  for (const route::CheckRule& r : to.checks) {
+    if (old_checks.count({r.nf, r.path_id, r.service_index}) > 0) {
+      // Same live-existence caveat as branching entries above.
+      bool live_everywhere = true;
+      for (sim::RuntimeTable* t :
+           dp.tables_named(merge::check_next_nf_table(r.nf))) {
+        live_everywhere &= t->find_exact(check_key(r)) != nullptr;
+      }
+      if (live_everywhere) continue;
+    }
+    if (!has_gate(r.nf)) continue;
+    RuleOp op;
+    op.table = merge::check_next_nf_table(r.nf);
+    op.key = check_key(r);
+    op.action = sim::ActionCall{merge::check_hit_action(r.nf), {}};
+    diff.ops.push_back(std::move(op));
+  }
+
+  // Planned removals may already be gone from the live switch (the
+  // very fault being repaired can have evicted them); removing a
+  // phantom entry would fail the whole transaction, so drop those.
+  std::erase_if(diff.ops, [&dp](const RuleOp& op) {
+    if (op.install) return false;
+    if (!op.control.empty()) {
+      sim::RuntimeTable* t = dp.table_in(op.control, op.table);
+      return t == nullptr || t->find_exact(op.key) == nullptr;
+    }
+    for (sim::RuntimeTable* t : dp.tables_named(op.table)) {
+      if (t->find_exact(op.key) != nullptr) return false;
+    }
+    return true;
+  });
+  return diff;
+}
+
+void fill_transaction(Transaction& txn, const RuleDiff& diff) {
+  // Removals first: an overwrite-install of a key another rule is
+  // about to vacate must not race the capacity check.
+  for (const RuleOp& op : diff.ops) {
+    if (op.kind == RuleOp::Kind::kRegister || op.install) continue;
+    if (op.kind == RuleOp::Kind::kExact) {
+      if (op.control.empty()) {
+        txn.remove_exact(op.table, op.key);
+      } else {
+        txn.remove_exact_in(op.control, op.table, op.key);
+      }
+    } else {
+      txn.remove_ternary(op.table, op.tkey, op.priority);
+    }
+  }
+  for (const RuleOp& op : diff.ops) {
+    if (op.kind == RuleOp::Kind::kRegister || !op.install) continue;
+    if (op.kind == RuleOp::Kind::kExact) {
+      if (op.control.empty()) {
+        txn.install_exact(op.table, op.key, op.action);
+      } else {
+        txn.install_exact_in(op.control, op.table, op.key, op.action);
+      }
+    } else {
+      txn.install_ternary(op.table, op.tkey, op.priority, op.action);
+    }
+  }
+  for (const RuleOp& op : diff.ops) {
+    if (op.kind != RuleOp::Kind::kRegister) continue;
+    txn.write_register(op.control, op.reg, op.index, op.value);
+  }
+}
+
+}  // namespace dejavu::control

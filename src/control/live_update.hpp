@@ -1,0 +1,144 @@
+// Hitless live chain updates (§11): epoch-versioned two-phase
+// reconfiguration with per-packet consistency.
+//
+// LiveUpdate::run drives one update through the state machine:
+//
+//   begin ──► shadow ──► flip ──► drain ──► commit
+//     │          │         │        │
+//     └─ abort ◄─┘   (roll forward only once flipped)
+//
+//   * shadow — install generation e+1 next to generation e: every new
+//     entry gets window [e+1, open], every leaving entry is retired
+//     (window capped at e). One all-or-nothing Transaction; a failure
+//     rolls the switch back byte-identical and aborts the update.
+//   * flip — apply flip-time register writes bank by bank (tagging
+//     each bank with e+1), then move the single ingress version gate:
+//     dp.set_epoch(e+1). Packets stamped e keep resolving against
+//     generation e; new arrivals are stamped e+1.
+//   * drain — pump the control plane until no punt stamped e remains
+//     in flight, then force-flush stragglers.
+//   * commit — garbage-collect generation e (retired entries drop,
+//     min_live_epoch rises; late reinjections stamped e complete as
+//     DropCode::kUpdateDrained).
+//
+// Every phase is journaled (control::Journal) before the next begins,
+// so control::recover() can finish or undo a half-done update after a
+// controller crash — deciding from the *observed* switch state, never
+// reinstalling blindly.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "control/journal.hpp"
+#include "control/transaction.hpp"
+#include "route/routing.hpp"
+#include "sim/dataplane.hpp"
+#include "sim/fault.hpp"
+
+namespace dejavu::control {
+
+/// Deterministic controller-crash injection for recovery drills: run()
+/// stops dead after journaling the named phase, leaving the switch
+/// exactly as a real crash at that point would.
+enum class CrashPoint : std::uint8_t {
+  kNone,
+  kAfterShadow,
+  kAfterFlip,
+  kAfterDrain,
+};
+
+struct LiveUpdateOptions {
+  RetryPolicy retry;
+  /// Drain pump invocations before stale punts are force-flushed.
+  std::uint32_t max_drain_rounds = 8;
+  CrashPoint crash_point = CrashPoint::kNone;
+};
+
+/// Called during the drain phase to let the control plane service
+/// outstanding punts; returns how many punts it handled.
+using DrainPump = std::function<std::uint64_t()>;
+
+struct UpdateReport {
+  bool committed = false;
+  /// True when a CrashPoint stopped the update mid-flight (the switch
+  /// is left in that phase's state; recover() must finish the job).
+  bool crashed = false;
+  bool rolled_back = false;
+  std::uint32_t from_epoch = 0;
+  std::uint32_t to_epoch = 0;
+  std::uint64_t update_id = 0;
+  Transaction::Result shadow;
+  /// Punts serviced by the drain pump / force-flushed stale punts.
+  std::uint64_t drained = 0;
+  std::uint64_t flushed = 0;
+  std::string error;
+
+  std::string to_string() const;
+};
+
+/// What recover() did about the journal's pending update.
+enum class RecoveryAction : std::uint8_t {
+  kNone,          ///< no pending update
+  kRolledBack,    ///< shadow undone; switch back on the old generation
+  kRolledForward, ///< update completed from where it stopped
+};
+
+struct RecoveryReport {
+  RecoveryAction action = RecoveryAction::kNone;
+  std::uint64_t update_id = 0;
+  std::uint32_t from_epoch = 0;
+  std::uint32_t to_epoch = 0;
+  std::uint64_t drained = 0;
+  std::uint64_t flushed = 0;
+  std::string detail;
+
+  std::string to_string() const;
+};
+
+class LiveUpdate {
+ public:
+  /// `journal`, when given, receives the write-ahead intent and phase
+  /// markers; without one the update still runs (but cannot be
+  /// crash-recovered). `dp` must outlive the LiveUpdate.
+  explicit LiveUpdate(sim::DataPlane& dp, Journal* journal = nullptr,
+                      LiveUpdateOptions options = {});
+
+  /// Drive one diff through shadow → flip → drain → commit. `injector`
+  /// feeds the shadow transaction's write lane; `pump` services punts
+  /// during the drain phase.
+  UpdateReport run(const RuleDiff& diff, sim::FaultInjector* injector = nullptr,
+                   DrainPump pump = {});
+
+ private:
+  sim::DataPlane* dp_;
+  Journal* journal_;
+  LiveUpdateOptions options_;
+};
+
+/// Reconcile a restarted controller's journal against the live switch:
+/// finish (roll forward) or undo (roll back) the pending update based
+/// on the phase markers AND the observed switch state — a journal that
+/// says "begun" but a switch that already holds the full shadow means
+/// the crash hit after the writes landed, so the update is adopted,
+/// never reinstalled.
+RecoveryReport recover(sim::DataPlane& dp, Journal& journal,
+                       LiveUpdateOptions options = {}, DrainPump pump = {});
+
+/// The installable delta between two routing plans as a RuleDiff:
+/// branching + check-gate entries that leave, change, or join.
+/// Live-existence-aware (entries the fault already evicted are not
+/// phantom-removed; entries both plans agree on but that are missing
+/// from the switch are reinstalled).
+RuleDiff routing_rule_diff(const route::RoutingPlan& from,
+                           const route::RoutingPlan& to, sim::DataPlane& dp);
+
+/// Legacy stop-the-world application of a diff: removals as outright
+/// removes, installs as overwrites, register writes direct — no epochs
+/// involved. Used to stage candidate rulesets on scratch switches and
+/// by ChainRepair's non-hitless path.
+void fill_transaction(Transaction& txn, const RuleDiff& diff);
+
+}  // namespace dejavu::control

@@ -148,164 +148,9 @@ std::string ChainRepair::bypass_policies(const std::string& nf,
   return "";
 }
 
-namespace {
-
-/// One rule of the routing diff a bypass swaps in.
-struct DiffOp {
-  bool install = false;
-  std::string control;  // empty: every instance of `table`
-  std::string table;
-  std::vector<std::uint64_t> key;
-  sim::ActionCall action;
-};
-
-sim::ActionCall branching_action(const route::BranchingRule& rule) {
-  sim::ActionCall call;
-  if (rule.kind == route::BranchingRule::Kind::kResubmit) {
-    call.action = merge::kActRouteResubmit;
-  } else {
-    call.action = merge::kActRouteToEgress;
-    call.args["port"] = rule.port;
-  }
-  return call;
-}
-
-/// The installable delta between two routing plans: removals first,
-/// then installs/overwrites (an entry changing action is one install).
-std::vector<DiffOp> routing_diff(const route::RoutingPlan& from,
-                                 const route::RoutingPlan& to,
-                                 sim::DataPlane& dp) {
-  std::vector<DiffOp> diff;
-  using BranchKey = std::tuple<std::string, std::uint16_t, std::uint8_t>;
-  std::map<BranchKey, sim::ActionCall> old_branch;
-  std::map<BranchKey, sim::ActionCall> new_branch;
-  for (const route::BranchingRule& r : from.branching) {
-    old_branch[{merge::pipelet_control_name(r.pipelet), r.path_id,
-                r.service_index}] = branching_action(r);
-  }
-  for (const route::BranchingRule& r : to.branching) {
-    new_branch[{merge::pipelet_control_name(r.pipelet), r.path_id,
-                r.service_index}] = branching_action(r);
-  }
-  for (const auto& entry : old_branch) {
-    const BranchKey& key = entry.first;
-    if (new_branch.count(key) == 0) {
-      DiffOp op;
-      op.control = std::get<0>(key);
-      op.table = merge::kBranchingTable;
-      op.key = {std::get<1>(key), std::get<2>(key)};
-      diff.push_back(std::move(op));
-    }
-  }
-  for (const auto& [key, action] : new_branch) {
-    auto it = old_branch.find(key);
-    if (it != old_branch.end() && it->second == action) {
-      // Both plans agree — but the fault being repaired may have
-      // evicted the live entry (that is often the sabotage itself), so
-      // only skip when the switch really holds the desired rule.
-      sim::RuntimeTable* t =
-          dp.table_in(std::get<0>(key), merge::kBranchingTable);
-      const sim::RuntimeTable::ExactEntry* live =
-          t != nullptr
-              ? t->find_exact({std::get<1>(key), std::get<2>(key)})
-              : nullptr;
-      if (live != nullptr && live->action == action) continue;
-    }
-    DiffOp op;
-    op.install = true;
-    op.control = std::get<0>(key);
-    op.table = merge::kBranchingTable;
-    op.key = {std::get<1>(key), std::get<2>(key)};
-    op.action = action;
-    diff.push_back(std::move(op));
-  }
-
-  // Check-gate entries: keyed {path, index, toCpu=0, drop=0} in the
-  // NF's check table. NFs without a check table (the entry NF) have
-  // no installable gate — skip, matching install_routing.
-  auto check_key = [](const route::CheckRule& r) {
-    return std::vector<std::uint64_t>{r.path_id, r.service_index, 0, 0};
-  };
-  auto has_gate = [&dp](const std::string& nf) {
-    return !dp.tables_named(merge::check_next_nf_table(nf)).empty();
-  };
-  std::set<std::tuple<std::string, std::uint16_t, std::uint8_t>> old_checks;
-  std::set<std::tuple<std::string, std::uint16_t, std::uint8_t>> new_checks;
-  for (const route::CheckRule& r : from.checks) {
-    old_checks.insert({r.nf, r.path_id, r.service_index});
-  }
-  for (const route::CheckRule& r : to.checks) {
-    new_checks.insert({r.nf, r.path_id, r.service_index});
-  }
-  for (const route::CheckRule& r : from.checks) {
-    if (new_checks.count({r.nf, r.path_id, r.service_index}) > 0) continue;
-    if (!has_gate(r.nf)) continue;
-    DiffOp op;
-    op.table = merge::check_next_nf_table(r.nf);
-    op.key = check_key(r);
-    diff.push_back(std::move(op));
-  }
-  for (const route::CheckRule& r : to.checks) {
-    if (old_checks.count({r.nf, r.path_id, r.service_index}) > 0) {
-      // Same live-existence caveat as branching entries above.
-      bool live_everywhere = true;
-      for (sim::RuntimeTable* t :
-           dp.tables_named(merge::check_next_nf_table(r.nf))) {
-        live_everywhere &= t->find_exact(check_key(r)) != nullptr;
-      }
-      if (live_everywhere) continue;
-    }
-    if (!has_gate(r.nf)) continue;
-    DiffOp op;
-    op.install = true;
-    op.table = merge::check_next_nf_table(r.nf);
-    op.key = check_key(r);
-    op.action = sim::ActionCall{merge::check_hit_action(r.nf), {}};
-    diff.push_back(std::move(op));
-  }
-
-  // Planned removals may already be gone from the live switch (the
-  // very fault being repaired can have evicted them); removing a
-  // phantom entry would fail the whole transaction, so drop those.
-  std::erase_if(diff, [&dp](const DiffOp& op) {
-    if (op.install) return false;
-    if (!op.control.empty()) {
-      sim::RuntimeTable* t = dp.table_in(op.control, op.table);
-      return t == nullptr || t->find_exact(op.key) == nullptr;
-    }
-    for (sim::RuntimeTable* t : dp.tables_named(op.table)) {
-      if (t->find_exact(op.key) != nullptr) return false;
-    }
-    return true;
-  });
-  return diff;
-}
-
-void fill_transaction(Transaction& txn, const std::vector<DiffOp>& diff) {
-  // Removals first: an overwrite-install of a key another rule is
-  // about to vacate must not race the capacity check.
-  for (const DiffOp& op : diff) {
-    if (op.install) continue;
-    if (op.control.empty()) {
-      txn.remove_exact(op.table, op.key);
-    } else {
-      txn.remove_exact_in(op.control, op.table, op.key);
-    }
-  }
-  for (const DiffOp& op : diff) {
-    if (!op.install) continue;
-    if (op.control.empty()) {
-      txn.install_exact(op.table, op.key, op.action);
-    } else {
-      txn.install_exact_in(op.control, op.table, op.key, op.action);
-    }
-  }
-}
-
-}  // namespace
-
 RepairReport ChainRepair::bypass(const std::string& nf,
-                                 sim::FaultInjector* injector) {
+                                 sim::FaultInjector* injector,
+                                 DrainPump pump) {
   RepairReport report;
   report.nf = nf;
   report.strategy = "bypass";
@@ -322,11 +167,9 @@ RepairReport ChainRepair::bypass(const std::string& nf,
     return report;
   }
 
-  std::vector<DiffOp> diff =
-      routing_diff(deployment_->routing(), plan, live);
-  for (const DiffOp& op : diff) {
-    (op.install ? report.rules_installed : report.rules_removed) += 1;
-  }
+  RuleDiff diff = routing_rule_diff(deployment_->routing(), plan, live);
+  report.rules_installed = diff.installs();
+  report.rules_removed = diff.removals();
   report.attempted = true;
 
   if (policy_.run_gates) {
@@ -364,12 +207,30 @@ RepairReport ChainRepair::bypass(const std::string& nf,
     }
   }
 
-  Transaction txn(live, policy_.retry, injector);
-  fill_transaction(txn, diff);
-  report.txn = txn.commit();
-  if (!report.txn.committed) {
-    report.error = "commit failed (rolled back): " + report.txn.error;
-    return report;
+  if (policy_.hitless) {
+    // Two-phase hitless swap: in-flight packets (punted before the
+    // repair, reinjected after) finish on the pre-repair generation.
+    // The repair-wide retry budget governs the shadow transaction.
+    LiveUpdateOptions update_options = policy_.update;
+    update_options.retry = policy_.retry;
+    LiveUpdate update(live, policy_.journal, update_options);
+    report.update = update.run(diff, injector, std::move(pump));
+    report.txn = report.update.shadow;
+    if (!report.update.committed) {
+      report.error = report.update.rolled_back
+                         ? "hitless swap failed (rolled back): " +
+                               report.update.error
+                         : "hitless swap failed: " + report.update.error;
+      return report;
+    }
+  } else {
+    Transaction txn(live, policy_.retry, injector);
+    fill_transaction(txn, diff);
+    report.txn = txn.commit();
+    if (!report.txn.committed) {
+      report.error = "commit failed (rolled back): " + report.txn.error;
+      return report;
+    }
   }
   deployment_->apply_repair(std::move(reduced), std::move(plan));
   report.succeeded = true;
@@ -416,6 +277,19 @@ ChainRepair::Replacement ChainRepair::replace(const std::string& nf) {
     return r.name.rfind(prefix, 0) == 0;
   });
   restore_snapshot(snap, result.deployment->dataplane());
+
+  // Generation continuity: the rebuilt switch opens one epoch past the
+  // deployment it replaces, so any packet still carrying an old stamp
+  // at cutover drains instead of blending generations.
+  const std::uint32_t old_epoch = deployment_->dataplane().epoch();
+  result.deployment->dataplane().set_epoch(old_epoch + 1);
+  result.deployment->dataplane().set_min_live_epoch(old_epoch + 1);
+  if (policy_.journal != nullptr) {
+    const std::uint64_t id =
+        policy_.journal->begin(old_epoch, old_epoch + 1, RuleDiff{});
+    policy_.journal->append(id, JournalState::kCommitted,
+                            "replace " + nf + ": cutover to rebuilt deployment");
+  }
 
   if (policy_.run_gates) {
     const explore::ExploreResult& explored =

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "control/deployment.hpp"
+#include "control/live_update.hpp"
 #include "control/snapshot.hpp"
 #include "control/transaction.hpp"
 #include "explore/explorer.hpp"
@@ -107,6 +108,17 @@ struct RepairPolicy {
   /// path cheaply.
   bool run_gates = true;
   explore::ExploreOptions explore_options;
+  /// Swap the live diff in hitlessly through a LiveUpdate (§11):
+  /// packets in flight finish on the pre-repair generation. Off =
+  /// legacy stop-the-world Transaction, which can misroute a packet
+  /// that punted before the swap and reinjects after it
+  /// (tests/test_repair.cpp pins that failure mode).
+  bool hitless = true;
+  /// Write-ahead journal for the hitless swap (optional).
+  Journal* journal = nullptr;
+  /// Drain/crash knobs for the hitless swap. Its retry field is
+  /// ignored: `retry` above governs both commit paths.
+  LiveUpdateOptions update;
 };
 
 struct RepairReport {
@@ -120,6 +132,8 @@ struct RepairReport {
   bool verify_ok = false;
   bool explore_ok = false;
   Transaction::Result txn;
+  /// The hitless swap's phase report (policy.hitless only).
+  UpdateReport update;
 
   std::string to_string() const;
 };
@@ -133,8 +147,12 @@ class ChainRepair {
   /// diff through a Transaction (optionally fault-injected via
   /// `injector`). On success the deployment's policy/routing view is
   /// updated in place.
+  /// `pump`, under policy.hitless, services outstanding CPU punts
+  /// during the swap's drain phase (typically the owning control
+  /// plane's punt loop).
   RepairReport bypass(const std::string& nf,
-                      sim::FaultInjector* injector = nullptr);
+                      sim::FaultInjector* injector = nullptr,
+                      DrainPump pump = {});
 
   /// Repair by re-placement: drop `nf`, re-run the optimizer on the
   /// reduced chains, rebuild a fresh deployment (new composed program,

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <tuple>
 
 namespace dejavu::control {
 
@@ -12,15 +13,34 @@ std::size_t Snapshot::entry_count() const {
   return n;
 }
 
+namespace {
+
+/// " win=from..to" for non-default windows; nothing for [0, open], so
+/// snapshots of never-updated deployments keep their old byte layout.
+std::string window_suffix(sim::EpochWindow window) {
+  if (window.is_default()) return "";
+  std::string s = " win=" + std::to_string(window.from) + "..";
+  s += window.open() ? "open" : std::to_string(window.to);
+  return s;
+}
+
+}  // namespace
+
 std::string Snapshot::to_text() const {
   std::string out;
+  if (epoch != 0 || min_live_epoch != 0) {
+    out += "epoch " + std::to_string(epoch) + " min-live " +
+           std::to_string(min_live_epoch) + "\n";
+  }
   for (const TableState& t : tables) {
     if (t.exact.empty() && t.ternary.empty()) continue;
     out += "table " + t.control + " " + t.table + "\n";
-    // Stable ordering for diffability.
+    // Stable ordering for diffability (versions of one key ordered by
+    // window so shadow and retiring generations diff cleanly).
     auto exact = t.exact;
-    std::sort(exact.begin(), exact.end(),
-              [](const auto& a, const auto& b) { return a.key < b.key; });
+    std::sort(exact.begin(), exact.end(), [](const auto& a, const auto& b) {
+      return std::tie(a.key, a.window.from) < std::tie(b.key, b.window.from);
+    });
     for (const auto& e : exact) {
       out += "  exact";
       for (auto v : e.key) out += " " + std::to_string(v);
@@ -28,9 +48,11 @@ std::string Snapshot::to_text() const {
       for (const auto& [param, value] : e.action.args) {
         out += " " + param + "=" + std::to_string(value);
       }
+      out += window_suffix(e.window);
       out += "\n";
     }
-    for (const auto& e : t.ternary) {
+    for (std::size_t i = 0; i < t.ternary.size(); ++i) {
+      const auto& e = t.ternary[i];
       out += "  ternary";
       for (const auto& f : e.key) {
         out += " " + std::to_string(f.value) + "/" + std::to_string(f.mask);
@@ -40,12 +62,17 @@ std::string Snapshot::to_text() const {
       for (const auto& [param, value] : e.value.args) {
         out += " " + param + "=" + std::to_string(value);
       }
+      if (i < t.ternary_windows.size()) {
+        out += window_suffix(t.ternary_windows[i]);
+      }
       out += "\n";
     }
   }
   for (const RegisterState& r : registers) {
-    if (r.cells.empty()) continue;
-    out += "register " + r.control + " " + r.name + "\n";
+    if (r.cells.empty() && r.epoch == 0) continue;
+    out += "register " + r.control + " " + r.name;
+    if (r.epoch != 0) out += " epoch=" + std::to_string(r.epoch);
+    out += "\n";
     for (const auto& [index, value] : r.cells) {
       out += "  [" + std::to_string(index) + "] = " + std::to_string(value) +
              "\n";
@@ -56,6 +83,8 @@ std::string Snapshot::to_text() const {
 
 Snapshot take_snapshot(sim::DataPlane& dp) {
   Snapshot snap;
+  snap.epoch = dp.epoch();
+  snap.min_live_epoch = dp.min_live_epoch();
   for (const p4ir::ControlBlock& control : dp.program().controls()) {
     for (const p4ir::Table& t : control.tables()) {
       sim::RuntimeTable* rt = dp.table_in(control.name(), t.name);
@@ -65,6 +94,10 @@ Snapshot take_snapshot(sim::DataPlane& dp) {
       state.table = t.name;
       state.exact = rt->exact_entries();
       state.ternary = rt->ternary_entries();
+      state.ternary_windows.reserve(state.ternary.size());
+      for (const auto& e : state.ternary) {
+        state.ternary_windows.push_back(rt->ternary_window(e.handle));
+      }
       snap.tables.push_back(std::move(state));
     }
     for (const p4ir::RegisterDef& r : control.registers()) {
@@ -73,6 +106,7 @@ Snapshot take_snapshot(sim::DataPlane& dp) {
       Snapshot::RegisterState state;
       state.control = control.name();
       state.name = r.name;
+      state.epoch = dp.register_epoch(control.name(), r.name);
       for (std::uint64_t i = 0; i < cells->size(); ++i) {
         if ((*cells)[i] != 0) state.cells[i] = (*cells)[i];
       }
@@ -94,9 +128,13 @@ std::vector<std::string> restore_snapshot(const Snapshot& snapshot,
       continue;
     }
     rt->clear();
-    for (const auto& e : state.exact) rt->add_exact(e.key, e.action);
-    for (const auto& e : state.ternary) {
-      rt->add_ternary(e.key, e.priority, e.value);
+    for (const auto& e : state.exact) rt->add_exact(e.key, e.action, e.window);
+    for (std::size_t i = 0; i < state.ternary.size(); ++i) {
+      const auto& e = state.ternary[i];
+      const sim::EpochWindow window = i < state.ternary_windows.size()
+                                          ? state.ternary_windows[i]
+                                          : sim::EpochWindow{};
+      rt->add_ternary(e.key, e.priority, e.value, window);
     }
   }
   for (const Snapshot::RegisterState& state : snapshot.registers) {
@@ -107,6 +145,7 @@ std::vector<std::string> restore_snapshot(const Snapshot& snapshot,
       }
       continue;
     }
+    dp.set_register_epoch(state.control, state.name, state.epoch);
     std::fill(cells->begin(), cells->end(), 0);
     for (const auto& [index, value] : state.cells) {
       if (index >= cells->size()) {
@@ -117,6 +156,8 @@ std::vector<std::string> restore_snapshot(const Snapshot& snapshot,
       (*cells)[index] = value;
     }
   }
+  dp.set_epoch(snapshot.epoch);
+  dp.set_min_live_epoch(snapshot.min_live_epoch);
   return missing;
 }
 

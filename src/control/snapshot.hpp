@@ -22,16 +22,24 @@ struct Snapshot {
     std::string table;
     std::vector<sim::RuntimeTable::ExactEntry> exact;
     std::vector<net::Tcam<sim::ActionCall>::Entry> ternary;
+    /// Epoch window of each ternary entry, aligned with `ternary`
+    /// (windows live beside the TCAM, not in it).
+    std::vector<sim::EpochWindow> ternary_windows;
   };
   struct RegisterState {
     std::string control;
     std::string name;
     /// Sparse non-zero cells (index -> value).
     std::map<std::uint64_t, std::uint64_t> cells;
+    /// Generation tag of the bank (0 = never touched by an update).
+    std::uint32_t epoch = 0;
   };
 
   std::vector<TableState> tables;
   std::vector<RegisterState> registers;
+  /// The version gate and drain floor at capture time (§11).
+  std::uint32_t epoch = 0;
+  std::uint32_t min_live_epoch = 0;
 
   std::size_t entry_count() const;
   /// Human-readable dump (diffable, stable ordering).

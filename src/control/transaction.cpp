@@ -27,19 +27,22 @@ Transaction::Transaction(sim::DataPlane& dp, RetryPolicy retry,
 
 void Transaction::install_exact(std::string table,
                                 std::vector<std::uint64_t> key,
-                                sim::ActionCall action) {
+                                sim::ActionCall action,
+                                sim::EpochWindow window) {
   Op op;
   op.kind = OpKind::kInstallExact;
   op.table = std::move(table);
   op.exact_key = std::move(key);
   op.action = std::move(action);
+  op.window = window;
   ops_.push_back(std::move(op));
 }
 
 void Transaction::install_exact_in(std::string control, std::string table,
                                    std::vector<std::uint64_t> key,
-                                   sim::ActionCall action) {
-  install_exact(std::move(table), std::move(key), std::move(action));
+                                   sim::ActionCall action,
+                                   sim::EpochWindow window) {
+  install_exact(std::move(table), std::move(key), std::move(action), window);
   ops_.back().control = std::move(control);
 }
 
@@ -52,25 +55,28 @@ void Transaction::remove_exact_in(std::string control, std::string table,
 void Transaction::install_ternary(std::string table,
                                   std::vector<net::TernaryField> key,
                                   std::int32_t priority,
-                                  sim::ActionCall action) {
+                                  sim::ActionCall action,
+                                  sim::EpochWindow window) {
   Op op;
   op.kind = OpKind::kInstallTernary;
   op.table = std::move(table);
   op.ternary_key = std::move(key);
   op.priority = priority;
   op.action = std::move(action);
+  op.window = window;
   ops_.push_back(std::move(op));
 }
 
 void Transaction::install_lpm(std::string table, std::uint64_t value,
-                              std::uint8_t prefix_len,
-                              sim::ActionCall action) {
+                              std::uint8_t prefix_len, sim::ActionCall action,
+                              sim::EpochWindow window) {
   Op op;
   op.kind = OpKind::kInstallLpm;
   op.table = std::move(table);
   op.lpm_value = value;
   op.prefix_len = prefix_len;
   op.action = std::move(action);
+  op.window = window;
   ops_.push_back(std::move(op));
 }
 
@@ -91,6 +97,37 @@ void Transaction::remove_ternary(std::string table,
   op.table = std::move(table);
   op.ternary_key = std::move(key);
   op.priority = priority;
+  ops_.push_back(std::move(op));
+}
+
+void Transaction::retire_exact(std::string table,
+                               std::vector<std::uint64_t> key,
+                               std::uint32_t last_epoch) {
+  Op op;
+  op.kind = OpKind::kRetireExact;
+  op.table = std::move(table);
+  op.exact_key = std::move(key);
+  op.last_epoch = last_epoch;
+  ops_.push_back(std::move(op));
+}
+
+void Transaction::retire_exact_in(std::string control, std::string table,
+                                  std::vector<std::uint64_t> key,
+                                  std::uint32_t last_epoch) {
+  retire_exact(std::move(table), std::move(key), last_epoch);
+  ops_.back().control = std::move(control);
+}
+
+void Transaction::retire_ternary(std::string table,
+                                 std::vector<net::TernaryField> key,
+                                 std::int32_t priority,
+                                 std::uint32_t last_epoch) {
+  Op op;
+  op.kind = OpKind::kRetireTernary;
+  op.table = std::move(table);
+  op.ternary_key = std::move(key);
+  op.priority = priority;
+  op.last_epoch = last_epoch;
   ops_.push_back(std::move(op));
 }
 
@@ -124,6 +161,10 @@ std::string Transaction::Op::describe() const {
       return "remove_exact " + table;
     case OpKind::kRemoveTernary:
       return "remove_ternary " + table;
+    case OpKind::kRetireExact:
+      return "retire_exact " + table;
+    case OpKind::kRetireTernary:
+      return "retire_ternary " + table;
     case OpKind::kWriteRegister:
       return "write_register " + table + "." + reg;
   }
@@ -141,9 +182,34 @@ std::string Transaction::Result::to_string() const {
   return s;
 }
 
+namespace {
+
+/// Dedup identity for a ternary (key, priority) pair; TernaryField has
+/// no ordering, so the map key is a serialized string.
+std::string ternary_identity(const std::vector<net::TernaryField>& key,
+                             std::int32_t priority) {
+  std::string s = std::to_string(priority);
+  for (const auto& f : key) {
+    s += "|" + std::to_string(f.value) + "/" + std::to_string(f.mask);
+  }
+  return s;
+}
+
+}  // namespace
+
 std::string Transaction::validate() const {
   // Net installs queued per table instance, for the capacity check.
   std::map<const sim::RuntimeTable*, std::size_t> pending;
+  // Versions a retire queued *earlier in this batch* will cap at
+  // last_epoch. The install overlap checks below must judge against
+  // the post-retire window, or a retire-then-overwrite batch — the
+  // live update's shadow phase — is rejected against state the batch
+  // itself replaces.
+  std::map<std::pair<const sim::RuntimeTable*, std::vector<std::uint64_t>>,
+           std::uint32_t>
+      capped_exact;
+  std::map<std::pair<const sim::RuntimeTable*, std::string>, std::uint32_t>
+      capped_ternary;
   for (const Op& op : ops_) {
     if (op.kind == OpKind::kWriteRegister) {
       auto* arr = dp_->register_array(op.table, op.reg);
@@ -164,17 +230,58 @@ std::string Transaction::validate() const {
       const p4ir::Table& def = t->def();
       const bool tcam = def.needs_tcam();
       switch (op.kind) {
-        case OpKind::kInstallExact:
+        case OpKind::kInstallExact: {
           if (tcam) return op.describe() + ": table is ternary/LPM";
           if (op.exact_key.size() != def.keys.size()) {
             return op.describe() + ": key arity mismatch";
           }
-          if (t->find_exact(op.exact_key) == nullptr) ++pending[t];
+          if (!op.window.well_formed()) {
+            return op.describe() + ": malformed epoch window";
+          }
+          bool overwrite = false;
+          if (const auto* versions = t->exact_versions(op.exact_key)) {
+            const auto cap = capped_exact.find({t, op.exact_key});
+            for (const auto& v : *versions) {
+              sim::EpochWindow w = v.window;
+              if (w.open() && cap != capped_exact.end() &&
+                  w.from <= cap->second) {
+                w.to = cap->second;  // an earlier retire closes it
+              }
+              if (v.window == op.window) {
+                overwrite = true;
+              } else if (w.overlaps(op.window)) {
+                return op.describe() +
+                       ": epoch window overlaps an installed version (a "
+                       "packet could see two generations)";
+              }
+            }
+          }
+          if (!overwrite) ++pending[t];
           break;
+        }
         case OpKind::kInstallTernary:
           if (!tcam) return op.describe() + ": table is exact";
           if (op.ternary_key.size() != def.keys.size()) {
             return op.describe() + ": key arity mismatch";
+          }
+          if (!op.window.well_formed()) {
+            return op.describe() + ": malformed epoch window";
+          }
+          for (const auto& e : t->ternary_entries()) {
+            if (e.key != op.ternary_key || e.priority != op.priority) {
+              continue;
+            }
+            sim::EpochWindow w = t->ternary_window(e.handle);
+            const auto cap = capped_ternary.find(
+                {t, ternary_identity(op.ternary_key, op.priority)});
+            if (w.open() && cap != capped_ternary.end() &&
+                w.from <= cap->second) {
+              w.to = cap->second;  // an earlier retire closes it
+            }
+            if (w.overlaps(op.window)) {
+              return op.describe() +
+                     ": epoch window overlaps an installed entry";
+            }
           }
           ++pending[t];
           break;
@@ -204,6 +311,15 @@ std::string Transaction::validate() const {
         case OpKind::kRemoveTernary:
           if (!tcam) return op.describe() + ": table is exact";
           break;
+        case OpKind::kRetireExact:
+          if (tcam) return op.describe() + ": table is ternary/LPM";
+          if (op.exact_key.size() != def.keys.size()) {
+            return op.describe() + ": key arity mismatch";
+          }
+          break;
+        case OpKind::kRetireTernary:
+          if (!tcam) return op.describe() + ": table is exact";
+          break;
         case OpKind::kWriteRegister:
           break;
       }
@@ -227,6 +343,31 @@ std::string Transaction::validate() const {
         }
       }
       if (!found) return op.describe() + ": entry not installed";
+    }
+    // Retires must find a live (open-window) version old enough to cap
+    // at last_epoch in at least one instance.
+    if (op.kind == OpKind::kRetireExact) {
+      bool found = false;
+      for (sim::RuntimeTable* t : instances) {
+        const auto* live = t->find_exact(op.exact_key);
+        if (live != nullptr && live->window.from <= op.last_epoch) {
+          found = true;
+          capped_exact[{t, op.exact_key}] = op.last_epoch;
+        }
+      }
+      if (!found) return op.describe() + ": no live entry to retire";
+    }
+    if (op.kind == OpKind::kRetireTernary) {
+      bool found = false;
+      for (sim::RuntimeTable* t : instances) {
+        auto handle = t->find_ternary(op.ternary_key, op.priority);
+        if (handle && t->ternary_window(*handle).from <= op.last_epoch) {
+          found = true;
+          capped_ternary[{t, ternary_identity(op.ternary_key, op.priority)}] =
+              op.last_epoch;
+        }
+      }
+      if (!found) return op.describe() + ": no live entry to retire";
     }
   }
   // Capacity: every queued install must fit alongside what is already
@@ -262,13 +403,20 @@ void Transaction::apply(const Op& op, std::vector<UndoEntry>& undo) {
         UndoEntry u;
         u.target = t;
         u.exact_key = op.exact_key;
-        if (const auto* old = t->find_exact(op.exact_key)) {
+        u.window = op.window;
+        const sim::RuntimeTable::ExactEntry* old = nullptr;
+        if (const auto* versions = t->exact_versions(op.exact_key)) {
+          for (const auto& v : *versions) {
+            if (v.window == op.window) old = &v;
+          }
+        }
+        if (old != nullptr) {
           u.kind = UndoEntry::Kind::kReinstallExact;
           u.action = old->action;
         } else {
           u.kind = UndoEntry::Kind::kRemoveExact;
         }
-        t->add_exact(op.exact_key, op.action);
+        t->add_exact(op.exact_key, op.action, op.window);
         undo.push_back(std::move(u));
         break;
       }
@@ -276,7 +424,8 @@ void Transaction::apply(const Op& op, std::vector<UndoEntry>& undo) {
         UndoEntry u;
         u.kind = UndoEntry::Kind::kEraseTernary;
         u.target = t;
-        u.handle = t->add_ternary(op.ternary_key, op.priority, op.action);
+        u.handle =
+            t->add_ternary(op.ternary_key, op.priority, op.action, op.window);
         undo.push_back(std::move(u));
         break;
       }
@@ -284,7 +433,8 @@ void Transaction::apply(const Op& op, std::vector<UndoEntry>& undo) {
         UndoEntry u;
         u.kind = UndoEntry::Kind::kEraseTernary;
         u.target = t;
-        u.handle = t->add_lpm(op.lpm_value, op.prefix_len, op.action);
+        u.handle =
+            t->add_lpm(op.lpm_value, op.prefix_len, op.action, op.window);
         undo.push_back(std::move(u));
         break;
       }
@@ -296,6 +446,7 @@ void Transaction::apply(const Op& op, std::vector<UndoEntry>& undo) {
         u.target = t;
         u.exact_key = op.exact_key;
         u.action = old->action;
+        u.window = old->window;
         t->remove_exact(op.exact_key);
         undo.push_back(std::move(u));
         break;
@@ -309,11 +460,45 @@ void Transaction::apply(const Op& op, std::vector<UndoEntry>& undo) {
             u.ternary_key = e.key;
             u.priority = e.priority;
             u.action = e.value;
+            u.window = t->ternary_window(e.handle);
             t->erase_ternary(e.handle);
             undo.push_back(std::move(u));
             break;  // entries() invalidated; one match per instance
           }
         }
+        break;
+      }
+      case OpKind::kRetireExact: {
+        const auto* live = t->find_exact(op.exact_key);
+        if (live == nullptr || live->window.from > op.last_epoch) {
+          break;  // replica without a live version old enough
+        }
+        if (!t->retire_exact(op.exact_key, op.last_epoch)) {
+          throw std::invalid_argument("retire would malform the window");
+        }
+        UndoEntry u;
+        u.kind = UndoEntry::Kind::kUnretireExact;
+        u.target = t;
+        u.exact_key = op.exact_key;
+        u.last_epoch = op.last_epoch;
+        undo.push_back(std::move(u));
+        break;
+      }
+      case OpKind::kRetireTernary: {
+        auto handle = t->find_ternary(op.ternary_key, op.priority);
+        if (!handle ||
+            t->ternary_window(*handle).from > op.last_epoch) {
+          break;  // replica without a live version old enough
+        }
+        if (!t->retire_ternary(*handle, op.last_epoch)) {
+          throw std::invalid_argument("retire would malform the window");
+        }
+        UndoEntry u;
+        u.kind = UndoEntry::Kind::kUnretireTernary;
+        u.target = t;
+        u.handle = *handle;
+        u.last_epoch = op.last_epoch;
+        undo.push_back(std::move(u));
         break;
       }
       case OpKind::kWriteRegister:
@@ -326,16 +511,23 @@ void Transaction::rollback(std::vector<UndoEntry>& undo) {
   for (auto it = undo.rbegin(); it != undo.rend(); ++it) {
     switch (it->kind) {
       case UndoEntry::Kind::kRemoveExact:
-        it->target->remove_exact(it->exact_key);
+        it->target->remove_exact_version(it->exact_key, it->window);
         break;
       case UndoEntry::Kind::kReinstallExact:
-        it->target->add_exact(it->exact_key, it->action);
+        it->target->add_exact(it->exact_key, it->action, it->window);
         break;
       case UndoEntry::Kind::kEraseTernary:
         it->target->erase_ternary(it->handle);
         break;
       case UndoEntry::Kind::kReinstallTernary:
-        it->target->add_ternary(it->ternary_key, it->priority, it->action);
+        it->target->add_ternary(it->ternary_key, it->priority, it->action,
+                                it->window);
+        break;
+      case UndoEntry::Kind::kUnretireExact:
+        it->target->unretire_exact(it->exact_key, it->last_epoch);
+        break;
+      case UndoEntry::Kind::kUnretireTernary:
+        it->target->unretire_ternary(it->handle, it->last_epoch);
         break;
       case UndoEntry::Kind::kWriteRegister:
         (*it->reg_array)[it->reg_index] = it->reg_value;

@@ -58,25 +58,41 @@ class Transaction {
   explicit Transaction(sim::DataPlane& dp, RetryPolicy retry = {},
                        sim::FaultInjector* injector = nullptr);
 
+  /// Installs take an optional epoch window (default [0, open]): a
+  /// live update shadow-installs the next generation with window
+  /// [e+1, open] next to the retiring one (§11). Windows overlapping a
+  /// different installed version of the same key fail validation.
   void install_exact(std::string table, std::vector<std::uint64_t> key,
-                     sim::ActionCall action);
+                     sim::ActionCall action, sim::EpochWindow window = {});
   /// Control-scoped variants: address one pipelet's instance only
   /// (e.g. a specific ingress pipelet's branching table) instead of
   /// every instance of the name.
   void install_exact_in(std::string control, std::string table,
                         std::vector<std::uint64_t> key,
-                        sim::ActionCall action);
+                        sim::ActionCall action, sim::EpochWindow window = {});
   void remove_exact_in(std::string control, std::string table,
                        std::vector<std::uint64_t> key);
   void install_ternary(std::string table, std::vector<net::TernaryField> key,
-                       std::int32_t priority, sim::ActionCall action);
+                       std::int32_t priority, sim::ActionCall action,
+                       sim::EpochWindow window = {});
   void install_lpm(std::string table, std::uint64_t value,
-                   std::uint8_t prefix_len, sim::ActionCall action);
+                   std::uint8_t prefix_len, sim::ActionCall action,
+                   sim::EpochWindow window = {});
   void remove_exact(std::string table, std::vector<std::uint64_t> key);
   /// Removes the installed ternary entry matching (key, priority)
   /// exactly; validation fails when no such entry exists.
   void remove_ternary(std::string table, std::vector<net::TernaryField> key,
                       std::int32_t priority);
+  /// Cap the live version's window at `last_epoch` instead of removing
+  /// it — the retiring half of a two-phase update. Validation fails
+  /// when no live (open-window) version is installed.
+  void retire_exact(std::string table, std::vector<std::uint64_t> key,
+                    std::uint32_t last_epoch);
+  void retire_exact_in(std::string control, std::string table,
+                       std::vector<std::uint64_t> key,
+                       std::uint32_t last_epoch);
+  void retire_ternary(std::string table, std::vector<net::TernaryField> key,
+                      std::int32_t priority, std::uint32_t last_epoch);
   void write_register(std::string control, std::string reg,
                       std::uint64_t index, std::uint64_t value);
 
@@ -109,6 +125,8 @@ class Transaction {
     kInstallLpm,
     kRemoveExact,
     kRemoveTernary,
+    kRetireExact,
+    kRetireTernary,
     kWriteRegister,
   };
   struct Op {
@@ -124,15 +142,19 @@ class Transaction {
     std::uint64_t reg_index = 0;
     std::uint64_t reg_value = 0;
     sim::ActionCall action;
+    sim::EpochWindow window;        // installs
+    std::uint32_t last_epoch = 0;   // retires
 
     std::string describe() const;
   };
   struct UndoEntry {
     enum class Kind : std::uint8_t {
-      kRemoveExact,      // undo an exact install
+      kRemoveExact,      // undo an exact install (that exact version)
       kReinstallExact,   // undo an exact overwrite or removal
       kEraseTernary,     // undo a ternary/LPM install (by handle)
       kReinstallTernary, // undo a ternary removal
+      kUnretireExact,    // undo an exact retire (re-open the window)
+      kUnretireTernary,  // undo a ternary retire
       kWriteRegister,    // undo a register write
     };
     Kind kind;
@@ -145,6 +167,8 @@ class Transaction {
     std::vector<std::uint64_t>* reg_array = nullptr;
     std::uint64_t reg_index = 0;
     std::uint64_t reg_value = 0;
+    sim::EpochWindow window;
+    std::uint32_t last_epoch = 0;
   };
 
   /// All-or-nothing pre-flight; empty string == valid.

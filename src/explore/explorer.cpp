@@ -90,6 +90,10 @@ struct PathState {
   bool hit_pass_cap = false;  // DV-S1
   /// Service-index regressions observed on this path (old, new).
   std::vector<std::pair<std::uint64_t, std::uint64_t>> index_regressions;
+  /// Intersection of every consulted entry's epoch window (DV-S8
+  /// tripwire): empty intersection = the path mixed generations.
+  sim::EpochWindow consulted;
+  std::string mixed_epoch_table;
 };
 
 using Cont = std::function<void(PathState)>;
@@ -103,7 +107,8 @@ class Explorer {
         ids_(&dp.ids()),
         policies_(&policies),
         options_(options),
-        max_passes_(dp.max_passes()) {}
+        max_passes_(dp.max_passes()),
+        epoch_(options.epoch.value_or(dp.epoch())) {}
 
   ExploreResult run();
 
@@ -153,7 +158,19 @@ class Explorer {
   // --- checks -------------------------------------------------------
   void static_overlap_check();  // DV-S5
   void coverage_check();        // DV-S6
+  void epoch_audit();           // DV-S8
   void differential_replay(const PathSummary& path);
+
+  /// Narrow the path's consulted-window intersection by one matched
+  /// entry's window (DV-S8 tripwire).
+  void consult_window(PathState& s, const std::string& table,
+                      sim::EpochWindow window) const {
+    s.consulted.from = std::max(s.consulted.from, window.from);
+    s.consulted.to = std::min(s.consulted.to, window.to);
+    if (s.consulted.from > s.consulted.to && s.mixed_epoch_table.empty()) {
+      s.mixed_epoch_table = table;
+    }
+  }
 
   void add_finding(const std::string& id, const std::string& where,
                    const std::string& message);
@@ -180,6 +197,9 @@ class Explorer {
   const sfc::PolicySet* policies_;
   ExploreOptions options_;
   std::uint32_t max_passes_;
+  /// The generation being explored; entries whose window excludes it
+  /// are invisible, exactly as they are to a packet stamped epoch_.
+  std::uint32_t epoch_;
 
   // Per-start-state context.
   std::string shape_;
@@ -655,6 +675,7 @@ void Explorer::do_table(PathState s, const p4ir::ControlBlock& control,
     // hit/miss counters) and record which entry matched for DV-S6.
     if (!is_tcam) {
       for (const sim::RuntimeTable::ExactEntry& e : rt->exact_entries()) {
+        if (!e.window.contains(epoch_)) continue;
         bool match = true;
         for (std::size_t i = 0; i < key.size(); ++i) {
           if (key[i].val != e.key[i]) {
@@ -665,12 +686,14 @@ void Explorer::do_table(PathState s, const p4ir::ControlBlock& control,
         if (match) {
           hit_entries_.insert(
               coverage_exact_id(control.name(), table->name, e.key));
+          consult_window(s, table->name, e.window);
           finish_lookup(std::move(s), control, entry, true, e.action, next);
           return;
         }
       }
     } else {
       for (const auto& e : rt->ternary_entries()) {
+        if (!rt->ternary_window(e.handle).contains(epoch_)) continue;
         bool match = true;
         for (std::size_t i = 0; i < key.size(); ++i) {
           if (!e.key[i].matches(key[i].val)) {
@@ -681,6 +704,7 @@ void Explorer::do_table(PathState s, const p4ir::ControlBlock& control,
         if (match) {
           hit_entries_.insert(
               coverage_ternary_id(control.name(), table->name, e.handle));
+          consult_window(s, table->name, rt->ternary_window(e.handle));
           finish_lookup(std::move(s), control, entry, true, e.value, next);
           return;
         }
@@ -697,6 +721,7 @@ void Explorer::do_table(PathState s, const p4ir::ControlBlock& control,
     const std::vector<sim::RuntimeTable::ExactEntry> entries =
         rt->exact_entries();
     for (const sim::RuntimeTable::ExactEntry& e : entries) {
+      if (!e.window.contains(epoch_)) continue;
       bool maybe = true;
       for (std::size_t i = 0; i < key.size(); ++i) {
         if (!key[i].sym && key[i].val != e.key[i]) {
@@ -718,6 +743,7 @@ void Explorer::do_table(PathState s, const p4ir::ControlBlock& control,
       }
       hit_entries_.insert(
           coverage_exact_id(control.name(), table->name, e->key));
+      consult_window(hs, table->name, e->window);
       finish_lookup(std::move(hs), control, entry, true, e->action, next);
     }
     // Miss path: differ from each compatible entry in (at least) its
@@ -753,11 +779,10 @@ void Explorer::do_table(PathState s, const p4ir::ControlBlock& control,
   std::vector<bool> compatible(entries.size(), false);
   std::vector<int> first_sym(entries.size(), -1);
   for (std::size_t n = 0; n < entries.size(); ++n) {
-    bool maybe = true;
-    for (std::size_t i = 0; i < key.size(); ++i) {
+    bool maybe = rt->ternary_window(entries[n].handle).contains(epoch_);
+    for (std::size_t i = 0; maybe && i < key.size(); ++i) {
       if (!key[i].sym && !entries[n].key[i].matches(key[i].val)) {
         maybe = false;
-        break;
       }
     }
     compatible[n] = maybe;
@@ -796,6 +821,7 @@ void Explorer::do_table(PathState s, const p4ir::ControlBlock& control,
     }
     hit_entries_.insert(
         coverage_ternary_id(control.name(), table->name, entries[n].handle));
+    consult_window(hs, table->name, rt->ternary_window(entries[n].handle));
     finish_lookup(std::move(hs), control, entry, true, entries[n].value, next);
   }
   bool miss_feasible = true;
@@ -1161,6 +1187,14 @@ void Explorer::finish(PathState s) {
                                        : s.out.out_ports.back()) +
                     " with the SFC header still attached; witness " + witness);
   }
+  if (!s.mixed_epoch_table.empty()) {
+    add_finding("DV-S8", path_where(),
+                "path consulted entries of disjoint generations (first at "
+                "table '" +
+                    s.mixed_epoch_table +
+                    "') — per-packet consistency violated; witness " +
+                    witness);
+  }
 
   ++stats_.paths;
   if (options_.differential) differential_replay(path);
@@ -1190,8 +1224,11 @@ void Explorer::static_overlap_check() {
         sim::RuntimeTable* rb = dp_->table_in(control.name(), tb->name);
         if (ra == nullptr || rb == nullptr) continue;
         std::set<std::vector<std::uint64_t>> keys_a;
-        for (const auto& e : ra->exact_entries()) keys_a.insert(e.key);
+        for (const auto& e : ra->exact_entries()) {
+          if (e.window.contains(epoch_)) keys_a.insert(e.key);
+        }
         for (const auto& e : rb->exact_entries()) {
+          if (!e.window.contains(epoch_)) continue;
           if (!keys_a.contains(e.key)) continue;
           add_finding(
               "DV-S5", control.name(),
@@ -1211,6 +1248,9 @@ void Explorer::coverage_check() {
       sim::RuntimeTable* rt = dp_->table_in(control.name(), t.name);
       if (rt == nullptr) continue;
       for (const auto& e : rt->exact_entries()) {
+        // Entries of other generations (retired, or shadowed for an
+        // epoch not being explored) are invisible here, not dead.
+        if (!e.window.contains(epoch_)) continue;
         if (hit_entries_.contains(
                 coverage_exact_id(control.name(), t.name, e.key))) {
           continue;
@@ -1220,6 +1260,7 @@ void Explorer::coverage_check() {
                         ") never matched on any explored path");
       }
       for (const auto& e : rt->ternary_entries()) {
+        if (!rt->ternary_window(e.handle).contains(epoch_)) continue;
         if (hit_entries_.contains(
                 coverage_ternary_id(control.name(), t.name, e.handle))) {
           continue;
@@ -1239,6 +1280,57 @@ void Explorer::coverage_check() {
   }
 }
 
+void Explorer::epoch_audit() {
+  // A drained generation's entries are gone (or going): paths explored
+  // against it describe a ruleset no packet can reach anymore.
+  if (epoch_ < dp_->min_live_epoch()) {
+    add_finding("DV-S8", "epoch",
+                "exploring generation " + std::to_string(epoch_) +
+                    " which the live switch already drained (min live " +
+                    std::to_string(dp_->min_live_epoch()) +
+                    "); paths reflect a garbage-collected ruleset");
+  }
+  // Structural audit: two versions of one key whose windows overlap
+  // (or a malformed window) would show two generations to one packet.
+  for (const p4ir::ControlBlock& control : program_->controls()) {
+    for (const p4ir::Table& t : control.tables()) {
+      sim::RuntimeTable* rt = dp_->table_in(control.name(), t.name);
+      if (rt == nullptr) continue;
+      const std::string where = control.name() + "/" + t.name;
+      std::map<std::string, std::vector<sim::EpochWindow>> versions;
+      for (const auto& e : rt->exact_entries()) {
+        versions["(" + join_u64(e.key) + ")"].push_back(e.window);
+      }
+      for (const auto& e : rt->ternary_entries()) {
+        versions["(" + join_ternary(e.key) + ") prio " +
+                 std::to_string(e.priority)]
+            .push_back(rt->ternary_window(e.handle));
+      }
+      for (const auto& [key, windows] : versions) {
+        for (const sim::EpochWindow& w : windows) {
+          if (!w.well_formed()) {
+            add_finding("DV-S8", where,
+                        "entry " + key + " has malformed epoch window " +
+                            std::to_string(w.from) + ".." +
+                            std::to_string(w.to));
+          }
+        }
+        for (std::size_t a = 0; a < windows.size(); ++a) {
+          for (std::size_t b = a + 1; b < windows.size(); ++b) {
+            if (windows[a].overlaps(windows[b])) {
+              add_finding(
+                  "DV-S8", where,
+                  "versions of entry " + key +
+                      " have overlapping epoch windows — a packet stamped in "
+                      "the overlap would see two generations at once");
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
 void Explorer::ensure_clone() {
   if (clone_) return;
   clone_ = std::make_unique<sim::DataPlane>(*program_, *ids_, dp_->config());
@@ -1250,13 +1342,16 @@ void Explorer::ensure_clone() {
       sim::RuntimeTable* dst = clone_->table_in(control.name(), t.name);
       if (src == nullptr || dst == nullptr) continue;
       for (const auto& e : src->exact_entries()) {
-        dst->add_exact(e.key, e.action);
+        dst->add_exact(e.key, e.action, e.window);
       }
       for (const auto& e : src->ternary_entries()) {
-        dst->add_ternary(e.key, e.priority, e.value);
+        dst->add_ternary(e.key, e.priority, e.value,
+                         src->ternary_window(e.handle));
       }
     }
   }
+  clone_->set_epoch(dp_->epoch());
+  clone_->set_min_live_epoch(dp_->min_live_epoch());
 }
 
 void Explorer::zero_clone_registers() {
@@ -1273,7 +1368,10 @@ void Explorer::differential_replay(const PathSummary& path) {
   ensure_clone();
   zero_clone_registers();
   ++stats_.replays;
-  sim::SwitchOutput out = clone_->process(path.witness, path.in_port);
+  // Stamp the witness with the explored generation so the concrete
+  // replay resolves against the same entries the symbolic walk saw.
+  sim::SwitchOutput out =
+      clone_->process(path.witness, path.in_port, /*from_cpu=*/false, epoch_);
 
   std::vector<std::uint16_t> concrete_ports;
   concrete_ports.reserve(out.out.size());
@@ -1328,6 +1426,7 @@ std::string Explorer::path_where() const {
 }
 
 ExploreResult Explorer::run() {
+  epoch_audit();
   static_overlap_check();
 
   std::vector<std::uint16_t> ports;

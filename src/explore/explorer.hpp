@@ -37,6 +37,12 @@ struct ExploreOptions {
   /// Ingress ports to explore from; defaults to the union of the
   /// policies' in_ports (external ports only).
   std::optional<std::vector<std::uint16_t>> in_ports;
+  /// Chain generation to explore: symbolic lookups only see entries
+  /// whose epoch window contains it (default: the dataplane's current
+  /// epoch). Mid-update, exploring `e` proves the retiring generation
+  /// and `e+1` the shadowed one — DV-S8 fires if any path would mix
+  /// them, or if the requested generation is already drained.
+  std::optional<std::uint32_t> epoch;
 };
 
 /// What the symbolic engine predicts the switch does with one

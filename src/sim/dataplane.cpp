@@ -257,7 +257,7 @@ void DataPlane::run_pipelet(const asic::PipeletId& id, net::Packet& packet,
     key.reserve(table->keys.size());
     for (const p4ir::TableKey& k : table->keys) key.push_back(view.read(k.field));
 
-    LookupResult result = rt->lookup(key);
+    LookupResult result = rt->lookup(key, meta.epoch);
     hits[entry.table] = result.hit;
     if (!entry.branch_id.empty() && taken_branch.empty()) {
       // First executed entry of a branch is its gate: a hit takes the
@@ -276,6 +276,55 @@ void DataPlane::run_pipelet(const asic::PipeletId& id, net::Packet& packet,
 const DataPlane::PortCounters& DataPlane::port_counters(
     std::uint16_t port) const {
   return counters_[port];
+}
+
+std::uint64_t DataPlane::punts_outstanding_below(std::uint32_t epoch) const {
+  std::uint64_t n = 0;
+  for (const auto& [e, count] : punts_outstanding_) {
+    if (e < epoch) n += count;
+  }
+  return n;
+}
+
+std::uint64_t DataPlane::flush_stale_punts(std::uint32_t max_epoch) {
+  std::uint64_t flushed = 0;
+  for (auto it = punts_outstanding_.begin();
+       it != punts_outstanding_.end();) {
+    if (it->first <= max_epoch) {
+      flushed += it->second;
+      it = punts_outstanding_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return flushed;
+}
+
+std::size_t DataPlane::gc_epochs(std::uint32_t min_live) {
+  std::size_t removed = 0;
+  for (auto& [control_name, per_control] : tables_) {
+    for (auto& [table_name, rt] : per_control) {
+      removed += rt.gc(min_live);
+    }
+  }
+  if (min_live > min_live_epoch_) min_live_epoch_ = min_live;
+  return removed;
+}
+
+std::uint32_t DataPlane::register_epoch(const std::string& control_name,
+                                        const std::string& reg) const {
+  auto it = register_epochs_.find({control_name, reg});
+  return it == register_epochs_.end() ? 0 : it->second;
+}
+
+void DataPlane::set_register_epoch(const std::string& control_name,
+                                   const std::string& reg,
+                                   std::uint32_t epoch) {
+  if (epoch == 0) {
+    register_epochs_.erase({control_name, reg});
+  } else {
+    register_epochs_[{control_name, reg}] = epoch;
+  }
 }
 
 void DataPlane::reset_counters() { counters_.clear(); }
@@ -297,8 +346,27 @@ void DataPlane::emit(net::Packet packet, std::uint16_t port,
 }
 
 SwitchOutput DataPlane::process(net::Packet packet, std::uint16_t in_port,
-                                bool from_cpu) {
+                                bool from_cpu,
+                                std::optional<std::uint32_t> stamp) {
   SwitchOutput out;
+  out.epoch = stamp.value_or(epoch_);
+  if (from_cpu && stamp) {
+    // A stamped CPU reinjection closes out an outstanding punt.
+    auto it = punts_outstanding_.find(*stamp);
+    if (it != punts_outstanding_.end() && it->second > 0) {
+      if (--it->second == 0) punts_outstanding_.erase(it);
+    }
+  }
+  if (stamp && *stamp < min_live_epoch_) {
+    // The generation this packet started on has been garbage-collected
+    // by a completed live update; finishing it now could only blend
+    // generations, so the drain policy terminates it attributably.
+    out.set_drop(DropCode::kUpdateDrained,
+                 "stamped epoch " + std::to_string(*stamp) +
+                     " was retired by a live update (min live epoch " +
+                     std::to_string(min_live_epoch_) + ")");
+    return out;
+  }
   const asic::TargetSpec& spec = config_.spec();
   if (in_port >= spec.total_ports() + spec.pipelines) {
     out.set_drop(DropCode::kInvalidIngressPort, "invalid ingress port");
@@ -324,6 +392,7 @@ SwitchOutput DataPlane::process(net::Packet packet, std::uint16_t in_port,
   StandardMetadata meta;
   meta.ingress_port = in_port;
   meta.packet_length = static_cast<std::uint32_t>(packet.size());
+  meta.epoch = out.epoch;
   std::uint32_t pipeline = pipeline_of(in_port);
   counters_[in_port].rx_packets += 1;
   counters_[in_port].rx_bytes += packet.size();
@@ -339,7 +408,9 @@ SwitchOutput DataPlane::process(net::Packet packet, std::uint16_t in_port,
     // later table in the same pass (the branching default) flagged a
     // drop for the undeliverable in-between state.
     if (meta.to_cpu_flag) {
-      out.to_cpu.push_back(SwitchOutput::CpuPunt{meta.ingress_port, packet});
+      out.to_cpu.push_back(
+          SwitchOutput::CpuPunt{meta.ingress_port, packet, meta.epoch});
+      ++punts_outstanding_[meta.epoch];
       return out;
     }
     if (meta.drop_flag) {
@@ -390,7 +461,9 @@ SwitchOutput DataPlane::process(net::Packet packet, std::uint16_t in_port,
                 out);
 
     if (meta.to_cpu_flag) {
-      out.to_cpu.push_back(SwitchOutput::CpuPunt{meta.ingress_port, packet});
+      out.to_cpu.push_back(
+          SwitchOutput::CpuPunt{meta.ingress_port, packet, meta.epoch});
+      ++punts_outstanding_[meta.epoch];
       return out;
     }
     if (meta.drop_flag) {

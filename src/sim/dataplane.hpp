@@ -11,6 +11,7 @@
 #include <optional>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "asic/switch_config.hpp"
@@ -31,6 +32,10 @@ struct SwitchOutput {
   struct CpuPunt {
     std::uint16_t in_port = 0;
     net::Packet packet;
+    /// The generation the packet was stamped with at first ingress; a
+    /// control plane reinjecting the punt passes it back as the stamp
+    /// so the packet finishes on the chain generation it started on.
+    std::uint32_t epoch = 0;
   };
 
   std::vector<Emitted> out;
@@ -47,6 +52,11 @@ struct SwitchOutput {
     drop_code = code;
     drop_reason = std::move(reason);
   }
+
+  /// The chain generation every table lookup of this packet used
+  /// (stamped at first ingress, honored across resubmissions,
+  /// recirculations, and CPU reinjection — §11 per-packet consistency).
+  std::uint32_t epoch = 0;
 
   std::uint32_t resubmissions = 0;
   std::uint32_t recirculations = 0;
@@ -90,8 +100,53 @@ class DataPlane {
   /// Inject a packet on a front-panel port and run it to completion.
   /// `from_cpu` marks control-plane reinjection (Fig. 4's session-miss
   /// flow), which may enter on any port, including loopback ports.
+  /// `stamp` carries a punted packet's original epoch back in (fresh
+  /// ingress stamps the current epoch); a stamp below min_live_epoch()
+  /// — its generation already garbage-collected — drops the packet
+  /// with DropCode::kUpdateDrained.
   SwitchOutput process(net::Packet packet, std::uint16_t in_port,
-                       bool from_cpu = false);
+                       bool from_cpu = false,
+                       std::optional<std::uint32_t> stamp = std::nullopt);
+
+  /// The chain generation stamped onto packets at first ingress; the
+  /// single version gate a live update flips (§11).
+  std::uint32_t epoch() const { return epoch_; }
+  void set_epoch(std::uint32_t epoch) { epoch_ = epoch; }
+
+  /// Oldest generation still allowed to finish; packets stamped below
+  /// it are drained (dropped with kUpdateDrained) on reinjection.
+  std::uint32_t min_live_epoch() const { return min_live_epoch_; }
+  /// Snapshot restore only; updates raise it through gc_epochs().
+  void set_min_live_epoch(std::uint32_t epoch) { min_live_epoch_ = epoch; }
+
+  /// Packets punted to the CPU and not yet reinjected, by stamped
+  /// epoch — the in-flight population a live update must drain.
+  const std::map<std::uint32_t, std::uint64_t>& punts_outstanding() const {
+    return punts_outstanding_;
+  }
+  /// Outstanding punts stamped strictly below `epoch`.
+  std::uint64_t punts_outstanding_below(std::uint32_t epoch) const;
+
+  /// Force-forget outstanding punts stamped <= max_epoch (the drain
+  /// phase's last resort for punts the control plane abandoned).
+  /// Returns how many were flushed.
+  std::uint64_t flush_stale_punts(std::uint32_t max_epoch);
+
+  /// Garbage-collect every entry retired before `min_live` across all
+  /// tables and raise min_live_epoch(). Returns entries removed.
+  std::size_t gc_epochs(std::uint32_t min_live);
+
+  /// Per-register-bank generation tag: bumped when a live update
+  /// applies a bank's flip-time writes, so crash recovery can tell
+  /// applied banks from untouched ones (0 = never updated).
+  std::uint32_t register_epoch(const std::string& control_name,
+                               const std::string& reg) const;
+  void set_register_epoch(const std::string& control_name,
+                          const std::string& reg, std::uint32_t epoch);
+  const std::map<std::pair<std::string, std::string>, std::uint32_t>&
+  register_epochs() const {
+    return register_epochs_;
+  }
 
   /// Is `port` a loopback front-panel port or a dedicated
   /// recirculation port?
@@ -153,6 +208,11 @@ class DataPlane {
   const p4ir::TupleIdTable* ids_;
   asic::SwitchConfig config_;
   std::uint32_t max_passes_ = 64;
+  std::uint32_t epoch_ = 0;
+  std::uint32_t min_live_epoch_ = 0;
+  std::map<std::uint32_t, std::uint64_t> punts_outstanding_;
+  std::map<std::pair<std::string, std::string>, std::uint32_t>
+      register_epochs_;
   std::optional<std::uint16_t> mirror_port_;
   std::set<std::uint16_t> down_ports_;
   // control name -> table name -> runtime table

@@ -24,8 +24,18 @@ const char* drop_code_name(DropCode code) {
       return "port-down";
     case DropCode::kMaxPassesExceeded:
       return "max-passes-exceeded";
+    case DropCode::kUpdateDrained:
+      return "update-drained";
   }
   return "unknown";
+}
+
+std::optional<DropCode> drop_code_from_name(const std::string& name) {
+  if (name == drop_code_name(DropCode::kNone)) return DropCode::kNone;
+  for (DropCode code : kAllDropCodes) {
+    if (name == drop_code_name(code)) return code;
+  }
+  return std::nullopt;
 }
 
 const char* drop_code_description(DropCode code) {
@@ -50,6 +60,9 @@ const char* drop_code_description(DropCode code) {
       return "the chosen egress or recirculation port is down";
     case DropCode::kMaxPassesExceeded:
       return "pipeline-pass budget exhausted (routing loop)";
+    case DropCode::kUpdateDrained:
+      return "intentionally completed on a retired epoch by a live-update "
+             "drain";
   }
   return "unknown drop code";
 }

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 
 namespace dejavu::sim {
@@ -21,6 +22,7 @@ enum class DropCode : std::uint8_t {
   kEgressDrop,            ///< an egress-pipe table raised the drop flag
   kPortDown,              ///< egress or recirculation port is down (fault)
   kMaxPassesExceeded,     ///< pipeline-pass budget exhausted (routing loop)
+  kUpdateDrained,         ///< completed on a retired epoch by an update drain
 };
 
 /// Every code except kNone, for exhaustive table tests.
@@ -29,11 +31,15 @@ inline constexpr DropCode kAllDropCodes[] = {
     DropCode::kLoopbackPortExternal, DropCode::kIngressDrop,
     DropCode::kNoEgressDecision, DropCode::kInvalidEgressSpec,
     DropCode::kEgressDrop, DropCode::kPortDown,
-    DropCode::kMaxPassesExceeded,
+    DropCode::kMaxPassesExceeded, DropCode::kUpdateDrained,
 };
 
 /// Stable kebab-case slug (JSON output, counters keyed by code).
 const char* drop_code_name(DropCode code);
+
+/// Inverse of drop_code_name (nullopt for unknown slugs); keeps the
+/// code <-> slug mapping honest in both directions.
+std::optional<DropCode> drop_code_from_name(const std::string& name);
 
 /// Generic one-line description of the code (the message table; the
 /// per-packet drop_reason string adds instance detail on top).

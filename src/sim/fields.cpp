@@ -18,6 +18,7 @@ std::optional<std::uint64_t> read_meta(const StandardMetadata& m,
   if (field == "drop_flag") return m.drop_flag ? 1 : 0;
   if (field == "mirror_flag") return m.mirror_flag ? 1 : 0;
   if (field == "to_cpu_flag") return m.to_cpu_flag ? 1 : 0;
+  if (field == "epoch") return m.epoch;
   return std::nullopt;
 }
 

@@ -22,6 +22,11 @@ struct StandardMetadata {
   std::uint16_t egress_spec = 0x1ff;  // kPortUnset sentinel
   std::uint16_t egress_port = 0;
   std::uint32_t packet_length = 0;
+  /// The chain generation stamped at first ingress (§11 live updates):
+  /// every table lookup on every subsequent pass — resubmission,
+  /// recirculation, CPU reinjection — honors this stamp, so one packet
+  /// sees exactly one generation. Survives clear_flags().
+  std::uint32_t epoch = 0;
   bool resubmit_flag = false;
   bool recirculate_flag = false;
   bool drop_flag = false;

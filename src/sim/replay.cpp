@@ -62,6 +62,9 @@ void merge_counters(ReplayCounters& into, const ReplayCounters& from) {
   for (const auto& [reason, n] : from.drop_reasons) {
     into.drop_reasons[reason] += n;
   }
+  for (const auto& [epoch, n] : from.packets_by_epoch) {
+    into.packets_by_epoch[epoch] += n;
+  }
   for (const auto& [port, pc] : from.ports) into.ports[port] += pc;
   for (const auto& [path, pc] : from.per_path) {
     PathCounters& p = into.per_path[path];
@@ -83,16 +86,22 @@ void merge_counters(ReplayCounters& into, const ReplayCounters& from) {
 /// One worker's whole job: replay its shard of flows against its
 /// private target. Runs on the worker's thread; touches nothing
 /// shared.
+/// `[from_pkt, to_pkt)` bounds each flow's packet indices — a
+/// concurrent-update replay runs [0, at) on the old generation,
+/// applies the update, then runs [at, per_flow). Port counters are
+/// only collected on the final segment (they accumulate in the
+/// dataplane across segments).
 ReplayCounters replay_shard(ReplayTarget& target,
                             const std::vector<ReplayFlow>& flows,
                             const std::vector<std::uint32_t>& shard,
-                            const ReplayConfig& config) {
+                            const ReplayConfig& config,
+                            std::uint32_t from_pkt, std::uint32_t to_pkt,
+                            bool collect_ports) {
   ReplayCounters c;
-  const std::uint32_t per_flow = std::max(1u, config.packets_per_flow);
   const std::uint32_t batch = std::max(1u, config.batch);
 
-  for (std::uint32_t done = 0; done < per_flow; done += batch) {
-    const std::uint32_t burst = std::min(batch, per_flow - done);
+  for (std::uint32_t done = from_pkt; done < to_pkt; done += batch) {
+    const std::uint32_t burst = std::min(batch, to_pkt - done);
     for (const std::uint32_t index : shard) {
       const ReplayFlow& rf = flows[index];
       const std::uint32_t hash = rf.flow.tuple().session_hash();
@@ -100,6 +109,7 @@ ReplayCounters replay_shard(ReplayTarget& target,
         SwitchOutput out = target.inject(rf.flow.packet(), rf.in_port);
 
         ++c.packets;
+        ++c.packets_by_epoch[out.epoch];
         PathCounters& p = c.per_path[rf.path_id];
         ++p.offered;
         if (!out.out.empty()) {
@@ -132,8 +142,10 @@ ReplayCounters replay_shard(ReplayTarget& target,
     }
   }
 
-  for (const auto& [port, pc] : target.dataplane().all_port_counters()) {
-    c.ports[port] += pc;
+  if (collect_ports) {
+    for (const auto& [port, pc] : target.dataplane().all_port_counters()) {
+      c.ports[port] += pc;
+    }
   }
   return c;
 }
@@ -171,11 +183,34 @@ ReplayReport ReplayEngine::run(const std::vector<ReplayFlow>& flows,
   std::vector<ReplayCounters> partial(workers);
   const auto wall_start = std::chrono::steady_clock::now();
 
+  const std::uint32_t per_flow = std::max(1u, config.packets_per_flow);
+  const std::uint32_t flip_at =
+      config.update ? std::min(config.update->at_packet, per_flow) : per_flow;
+
   auto work = [&](std::uint32_t w) {
     const auto start = std::chrono::steady_clock::now();
-    partial[w] = replay_shard(*targets_[w], flows, shards[w], config);
-    const auto end = std::chrono::steady_clock::now();
     WorkerStats& stats = report.workers[w];
+    if (config.update) {
+      // Old generation up to the flip point, per flow...
+      partial[w] = replay_shard(*targets_[w], flows, shards[w], config, 0,
+                                flip_at, /*collect_ports=*/false);
+      // ...the reconfiguration itself (timed: this is the window a
+      // hitless update must survive)...
+      const auto flip_start = std::chrono::steady_clock::now();
+      if (config.update->apply) config.update->apply(*targets_[w], w);
+      stats.update_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        flip_start)
+              .count();
+      // ...and the rest of every flow on whatever the update left live.
+      merge_counters(partial[w],
+                     replay_shard(*targets_[w], flows, shards[w], config,
+                                  flip_at, per_flow, /*collect_ports=*/true));
+    } else {
+      partial[w] = replay_shard(*targets_[w], flows, shards[w], config, 0,
+                                per_flow, /*collect_ports=*/true);
+    }
+    const auto end = std::chrono::steady_clock::now();
     stats.worker = w;
     stats.flows = shards[w].size();
     stats.packets = partial[w].packets;
@@ -224,6 +259,15 @@ std::string ReplayReport::to_table() const {
     std::snprintf(buf, sizeof(buf), "  drop '%s': %llu\n", reason.c_str(),
                   static_cast<unsigned long long>(n));
     s += buf;
+  }
+  if (c.packets_by_epoch.size() > 1 ||
+      (c.packets_by_epoch.size() == 1 &&
+       c.packets_by_epoch.begin()->first != 0)) {
+    for (const auto& [epoch, n] : c.packets_by_epoch) {
+      std::snprintf(buf, sizeof(buf), "  epoch %u: %llu packets\n", epoch,
+                    static_cast<unsigned long long>(n));
+      s += buf;
+    }
   }
   std::snprintf(buf, sizeof(buf), "%-6s %-9s %-10s %-8s %-8s %-12s %-9s\n",
                 "path", "offered", "delivered", "dropped", "punted",

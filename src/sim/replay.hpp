@@ -95,6 +95,22 @@ struct ReplayConfig {
   /// (seeded with shuffle_seed ^ worker index). Again: interleaving
   /// only; the merged counters must not change.
   std::optional<std::uint64_t> shuffle_seed;
+
+  /// Concurrent-update replay (§11): fire a reconfiguration mid-stream
+  /// and assert per-packet consistency. The flip point is keyed on the
+  /// per-flow packet index — every flow sees exactly `at_packet`
+  /// packets on the old generation — so the merged counters (including
+  /// packets_by_epoch) stay bit-identical across worker counts.
+  struct ReplayUpdate {
+    /// Per-flow packet index at which the update is applied (clamped
+    /// to packets_per_flow).
+    std::uint32_t at_packet = 0;
+    /// Applies the update to one worker's private replica. Called once
+    /// per worker, on that worker's thread, between the two replay
+    /// segments; its duration lands in WorkerStats::update_seconds.
+    std::function<void(ReplayTarget&, std::uint32_t worker)> apply;
+  };
+  std::optional<ReplayUpdate> update;
 };
 
 /// Per-path slice of the merged counters.
@@ -132,6 +148,10 @@ struct ReplayCounters {
   std::map<std::string, std::uint64_t> drop_reasons;
   std::map<std::uint16_t, DataPlane::PortCounters> ports;
   std::map<std::uint16_t, PathCounters> per_path;
+  /// Packets by the epoch stamp their lookups ran under — under a
+  /// concurrent update, every packet is attributable to exactly one
+  /// generation (§11 per-packet consistency).
+  std::map<std::uint32_t, std::uint64_t> packets_by_epoch;
 
   bool operator==(const ReplayCounters&) const = default;
 };
@@ -142,6 +162,9 @@ struct WorkerStats {
   std::uint64_t flows = 0;
   std::uint64_t packets = 0;
   double busy_seconds = 0;
+  /// Time spent applying the mid-stream update (flip latency), when
+  /// ReplayConfig::update is set.
+  double update_seconds = 0;
 
   double pps() const { return busy_seconds > 0 ? packets / busy_seconds : 0; }
 };

@@ -1,5 +1,6 @@
 #include "sim/runtime_table.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace dejavu::sim {
@@ -24,7 +25,7 @@ RuntimeTable::RuntimeTable(const p4ir::Table& def) : def_(&def) {
 }
 
 void RuntimeTable::add_exact(const std::vector<std::uint64_t>& key,
-                             ActionCall action) {
+                             ActionCall action, EpochWindow window) {
   if (tcam_) {
     throw std::invalid_argument("table '" + def_->name +
                                 "' is ternary/LPM; use add_ternary/add_lpm");
@@ -33,37 +34,63 @@ void RuntimeTable::add_exact(const std::vector<std::uint64_t>& key,
     throw std::invalid_argument("key arity mismatch for table '" +
                                 def_->name + "'");
   }
+  if (!window.well_formed()) {
+    throw std::invalid_argument("malformed epoch window for table '" +
+                                def_->name + "'");
+  }
   const std::string key_string = exact_key_string(key);
   auto it = exact_.find(key_string);
   if (it != exact_.end()) {
-    it->second.action = std::move(action);  // reinstall overwrites
-    return;
+    for (ExactEntry& version : it->second) {
+      if (version.window == window) {
+        version.action = std::move(action);  // reinstall overwrites
+        return;
+      }
+      if (version.window.overlaps(window)) {
+        throw std::invalid_argument(
+            "overlapping epoch window for key in table '" + def_->name +
+            "' (a packet could see two generations)");
+      }
+    }
   }
   if (size_ >= def_->max_entries) {
     throw std::invalid_argument("table '" + def_->name + "' is full (" +
                                 std::to_string(def_->max_entries) + ")");
   }
-  exact_.emplace(key_string, ExactEntry{key, std::move(action)});
+  exact_[key_string].push_back(ExactEntry{key, std::move(action), window});
   ++size_;
 }
 
 std::size_t RuntimeTable::add_ternary(const std::vector<net::TernaryField>& key,
-                                      std::int32_t priority,
-                                      ActionCall action) {
+                                      std::int32_t priority, ActionCall action,
+                                      EpochWindow window) {
   if (!tcam_) {
     throw std::invalid_argument("table '" + def_->name +
                                 "' is exact; use add_exact");
   }
+  if (!window.well_formed()) {
+    throw std::invalid_argument("malformed epoch window for table '" +
+                                def_->name + "'");
+  }
   if (size_ >= def_->max_entries) {
     throw std::invalid_argument("table '" + def_->name + "' is full");
   }
+  for (const auto& e : tcam_->entries()) {
+    if (e.key == key && e.priority == priority &&
+        ternary_window(e.handle).overlaps(window)) {
+      throw std::invalid_argument(
+          "overlapping epoch window for ternary entry in table '" +
+          def_->name + "'");
+    }
+  }
   const std::size_t handle = tcam_->insert(key, priority, std::move(action));
+  if (!window.is_default()) ternary_windows_[handle] = window;
   ++size_;
   return handle;
 }
 
-std::size_t RuntimeTable::add_lpm(std::uint64_t value, std::uint8_t prefix_len,
-                                  ActionCall action) {
+std::vector<net::TernaryField> RuntimeTable::lpm_key(
+    std::uint64_t value, std::uint8_t prefix_len) const {
   if (!tcam_) {
     throw std::invalid_argument("table '" + def_->name +
                                 "' is exact; use add_exact");
@@ -91,32 +118,186 @@ std::size_t RuntimeTable::add_lpm(std::uint64_t value, std::uint8_t prefix_len,
     throw std::invalid_argument("table '" + def_->name +
                                 "' has no LPM key component");
   }
-  return add_ternary(key, prefix_len, std::move(action));
+  return key;
+}
+
+std::size_t RuntimeTable::add_lpm(std::uint64_t value, std::uint8_t prefix_len,
+                                  ActionCall action, EpochWindow window) {
+  return add_ternary(lpm_key(value, prefix_len), prefix_len,
+                     std::move(action), window);
 }
 
 bool RuntimeTable::remove_exact(const std::vector<std::uint64_t>& key) {
   if (tcam_) return false;
-  if (exact_.erase(exact_key_string(key)) == 0) return false;
+  auto it = exact_.find(exact_key_string(key));
+  if (it == exact_.end()) return false;
+  auto vit = std::find_if(it->second.begin(), it->second.end(),
+                          [](const ExactEntry& e) { return e.window.open(); });
+  if (vit == it->second.end()) return false;
+  it->second.erase(vit);
+  if (it->second.empty()) exact_.erase(it);
   --size_;
   return true;
+}
+
+bool RuntimeTable::remove_exact_version(const std::vector<std::uint64_t>& key,
+                                        EpochWindow window) {
+  if (tcam_) return false;
+  auto it = exact_.find(exact_key_string(key));
+  if (it == exact_.end()) return false;
+  auto vit =
+      std::find_if(it->second.begin(), it->second.end(),
+                   [&](const ExactEntry& e) { return e.window == window; });
+  if (vit == it->second.end()) return false;
+  it->second.erase(vit);
+  if (it->second.empty()) exact_.erase(it);
+  --size_;
+  return true;
+}
+
+bool RuntimeTable::retire_exact(const std::vector<std::uint64_t>& key,
+                                std::uint32_t last_epoch) {
+  if (tcam_) return false;
+  auto it = exact_.find(exact_key_string(key));
+  if (it == exact_.end()) return false;
+  for (ExactEntry& version : it->second) {
+    if (version.window.open()) {
+      if (last_epoch < version.window.from) return false;
+      version.window.to = last_epoch;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool RuntimeTable::unretire_exact(const std::vector<std::uint64_t>& key,
+                                  std::uint32_t last_epoch) {
+  if (tcam_) return false;
+  auto it = exact_.find(exact_key_string(key));
+  if (it == exact_.end()) return false;
+  for (ExactEntry& version : it->second) {
+    if (version.window.to != last_epoch) continue;
+    const EpochWindow reopened{version.window.from, kEpochOpen};
+    for (const ExactEntry& other : it->second) {
+      if (&other != &version && other.window.overlaps(reopened)) return false;
+    }
+    version.window = reopened;
+    return true;
+  }
+  return false;
 }
 
 bool RuntimeTable::erase_ternary(std::size_t handle) {
   if (!tcam_) return false;
   if (!tcam_->erase(handle)) return false;
+  ternary_windows_.erase(handle);
   --size_;
   return true;
 }
 
-const RuntimeTable::ExactEntry* RuntimeTable::find_exact(
+bool RuntimeTable::retire_ternary(std::size_t handle,
+                                  std::uint32_t last_epoch) {
+  if (!tcam_) return false;
+  const auto& entries = tcam_->entries();
+  if (std::none_of(entries.begin(), entries.end(), [&](const auto& e) {
+        return e.handle == handle;
+      })) {
+    return false;
+  }
+  EpochWindow window = ternary_window(handle);
+  if (!window.open() || last_epoch < window.from) return false;
+  window.to = last_epoch;
+  ternary_windows_[handle] = window;
+  return true;
+}
+
+bool RuntimeTable::unretire_ternary(std::size_t handle,
+                                    std::uint32_t last_epoch) {
+  auto it = ternary_windows_.find(handle);
+  if (it == ternary_windows_.end() || it->second.to != last_epoch) {
+    return false;
+  }
+  it->second.to = kEpochOpen;
+  if (it->second.is_default()) ternary_windows_.erase(it);
+  return true;
+}
+
+std::optional<std::size_t> RuntimeTable::find_ternary(
+    const std::vector<net::TernaryField>& key, std::int32_t priority) const {
+  if (!tcam_) return std::nullopt;
+  for (const auto& e : tcam_->entries()) {
+    if (e.key == key && e.priority == priority &&
+        ternary_window(e.handle).open()) {
+      return e.handle;
+    }
+  }
+  return std::nullopt;
+}
+
+EpochWindow RuntimeTable::ternary_window(std::size_t handle) const {
+  auto it = ternary_windows_.find(handle);
+  return it == ternary_windows_.end() ? EpochWindow{} : it->second;
+}
+
+std::size_t RuntimeTable::gc(std::uint32_t min_live) {
+  std::size_t removed = 0;
+  for (auto it = exact_.begin(); it != exact_.end();) {
+    auto& versions = it->second;
+    const std::size_t before = versions.size();
+    versions.erase(std::remove_if(versions.begin(), versions.end(),
+                                  [&](const ExactEntry& e) {
+                                    return e.window.to < min_live;
+                                  }),
+                   versions.end());
+    removed += before - versions.size();
+    it = versions.empty() ? exact_.erase(it) : std::next(it);
+  }
+  if (tcam_) {
+    std::vector<std::size_t> dead;
+    for (const auto& [handle, window] : ternary_windows_) {
+      if (window.to < min_live) dead.push_back(handle);
+    }
+    for (std::size_t handle : dead) {
+      if (tcam_->erase(handle)) ++removed;
+      ternary_windows_.erase(handle);
+    }
+  }
+  size_ -= removed;
+  return removed;
+}
+
+const std::vector<RuntimeTable::ExactEntry>* RuntimeTable::exact_versions(
     const std::vector<std::uint64_t>& key) const {
   if (tcam_) return nullptr;
   auto it = exact_.find(exact_key_string(key));
   return it == exact_.end() ? nullptr : &it->second;
 }
 
+const RuntimeTable::ExactEntry* RuntimeTable::find_exact(
+    const std::vector<std::uint64_t>& key) const {
+  if (tcam_) return nullptr;
+  auto it = exact_.find(exact_key_string(key));
+  if (it == exact_.end()) return nullptr;
+  for (const ExactEntry& version : it->second) {
+    if (version.window.open()) return &version;
+  }
+  return nullptr;
+}
+
+const RuntimeTable::ExactEntry* RuntimeTable::find_exact(
+    const std::vector<std::uint64_t>& key, std::uint32_t epoch) const {
+  if (tcam_) return nullptr;
+  auto it = exact_.find(exact_key_string(key));
+  if (it == exact_.end()) return nullptr;
+  for (const ExactEntry& version : it->second) {
+    if (version.window.contains(epoch)) return &version;
+  }
+  return nullptr;
+}
+
 LookupResult RuntimeTable::lookup(
-    const std::vector<std::optional<std::uint64_t>>& key) const {
+    const std::vector<std::optional<std::uint64_t>>& key,
+    std::uint32_t epoch) const {
   LookupResult result;
   result.action.action = def_->default_action;
 
@@ -141,17 +322,29 @@ LookupResult RuntimeTable::lookup(
   }
 
   if (tcam_) {
-    if (const ActionCall* hit = tcam_->lookup(values)) {
-      result.hit = true;
-      result.action = *hit;
+    // Priority-ordered scan skipping entries outside the packet's
+    // epoch (the TCAM's own lookup() is epoch-blind).
+    for (const auto& e : tcam_->entries()) {
+      if (!ternary_window(e.handle).contains(epoch)) continue;
+      bool hit = true;
+      for (std::size_t i = 0; i < values.size(); ++i) {
+        if (!e.key[i].matches(values[i])) {
+          hit = false;
+          break;
+        }
+      }
+      if (hit) {
+        result.hit = true;
+        result.action = e.value;
+        break;
+      }
     }
     return count(result);
   }
 
-  auto it = exact_.find(exact_key_string(values));
-  if (it != exact_.end()) {
+  if (const ExactEntry* entry = find_exact(values, epoch)) {
     result.hit = true;
-    result.action = it->second.action;
+    result.action = entry->action;
   }
   return count(result);
 }
@@ -159,7 +352,9 @@ LookupResult RuntimeTable::lookup(
 std::vector<RuntimeTable::ExactEntry> RuntimeTable::exact_entries() const {
   std::vector<ExactEntry> out;
   out.reserve(exact_.size());
-  for (const auto& [key_string, entry] : exact_) out.push_back(entry);
+  for (const auto& [key_string, versions] : exact_) {
+    out.insert(out.end(), versions.begin(), versions.end());
+  }
   return out;
 }
 
@@ -172,6 +367,7 @@ RuntimeTable::ternary_entries() const {
 void RuntimeTable::clear() {
   exact_.clear();
   if (tcam_) tcam_.emplace(def_->keys.size());
+  ternary_windows_.clear();
   size_ = 0;
 }
 

@@ -2,6 +2,14 @@
 // table definition. Exact tables use a hash map; ternary and LPM
 // tables use the TCAM model (LPM entries become ternary entries whose
 // priority is the prefix length).
+//
+// Every installed entry carries an epoch window [from, to]: the range
+// of chain generations it is visible to. A hitless live update (§11)
+// installs the next generation shadowed (window [e+1, open]) next to
+// the retiring one (capped at [.., e]); lookups filter by the packet's
+// stamped epoch, so a packet sees exactly one generation — old or new,
+// never a blend. Entries installed without a window get [0, open] and
+// behave exactly as before.
 #pragma once
 
 #include <cstdint>
@@ -15,6 +23,28 @@
 #include "p4ir/table.hpp"
 
 namespace dejavu::sim {
+
+/// Epoch value meaning "still live" (an un-retired entry's window.to).
+inline constexpr std::uint32_t kEpochOpen = 0xffffffff;
+
+/// The half-open-ended generation range an entry is visible to.
+struct EpochWindow {
+  std::uint32_t from = 0;
+  std::uint32_t to = kEpochOpen;
+
+  bool contains(std::uint32_t epoch) const {
+    return from <= epoch && epoch <= to;
+  }
+  bool open() const { return to == kEpochOpen; }
+  bool well_formed() const { return from <= to; }
+  bool overlaps(const EpochWindow& o) const {
+    return from <= o.to && o.from <= to;
+  }
+  /// True for the default [0, open] window (entries that predate any
+  /// live update); snapshots omit it to keep texts stable.
+  bool is_default() const { return from == 0 && to == kEpochOpen; }
+  bool operator==(const EpochWindow&) const = default;
+};
 
 /// A bound action: name + runtime arguments (per-entry action data).
 struct ActionCall {
@@ -42,38 +72,94 @@ class RuntimeTable {
   struct ExactEntry {
     std::vector<std::uint64_t> key;
     ActionCall action;
+    EpochWindow window;
   };
 
   /// Install an exact-match entry: one value per key component.
+  /// Reinstalling the same key with the same window overwrites the
+  /// action; a window overlapping a different installed version is
+  /// refused (that would make two generations visible to one packet).
   /// Throws std::invalid_argument on arity mismatch, table kind
-  /// mismatch, or table-full.
-  void add_exact(const std::vector<std::uint64_t>& key, ActionCall action);
+  /// mismatch, window overlap, or table-full.
+  void add_exact(const std::vector<std::uint64_t>& key, ActionCall action,
+                 EpochWindow window = {});
 
   /// Install a ternary entry (value/mask per component, priority).
   /// Returns the entry's handle (usable with erase_ternary).
   std::size_t add_ternary(const std::vector<net::TernaryField>& key,
-                          std::int32_t priority, ActionCall action);
+                          std::int32_t priority, ActionCall action,
+                          EpochWindow window = {});
 
   /// Install an LPM entry on the (single) LPM key component:
   /// value/prefix_len, with exact values for any other components.
   /// Returns the entry's handle (usable with erase_ternary).
   std::size_t add_lpm(std::uint64_t value, std::uint8_t prefix_len,
-                      ActionCall action);
+                      ActionCall action, EpochWindow window = {});
 
-  /// Remove one exact entry; false when the key is not installed
-  /// (entry eviction and transactional rollback).
+  /// The ternary key an LPM install expands to (so callers can diff or
+  /// retire LPM entries without re-deriving the wildcard layout).
+  std::vector<net::TernaryField> lpm_key(std::uint64_t value,
+                                         std::uint8_t prefix_len) const;
+
+  /// Remove the live (open-window) version of an exact entry; false
+  /// when no live version is installed (entry eviction and
+  /// transactional rollback).
   bool remove_exact(const std::vector<std::uint64_t>& key);
+
+  /// Remove the specific version whose window equals `window` exactly
+  /// (undo of a shadow install); false when absent.
+  bool remove_exact_version(const std::vector<std::uint64_t>& key,
+                            EpochWindow window);
 
   /// Remove one ternary/LPM entry by handle; false when absent.
   bool erase_ternary(std::size_t handle);
 
-  /// The installed entry for `key`, or nullptr (exact tables only).
-  const ExactEntry* find_exact(const std::vector<std::uint64_t>& key) const;
+  /// Cap the live version's window at `last_epoch` (it stops matching
+  /// packets stamped later). False when there is no live version or
+  /// the cap would make the window malformed.
+  bool retire_exact(const std::vector<std::uint64_t>& key,
+                    std::uint32_t last_epoch);
+  /// Undo of retire_exact: re-open the version capped at `last_epoch`.
+  /// False when absent or re-opening would overlap another version.
+  bool unretire_exact(const std::vector<std::uint64_t>& key,
+                      std::uint32_t last_epoch);
 
-  /// Look up the key values in key-component order. Missing fields in
-  /// the packet are the caller's concern (pass nullopt -> miss).
-  LookupResult lookup(
-      const std::vector<std::optional<std::uint64_t>>& key) const;
+  /// Ternary/LPM analogues, addressed by handle.
+  bool retire_ternary(std::size_t handle, std::uint32_t last_epoch);
+  bool unretire_ternary(std::size_t handle, std::uint32_t last_epoch);
+
+  /// The live (open-window) ternary/LPM entry matching key+priority
+  /// exactly, or nullopt (how a retire addresses an entry installed by
+  /// an earlier generation).
+  std::optional<std::size_t> find_ternary(
+      const std::vector<net::TernaryField>& key, std::int32_t priority) const;
+
+  /// The window of a ternary/LPM entry ([0, open] when never tagged).
+  EpochWindow ternary_window(std::size_t handle) const;
+
+  /// Drop every version retired before `min_live` (window.to <
+  /// min_live): generation garbage collection after an update's drain
+  /// completes. Returns the number of entries removed.
+  std::size_t gc(std::uint32_t min_live);
+
+  /// All installed versions of `key`, or nullptr when none (exact
+  /// tables only) — how a validator or recovery pass inspects windows.
+  const std::vector<ExactEntry>* exact_versions(
+      const std::vector<std::uint64_t>& key) const;
+
+  /// The live (open-window) version for `key`, or nullptr (exact
+  /// tables only).
+  const ExactEntry* find_exact(const std::vector<std::uint64_t>& key) const;
+  /// The version visible to a packet stamped `epoch`, or nullptr.
+  const ExactEntry* find_exact(const std::vector<std::uint64_t>& key,
+                               std::uint32_t epoch) const;
+
+  /// Look up the key values in key-component order, as seen by a
+  /// packet stamped `epoch` (entries whose window excludes the epoch
+  /// are invisible). Missing fields in the packet are the caller's
+  /// concern (pass nullopt -> miss).
+  LookupResult lookup(const std::vector<std::optional<std::uint64_t>>& key,
+                      std::uint32_t epoch = 0) const;
 
   std::size_t entry_count() const { return size_; }
   void clear();
@@ -85,7 +171,7 @@ class RuntimeTable {
   void reset_counters() { hits_ = misses_ = 0; }
 
   /// State export (§7 service upgrade / failure handling): enumerate
-  /// installed entries.
+  /// installed entries — every version, retired and shadowed included.
   std::vector<ExactEntry> exact_entries() const;
   /// Ternary/LPM entries (empty for exact tables).
   const std::vector<net::Tcam<ActionCall>::Entry>& ternary_entries() const;
@@ -95,10 +181,13 @@ class RuntimeTable {
   std::size_t size_ = 0;
   mutable std::uint64_t hits_ = 0;
   mutable std::uint64_t misses_ = 0;
-  // Exact storage: concatenated key string -> (key values, action).
-  std::unordered_map<std::string, ExactEntry> exact_;
-  // Ternary/LPM storage.
+  // Exact storage: concatenated key string -> installed versions of
+  // that key (pairwise non-overlapping windows; at most one open).
+  std::unordered_map<std::string, std::vector<ExactEntry>> exact_;
+  // Ternary/LPM storage; windows ride in a side map so the TCAM model
+  // stays epoch-agnostic (absent handle = default window).
   std::optional<net::Tcam<ActionCall>> tcam_;
+  std::map<std::size_t, EpochWindow> ternary_windows_;
 };
 
 }  // namespace dejavu::sim

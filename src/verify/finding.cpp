@@ -96,6 +96,11 @@ const std::vector<CheckInfo>& check_catalog() {
        "the concrete dataplane disagrees with the symbolic prediction "
        "when replaying a witness packet; the explorer's model of the "
        "deployment is wrong"},
+      {"DV-S8", "semantic.epoch-blend", Severity::kError,
+       "a packet path would consult entries of disjoint chain "
+       "generations, or the explored generation is malformed "
+       "(overlapping version windows, or already drained); per-packet "
+       "consistency of live updates is violated"},
   };
   return catalog;
 }

@@ -1,0 +1,64 @@
+// The DropCode vocabulary is an interface: JSON output, chaos
+// invariants, and the update-drain accounting all key on the slugs.
+// These tests keep the code <-> slug <-> description mapping total and
+// bijective, so adding a code without wiring every table is a test
+// failure, not a silent "unknown".
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "sim/drop_reason.hpp"
+
+namespace {
+
+using namespace dejavu;
+using sim::DropCode;
+
+TEST(DropCode, EveryCodeRoundTripsThroughItsSlug) {
+  std::set<std::string> slugs;
+  for (DropCode code : sim::kAllDropCodes) {
+    const std::string slug = sim::drop_code_name(code);
+    EXPECT_NE(slug, "unknown") << "code " << static_cast<int>(code);
+    EXPECT_TRUE(slugs.insert(slug).second) << "duplicate slug " << slug;
+    const auto back = sim::drop_code_from_name(slug);
+    ASSERT_TRUE(back.has_value()) << slug;
+    EXPECT_EQ(*back, code) << slug;
+  }
+  // kAllDropCodes covers the enum except kNone: the count pins the
+  // list against codes added to the enum but not the table.
+  EXPECT_EQ(slugs.size(),
+            static_cast<std::size_t>(DropCode::kUpdateDrained));
+}
+
+TEST(DropCode, NoneRoundTripsToo) {
+  EXPECT_STREQ(sim::drop_code_name(DropCode::kNone), "none");
+  EXPECT_EQ(sim::drop_code_from_name("none"), DropCode::kNone);
+}
+
+TEST(DropCode, EveryCodeHasADescription) {
+  for (DropCode code : sim::kAllDropCodes) {
+    const std::string description = sim::drop_code_description(code);
+    EXPECT_FALSE(description.empty());
+    EXPECT_NE(description, "unknown drop code")
+        << sim::drop_code_name(code);
+  }
+}
+
+TEST(DropCode, UpdateDrainedIsWiredEverywhere) {
+  EXPECT_STREQ(sim::drop_code_name(DropCode::kUpdateDrained),
+               "update-drained");
+  EXPECT_EQ(sim::drop_code_from_name("update-drained"),
+            DropCode::kUpdateDrained);
+  const std::string description =
+      sim::drop_code_description(DropCode::kUpdateDrained);
+  EXPECT_NE(description.find("retired epoch"), std::string::npos);
+}
+
+TEST(DropCode, UnknownSlugsAreRejected) {
+  EXPECT_EQ(sim::drop_code_from_name(""), std::nullopt);
+  EXPECT_EQ(sim::drop_code_from_name("not-a-code"), std::nullopt);
+  EXPECT_EQ(sim::drop_code_from_name("Update-Drained"), std::nullopt);
+}
+
+}  // namespace

@@ -1,0 +1,393 @@
+// Hitless live chain updates (§11): the two-phase epoch flip, the
+// write-ahead journal behind it, per-packet consistency under
+// concurrent replay, and controller crash recovery. The standing
+// oracle throughout is Snapshot::to_text byte-identity: after any
+// crash + recovery the switch must equal either a clean rollback or a
+// clean commit — never a blend of two generations.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "control/deployment.hpp"
+#include "control/journal.hpp"
+#include "control/live_update.hpp"
+#include "control/replay_target.hpp"
+#include "control/snapshot.hpp"
+#include "explore/explorer.hpp"
+#include "route/routing.hpp"
+#include "sim/fault.hpp"
+#include "sim/replay.hpp"
+
+namespace dejavu::control {
+namespace {
+
+/// The canonical update under test: route every chain around the LB.
+route::RoutingPlan bypass_lb_plan(Deployment& dep, sfc::PolicySet& reduced) {
+  for (const sfc::ChainPolicy& p : dep.policies().policies()) {
+    sfc::ChainPolicy rp = p;
+    std::erase(rp.nfs, std::string(sfc::kLoadBalancer));
+    reduced.add(std::move(rp));
+  }
+  route::RoutingPlan plan = route::build_routing(
+      reduced, dep.placement(), dep.dataplane().config());
+  EXPECT_TRUE(plan.feasible) << plan.infeasible_reason;
+  return plan;
+}
+
+RuleDiff bypass_lb_diff(Deployment& dep) {
+  sfc::PolicySet reduced;
+  route::RoutingPlan plan = bypass_lb_plan(dep, reduced);
+  return routing_rule_diff(dep.routing(), plan, dep.dataplane());
+}
+
+/// The committed-state reference: the same diff applied cleanly to a
+/// scratch copy of `dp`.
+std::string committed_reference(Deployment& dep, const RuleDiff& diff) {
+  sim::DataPlane scratch(dep.program(), dep.ids(), dep.dataplane().config());
+  restore_snapshot(take_snapshot(dep.dataplane()), scratch);
+  LiveUpdate clean(scratch);
+  const UpdateReport report = clean.run(diff);
+  EXPECT_TRUE(report.committed) << report.error;
+  return take_snapshot(scratch).to_text();
+}
+
+RuleDiff sample_diff() {
+  RuleDiff diff;
+  RuleOp install;
+  install.kind = RuleOp::Kind::kExact;
+  install.control = "pipelet_ingress0";
+  install.table = "LB.lb_session";
+  install.key = {0x42, 7};
+  install.action = {"LB.modify_dstIp", {{"dip", 0x0a010201}, {"ttl", 64}}};
+  diff.ops.push_back(install);
+
+  // Removals identify the entry by key alone; routing_rule_diff never
+  // sets an action on them, and the journal text format reflects that.
+  RuleOp remove;
+  remove.kind = RuleOp::Kind::kExact;
+  remove.install = false;
+  remove.table = "dejavu_branching";
+  remove.key = {1, 2};
+  diff.ops.push_back(remove);
+
+  RuleOp ternary;
+  ternary.kind = RuleOp::Kind::kTernary;
+  ternary.table = "Classifier.traffic_class";
+  ternary.tkey = {{0x0a000000, 0xff000000}, {0, 0}, {80, 0xffff}};
+  ternary.priority = -3;
+  ternary.action = {"Classifier.classify", {{"path_id", 2}}};
+  diff.ops.push_back(ternary);
+
+  RuleOp reg;
+  reg.kind = RuleOp::Kind::kRegister;
+  reg.control = "pipelet_ingress1";
+  reg.reg = "Limiter.flow_count";
+  reg.index = 9;
+  reg.value = 500;
+  reg.old_value = 123;
+  reg.old_bank_epoch = 4;
+  diff.ops.push_back(reg);
+  return diff;
+}
+
+TEST(Journal, TextRoundTripsExactly) {
+  Journal journal;
+  const RuleDiff diff = sample_diff();
+  const std::uint64_t id = journal.begin(3, 4, diff);
+  journal.append(id, JournalState::kShadowed);
+  journal.append(id, JournalState::kFlipped, "gate moved");
+  journal.append(id, JournalState::kDrained, "drained 5 flushed 1");
+  journal.append(id, JournalState::kCommitted);
+
+  const std::string text = journal.to_text();
+  const Journal parsed = Journal::from_text(text);
+  EXPECT_EQ(parsed, journal);
+  EXPECT_EQ(parsed.to_text(), text);
+  ASSERT_EQ(parsed.records().size(), 5u);
+  EXPECT_EQ(parsed.records()[0].diff, diff);
+  EXPECT_EQ(parsed.records()[2].note, "gate moved");
+
+  // A re-parsed journal keeps allocating fresh update ids.
+  Journal reopened = Journal::from_text(text);
+  EXPECT_EQ(reopened.begin(4, 5, {}), id + 1);
+}
+
+TEST(Journal, PendingTracksTheLatestUnfinishedUpdate) {
+  Journal journal;
+  EXPECT_FALSE(journal.pending().has_value());
+
+  const std::uint64_t first = journal.begin(1, 2, sample_diff());
+  journal.append(first, JournalState::kRolledBack);
+  EXPECT_FALSE(journal.pending().has_value());
+
+  const std::uint64_t second = journal.begin(1, 2, sample_diff());
+  journal.append(second, JournalState::kShadowed);
+  const auto pending = journal.pending();
+  ASSERT_TRUE(pending.has_value());
+  EXPECT_EQ(pending->update_id, second);
+  EXPECT_EQ(pending->from_epoch, 1u);
+  EXPECT_EQ(pending->to_epoch, 2u);
+  EXPECT_EQ(pending->last_state, JournalState::kShadowed);
+  ASSERT_NE(pending->diff, nullptr);
+  EXPECT_EQ(*pending->diff, sample_diff());
+
+  journal.append(second, JournalState::kCommitted);
+  EXPECT_FALSE(journal.pending().has_value());
+}
+
+TEST(Journal, MalformedTextThrows) {
+  EXPECT_THROW(Journal::from_text("gibberish line\n"), std::invalid_argument);
+  EXPECT_THROW(Journal::from_text("begin id=notanumber from=1 to=2\n"),
+               std::invalid_argument);
+  EXPECT_THROW(Journal::from_text("shadowed id=9\nbegin id=1 from=0 to=1\n"
+                                  "op exact install control= table=t key=x "
+                                  "action=a args=\n"),
+               std::invalid_argument);
+}
+
+TEST(LiveUpdate, TwoPhaseCommitAdvancesTheEpoch) {
+  auto fx = make_fig9_deployment();
+  Deployment& dep = *fx.deployment;
+  sim::DataPlane& dp = dep.dataplane();
+  const std::uint32_t from = dp.epoch();
+  const RuleDiff diff = bypass_lb_diff(dep);
+  const std::string committed_ref = committed_reference(dep, diff);
+
+  Journal journal;
+  LiveUpdate update(dp, &journal);
+  const UpdateReport report = update.run(diff);
+  ASSERT_TRUE(report.committed) << report.error;
+  EXPECT_FALSE(report.crashed);
+  EXPECT_EQ(report.from_epoch, from);
+  EXPECT_EQ(report.to_epoch, from + 1);
+  EXPECT_EQ(dp.epoch(), from + 1);
+  EXPECT_EQ(dp.min_live_epoch(), from + 1);
+  EXPECT_EQ(take_snapshot(dp).to_text(), committed_ref);
+
+  // Every phase journaled, in WAL order.
+  std::vector<JournalState> states;
+  for (const JournalRecord& r : journal.records()) states.push_back(r.state);
+  EXPECT_EQ(states,
+            (std::vector<JournalState>{
+                JournalState::kBegun, JournalState::kShadowed,
+                JournalState::kFlipped, JournalState::kDrained,
+                JournalState::kCommitted}));
+}
+
+TEST(LiveUpdate, EmptyDiffIsRefusedWithoutJournaling) {
+  auto fx = make_fig9_deployment();
+  sim::DataPlane& dp = fx.deployment->dataplane();
+  const std::string before = take_snapshot(dp).to_text();
+
+  Journal journal;
+  LiveUpdate update(dp, &journal);
+  const UpdateReport report = update.run(RuleDiff{});
+  EXPECT_FALSE(report.committed);
+  EXPECT_FALSE(report.error.empty());
+  EXPECT_TRUE(journal.records().empty());
+  EXPECT_EQ(take_snapshot(dp).to_text(), before);
+}
+
+TEST(LiveUpdate, ShadowFaultAbortsAndRollsBackByteIdentical) {
+  auto fx = make_fig9_deployment();
+  Deployment& dep = *fx.deployment;
+  sim::DataPlane& dp = dep.dataplane();
+  const std::uint32_t from = dp.epoch();
+  const std::string before = take_snapshot(dp).to_text();
+
+  sim::FaultPlan plan;
+  sim::FaultEvent ev;
+  ev.kind = sim::FaultKind::kWriteFail;
+  ev.op_index = 1;
+  ev.count = 100;  // beyond any retry budget
+  plan.events.push_back(ev);
+  sim::FaultInjector injector(plan);
+
+  Journal journal;
+  LiveUpdate update(dp, &journal);
+  const UpdateReport report = update.run(bypass_lb_diff(dep), &injector);
+  EXPECT_FALSE(report.committed);
+  EXPECT_TRUE(report.rolled_back);
+  EXPECT_EQ(dp.epoch(), from);
+  EXPECT_EQ(take_snapshot(dp).to_text(), before);
+  ASSERT_FALSE(journal.records().empty());
+  EXPECT_EQ(journal.records().back().state, JournalState::kAborted);
+  EXPECT_FALSE(journal.pending().has_value());
+}
+
+class LiveUpdateRecovery : public ::testing::TestWithParam<CrashPoint> {};
+
+TEST_P(LiveUpdateRecovery, CrashThenRecoverLandsOnTheCommittedState) {
+  auto fx = make_fig9_deployment();
+  Deployment& dep = *fx.deployment;
+  sim::DataPlane& dp = dep.dataplane();
+  const RuleDiff diff = bypass_lb_diff(dep);
+  const std::string committed_ref = committed_reference(dep, diff);
+
+  Journal journal;
+  LiveUpdateOptions options;
+  options.crash_point = GetParam();
+  LiveUpdate update(dp, &journal, options);
+  const UpdateReport report = update.run(diff);
+  ASSERT_TRUE(report.crashed);
+  ASSERT_FALSE(report.committed);
+  ASSERT_TRUE(journal.pending().has_value());
+
+  const RecoveryReport recovery = recover(dp, journal);
+  EXPECT_EQ(recovery.action, RecoveryAction::kRolledForward)
+      << recovery.to_string();
+  EXPECT_EQ(take_snapshot(dp).to_text(), committed_ref);
+  EXPECT_FALSE(journal.pending().has_value());
+  EXPECT_EQ(journal.records().back().state, JournalState::kCommitted);
+
+  // Recovery is idempotent: a second restart finds nothing pending.
+  const RecoveryReport again = recover(dp, journal);
+  EXPECT_EQ(again.action, RecoveryAction::kNone);
+  EXPECT_EQ(take_snapshot(dp).to_text(), committed_ref);
+}
+
+INSTANTIATE_TEST_SUITE_P(CrashPoints, LiveUpdateRecovery,
+                         ::testing::Values(CrashPoint::kAfterShadow,
+                                           CrashPoint::kAfterFlip,
+                                           CrashPoint::kAfterDrain),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case CrashPoint::kAfterShadow:
+                               return "AfterShadow";
+                             case CrashPoint::kAfterFlip:
+                               return "AfterFlip";
+                             case CrashPoint::kAfterDrain:
+                               return "AfterDrain";
+                             default:
+                               return "None";
+                           }
+                         });
+
+TEST(LiveUpdateRecoveryFromText, ReparsedJournalRecoversIdentically) {
+  // The WAL is only worth its name if recovery works from the re-read
+  // text exactly as from the in-memory journal.
+  auto fx = make_fig9_deployment();
+  Deployment& dep = *fx.deployment;
+  sim::DataPlane& dp = dep.dataplane();
+  const RuleDiff diff = bypass_lb_diff(dep);
+  const std::string committed_ref = committed_reference(dep, diff);
+
+  Journal journal;
+  LiveUpdateOptions options;
+  options.crash_point = CrashPoint::kAfterShadow;
+  LiveUpdate update(dp, &journal, options);
+  ASSERT_TRUE(update.run(diff).crashed);
+
+  Journal reparsed = Journal::from_text(journal.to_text());
+  const RecoveryReport recovery = recover(dp, reparsed);
+  EXPECT_EQ(recovery.action, RecoveryAction::kRolledForward);
+  EXPECT_EQ(take_snapshot(dp).to_text(), committed_ref);
+}
+
+TEST(LiveUpdateRecovery, BegunButUntouchedSwitchRollsBackToItself) {
+  // Crash after the intent hit the WAL but before any write landed:
+  // nothing to adopt, nothing to undo — recovery must leave the switch
+  // byte-identical and close out the journal.
+  auto fx = make_fig9_deployment();
+  Deployment& dep = *fx.deployment;
+  sim::DataPlane& dp = dep.dataplane();
+  const std::string before = take_snapshot(dp).to_text();
+
+  Journal journal;
+  journal.begin(dp.epoch(), dp.epoch() + 1, bypass_lb_diff(dep));
+
+  const RecoveryReport recovery = recover(dp, journal);
+  EXPECT_EQ(recovery.action, RecoveryAction::kRolledBack)
+      << recovery.to_string();
+  EXPECT_EQ(take_snapshot(dp).to_text(), before);
+  EXPECT_FALSE(journal.pending().has_value());
+}
+
+TEST(ReplayUnderUpdate, CountersBitIdenticalAcrossWorkerCounts) {
+  // The §11 per-packet consistency claim, end to end: an update flips
+  // mid-stream, and the merged counters — including the per-epoch
+  // packet attribution — are a pure function of the flow set,
+  // identical at 1, 2, and 8 workers.
+  auto run_at = [](std::uint32_t workers) {
+    sim::ReplayEngine engine(fig2_replay_factory());
+    sim::ReplayConfig config;
+    config.workers = workers;
+    config.packets_per_flow = 6;
+    config.update = sim::ReplayConfig::ReplayUpdate{};
+    config.update->at_packet = 3;
+    config.update->apply = [](sim::ReplayTarget& t, std::uint32_t) {
+      auto& dt = static_cast<DeploymentTarget&>(t);
+      Deployment& dep = *dt.fixture().deployment;
+      LiveUpdate update(t.dataplane());
+      const UpdateReport report = update.run(bypass_lb_diff(dep));
+      ASSERT_TRUE(report.committed) << report.error;
+    };
+    return engine.run(fig2_replay_flows(48), config);
+  };
+
+  const sim::ReplayReport one = run_at(1);
+  const sim::ReplayReport two = run_at(2);
+  const sim::ReplayReport eight = run_at(8);
+  EXPECT_EQ(one.counters, two.counters);
+  EXPECT_EQ(one.counters, eight.counters);
+
+  // Every packet is attributable to exactly one generation, and both
+  // generations saw traffic (the flip is mid-stream).
+  std::uint64_t attributed = 0;
+  for (const auto& [epoch, n] : one.counters.packets_by_epoch) {
+    attributed += n;
+  }
+  EXPECT_EQ(attributed, one.counters.packets);
+  EXPECT_EQ(one.counters.packets_by_epoch.size(), 2u);
+}
+
+TEST(ExplorerEpochs, DrainedGenerationIsFlaggedDvS8) {
+  auto fx = make_fig9_deployment();
+  sim::DataPlane& dp = fx.deployment->dataplane();
+  dp.set_epoch(1);
+  dp.set_min_live_epoch(1);
+
+  explore::ExploreOptions options;
+  options.epoch = 0;  // a generation the switch already drained
+  options.differential = false;
+  const explore::ExploreResult result =
+      explore::run(dp, fx.policies, options);
+  EXPECT_TRUE(result.report.has("DV-S8")) << result.report.to_string();
+  EXPECT_FALSE(result.report.ok());
+}
+
+TEST(ExplorerEpochs, MidUpdateGenerationsExploreCleanSeparately) {
+  // Crash after shadow: both generations coexist on the switch. Each
+  // one must verify clean on its own — proving the epoch windows keep
+  // them apart — and neither exploration may report a DV-S8 blend.
+  auto fx = make_fig9_deployment();
+  Deployment& dep = *fx.deployment;
+  sim::DataPlane& dp = dep.dataplane();
+  const std::uint32_t from = dp.epoch();
+
+  sfc::PolicySet reduced;
+  route::RoutingPlan plan = bypass_lb_plan(dep, reduced);
+  const RuleDiff diff = routing_rule_diff(dep.routing(), plan, dp);
+  Journal journal;
+  LiveUpdateOptions options;
+  options.crash_point = CrashPoint::kAfterShadow;
+  LiveUpdate update(dp, &journal, options);
+  ASSERT_TRUE(update.run(diff).crashed);
+
+  explore::ExploreOptions old_gen;
+  old_gen.epoch = from;
+  const explore::ExploreResult old_result =
+      explore::run(dp, fx.policies, old_gen);
+  EXPECT_TRUE(old_result.report.ok()) << old_result.report.to_string();
+
+  explore::ExploreOptions new_gen;
+  new_gen.epoch = from + 1;
+  const explore::ExploreResult new_result =
+      explore::run(dp, reduced, new_gen);
+  EXPECT_FALSE(new_result.report.has("DV-S8"))
+      << new_result.report.to_string();
+}
+
+}  // namespace
+}  // namespace dejavu::control

@@ -200,6 +200,80 @@ TEST(ChainRepair, ReplaceRebuildsAndMigratesState) {
   EXPECT_GE(repaired, 0.95);
 }
 
+// §11 motivation, pinned: a packet that punted to the CPU before a
+// bypass repair and reinjects after it. The legacy stop-the-world swap
+// (hitless=false) leaves the version gate alone, so the old packet
+// resumes mid-chain on the rewired ruleset — a mixed-generation
+// traversal that dies as an unattributable ingress drop (in other
+// layouts it is silently misdelivered). The hitless path retires the
+// old generation first: the same reinjection drains cleanly with
+// kUpdateDrained, naming the generation it belonged to.
+TEST(ChainRepair, LegacySwapLeaksAMixedGenerationPacket) {
+  auto hold_punt = [](Deployment& dep) {
+    // First path-1 injection misses the LB session table and punts;
+    // hold the punt instead of servicing it (an in-flight packet).
+    for (const auto& rf : fig2_replay_flows(30)) {
+      if (rf.path_id != 1) continue;
+      auto out = dep.dataplane().process(rf.flow.packet(), rf.in_port);
+      if (!out.to_cpu.empty()) return out.to_cpu[0];
+    }
+    ADD_FAILURE() << "no flow punted";
+    return sim::SwitchOutput::CpuPunt{};
+  };
+  auto reinject = [](Deployment& dep, const sim::SwitchOutput::CpuPunt& p) {
+    return dep.dataplane().process(p.packet, p.in_port, /*from_cpu=*/true,
+                                   p.epoch);
+  };
+
+  {  // Baseline: no swap — the held punt is still a live in-flight
+     // packet on its own generation, not a drop.
+    auto fx = make_fig9_deployment();
+    const auto punt = hold_punt(*fx.deployment);
+    const auto out = reinject(*fx.deployment, punt);
+    EXPECT_FALSE(out.dropped) << out.drop_reason;
+    EXPECT_EQ(out.epoch, 0u);
+  }
+
+  {  // Legacy stop-the-world swap: the reinjected packet crosses into
+     // the new generation and is lost without attribution.
+    auto fx = make_fig9_deployment();
+    const auto punt = hold_punt(*fx.deployment);
+    RepairPolicy policy;
+    policy.hitless = false;
+    ChainRepair repair(*fx.deployment, policy);
+    const RepairReport report = repair.bypass(sfc::kVgw);
+    ASSERT_TRUE(report.succeeded) << report.to_string();
+    EXPECT_EQ(fx.deployment->dataplane().epoch(), 0u);  // no gate flip
+
+    const auto out = reinject(*fx.deployment, punt);
+    EXPECT_TRUE(out.dropped);
+    EXPECT_NE(out.drop_code, sim::DropCode::kUpdateDrained)
+        << "legacy path has no drain accounting";
+  }
+
+  {  // Hitless swap: the old generation is drained before GC, so the
+     // late reinjection is refused with the drain code — attributable,
+     // never a mixed-generation traversal.
+    auto fx = make_fig9_deployment();
+    sim::DataPlane& dp = fx.deployment->dataplane();
+    const auto punt = hold_punt(*fx.deployment);
+    ChainRepair repair(*fx.deployment);  // hitless is the default
+    const RepairReport report = repair.bypass(sfc::kVgw);
+    ASSERT_TRUE(report.succeeded) << report.to_string();
+    EXPECT_EQ(dp.epoch(), 1u);
+    EXPECT_EQ(dp.min_live_epoch(), 1u);
+    // The drain phase accounted for (and flushed) the abandoned punt.
+    EXPECT_EQ(dp.punts_outstanding_below(1), 0u);
+    EXPECT_EQ(report.update.flushed, 1u);
+
+    const auto out = reinject(*fx.deployment, punt);
+    EXPECT_TRUE(out.dropped);
+    EXPECT_EQ(out.drop_code, sim::DropCode::kUpdateDrained);
+    EXPECT_NE(out.drop_reason.find("min live epoch 1"), std::string::npos)
+        << out.drop_reason;
+  }
+}
+
 TEST(NfStateSnapshot, ExcludesFrameworkTables) {
   auto fx = make_fig9_deployment();
   const Snapshot snap = nf_state_snapshot(fx.deployment->dataplane());

@@ -231,6 +231,65 @@ TEST(Transaction, RegisterWritesRollBackToo) {
   EXPECT_EQ(take_snapshot(dp).to_text(), before);
 }
 
+TEST(Transaction, EmptyBatchCommitsAsNoOp) {
+  auto fx = make_fig9_deployment();
+  sim::DataPlane& dp = fx.deployment->dataplane();
+  const std::string before = take_snapshot(dp).to_text();
+
+  Transaction txn(dp);
+  const auto result = txn.commit();
+  EXPECT_TRUE(result.committed) << result.to_string();
+  EXPECT_EQ(result.applied, 0u);
+  EXPECT_EQ(result.retries, 0u);
+  EXPECT_EQ(take_snapshot(dp).to_text(), before);
+}
+
+TEST(Transaction, DoubleCommitThrowsEvenAfterRollback) {
+  auto fx = make_fig9_deployment();
+  const sim::FaultPlan plan = write_fail_plan(/*op_index=*/0, /*count=*/10);
+  sim::FaultInjector injector(plan);
+  Transaction txn(fx.deployment->dataplane(), RetryPolicy{}, &injector);
+  txn.install_exact("LB.lb_session", {0x90},
+                    {"LB.modify_dstIp", {{"dip", 5}}});
+  const auto result = txn.commit();
+  EXPECT_FALSE(result.committed);
+  EXPECT_TRUE(result.rolled_back);
+  // A rolled-back transaction is spent: re-committing must not replay
+  // the batch against the switch.
+  EXPECT_THROW(txn.commit(), std::logic_error);
+}
+
+TEST(Transaction, FaultOnFinalRegisterWriteRollsBackEverything) {
+  // The failing op is the *last* in the batch, and a register write —
+  // every earlier table op was already applied, and the undo log must
+  // unwind them all plus leave the register untouched.
+  auto d = make_stateful_deployment();
+  sim::DataPlane& dp = d->dataplane();
+  auto loc = d->placement().find("Limiter");
+  ASSERT_TRUE(loc.has_value());
+  const std::string ctrl = merge::pipelet_control_name(loc->pipelet);
+  auto* cells = dp.register_array(ctrl, "Limiter.flow_count");
+  ASSERT_NE(cells, nullptr);
+  (*cells)[9] = 777;
+  const std::string before = take_snapshot(dp).to_text();
+
+  const sim::FaultPlan plan = write_fail_plan(/*op_index=*/2, /*count=*/10);
+  sim::FaultInjector injector(plan);
+  Transaction txn(dp, RetryPolicy{}, &injector);
+  txn.install_lpm("Router.ipv4_lpm", net::Ipv4Addr(10, 66, 0, 0).value(), 16,
+                  {"Router.route", {{"port", 1}, {"dmac", 0x66}}});
+  txn.install_ternary("Classifier.traffic_class", {{0, 0}, {0, 0}, {0, 0}},
+                      /*priority=*/2, {"Classifier.classify",
+                                       {{"path_id", 1}, {"tenant", 1}}});
+  txn.write_register(ctrl, "Limiter.flow_count", 9, 888);  // op 2: fails
+  const auto result = txn.commit();
+  EXPECT_FALSE(result.committed);
+  EXPECT_TRUE(result.rolled_back);
+  EXPECT_EQ(result.applied, 2u);
+  EXPECT_EQ((*cells)[9], 777u);
+  EXPECT_EQ(take_snapshot(dp).to_text(), before);
+}
+
 TEST(Transaction, RegisterValidation) {
   auto d = make_stateful_deployment();
   auto loc = d->placement().find("Limiter");

@@ -5,9 +5,13 @@
 // drive.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+
+#include "bench_util.hpp"
 #include "control/deployment.hpp"
 #include "nf/parser_lib.hpp"
 #include "sfc/header.hpp"
+#include "sim/compiled/compiled_pipeline.hpp"
 #include "sim/dataplane.hpp"
 #include "sim/parse.hpp"
 
@@ -79,6 +83,19 @@ void BM_EndToEndFig2(benchmark::State& state) {
 }
 BENCHMARK(BM_EndToEndFig2);
 
+void BM_EndToEndFig2Compiled(benchmark::State& state) {
+  auto fx = control::make_fig2_deployment();
+  sim::CompiledPipeline fast(fx.deployment->dataplane());
+  net::PacketSpec spec;
+  spec.ip_dst = net::Ipv4Addr(10, 3, 0, 1);
+  auto packet = net::Packet::make(spec);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fast.process(packet, 0));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EndToEndFig2Compiled);
+
 void BM_SfcPushPop(benchmark::State& state) {
   auto packet = net::Packet::make({});
   for (auto _ : state) {
@@ -89,6 +106,49 @@ void BM_SfcPushPop(benchmark::State& state) {
 }
 BENCHMARK(BM_SfcPushPop);
 
+/// Quick headline measurement (outside the google-benchmark timers)
+/// recorded as BENCH_dataplane.json: per-packet nanoseconds through
+/// the composed Fig. 2 program on both engines, path 3 steady state.
+void emit_bench_json() {
+  auto fx = control::make_fig2_deployment();
+  sim::DataPlane& dp = fx.deployment->dataplane();
+  sim::CompiledPipeline fast(dp);
+  net::PacketSpec spec;
+  spec.ip_dst = net::Ipv4Addr(10, 3, 0, 1);
+  const auto packet = net::Packet::make(spec);
+  constexpr int kPackets = 20000;
+
+  auto time_ns = [&](auto&& process) {
+    process(packet);  // warm
+    const auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < kPackets; ++i) {
+      benchmark::DoNotOptimize(process(packet));
+    }
+    return std::chrono::duration<double, std::nano>(
+               std::chrono::steady_clock::now() - start)
+               .count() /
+           kPackets;
+  };
+  const double interp_ns =
+      time_ns([&](const net::Packet& p) { return dp.process(p, 0); });
+  const double compiled_ns =
+      time_ns([&](const net::Packet& p) { return fast.process(p, 0); });
+
+  bench::BenchJson json("dataplane");
+  json.add("target", std::string("fig2-chain/path3"));
+  json.add("packets", static_cast<std::uint64_t>(kPackets));
+  json.add("interpreter_ns_per_packet", interp_ns);
+  json.add("compiled_ns_per_packet", compiled_ns);
+  json.add("speedup_compiled_vs_interp",
+           compiled_ns > 0 ? interp_ns / compiled_ns : 0);
+  json.write();
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  emit_bench_json();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

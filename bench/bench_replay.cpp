@@ -110,6 +110,83 @@ void print_update_in_flight() {
               "changes; every packet lands in exactly one generation)\n");
 }
 
+/// The headline trajectory metric (ISSUE 6 acceptance): interpreter
+/// vs compiled fast path on the identical fig2 workload, recorded in
+/// BENCH_replay.json. The merged counters are asserted equal here too
+/// — a bench that quietly compared different work would be worthless.
+void print_engine_comparison() {
+  bench::heading("Engine comparison: interpreter vs compiled fast path");
+  const auto flows = control::fig2_replay_flows(/*total_flows=*/240);
+  bench::BenchJson json("replay");
+  json.add("target", std::string("fig2-chain/fig9-placement"));
+  json.add("flows", static_cast<std::uint64_t>(flows.size()));
+  json.add("packets_per_flow", std::uint64_t{24});
+
+  std::printf("%-13s %-9s %-12s %-14s %-12s %-10s\n", "engine", "workers",
+              "wall (s)", "pps", "ns/packet", "fallback");
+  sim::ReplayCounters interp_counters;
+  double interp_pps = 0;
+  double compiled_pps = 0;
+  for (const sim::EngineKind kind :
+       {sim::EngineKind::kInterpreter, sim::EngineKind::kCompiled}) {
+    const bool compiled = kind == sim::EngineKind::kCompiled;
+    const char* name = compiled ? "compiled" : "interpreter";
+    for (const std::uint32_t workers : {1u, 8u}) {
+      sim::ReplayEngine engine(control::fig2_replay_factory());
+      sim::ReplayConfig config = sweep_config(workers);
+      config.engine = kind;
+      // 24 packets per flow: the compiled side finishes 1920 packets in
+      // ~4 ms, too short for a stable wall-clock pps on a busy host.
+      config.packets_per_flow = 24;
+      engine.run(flows, config);  // warm: LB sessions + (re)compile
+      sim::ReplayReport best;
+      for (int rep = 0; rep < 5; ++rep) {
+        sim::ReplayReport report = engine.run(flows, config);
+        if (rep == 0 ||
+            report.packets_per_second() > best.packets_per_second()) {
+          best = std::move(report);
+        }
+      }
+      const double pps = best.packets_per_second();
+      const double ns =
+          pps > 0 ? 1e9 / pps * workers : 0;  // per-worker service time
+      const double fallback_rate =
+          best.counters.packets > 0
+              ? static_cast<double>(best.fallback_packets) /
+                    static_cast<double>(best.counters.packets)
+              : 0;
+      std::printf("%-13s %-9u %-12.3f %-14.0f %-12.1f %-10.4f\n", name,
+                  workers, best.wall_seconds, pps, ns, fallback_rate);
+
+      if (workers == 1) {
+        if (compiled) {
+          compiled_pps = pps;
+        } else {
+          interp_pps = pps;
+          interp_counters = best.counters;
+        }
+        const std::string prefix = name;
+        json.add(prefix + "_pps", pps);
+        json.add(prefix + "_ns_per_packet", pps > 0 ? 1e9 / pps : 0);
+        json.add(prefix + "_fallback_rate", fallback_rate);
+        json.add(prefix + "_compiled_packets", best.compiled_packets);
+        if (compiled &&
+            !(best.counters == interp_counters)) {
+          std::printf("ENGINE DISAGREEMENT: compiled counters differ from "
+                      "interpreter — bench numbers are not comparable\n");
+        }
+      } else {
+        json.add(std::string(name) + "_pps_workers8", pps);
+      }
+    }
+  }
+  const double speedup = interp_pps > 0 ? compiled_pps / interp_pps : 0;
+  json.add("speedup_compiled_vs_interp", speedup);
+  std::printf("compiled fast path: %.2fx the interpreter (single worker)\n",
+              speedup);
+  json.write();
+}
+
 void BM_ReplayWorkers(benchmark::State& state) {
   static const auto flows = control::fig2_replay_flows(/*total_flows=*/80);
   static std::map<std::int64_t, std::unique_ptr<sim::ReplayEngine>> engines;
@@ -138,6 +215,7 @@ BENCHMARK(BM_ReplayWorkers)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
 int main(int argc, char** argv) {
   print_scaling_sweep();
   print_update_in_flight();
+  print_engine_comparison();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -1,11 +1,16 @@
 // Shared helpers for the reproduction benches: each binary prints the
 // paper row/series it regenerates (plus our measured values) before
 // running its google-benchmark timers, so `./bench_x` alone shows the
-// full comparison.
+// full comparison. BenchJson records the headline numbers as
+// checked-in BENCH_<name>.json artifacts — the perf trajectory CI
+// uploads on every run.
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace dejavu::bench {
 
@@ -16,5 +21,57 @@ inline void heading(const std::string& title) {
 inline void subheading(const std::string& title) {
   std::printf("-- %s --\n", title.c_str());
 }
+
+/// Flat-key JSON bench reporter. Keys keep insertion order so diffs of
+/// successive trajectory snapshots stay readable; values are numbers
+/// or plain strings. write() lands in $DEJAVU_BENCH_DIR (when set) or
+/// the working directory as BENCH_<name>.json.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name) : name_(std::move(name)) {}
+
+  void add(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    fields_.emplace_back(key, buf);
+  }
+  void add(const std::string& key, std::uint64_t value) {
+    fields_.emplace_back(key, std::to_string(value));
+  }
+  void add(const std::string& key, int value) {
+    fields_.emplace_back(key, std::to_string(value));
+  }
+  /// `value` must not need JSON escaping (bench labels never do).
+  void add(const std::string& key, const std::string& value) {
+    fields_.emplace_back(key, "\"" + value + "\"");
+  }
+
+  std::string path() const {
+    const char* dir = std::getenv("DEJAVU_BENCH_DIR");
+    const std::string base = (dir != nullptr && *dir != '\0') ? dir : ".";
+    return base + "/BENCH_" + name_ + ".json";
+  }
+
+  bool write() const {
+    const std::string file = path();
+    std::FILE* out = std::fopen(file.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "BenchJson: cannot write %s\n", file.c_str());
+      return false;
+    }
+    std::fprintf(out, "{\n  \"bench\": \"%s\"", name_.c_str());
+    for (const auto& [key, value] : fields_) {
+      std::fprintf(out, ",\n  \"%s\": %s", key.c_str(), value.c_str());
+    }
+    std::fprintf(out, "\n}\n");
+    std::fclose(out);
+    std::printf("wrote %s\n", file.c_str());
+    return true;
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
 
 }  // namespace dejavu::bench

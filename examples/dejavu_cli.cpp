@@ -8,7 +8,8 @@
 //   $ ./dejavu_cli resources [--fig9]
 //   $ ./dejavu_cli throughput <offered-gbps> [--fig9]
 //   $ ./dejavu_cli send <dst-ip> [count] [--fig9]
-//   $ ./dejavu_cli replay [workers] [flows] [packets-per-flow] [--fig9]
+//   $ ./dejavu_cli replay [workers] [flows] [packets-per-flow]
+//                         [--engine=compiled|interp] [--fig9]
 //   $ ./dejavu_cli p4info [--fig9]
 //   $ ./dejavu_cli lint [--json] [--target NAME]... [--all]
 //                       [--fixture NAME]... [--fixtures] [--fig9]
@@ -117,12 +118,13 @@ int cmd_send(control::Fig2Deployment& fx, const char* dst_text, int count) {
   return 0;
 }
 
-int cmd_replay(bool fig9, std::uint32_t workers, std::uint32_t flows,
-               std::uint32_t packets_per_flow) {
+int cmd_replay(bool fig9, sim::EngineKind engine_kind, std::uint32_t workers,
+               std::uint32_t flows, std::uint32_t packets_per_flow) {
   sim::ReplayEngine engine(control::fig2_replay_factory(fig9));
   sim::ReplayConfig config;
   config.workers = workers;
   config.packets_per_flow = packets_per_flow;
+  config.engine = engine_kind;
   const auto replay_flows = control::fig2_replay_flows(flows);
   auto report = engine.run(replay_flows, config);
   std::printf("%s", report.to_table().c_str());
@@ -641,9 +643,12 @@ void usage() {
                "  resources                Table-1 style report\n"
                "  throughput <gbps>        predicted per-chain delivery\n"
                "  send <dst-ip> [count]    inject test packets\n"
-               "  replay [workers] [flows] [pkts/flow]\n"
+               "  replay [workers] [flows] [pkts/flow] "
+               "[--engine=compiled|interp]\n"
                "                           parallel traffic replay + "
-               "measured throughput\n"
+               "measured throughput;\n"
+               "                           --engine=compiled runs the "
+               "trace-compiled fast path\n"
                "  p4info                   control-plane JSON description\n"
                "  lint [--json] [--target fig2|fig9|quickstart|stateful]...\n"
                "       [--all] [--fixture NAME]... [--fixtures]\n"
@@ -715,12 +720,30 @@ int main(int argc, char** argv) {
     }
   }
   if (args[0] == "replay") {
+    sim::EngineKind engine = sim::EngineKind::kInterpreter;
+    bool bad_engine = false;
+    std::erase_if(args, [&](const std::string& a) {
+      if (a.rfind("--engine=", 0) != 0) return false;
+      const std::string value = a.substr(std::strlen("--engine="));
+      if (value == "compiled") {
+        engine = sim::EngineKind::kCompiled;
+      } else if (value == "interp") {
+        engine = sim::EngineKind::kInterpreter;
+      } else {
+        std::fprintf(stderr, "replay: unknown engine '%s' "
+                     "(expected compiled|interp)\n", value.c_str());
+        bad_engine = true;
+      }
+      return true;
+    });
+    if (bad_engine) return 2;
     const auto arg_or = [&](std::size_t i, std::uint32_t fallback) {
       return args.size() > i
                  ? static_cast<std::uint32_t>(std::atoi(args[i].c_str()))
                  : fallback;
     };
-    return cmd_replay(fig9, arg_or(1, 4), arg_or(2, 100), arg_or(3, 4));
+    return cmd_replay(fig9, engine, arg_or(1, 4), arg_or(2, 100),
+                      arg_or(3, 4));
   }
 
   auto fx = fig9 ? control::make_fig9_deployment()

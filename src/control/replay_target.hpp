@@ -19,19 +19,28 @@ class DeploymentTarget : public sim::ReplayTarget {
   explicit DeploymentTarget(Fig2Deployment fx, bool service_punts = true)
       : fx_(std::move(fx)), service_punts_(service_punts) {}
 
-  sim::SwitchOutput inject(net::Packet packet, std::uint16_t in_port) override {
-    if (service_punts_) {
-      return fx_.deployment->control().inject(std::move(packet), in_port);
-    }
-    return fx_.deployment->dataplane().process(std::move(packet), in_port);
-  }
+  sim::SwitchOutput inject(net::Packet packet, std::uint16_t in_port) override;
   sim::DataPlane& dataplane() override { return fx_.deployment->dataplane(); }
+
+  /// kCompiled lowers the deployed chain, seeded from the deployment's
+  /// explorer path equivalence classes (run lazily on first switch).
+  /// First-pass punts still traverse the control plane's interpreter
+  /// slow path — exactly the Fig. 4 division of labor.
+  void set_engine(sim::EngineKind kind) override;
+  sim::EngineKind engine() const override { return engine_; }
+  std::uint64_t compiled_packets() const override;
+  std::uint64_t fallback_packets() const override;
+
+  /// The live compiled engine, or nullptr while on the interpreter.
+  sim::CompiledPipeline* compiled() { return compiled_.get(); }
 
   Fig2Deployment& fixture() { return fx_; }
 
  private:
   Fig2Deployment fx_;
   bool service_punts_;
+  std::unique_ptr<sim::CompiledPipeline> compiled_;
+  sim::EngineKind engine_ = sim::EngineKind::kInterpreter;
 };
 
 /// Factory building one private Fig. 2 deployment per worker (pinned

@@ -1,0 +1,1119 @@
+#include "sim/compiled/compiled_pipeline.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "merge/compose.hpp"
+#include "net/checksum.hpp"
+#include "sfc/header.hpp"
+#include "sim/bits.hpp"
+#include "sim/parse.hpp"
+
+namespace dejavu::sim {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+// Compile-gate witnesses replayed before the fast path goes live;
+// beyond this the seed still defines shapes but validation is capped.
+constexpr std::size_t kMaxValidatedWitnesses = 128;
+// Safety valve on the no-seed shape universe (paths through the parser
+// DAG); overflowing graphs are not worth compiling.
+constexpr std::size_t kMaxShapes = 65536;
+
+std::uint64_t shape_extend(std::uint64_t hash, std::uint16_t header) {
+  return (hash ^ (std::uint64_t{header} + 1)) * kFnvPrime;
+}
+
+}  // namespace
+
+bool semantically_equal(const SwitchOutput& a, const SwitchOutput& b) {
+  if (a.dropped != b.dropped || a.drop_code != b.drop_code ||
+      a.drop_reason != b.drop_reason || a.epoch != b.epoch ||
+      a.resubmissions != b.resubmissions ||
+      a.recirculations != b.recirculations ||
+      a.recirc_ports != b.recirc_ports || a.out.size() != b.out.size() ||
+      a.to_cpu.size() != b.to_cpu.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.out.size(); ++i) {
+    if (a.out[i].port != b.out[i].port || a.out[i].packet != b.out[i].packet) {
+      return false;
+    }
+  }
+  for (std::size_t i = 0; i < a.to_cpu.size(); ++i) {
+    if (a.to_cpu[i].in_port != b.to_cpu[i].in_port ||
+        a.to_cpu[i].epoch != b.to_cpu[i].epoch ||
+        a.to_cpu[i].packet != b.to_cpu[i].packet) {
+      return false;
+    }
+  }
+  return true;
+}
+
+CompiledPipeline::CompiledPipeline(DataPlane& dp, CompileSeed seed)
+    : dp_(&dp), seed_(std::move(seed)) {
+  recompile();
+}
+
+bool CompiledPipeline::recompile() {
+  attempted_ = true;
+  attempted_epoch_ = dp_->epoch();
+  std::string err;
+  compiled_ok_ = compile(&err);
+  if (compiled_ok_) {
+    ++stats_.recompiles;
+    compile_error_.clear();
+  } else {
+    ++stats_.failed_compiles;
+    compile_error_ = err;
+  }
+  return compiled_ok_;
+}
+
+bool CompiledPipeline::ensure_valid() {
+  if (compiled_ok_) {
+    if (compiled_epoch_ == dp_->epoch()) {
+      bool stale = false;
+      for (const auto& [rt, rev] : revisions_) {
+        if (rt->revision() != rev) {
+          stale = true;
+          break;
+        }
+      }
+      if (!stale) return true;
+    }
+    return recompile();
+  }
+  // A failed compile (uncompilable construct) rarely heals on rule
+  // churn alone; retry only when the generation moves, and stay on the
+  // always-correct interpreter otherwise.
+  if (attempted_ && attempted_epoch_ == dp_->epoch()) return false;
+  return recompile();
+}
+
+// --- compilation -----------------------------------------------------
+
+CompiledPipeline::FieldRefC CompiledPipeline::resolve_header_field(
+    const std::string& dotted) const {
+  FieldRefC out;
+  auto ref = p4ir::FieldRef::parse(dotted);
+  if (!ref) return out;
+  auto hit = header_index_.find(ref->header);
+  if (hit == header_index_.end()) return out;
+  const p4ir::HeaderType* type = dp_->program().find_header_type(ref->header);
+  if (type == nullptr) return out;
+  auto bit_off = type->bit_offset(ref->field);
+  const p4ir::Field* field = type->find_field(ref->field);
+  if (!bit_off || field == nullptr) return out;
+  out.space = Space::kHeader;
+  out.header = hit->second;
+  out.bit_off = *bit_off;
+  out.bits = field->bits;
+  return out;
+}
+
+CompiledPipeline::FieldRefC CompiledPipeline::resolve_field(
+    const std::string& dotted) {
+  FieldRefC out;
+  auto ref = p4ir::FieldRef::parse(dotted);
+  if (!ref) return out;
+  if (ref->header == "standard_metadata") {
+    out.space = Space::kMeta;
+    const std::string& f = ref->field;
+    out.meta = f == "ingress_port"       ? MetaField::kIngressPort
+               : f == "egress_spec"      ? MetaField::kEgressSpec
+               : f == "egress_port"      ? MetaField::kEgressPort
+               : f == "packet_length"    ? MetaField::kPacketLength
+               : f == "resubmit_flag"    ? MetaField::kResubmitFlag
+               : f == "recirculate_flag" ? MetaField::kRecirculateFlag
+               : f == "drop_flag"        ? MetaField::kDropFlag
+               : f == "mirror_flag"      ? MetaField::kMirrorFlag
+               : f == "to_cpu_flag"      ? MetaField::kToCpuFlag
+               : f == "epoch"            ? MetaField::kEpoch
+                                         : MetaField::kUnknown;
+    return out;
+  }
+  if (ref->header == "local") {
+    auto [it, inserted] = local_index_.try_emplace(
+        ref->field, static_cast<std::uint16_t>(local_index_.size()));
+    (void)inserted;
+    out.space = Space::kLocal;
+    out.local_slot = it->second;
+    return out;
+  }
+  out = resolve_header_field(dotted);
+  if (out.space == Space::kHeader && out.header < selector_ranges_.size()) {
+    const std::uint32_t lo = out.bit_off;
+    const std::uint32_t hi = out.bit_off + out.bits;
+    for (const auto& [sel_off, sel_bits] : selector_ranges_[out.header]) {
+      if (lo < sel_off + sel_bits && sel_off < hi) {
+        out.affects_parse = true;
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+void CompiledPipeline::mark_parse_selectors() {
+  selector_ranges_.assign(header_index_.size(), {});
+  sfc_affects_parse_ = false;
+  for (const ParseEdgeC& e : parse_edges_) {
+    if (e.is_default || e.select.space != Space::kHeader) continue;
+    selector_ranges_[e.select.header].push_back({e.select.bit_off,
+                                                 e.select.bits});
+    if (sfc_header_ >= 0 &&
+        e.select.header == static_cast<std::uint16_t>(sfc_header_)) {
+      sfc_affects_parse_ = true;
+    }
+  }
+}
+
+bool CompiledPipeline::compile_action(const p4ir::ControlBlock& control,
+                                      const ActionCall& call, ActionRef& out,
+                                      std::string* err) {
+  out = ActionRef{};
+  if (call.action.empty()) return true;
+  const p4ir::Action* action = control.find_action(call.action);
+  if (action == nullptr) {
+    *err = "action '" + call.action + "' not defined in control '" +
+           control.name() + "'";
+    return false;
+  }
+  auto arg = [&](const std::string& param,
+                 std::uint64_t* value) -> bool {
+    auto it = call.args.find(param);
+    if (it == call.args.end()) {
+      *err = "action '" + call.action + "' installed without argument '" +
+             param + "'";
+      return false;
+    }
+    *value = it->second;
+    return true;
+  };
+
+  out.begin = static_cast<std::uint32_t>(ops_.size());
+  for (const p4ir::Primitive& p : action->primitives) {
+    OpC op;
+    op.op = p.op;
+    switch (p.op) {
+      case p4ir::PrimitiveOp::kNoop:
+      case p4ir::PrimitiveOp::kDrop:
+      case p4ir::PrimitiveOp::kPushSfc:
+      case p4ir::PrimitiveOp::kPopSfc:
+        break;
+      case p4ir::PrimitiveOp::kSetImmediate:
+        op.dst = resolve_field(p.dst);
+        op.imm = p.imm;
+        break;
+      case p4ir::PrimitiveOp::kSetFromParam:
+        op.dst = resolve_field(p.dst);
+        if (!arg(p.param, &op.imm)) return false;
+        break;
+      case p4ir::PrimitiveOp::kCopy:
+        op.dst = resolve_field(p.dst);
+        op.src = resolve_field(p.src);
+        break;
+      case p4ir::PrimitiveOp::kAdd:
+        op.dst = resolve_field(p.dst);
+        op.imm = p.imm;
+        break;
+      case p4ir::PrimitiveOp::kHash: {
+        op.dst = resolve_field(p.dst);
+        op.hash_begin = static_cast<std::uint32_t>(hash_srcs_.size());
+        for (const std::string& src : p.srcs) {
+          HashSrc hs;
+          hs.ref = resolve_field(src);
+          const auto bits = dp_->program().field_bits(src).value_or(32);
+          hs.bytes = static_cast<std::uint8_t>((bits + 7) / 8);
+          hash_srcs_.push_back(hs);
+        }
+        op.hash_count = static_cast<std::uint32_t>(p.srcs.size());
+        break;
+      }
+      case p4ir::PrimitiveOp::kSetContext: {
+        op.ctx_key = static_cast<std::uint8_t>(p.imm);
+        std::uint64_t v = 0;
+        if (!arg(p.param, &v)) return false;
+        op.ctx_value = static_cast<std::uint16_t>(v);
+        break;
+      }
+      case p4ir::PrimitiveOp::kRegisterRead:
+      case p4ir::PrimitiveOp::kRegisterAdd:
+      case p4ir::PrimitiveOp::kRegisterWrite: {
+        const p4ir::RegisterDef* def = control.find_register(p.param);
+        std::vector<std::uint64_t>* cells =
+            dp_->register_array(control.name(), p.param);
+        if (def == nullptr || cells == nullptr) {
+          *err = "action '" + call.action + "' uses unknown register '" +
+                 p.param + "'";
+          return false;
+        }
+        op.reg = cells;
+        op.reg_mask = def->width_bits >= 64
+                          ? ~std::uint64_t{0}
+                          : (std::uint64_t{1} << def->width_bits) - 1;
+        op.imm = p.imm;
+        op.reg_index_from_imm = p.src.empty();
+        if (!p.src.empty()) op.src = resolve_field(p.src);
+        if (p.op == p4ir::PrimitiveOp::kRegisterWrite) {
+          op.reg_value_from_imm = p.srcs.empty();
+          if (!p.srcs.empty()) op.vsrc = resolve_field(p.srcs[0]);
+        }
+        if (p.op == p4ir::PrimitiveOp::kRegisterAdd) {
+          op.reg_write_dst = !p.dst.empty();
+          if (op.reg_write_dst) op.dst = resolve_field(p.dst);
+        }
+        if (p.op == p4ir::PrimitiveOp::kRegisterRead) {
+          op.dst = resolve_field(p.dst);
+        }
+        break;
+      }
+    }
+    ops_.push_back(op);
+  }
+  out.count = static_cast<std::uint32_t>(ops_.size()) - out.begin;
+  return true;
+}
+
+bool CompiledPipeline::compile_control(const std::string& control_name,
+                                       ControlC& cc, std::string* err) {
+  const p4ir::ControlBlock* cb = dp_->program().find_control(control_name);
+  if (cb == nullptr) {
+    cc.present = false;
+    return true;
+  }
+  cc.present = true;
+
+  // Dense control-local indices for applied tables and branches.
+  std::unordered_map<std::string, std::uint32_t> tidx;
+  std::unordered_map<std::string, std::int32_t> bidx;
+  for (const p4ir::ApplyEntry& ae : cb->apply_order()) {
+    tidx.try_emplace(ae.table, static_cast<std::uint32_t>(tidx.size()));
+    if (!ae.branch_id.empty()) {
+      bidx.try_emplace(ae.branch_id, static_cast<std::int32_t>(bidx.size()));
+    }
+  }
+  cc.branch_count = static_cast<std::uint32_t>(bidx.size());
+  cc.tables.resize(tidx.size());
+
+  for (const p4ir::ApplyEntry& ae : cb->apply_order()) {
+    EntryC e;
+    e.table = tidx.at(ae.table);
+    e.branch = ae.branch_id.empty() ? -1 : bidx.at(ae.branch_id);
+    if (ae.field_guard) {
+      e.has_field_guard = true;
+      e.guard_field = resolve_field(ae.field_guard->field);
+      e.guard_value = ae.field_guard->value;
+      e.guard_cmp = ae.field_guard->effective_cmp();
+    }
+    e.guard_begin = static_cast<std::uint32_t>(guard_tables_.size());
+    for (const std::string& g : ae.guard_tables) {
+      auto git = tidx.find(g);
+      guard_tables_.push_back(git == tidx.end() ? kAbsentTable : git->second);
+    }
+    e.guard_count = static_cast<std::uint32_t>(ae.guard_tables.size());
+    e.mode = ae.mode;
+    cc.entries.push_back(e);
+  }
+
+  for (const auto& [tname, idx] : tidx) {
+    const p4ir::Table* def = cb->find_table(tname);
+    const RuntimeTable* rt = dp_->table_in(control_name, tname);
+    if (def == nullptr || rt == nullptr) {
+      *err = "apply of unknown table '" + tname + "'";
+      return false;
+    }
+    TableC& t = cc.tables[idx];
+    t.rt = rt;
+    t.keyless = def->keyless();
+    t.is_tcam = def->needs_tcam();
+    if (def->keys.size() > kMaxKeyArity) {
+      *err = "table '" + tname + "' key arity exceeds compiled limit";
+      return false;
+    }
+    t.key_begin = static_cast<std::uint32_t>(key_refs_.size());
+    t.key_count = static_cast<std::uint32_t>(def->keys.size());
+    for (const p4ir::TableKey& k : def->keys) {
+      key_refs_.push_back(resolve_field(k.field));
+    }
+    if (!compile_action(*cb, ActionCall{def->default_action, {}},
+                        t.default_action, err)) {
+      return false;
+    }
+    if (t.is_tcam) {
+      for (const auto& entry : rt->ternary_entries()) {
+        if (!rt->ternary_window(entry.handle).contains(compiled_epoch_)) {
+          continue;
+        }
+        TernEntryC te;
+        te.vm_begin = static_cast<std::uint32_t>(vm_.size());
+        te.vm_count = static_cast<std::uint32_t>(entry.key.size());
+        for (const net::TernaryField& tf : entry.key) {
+          vm_.push_back({tf.value & tf.mask, tf.mask});
+        }
+        if (!compile_action(*cb, entry.value, te.action, err)) return false;
+        t.tern.push_back(te);
+      }
+    } else if (!t.keyless) {
+      for (const RuntimeTable::ExactEntry& entry : rt->exact_entries()) {
+        if (!entry.window.contains(compiled_epoch_)) continue;
+        if (entry.key.size() != t.key_count) {
+          *err = "installed key arity mismatch in table '" + tname + "'";
+          return false;
+        }
+        ExactKey k;
+        k.n = static_cast<std::uint8_t>(entry.key.size());
+        for (std::size_t i = 0; i < entry.key.size(); ++i) {
+          k.v[i] = entry.key[i];
+        }
+        ActionRef ar;
+        if (!compile_action(*cb, entry.action, ar, err)) return false;
+        t.exact[k] = ar;
+      }
+    }
+  }
+  return true;
+}
+
+bool CompiledPipeline::compile(std::string* err) {
+  controls_.clear();
+  parse_states_.clear();
+  parse_edges_.clear();
+  ops_.clear();
+  hash_srcs_.clear();
+  key_refs_.clear();
+  guard_tables_.clear();
+  vm_.clear();
+  shapes_.clear();
+  header_index_.clear();
+  local_index_.clear();
+  selector_ranges_.clear();
+  revisions_.clear();
+  ipv4_header_ = -1;
+  sfc_header_ = -1;
+  parser_empty_ = true;
+  parse_start_ = 0;
+
+  const p4ir::Program& program = dp_->program();
+  compiled_epoch_ = dp_->epoch();
+
+  for (const p4ir::HeaderType& h : program.header_types()) {
+    header_index_.try_emplace(h.name,
+                              static_cast<std::uint16_t>(header_index_.size()));
+  }
+  if (header_index_.size() > 64) {
+    *err = "more than 64 header types (shape bitmap overflow)";
+    return false;
+  }
+  if (auto it = header_index_.find("ipv4"); it != header_index_.end()) {
+    ipv4_header_ = it->second;
+  }
+  if (auto it = header_index_.find("sfc"); it != header_index_.end()) {
+    sfc_header_ = it->second;
+  }
+
+  // Parser automaton: one flat state per graph vertex, edges resolved
+  // to direct (header, bit range) selector reads.
+  const p4ir::ParserGraph& g = program.parser();
+  parser_empty_ = g.vertices().empty();
+  if (!parser_empty_) {
+    std::unordered_map<std::uint32_t, std::uint32_t> state_of;
+    for (std::uint32_t v : g.vertices()) {
+      state_of.emplace(v, static_cast<std::uint32_t>(state_of.size()));
+    }
+    parse_states_.resize(g.vertices().size());
+    for (std::uint32_t v : g.vertices()) {
+      ParseStateC& st = parse_states_[state_of.at(v)];
+      const p4ir::ParserTuple* tuple = nullptr;
+      try {
+        tuple = &dp_->ids().tuple_of(v);
+      } catch (const std::out_of_range&) {
+        *err = "parser vertex outside the tuple-id table";
+        return false;
+      }
+      const p4ir::HeaderType* type =
+          program.find_header_type(tuple->header_type);
+      if (type == nullptr) {
+        st.valid = false;  // run_parser stops here too
+      } else {
+        st.valid = true;
+        st.header = header_index_.at(tuple->header_type);
+        st.offset = tuple->offset;
+        st.width = type->byte_width();
+      }
+      st.edge_begin = static_cast<std::uint32_t>(parse_edges_.size());
+      for (const p4ir::ParserEdge& e : g.out_edges(v)) {
+        ParseEdgeC ec;
+        ec.is_default = e.is_default;
+        if (!e.is_default) ec.select = resolve_header_field(e.select_field);
+        ec.value = e.select_value;
+        auto to = state_of.find(e.to);
+        if (to == state_of.end()) {
+          *err = "parser edge to unknown vertex";
+          return false;
+        }
+        ec.to = to->second;
+        parse_edges_.push_back(ec);
+      }
+      st.edge_count =
+          static_cast<std::uint32_t>(parse_edges_.size()) - st.edge_begin;
+    }
+    auto start = state_of.find(g.start());
+    if (start == state_of.end()) {
+      *err = "parser start is not a vertex";
+      return false;
+    }
+    parse_start_ = start->second;
+  }
+  mark_parse_selectors();
+
+  // Per-pipelet controls.
+  pipelines_ = dp_->config().spec().pipelines;
+  controls_.resize(std::size_t{pipelines_} * 2);
+  for (std::uint32_t p = 0; p < pipelines_; ++p) {
+    if (!compile_control(
+            merge::pipelet_control_name({p, asic::PipeKind::kIngress}),
+            controls_[p * 2], err)) {
+      return false;
+    }
+    if (!compile_control(
+            merge::pipelet_control_name({p, asic::PipeKind::kEgress}),
+            controls_[p * 2 + 1], err)) {
+      return false;
+    }
+  }
+
+  // Invalidation snapshot: every table the compiled program can read.
+  for (const ControlC& cc : controls_) {
+    for (const TableC& t : cc.tables) {
+      revisions_.push_back({t.rt, t.rt->revision()});
+    }
+  }
+
+  // Scratch sizing (the zero-allocation guarantee: nothing below
+  // allocates per packet).
+  std::size_t max_tables = 0;
+  std::size_t max_branches = 0;
+  for (const ControlC& cc : controls_) {
+    max_tables = std::max(max_tables, cc.tables.size());
+    max_branches = std::max(max_branches, std::size_t{cc.branch_count});
+  }
+  hdr_off_.assign(header_index_.size(), 0);
+  local_val_.assign(std::max<std::size_t>(local_index_.size(), 1), 0);
+  local_stamp_.assign(local_val_.size(), 0);
+  hit_val_.assign(std::max<std::size_t>(max_tables, 1), 0);
+  hit_stamp_.assign(hit_val_.size(), 0);
+  branch_checked_stamp_.assign(std::max<std::size_t>(max_branches, 1), 0);
+  pass_token_ = 0;
+  present_ = 0;
+  parse_dirty_ = true;
+
+  // Compiled trace set: explorer witnesses when seeded, the parser
+  // DAG's full shape universe otherwise.
+  if (!seed_.witnesses.empty()) {
+    collect_shapes_from_witnesses();
+  } else if (!collect_all_shapes()) {
+    *err = "parser shape universe overflow";
+    return false;
+  }
+
+  if (!seed_.witnesses.empty() && !validated_once_) {
+    if (!validate_witnesses(err)) return false;
+    validated_once_ = true;
+  }
+  return true;
+}
+
+void CompiledPipeline::collect_shapes_from_witnesses() {
+  for (const CompileSeed::Witness& w : seed_.witnesses) {
+    run_parse(w.packet);
+    shapes_.insert(shape_hash_);
+  }
+}
+
+bool CompiledPipeline::shape_dfs(std::uint32_t state, std::uint64_t present,
+                                 std::uint64_t hash, std::size_t hop) {
+  if (shapes_.size() > kMaxShapes) return false;
+  // Truncation (or an invalid vertex) can stop extraction right here.
+  shapes_.insert(hash);
+  if (hop > parse_states_.size()) return true;
+  const ParseStateC& st = parse_states_[state];
+  if (!st.valid) return true;
+  if (!(present & (std::uint64_t{1} << st.header))) {
+    present |= std::uint64_t{1} << st.header;
+    hash = shape_extend(hash, st.header);
+  }
+  shapes_.insert(hash);  // accept / no-edge-matched / truncated later
+  for (std::uint32_t i = 0; i < st.edge_count; ++i) {
+    const ParseEdgeC& e = parse_edges_[st.edge_begin + i];
+    if (!shape_dfs(e.to, present, hash, hop + 1)) return false;
+    if (e.is_default) break;  // edges after the default are unreachable
+  }
+  return true;
+}
+
+bool CompiledPipeline::collect_all_shapes() {
+  shapes_.insert(kFnvOffset);  // the empty parse (empty graph/packet)
+  if (parser_empty_) return true;
+  return shape_dfs(parse_start_, 0, kFnvOffset, 0);
+}
+
+bool CompiledPipeline::validate_witnesses(std::string* err) {
+  // Replay each witness through interpreter and compiled engine on
+  // private clones (registers, counters, and punt ledgers must not
+  // leak into the live dataplane).
+  DataPlane interp = *dp_;
+  DataPlane clone = *dp_;
+  CompiledPipeline compiled(clone, CompileSeed{});  // empty seed: no recursion
+  const std::size_t n =
+      std::min(seed_.witnesses.size(), kMaxValidatedWitnesses);
+  for (std::size_t i = 0; i < n; ++i) {
+    const CompileSeed::Witness& w = seed_.witnesses[i];
+    SwitchOutput a = interp.process(w.packet, w.in_port);
+    SwitchOutput b = compiled.process(w.packet, w.in_port);
+    if (!semantically_equal(a, b)) {
+      *err = "witness " + std::to_string(i) +
+             " disagrees between interpreter and compiled engine";
+      return false;
+    }
+  }
+  return true;
+}
+
+// --- execution -------------------------------------------------------
+
+void CompiledPipeline::run_parse(const net::Packet& packet) {
+  present_ = 0;
+  std::uint64_t hash = kFnvOffset;
+  parse_dirty_ = false;
+  if (parser_empty_) {
+    shape_hash_ = hash;
+    return;
+  }
+  auto bytes = packet.data().view();
+  std::uint32_t state = parse_start_;
+  for (std::size_t hop = 0; hop <= parse_states_.size(); ++hop) {
+    const ParseStateC& st = parse_states_[state];
+    if (!st.valid) break;
+    if (std::size_t{st.offset} + st.width > bytes.size()) break;
+    const std::uint64_t bit = std::uint64_t{1} << st.header;
+    if (!(present_ & bit)) {
+      present_ |= bit;
+      hdr_off_[st.header] = st.offset;
+      hash = shape_extend(hash, st.header);
+    }
+    bool advanced = false;
+    for (std::uint32_t i = 0; i < st.edge_count; ++i) {
+      const ParseEdgeC& e = parse_edges_[st.edge_begin + i];
+      if (e.is_default) {
+        state = e.to;
+        advanced = true;
+        break;
+      }
+      const FieldRefC& f = e.select;
+      if (f.space != Space::kHeader ||
+          !(present_ & (std::uint64_t{1} << f.header))) {
+        continue;
+      }
+      const std::size_t abs =
+          std::size_t{hdr_off_[f.header]} * 8 + f.bit_off;
+      if (abs + f.bits > bytes.size() * 8) continue;
+      if (read_bits(bytes, abs, f.bits) == e.value) {
+        state = e.to;
+        advanced = true;
+        break;
+      }
+    }
+    if (!advanced) break;
+  }
+  shape_hash_ = hash;
+}
+
+void CompiledPipeline::ensure_parse(const net::Packet& packet) {
+  if (parse_dirty_) run_parse(packet);
+}
+
+std::optional<std::uint64_t> CompiledPipeline::read_field(
+    const FieldRefC& f, const net::Packet& packet,
+    const StandardMetadata& meta) {
+  switch (f.space) {
+    case Space::kMeta:
+      switch (f.meta) {
+        case MetaField::kIngressPort:
+          return meta.ingress_port;
+        case MetaField::kEgressSpec:
+          return meta.egress_spec;
+        case MetaField::kEgressPort:
+          return meta.egress_port;
+        case MetaField::kPacketLength:
+          return meta.packet_length;
+        case MetaField::kResubmitFlag:
+          return meta.resubmit_flag ? 1 : 0;
+        case MetaField::kRecirculateFlag:
+          return meta.recirculate_flag ? 1 : 0;
+        case MetaField::kDropFlag:
+          return meta.drop_flag ? 1 : 0;
+        case MetaField::kMirrorFlag:
+          return meta.mirror_flag ? 1 : 0;
+        case MetaField::kToCpuFlag:
+          return meta.to_cpu_flag ? 1 : 0;
+        case MetaField::kEpoch:
+          return meta.epoch;
+        case MetaField::kUnknown:
+          return std::nullopt;
+      }
+      return std::nullopt;
+    case Space::kLocal:
+      if (local_stamp_[f.local_slot] != pass_token_) return std::nullopt;
+      return local_val_[f.local_slot];
+    case Space::kHeader: {
+      if (!(present_ & (std::uint64_t{1} << f.header))) return std::nullopt;
+      const std::size_t abs = std::size_t{hdr_off_[f.header]} * 8 + f.bit_off;
+      auto bytes = packet.data().view();
+      if (abs + f.bits > bytes.size() * 8) return std::nullopt;
+      return read_bits(bytes, abs, f.bits);
+    }
+    case Space::kNone:
+      return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+void CompiledPipeline::write_field(const FieldRefC& f, std::uint64_t value,
+                                   net::Packet& packet,
+                                   StandardMetadata& meta) {
+  switch (f.space) {
+    case Space::kMeta:
+      switch (f.meta) {
+        case MetaField::kIngressPort:
+          meta.ingress_port = static_cast<std::uint16_t>(value & 0x1ff);
+          break;
+        case MetaField::kEgressSpec:
+          meta.egress_spec = static_cast<std::uint16_t>(value & 0x1ff);
+          break;
+        case MetaField::kEgressPort:
+          meta.egress_port = static_cast<std::uint16_t>(value & 0x1ff);
+          break;
+        case MetaField::kPacketLength:
+          meta.packet_length = static_cast<std::uint32_t>(value);
+          break;
+        case MetaField::kResubmitFlag:
+          meta.resubmit_flag = value != 0;
+          break;
+        case MetaField::kRecirculateFlag:
+          meta.recirculate_flag = value != 0;
+          break;
+        case MetaField::kDropFlag:
+          meta.drop_flag = value != 0;
+          break;
+        case MetaField::kMirrorFlag:
+          meta.mirror_flag = value != 0;
+          break;
+        case MetaField::kToCpuFlag:
+          meta.to_cpu_flag = value != 0;
+          break;
+        case MetaField::kEpoch:
+        case MetaField::kUnknown:
+          break;  // FieldView refuses these writes too
+      }
+      return;
+    case Space::kLocal:
+      local_val_[f.local_slot] = value;
+      local_stamp_[f.local_slot] = pass_token_;
+      return;
+    case Space::kHeader: {
+      if (!(present_ & (std::uint64_t{1} << f.header))) return;
+      const std::size_t abs = std::size_t{hdr_off_[f.header]} * 8 + f.bit_off;
+      auto bytes = packet.data().mutable_view();
+      if (abs + f.bits > bytes.size() * 8) return;
+      write_bits(bytes, abs, f.bits, mask_to_width(value, f.bits));
+      // The interpreter's per-pipelet FieldView never re-parses on
+      // field writes; the write becomes parser-visible at the *next*
+      // pipelet entry (which parses fresh). Defer accordingly.
+      if (f.affects_parse) parse_dirty_ = true;
+      return;
+    }
+    case Space::kNone:
+      return;
+  }
+}
+
+void CompiledPipeline::run_action(ActionRef ref, net::Packet& packet,
+                                  StandardMetadata& meta) {
+  for (std::uint32_t i = 0; i < ref.count; ++i) {
+    const OpC& op = ops_[ref.begin + i];
+    switch (op.op) {
+      case p4ir::PrimitiveOp::kNoop:
+        break;
+      case p4ir::PrimitiveOp::kSetImmediate:
+      case p4ir::PrimitiveOp::kSetFromParam:
+        write_field(op.dst, op.imm, packet, meta);
+        break;
+      case p4ir::PrimitiveOp::kCopy: {
+        auto v = read_field(op.src, packet, meta);
+        if (v) write_field(op.dst, *v, packet, meta);
+        break;
+      }
+      case p4ir::PrimitiveOp::kAdd: {
+        auto v = read_field(op.dst, packet, meta);
+        if (v) write_field(op.dst, *v + op.imm, packet, meta);
+        break;
+      }
+      case p4ir::PrimitiveOp::kHash: {
+        net::Crc32 crc;
+        for (std::uint32_t j = 0; j < op.hash_count; ++j) {
+          const HashSrc& hs = hash_srcs_[op.hash_begin + j];
+          const std::uint64_t v =
+              read_field(hs.ref, packet, meta).value_or(0);
+          for (std::uint8_t b = 0; b < hs.bytes; ++b) {
+            crc.add_u8(static_cast<std::uint8_t>(
+                (v >> (8 * (hs.bytes - 1 - b))) & 0xff));
+          }
+        }
+        write_field(op.dst, crc.finish(), packet, meta);
+        break;
+      }
+      case p4ir::PrimitiveOp::kPushSfc: {
+        sfc::SfcHeader header;
+        sfc::push_sfc(packet, header);
+        run_parse(packet);  // FieldView::reparse equivalent
+        break;
+      }
+      case p4ir::PrimitiveOp::kPopSfc:
+        if (sfc_header_ >= 0 &&
+            (present_ & (std::uint64_t{1} << sfc_header_))) {
+          sfc::pop_sfc(packet);
+          run_parse(packet);
+        }
+        break;
+      case p4ir::PrimitiveOp::kDrop:
+        meta.drop_flag = true;
+        break;
+      case p4ir::PrimitiveOp::kSetContext: {
+        auto header = sfc::read_sfc(packet);
+        if (header) {
+          header->context.set(op.ctx_key, op.ctx_value);
+          sfc::write_sfc(packet, *header);
+          if (sfc_affects_parse_) parse_dirty_ = true;
+        }
+        break;
+      }
+      case p4ir::PrimitiveOp::kRegisterRead:
+      case p4ir::PrimitiveOp::kRegisterAdd:
+      case p4ir::PrimitiveOp::kRegisterWrite: {
+        const std::uint64_t index =
+            (op.reg_index_from_imm
+                 ? op.imm
+                 : read_field(op.src, packet, meta).value_or(0)) %
+            op.reg->size();
+        std::uint64_t& cell = (*op.reg)[index];
+        if (op.op == p4ir::PrimitiveOp::kRegisterRead) {
+          write_field(op.dst, cell, packet, meta);
+        } else if (op.op == p4ir::PrimitiveOp::kRegisterAdd) {
+          cell = (cell + op.imm) & op.reg_mask;
+          if (op.reg_write_dst) write_field(op.dst, cell, packet, meta);
+        } else {
+          const std::uint64_t value =
+              op.reg_value_from_imm
+                  ? op.imm
+                  : read_field(op.vsrc, packet, meta).value_or(0);
+          cell = value & op.reg_mask;
+        }
+        break;
+      }
+    }
+  }
+}
+
+void CompiledPipeline::run_control(const ControlC& cc, net::Packet& packet,
+                                   StandardMetadata& meta) {
+  if (!cc.present) return;  // unnamed pipelet: pass-through
+  ++pass_token_;            // fresh locals / hits / branch state
+  ensure_parse(packet);     // the interpreter parses at pipelet entry
+
+  std::int32_t taken_branch = -1;
+  for (const EntryC& e : cc.entries) {
+    if (e.branch >= 0) {
+      if (taken_branch >= 0 && e.branch != taken_branch) continue;
+      if (taken_branch < 0 &&
+          branch_checked_stamp_[e.branch] == pass_token_) {
+        continue;  // this branch's gate already missed
+      }
+    }
+    bool pass = true;
+    if (e.has_field_guard) {
+      auto v = read_field(e.guard_field, packet, meta);
+      if (!v) {
+        pass = false;
+      } else {
+        switch (e.guard_cmp) {
+          case p4ir::GuardCmp::kEq:
+            pass = *v == e.guard_value;
+            break;
+          case p4ir::GuardCmp::kNe:
+            pass = *v != e.guard_value;
+            break;
+          case p4ir::GuardCmp::kGt:
+            pass = *v > e.guard_value;
+            break;
+          case p4ir::GuardCmp::kLt:
+            pass = *v < e.guard_value;
+            break;
+        }
+      }
+    }
+    if (pass) {
+      for (std::uint32_t i = 0; i < e.guard_count; ++i) {
+        const std::uint32_t idx = guard_tables_[e.guard_begin + i];
+        const bool hit = idx != kAbsentTable &&
+                         hit_stamp_[idx] == pass_token_ &&
+                         hit_val_[idx] != 0;
+        const bool want_hit = e.mode != p4ir::GuardMode::kIfMiss;
+        if (hit != want_hit) {
+          pass = false;
+          break;
+        }
+      }
+    }
+    if (!pass) {
+      if (e.branch >= 0 && taken_branch < 0) {
+        branch_checked_stamp_[e.branch] = pass_token_;
+      }
+      continue;
+    }
+
+    const TableC& t = cc.tables[e.table];
+    ActionRef act = t.default_action;
+    bool hit = false;
+    if (t.keyless) {
+      hit = true;
+    } else {
+      ExactKey k;
+      k.n = static_cast<std::uint8_t>(t.key_count);
+      bool missing = false;
+      for (std::uint32_t i = 0; i < t.key_count; ++i) {
+        auto v = read_field(key_refs_[t.key_begin + i], packet, meta);
+        if (!v) {
+          missing = true;
+          break;
+        }
+        k.v[i] = *v;
+      }
+      if (!missing) {
+        if (t.is_tcam) {
+          for (const TernEntryC& te : t.tern) {
+            bool match = true;
+            for (std::uint32_t j = 0; j < te.vm_count; ++j) {
+              const auto& [value, mask] = vm_[te.vm_begin + j];
+              if ((k.v[j] & mask) != value) {
+                match = false;
+                break;
+              }
+            }
+            if (match) {
+              hit = true;
+              act = te.action;
+              break;
+            }
+          }
+        } else if (auto it = t.exact.find(k); it != t.exact.end()) {
+          hit = true;
+          act = it->second;
+        }
+      }
+    }
+    t.rt->record_lookup(hit);
+    hit_val_[e.table] = hit ? 1 : 0;
+    hit_stamp_[e.table] = pass_token_;
+    if (e.branch >= 0 && taken_branch < 0) {
+      branch_checked_stamp_[e.branch] = pass_token_;
+      if (hit) taken_branch = e.branch;
+    }
+    if (act.count > 0) run_action(act, packet, meta);
+  }
+}
+
+void CompiledPipeline::do_emit(net::Packet packet, std::uint16_t port,
+                               SwitchOutput& out) {
+  DataPlane::PortCounters& c = dp_->counters_for(port);
+  c.tx_packets += 1;
+  c.tx_bytes += packet.size();
+  // Deparser duty (same as DataPlane::emit): refresh the IPv4 header
+  // checksum. The cached parse equals emit()'s fresh run_parser — the
+  // emitted copy carries the same bytes as the working packet.
+  ensure_parse(packet);
+  if (ipv4_header_ >= 0 && (present_ & (std::uint64_t{1} << ipv4_header_))) {
+    const std::uint32_t off = hdr_off_[ipv4_header_];
+    auto hdr = net::Ipv4Header::decode(packet.data().view().subspan(off));
+    if (hdr) {
+      hdr->encode(packet.data().mutable_slice(off, hdr->header_length()),
+                  /*fill_checksum=*/true);
+    }
+  }
+  out.out.push_back(SwitchOutput::Emitted{port, std::move(packet)});
+}
+
+SwitchOutput CompiledPipeline::fall_back(net::Packet packet,
+                                         std::uint16_t in_port, bool from_cpu,
+                                         std::optional<std::uint32_t> stamp) {
+  ++stats_.fallback_packets;
+  return dp_->process(std::move(packet), in_port, from_cpu, stamp);
+}
+
+SwitchOutput CompiledPipeline::process(net::Packet packet,
+                                       std::uint16_t in_port, bool from_cpu,
+                                       std::optional<std::uint32_t> stamp) {
+  if (from_cpu || stamp.has_value()) {
+    // CPU reinjections and stamped (possibly drained) generations are
+    // the slow path by definition.
+    ++stats_.reinjection_escapes;
+    return fall_back(std::move(packet), in_port, from_cpu, stamp);
+  }
+  if (!ensure_valid()) {
+    return fall_back(std::move(packet), in_port, from_cpu, stamp);
+  }
+  run_parse(packet);
+  if (!shapes_.contains(shape_hash_)) {
+    ++stats_.shape_escapes;
+    return fall_back(std::move(packet), in_port, from_cpu, stamp);
+  }
+  ++stats_.compiled_packets;
+  return run(std::move(packet), in_port);
+}
+
+SwitchOutput CompiledPipeline::run(net::Packet packet, std::uint16_t in_port) {
+  SwitchOutput out;
+  out.epoch = dp_->epoch();
+  const asic::TargetSpec& spec = dp_->config().spec();
+  if (in_port >= spec.total_ports() + spec.pipelines) {
+    out.set_drop(DropCode::kInvalidIngressPort, "invalid ingress port");
+    return out;
+  }
+  if (in_port >= spec.total_ports()) {
+    out.set_drop(DropCode::kRecircPortExternal,
+                 "dedicated recirculation ports take no external traffic");
+    return out;
+  }
+  if (dp_->config().is_loopback(in_port)) {
+    out.set_drop(DropCode::kLoopbackPortExternal,
+                 "port " + std::to_string(in_port) +
+                     " is in loopback mode and takes no external traffic");
+    return out;
+  }
+  if (dp_->is_port_down(in_port)) {
+    out.set_drop(DropCode::kPortDown,
+                 "ingress port " + std::to_string(in_port) + " is down");
+    return out;
+  }
+
+  StandardMetadata meta;
+  meta.ingress_port = in_port;
+  meta.packet_length = static_cast<std::uint32_t>(packet.size());
+  meta.epoch = out.epoch;
+  std::uint32_t pipeline = dp_->pipeline_of(in_port);
+  {
+    DataPlane::PortCounters& c = dp_->counters_for(in_port);
+    c.rx_packets += 1;
+    c.rx_bytes += packet.size();
+  }
+
+  const std::uint32_t max_passes = dp_->max_passes();
+  for (std::uint32_t pass = 0; pass < max_passes; ++pass) {
+    meta.egress_spec = sfc::kPortUnset;
+    meta.clear_flags();
+    run_control(controls_[std::size_t{pipeline} * 2], packet, meta);
+
+    if (meta.to_cpu_flag) {  // toCpu outranks drop, as in process()
+      out.to_cpu.push_back(
+          SwitchOutput::CpuPunt{meta.ingress_port, packet, meta.epoch});
+      dp_->note_punt(meta.epoch);
+      return out;
+    }
+    if (meta.drop_flag) {
+      out.set_drop(DropCode::kIngressDrop,
+                   "dropped in ingress pipe " + std::to_string(pipeline));
+      return out;
+    }
+    if (meta.resubmit_flag) {
+      ++out.resubmissions;
+      continue;
+    }
+    if (meta.egress_spec == sfc::kPortUnset) {
+      out.set_drop(DropCode::kNoEgressDecision,
+                   "no egress decision after ingress pipe");
+      return out;
+    }
+
+    const std::uint16_t port = meta.egress_spec;
+    if (port >= spec.total_ports() + spec.pipelines) {
+      out.set_drop(DropCode::kInvalidEgressSpec,
+                   "egress_spec " + std::to_string(port) +
+                       " is not a valid port");
+      return out;
+    }
+    if (dp_->is_port_down(port)) {
+      out.set_drop(DropCode::kPortDown,
+                   (dp_->loops_back(port) ? "recirculation port "
+                                          : "egress port ") +
+                       std::to_string(port) + " is down");
+      return out;
+    }
+
+    const std::uint32_t egress_pipeline = dp_->pipeline_of(port);
+    meta.egress_port = port;
+
+    if (meta.mirror_flag && dp_->mirror_port()) {
+      do_emit(packet, *dp_->mirror_port(), out);
+    }
+
+    run_control(controls_[std::size_t{egress_pipeline} * 2 + 1], packet,
+                meta);
+
+    if (meta.to_cpu_flag) {
+      out.to_cpu.push_back(
+          SwitchOutput::CpuPunt{meta.ingress_port, packet, meta.epoch});
+      dp_->note_punt(meta.epoch);
+      return out;
+    }
+    if (meta.drop_flag) {
+      out.set_drop(DropCode::kEgressDrop, "dropped in egress pipe " +
+                                              std::to_string(egress_pipeline));
+      return out;
+    }
+
+    if (dp_->loops_back(port)) {
+      ++out.recirculations;
+      out.recirc_ports.push_back(port);
+      DataPlane::PortCounters& c = dp_->counters_for(port);
+      c.tx_packets += 1;
+      c.tx_bytes += packet.size();
+      c.rx_packets += 1;
+      c.rx_bytes += packet.size();
+      pipeline = egress_pipeline;
+      meta.ingress_port = port;
+      continue;
+    }
+    do_emit(std::move(packet), port, out);
+    return out;
+  }
+
+  // The pass cap is enforced in-line (not via fallback): by the time
+  // the cap trips, register and counter side effects of the earlier
+  // passes are already applied, and a restart through the interpreter
+  // would double them.
+  out.set_drop(DropCode::kMaxPassesExceeded,
+               "packet exceeded " + std::to_string(max_passes) +
+                   " pipeline passes (routing loop?)");
+  if (!out.recirc_ports.empty()) {
+    out.drop_reason += "; recirc ports:";
+    for (std::uint16_t p : out.recirc_ports) {
+      out.drop_reason += " " + std::to_string(p);
+    }
+  }
+  return out;
+}
+
+}  // namespace dejavu::sim

@@ -1,0 +1,340 @@
+// The compiled fast path (DESIGN.md §12): lower a deployed chain —
+// merged parser graph, per-pipelet match-action tables with their
+// installed rules, resubmit/recirc disposition — into flat dispatch
+// arrays executed over a reusable, zero-heap-allocation per-packet
+// scratch state. This is the reproduction's stand-in for the ASIC's
+// compiled pipeline: the generic interpreter (sim::DataPlane::process)
+// re-parses dotted field names, rebuilds parse results, and copies
+// ActionCall maps on every packet; the compiled form resolves all of
+// that once, at compile time, against the *currently installed* rules
+// and the *current* chain generation.
+//
+// Semantics contract: for every packet the compiled engine accepts, the
+// outcome is bit-identical to the interpreter — same SwitchOutput
+// (minus the debug trace / pipelets_visited), same port counters, same
+// register side effects, same punt-ledger movement, same per-table
+// hit/miss counters, same DropCode attribution, same pass cap. Packets
+// it does not accept *escape* to the interpreter before any side
+// effect and count as fallback_packets:
+//   - CPU reinjections and epoch-stamped packets (from_cpu / stamp):
+//     the slow path stays on the interpreter by design;
+//   - packets whose parse shape (ordered set of extracted headers) is
+//     outside the compiled trace set seeded from the explorer's path
+//     equivalence classes (malformed/truncated/unknown headers);
+//   - everything, when compilation failed (uncompilable construct,
+//     witness disagreement) — the engine degrades to a pure
+//     interpreter shim rather than guess.
+//
+// Invalidation contract: compilation snapshots every lowered
+// RuntimeTable's revision() and the dataplane's epoch. Before each
+// packet the snapshot is revalidated; any movement — a Transaction
+// commit, a LiveUpdate flip, a ChainRepair swap, LB session learning —
+// triggers a synchronous recompile (or, if that fails, fallback). A
+// retired generation is therefore never served from stale traces.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/dataplane.hpp"
+
+namespace dejavu::sim {
+
+/// Explorer-derived compile seed: witness packets, one per path
+/// equivalence class (explore::compile_seed converts an ExploreResult).
+/// The witnesses (a) define the compiled trace set — a packet whose
+/// parse shape no witness exhibits escapes to the interpreter — and
+/// (b) gate compilation: each witness is replayed through interpreter
+/// and compiled engine on cloned dataplanes, and any disagreement
+/// rejects the compile. An empty seed compiles every shape the parser
+/// graph can produce and skips witness validation.
+struct CompileSeed {
+  struct Witness {
+    net::Packet packet;
+    std::uint16_t in_port = 0;
+  };
+  std::vector<Witness> witnesses;
+};
+
+/// Engine observability (perf half — never part of replay counters).
+struct CompiledStats {
+  std::uint64_t compiled_packets = 0;  ///< ran fully on the fast path
+  std::uint64_t fallback_packets = 0;  ///< delegated to the interpreter
+  std::uint64_t recompiles = 0;        ///< successful (re)compilations
+  std::uint64_t failed_compiles = 0;
+  std::uint64_t shape_escapes = 0;        ///< parse shape not compiled
+  std::uint64_t reinjection_escapes = 0;  ///< from_cpu / stamped packets
+};
+
+/// SwitchOutput equality over everything the engines must agree on:
+/// emissions, punts, drop code + reason string, epoch, resubmission /
+/// recirculation counts and ports. The debug trace and
+/// pipelets_visited are interpreter-only diagnostics and excluded.
+bool semantically_equal(const SwitchOutput& a, const SwitchOutput& b);
+
+/// One compiled engine bound to one DataPlane. Not thread-safe: the
+/// scratch state is reused across packets (the zero-allocation hot
+/// path), so use one instance per replay worker, like the DataPlane
+/// replicas themselves.
+class CompiledPipeline {
+ public:
+  /// Compiles immediately against dp's current program + rules.
+  /// `dp` must outlive the pipeline and keep a stable address.
+  explicit CompiledPipeline(DataPlane& dp, CompileSeed seed = {});
+
+  /// Drop-in replacement for DataPlane::process (same signature, same
+  /// observable behavior); escapes delegate to it.
+  SwitchOutput process(net::Packet packet, std::uint16_t in_port,
+                       bool from_cpu = false,
+                       std::optional<std::uint32_t> stamp = std::nullopt);
+
+  /// Did the last (re)compile succeed? When false every packet falls
+  /// back (still correct, no longer fast).
+  bool compiled_ok() const { return compiled_ok_; }
+  /// Why not, when it didn't.
+  const std::string& compile_error() const { return compile_error_; }
+
+  /// Count of successful compiles so far — the invalidation property
+  /// tests assert that a committed update moved this (recompiled) or
+  /// cleared compiled_ok() (fell back).
+  std::uint64_t generation() const { return stats_.recompiles; }
+
+  /// Force a recompile now (e.g. after a known rule burst); returns
+  /// compiled_ok().
+  bool recompile();
+
+  const CompiledStats& stats() const { return stats_; }
+
+  DataPlane& dataplane() { return *dp_; }
+
+ private:
+  // --- compiled program representation (flat arrays, arena-indexed) ---
+
+  /// Where a resolved field lives. kNone reads nullopt / writes no-op —
+  /// the lowered form of an unknown or unparseable dotted reference.
+  enum class Space : std::uint8_t { kHeader, kMeta, kLocal, kNone };
+
+  enum class MetaField : std::uint8_t {
+    kIngressPort,
+    kEgressSpec,
+    kEgressPort,
+    kPacketLength,
+    kResubmitFlag,
+    kRecirculateFlag,
+    kDropFlag,
+    kMirrorFlag,
+    kToCpuFlag,
+    kEpoch,    // readable, not writable (matches FieldView)
+    kUnknown,  // named standard_metadata.* field that doesn't exist
+  };
+
+  struct FieldRefC {
+    Space space = Space::kNone;
+    MetaField meta = MetaField::kUnknown;
+    std::uint16_t header = 0;  // header-type index
+    std::uint32_t bit_off = 0;
+    std::uint16_t bits = 0;
+    std::uint16_t local_slot = 0;
+    /// Writing this field can change what the parser extracts (its
+    /// bits overlap a parser selector) — invalidate the cached parse.
+    bool affects_parse = false;
+  };
+
+  struct OpC {
+    p4ir::PrimitiveOp op = p4ir::PrimitiveOp::kNoop;
+    FieldRefC dst;
+    FieldRefC src;   // kCopy source / register index field
+    FieldRefC vsrc;  // kRegisterWrite value source
+    std::uint64_t imm = 0;  // immediate / baked action argument
+    std::uint8_t ctx_key = 0;
+    std::uint16_t ctx_value = 0;
+    std::vector<std::uint64_t>* reg = nullptr;
+    std::uint64_t reg_mask = 0;
+    bool reg_index_from_imm = false;
+    bool reg_value_from_imm = false;
+    bool reg_write_dst = false;  // kRegisterAdd: dst non-empty
+    std::uint32_t hash_begin = 0;  // kHash: slice of hash_srcs_
+    std::uint32_t hash_count = 0;
+  };
+
+  struct HashSrc {
+    FieldRefC ref;
+    std::uint8_t bytes = 4;
+  };
+
+  /// A compiled action body: slice of ops_. count == 0 means "no
+  /// action" (empty action name).
+  struct ActionRef {
+    std::uint32_t begin = 0;
+    std::uint32_t count = 0;
+  };
+
+  static constexpr std::size_t kMaxKeyArity = 8;
+
+  struct ExactKey {
+    std::uint64_t v[kMaxKeyArity] = {};
+    std::uint8_t n = 0;
+    bool operator==(const ExactKey& o) const {
+      if (n != o.n) return false;
+      for (std::uint8_t i = 0; i < n; ++i) {
+        if (v[i] != o.v[i]) return false;
+      }
+      return true;
+    }
+  };
+  struct ExactKeyHash {
+    std::size_t operator()(const ExactKey& k) const {
+      std::uint64_t h = 1469598103934665603ull;
+      for (std::uint8_t i = 0; i < k.n; ++i) {
+        h ^= k.v[i];
+        h *= 1099511628211ull;
+      }
+      return static_cast<std::size_t>(h);
+    }
+  };
+
+  /// One lowered ternary entry: value/mask pairs in vm_, TCAM priority
+  /// order preserved, epoch-filtered at compile time.
+  struct TernEntryC {
+    std::uint32_t vm_begin = 0;
+    std::uint32_t vm_count = 0;
+    ActionRef action;
+  };
+
+  struct TableC {
+    const RuntimeTable* rt = nullptr;  // for record_lookup + revision
+    bool keyless = false;
+    bool is_tcam = false;
+    std::uint32_t key_begin = 0;  // slice of key_refs_
+    std::uint32_t key_count = 0;
+    std::unordered_map<ExactKey, ActionRef, ExactKeyHash> exact;
+    std::vector<TernEntryC> tern;
+    ActionRef default_action;
+  };
+
+  struct EntryC {
+    std::uint32_t table = 0;
+    std::int32_t branch = -1;  // -1 = unconditional
+    bool has_field_guard = false;
+    FieldRefC guard_field;
+    std::uint64_t guard_value = 0;
+    p4ir::GuardCmp guard_cmp = p4ir::GuardCmp::kEq;
+    std::uint32_t guard_begin = 0;  // slice of guard_tables_
+    std::uint32_t guard_count = 0;
+    p4ir::GuardMode mode = p4ir::GuardMode::kAlways;
+  };
+
+  struct ControlC {
+    bool present = false;
+    std::vector<EntryC> entries;
+    std::vector<TableC> tables;
+    std::uint32_t branch_count = 0;
+  };
+
+  struct ParseEdgeC {
+    bool is_default = false;
+    FieldRefC select;
+    std::uint64_t value = 0;
+    std::uint32_t to = 0;  // compiled state index
+  };
+
+  struct ParseStateC {
+    bool valid = false;  // header type resolved
+    std::uint16_t header = 0;
+    std::uint32_t offset = 0;
+    std::uint32_t width = 0;
+    std::uint32_t edge_begin = 0;
+    std::uint32_t edge_count = 0;
+  };
+
+  /// A table-guard reference: index into the owning control's tables,
+  /// or kAbsentTable for a name never applied (always a miss).
+  static constexpr std::uint32_t kAbsentTable = 0xffffffff;
+
+  // --- compilation ---
+  bool compile(std::string* err);
+  bool compile_control(const std::string& control_name, ControlC& cc,
+                       std::string* err);
+  bool compile_action(const p4ir::ControlBlock& control,
+                      const ActionCall& call, ActionRef& out,
+                      std::string* err);
+  FieldRefC resolve_field(const std::string& dotted);
+  FieldRefC resolve_header_field(const std::string& dotted) const;
+  void mark_parse_selectors();
+  void collect_shapes_from_witnesses();
+  bool collect_all_shapes();
+  bool shape_dfs(std::uint32_t state, std::uint64_t present,
+                 std::uint64_t hash, std::size_t hop);
+  bool validate_witnesses(std::string* err);
+  bool ensure_valid();
+
+  // --- execution (per-packet scratch; single-threaded) ---
+  SwitchOutput run(net::Packet packet, std::uint16_t in_port);
+  void run_control(const ControlC& cc, net::Packet& packet,
+                   StandardMetadata& meta);
+  void run_action(ActionRef ref, net::Packet& packet, StandardMetadata& meta);
+  void do_emit(net::Packet packet, std::uint16_t port, SwitchOutput& out);
+  void run_parse(const net::Packet& packet);
+  void ensure_parse(const net::Packet& packet);
+  std::optional<std::uint64_t> read_field(const FieldRefC& f,
+                                          const net::Packet& packet,
+                                          const StandardMetadata& meta);
+  void write_field(const FieldRefC& f, std::uint64_t value,
+                   net::Packet& packet, StandardMetadata& meta);
+  SwitchOutput fall_back(net::Packet packet, std::uint16_t in_port,
+                         bool from_cpu, std::optional<std::uint32_t> stamp);
+
+  DataPlane* dp_;
+  CompileSeed seed_;
+  bool compiled_ok_ = false;
+  bool validated_once_ = false;
+  std::string compile_error_;
+  CompiledStats stats_;
+
+  // Snapshot the compiled form is valid for.
+  std::uint32_t compiled_epoch_ = 0;
+  std::uint32_t attempted_epoch_ = 0;
+  bool attempted_ = false;
+  std::vector<std::pair<const RuntimeTable*, std::uint64_t>> revisions_;
+
+  // Compiled program.
+  std::vector<ControlC> controls_;  // [pipeline * 2 + (kind == egress)]
+  std::uint32_t pipelines_ = 0;
+  std::vector<ParseStateC> parse_states_;
+  std::vector<ParseEdgeC> parse_edges_;
+  std::uint32_t parse_start_ = 0;
+  bool parser_empty_ = true;
+  std::vector<OpC> ops_;
+  std::vector<HashSrc> hash_srcs_;
+  std::vector<FieldRefC> key_refs_;
+  std::vector<std::uint32_t> guard_tables_;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> vm_;  // value, mask
+  std::unordered_set<std::uint64_t> shapes_;
+  std::unordered_map<std::string, std::uint16_t> header_index_;
+  std::unordered_map<std::string, std::uint16_t> local_index_;
+  std::int32_t ipv4_header_ = -1;
+  std::int32_t sfc_header_ = -1;
+  bool sfc_affects_parse_ = false;
+  /// Per-header bit ranges the parser's edge selectors read; a write
+  /// overlapping one can steer the next parse.
+  std::vector<std::vector<std::pair<std::uint32_t, std::uint16_t>>>
+      selector_ranges_;
+
+  // Per-packet scratch (reused; no allocation once warmed).
+  std::vector<std::uint32_t> hdr_off_;
+  std::uint64_t present_ = 0;
+  std::uint64_t shape_hash_ = 0;
+  bool parse_dirty_ = true;
+  std::vector<std::uint64_t> local_val_;
+  std::vector<std::uint32_t> local_stamp_;
+  std::vector<std::uint8_t> hit_val_;
+  std::vector<std::uint32_t> hit_stamp_;
+  std::vector<std::uint32_t> branch_checked_stamp_;
+  std::uint32_t pass_token_ = 0;
+};
+
+}  // namespace dejavu::sim

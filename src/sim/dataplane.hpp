@@ -190,6 +190,13 @@ class DataPlane {
     }
   };
   const PortCounters& port_counters(std::uint16_t port) const;
+  /// Mutable per-port counters — engine plumbing for the compiled fast
+  /// path (sim::CompiledPipeline), which must keep tx/rx/recirculation
+  /// accounting bit-identical to process() while bypassing it.
+  PortCounters& counters_for(std::uint16_t port) { return counters_[port]; }
+  /// Record one CPU punt in the outstanding-punt ledger (§11 drain
+  /// accounting) — same engine plumbing as counters_for().
+  void note_punt(std::uint32_t epoch) { ++punts_outstanding_[epoch]; }
   /// Every port with traffic so far (ports never touched are absent).
   const std::map<std::uint16_t, PortCounters>& all_port_counters() const {
     return counters_;

@@ -43,7 +43,30 @@ DataPlaneTarget::DataPlaneTarget(const p4ir::Program& program,
 
 SwitchOutput DataPlaneTarget::inject(net::Packet packet,
                                      std::uint16_t in_port) {
+  if (engine_ == EngineKind::kCompiled && compiled_) {
+    return compiled_->process(std::move(packet), in_port);
+  }
   return dp_.process(std::move(packet), in_port);
+}
+
+void DataPlaneTarget::set_engine(EngineKind kind) {
+  engine_ = kind;
+  if (kind == EngineKind::kCompiled && !compiled_) {
+    compiled_ = std::make_unique<CompiledPipeline>(dp_, seed_);
+  }
+}
+
+void DataPlaneTarget::set_compile_seed(CompileSeed seed) {
+  seed_ = std::move(seed);
+  if (compiled_) compiled_ = std::make_unique<CompiledPipeline>(dp_, seed_);
+}
+
+std::uint64_t DataPlaneTarget::compiled_packets() const {
+  return compiled_ ? compiled_->stats().compiled_packets : 0;
+}
+
+std::uint64_t DataPlaneTarget::fallback_packets() const {
+  return compiled_ ? compiled_->stats().fallback_packets : 0;
 }
 
 namespace {
@@ -160,9 +183,15 @@ ReplayReport ReplayEngine::run(const std::vector<ReplayFlow>& flows,
   // shard the flows by FiveTuple hash so a flow's packets always meet
   // the same private switch replica.
   if (targets_.size() < workers) targets_.resize(workers);
+  std::vector<std::uint64_t> pre_compiled(workers), pre_fallback(workers);
   for (std::uint32_t w = 0; w < workers; ++w) {
     if (!targets_[w]) targets_[w] = factory_(w);
+    targets_[w]->set_engine(config.engine);
     targets_[w]->dataplane().reset_counters();
+    // Per-run engine tallies are deltas against these warm-target
+    // baselines (the engine keeps targets across run() calls).
+    pre_compiled[w] = targets_[w]->compiled_packets();
+    pre_fallback[w] = targets_[w]->fallback_packets();
   }
 
   std::vector<std::vector<std::uint32_t>> shards(workers);
@@ -231,6 +260,13 @@ ReplayReport ReplayEngine::run(const std::vector<ReplayFlow>& flows,
                                     wall_start)
           .count();
   for (const ReplayCounters& c : partial) merge_counters(report.counters, c);
+  report.engine = config.engine;
+  for (std::uint32_t w = 0; w < workers; ++w) {
+    report.compiled_packets += targets_[w]->compiled_packets() -
+                               pre_compiled[w];
+    report.fallback_packets += targets_[w]->fallback_packets() -
+                               pre_fallback[w];
+  }
   return report;
 }
 
@@ -289,6 +325,13 @@ std::string ReplayReport::to_table() const {
   std::snprintf(buf, sizeof(buf), "%zu workers, %.3f s wall, %.0f pps\n",
                 workers.size(), wall_seconds, packets_per_second());
   s += buf;
+  if (engine == EngineKind::kCompiled) {
+    std::snprintf(buf, sizeof(buf),
+                  "engine compiled: %llu fast-path, %llu fallback\n",
+                  static_cast<unsigned long long>(compiled_packets),
+                  static_cast<unsigned long long>(fallback_packets));
+    s += buf;
+  }
   for (const WorkerStats& w : workers) {
     std::snprintf(buf, sizeof(buf),
                   "  worker %u: %llu flows, %llu packets, %.3f s busy, "

@@ -31,11 +31,21 @@
 #include <string>
 #include <vector>
 
+#include "sim/compiled/compiled_pipeline.hpp"
 #include "sim/dataplane.hpp"
 #include "sim/throughput.hpp"
 #include "sim/workload.hpp"
 
 namespace dejavu::sim {
+
+/// Which execution engine a replay target drives packets through.
+/// Both produce bit-identical ReplayCounters (the differential suite's
+/// oracle, ctest -L compiled); they differ only in speed and in the
+/// perf-side compiled/fallback tallies.
+enum class EngineKind : std::uint8_t {
+  kInterpreter,  ///< the generic DataPlane::process walk
+  kCompiled,     ///< sim::CompiledPipeline with interpreter fallback
+};
 
 /// One flow to replay, labeled with the chain path the caller expects
 /// it to take (for per-path statistics) and its ingress port.
@@ -61,6 +71,18 @@ class ReplayTarget {
   virtual SwitchOutput inject(net::Packet packet, std::uint16_t in_port) = 0;
   /// The behavioral switch, for port counters and pipeline lookups.
   virtual DataPlane& dataplane() = 0;
+
+  /// Select the execution engine. The base implementation knows only
+  /// the interpreter, so kCompiled is a silent no-op — a target that
+  /// cannot compile stays correct, just not fast. Overriders must keep
+  /// the merged counters engine-independent.
+  virtual void set_engine(EngineKind) {}
+  virtual EngineKind engine() const { return EngineKind::kInterpreter; }
+  /// Cumulative engine tallies since construction (perf side only —
+  /// ReplayEngine::run reports per-run deltas). A pure-interpreter
+  /// target reports zero for both.
+  virtual std::uint64_t compiled_packets() const { return 0; }
+  virtual std::uint64_t fallback_packets() const { return 0; }
 };
 
 /// Builds worker `index`'s private target. Must be safe to call from
@@ -80,12 +102,34 @@ class DataPlaneTarget : public ReplayTarget {
   SwitchOutput inject(net::Packet packet, std::uint16_t in_port) override;
   DataPlane& dataplane() override { return dp_; }
 
+  /// kCompiled builds (or reuses) a CompiledPipeline over the private
+  /// replica; packets it can't take fall back to the interpreter
+  /// inside the pipeline, so inject() behavior is engine-independent.
+  void set_engine(EngineKind kind) override;
+  EngineKind engine() const override { return engine_; }
+  std::uint64_t compiled_packets() const override;
+  std::uint64_t fallback_packets() const override;
+
+  /// Witness seed for the next compile (explore::compile_seed output);
+  /// rebuilds an already-live compiled engine immediately.
+  void set_compile_seed(CompileSeed seed);
+  /// The live compiled engine, or nullptr while on the interpreter
+  /// (exposed for generation()/stats() assertions in tests).
+  CompiledPipeline* compiled() { return compiled_.get(); }
+
  private:
   DataPlane dp_;
+  CompileSeed seed_;
+  std::unique_ptr<CompiledPipeline> compiled_;
+  EngineKind engine_ = EngineKind::kInterpreter;
 };
 
 struct ReplayConfig {
   std::uint32_t workers = 1;
+  /// Engine every worker target is switched to before the timed phase.
+  /// Changes speed and the report's compiled/fallback tallies, never
+  /// the merged ReplayCounters.
+  EngineKind engine = EngineKind::kInterpreter;
   std::uint32_t packets_per_flow = 1;
   /// Packets of one flow injected back-to-back before the worker moves
   /// on to its next flow. Affects only interleaving, never the merged
@@ -173,6 +217,13 @@ struct ReplayReport {
   ReplayCounters counters;
   std::vector<WorkerStats> workers;
   double wall_seconds = 0;
+  /// Engine this run used, plus per-run engine tallies (perf side,
+  /// deliberately outside ReplayCounters so the determinism oracle
+  /// compares counters across engines). Interpreter runs report all
+  /// packets as fallback-free interpreter work: both tallies zero.
+  EngineKind engine = EngineKind::kInterpreter;
+  std::uint64_t compiled_packets = 0;  ///< ran fully on the fast path
+  std::uint64_t fallback_packets = 0;  ///< escaped to the interpreter
 
   double packets_per_second() const {
     return wall_seconds > 0 ? counters.packets / wall_seconds : 0;

@@ -44,6 +44,7 @@ void RuntimeTable::add_exact(const std::vector<std::uint64_t>& key,
     for (ExactEntry& version : it->second) {
       if (version.window == window) {
         version.action = std::move(action);  // reinstall overwrites
+        ++revision_;
         return;
       }
       if (version.window.overlaps(window)) {
@@ -59,6 +60,7 @@ void RuntimeTable::add_exact(const std::vector<std::uint64_t>& key,
   }
   exact_[key_string].push_back(ExactEntry{key, std::move(action), window});
   ++size_;
+  ++revision_;
 }
 
 std::size_t RuntimeTable::add_ternary(const std::vector<net::TernaryField>& key,
@@ -86,6 +88,7 @@ std::size_t RuntimeTable::add_ternary(const std::vector<net::TernaryField>& key,
   const std::size_t handle = tcam_->insert(key, priority, std::move(action));
   if (!window.is_default()) ternary_windows_[handle] = window;
   ++size_;
+  ++revision_;
   return handle;
 }
 
@@ -137,6 +140,7 @@ bool RuntimeTable::remove_exact(const std::vector<std::uint64_t>& key) {
   it->second.erase(vit);
   if (it->second.empty()) exact_.erase(it);
   --size_;
+  ++revision_;
   return true;
 }
 
@@ -152,6 +156,7 @@ bool RuntimeTable::remove_exact_version(const std::vector<std::uint64_t>& key,
   it->second.erase(vit);
   if (it->second.empty()) exact_.erase(it);
   --size_;
+  ++revision_;
   return true;
 }
 
@@ -164,6 +169,7 @@ bool RuntimeTable::retire_exact(const std::vector<std::uint64_t>& key,
     if (version.window.open()) {
       if (last_epoch < version.window.from) return false;
       version.window.to = last_epoch;
+      ++revision_;
       return true;
     }
   }
@@ -182,6 +188,7 @@ bool RuntimeTable::unretire_exact(const std::vector<std::uint64_t>& key,
       if (&other != &version && other.window.overlaps(reopened)) return false;
     }
     version.window = reopened;
+    ++revision_;
     return true;
   }
   return false;
@@ -192,6 +199,7 @@ bool RuntimeTable::erase_ternary(std::size_t handle) {
   if (!tcam_->erase(handle)) return false;
   ternary_windows_.erase(handle);
   --size_;
+  ++revision_;
   return true;
 }
 
@@ -208,6 +216,7 @@ bool RuntimeTable::retire_ternary(std::size_t handle,
   if (!window.open() || last_epoch < window.from) return false;
   window.to = last_epoch;
   ternary_windows_[handle] = window;
+  ++revision_;
   return true;
 }
 
@@ -219,6 +228,7 @@ bool RuntimeTable::unretire_ternary(std::size_t handle,
   }
   it->second.to = kEpochOpen;
   if (it->second.is_default()) ternary_windows_.erase(it);
+  ++revision_;
   return true;
 }
 
@@ -263,6 +273,7 @@ std::size_t RuntimeTable::gc(std::uint32_t min_live) {
     }
   }
   size_ -= removed;
+  if (removed > 0) ++revision_;
   return removed;
 }
 
@@ -369,6 +380,7 @@ void RuntimeTable::clear() {
   if (tcam_) tcam_.emplace(def_->keys.size());
   ternary_windows_.clear();
   size_ = 0;
+  ++revision_;
 }
 
 }  // namespace dejavu::sim

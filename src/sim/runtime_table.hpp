@@ -164,11 +164,24 @@ class RuntimeTable {
   std::size_t entry_count() const { return size_; }
   void clear();
 
+  /// Monotone mutation stamp: bumped by every entry mutation (install,
+  /// remove, retire, unretire, gc, clear). The compiled fast path
+  /// (sim::CompiledPipeline) snapshots it at compile time and treats
+  /// any movement as "my lowered entries may be stale" — the
+  /// trace-invalidation contract of DESIGN.md §12.
+  std::uint64_t revision() const { return revision_; }
+
   /// Per-table hit/miss counters (direct counters in P4 terms),
   /// incremented by lookup().
   std::uint64_t hits() const { return hits_; }
   std::uint64_t misses() const { return misses_; }
   void reset_counters() { hits_ = misses_ = 0; }
+
+  /// Fold an externally-executed lookup into the hit/miss counters.
+  /// The compiled fast path matches against its own lowered entry maps
+  /// instead of calling lookup(), but the direct counters must stay
+  /// truthful — the §7 health monitor reads them as liveness gates.
+  void record_lookup(bool hit) const { (hit ? hits_ : misses_) += 1; }
 
   /// State export (§7 service upgrade / failure handling): enumerate
   /// installed entries — every version, retired and shadowed included.
@@ -179,6 +192,7 @@ class RuntimeTable {
  private:
   const p4ir::Table* def_;
   std::size_t size_ = 0;
+  std::uint64_t revision_ = 0;
   mutable std::uint64_t hits_ = 0;
   mutable std::uint64_t misses_ = 0;
   // Exact storage: concatenated key string -> installed versions of

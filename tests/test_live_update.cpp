@@ -342,6 +342,38 @@ TEST(ReplayUnderUpdate, CountersBitIdenticalAcrossWorkerCounts) {
   EXPECT_EQ(one.counters.packets_by_epoch.size(), 2u);
 }
 
+TEST(LiveUpdate, CompiledPipelineNeverServesARetiredGeneration) {
+  // Trace-invalidation property (DESIGN.md §12): after a committed
+  // flip the compiled engine must recompile (generation moved) or fall
+  // back (compiled_ok cleared) — and the first packet it handles runs
+  // on the new epoch with interpreter-identical semantics.
+  auto fx = make_fig9_deployment();
+  Deployment& dep = *fx.deployment;
+  sim::DataPlane& dp = dep.dataplane();
+  sim::CompiledPipeline fast(dp);
+  ASSERT_TRUE(fast.compiled_ok()) << fast.compile_error();
+  const std::uint64_t gen = fast.generation();
+
+  const auto flows = fig2_replay_flows(6);
+  const net::Packet packet = flows.back().flow.packet();  // routed path
+  const std::uint16_t port = flows.back().in_port;
+  const std::uint32_t old_epoch = dp.epoch();
+  EXPECT_EQ(fast.process(packet, port).epoch, old_epoch);
+
+  LiveUpdate update(dp);
+  ASSERT_TRUE(update.run(bypass_lb_diff(dep)).committed);
+  ASSERT_GT(dp.epoch(), old_epoch);
+
+  // Interpreter reference from an identical-state clone, then the
+  // compiled engine on the live switch.
+  sim::DataPlane reference = dp;
+  const sim::SwitchOutput expected = reference.process(packet, port);
+  const sim::SwitchOutput got = fast.process(packet, port);
+  EXPECT_TRUE(sim::semantically_equal(expected, got)) << got.drop_reason;
+  EXPECT_EQ(got.epoch, dp.epoch());
+  EXPECT_TRUE(fast.generation() > gen || !fast.compiled_ok());
+}
+
 TEST(ExplorerEpochs, DrainedGenerationIsFlaggedDvS8) {
   auto fx = make_fig9_deployment();
   sim::DataPlane& dp = fx.deployment->dataplane();

@@ -126,6 +126,36 @@ TEST(ChainRepair, BypassRestoresDelivery) {
   EXPECT_GE(repaired, 0.95 * before);
 }
 
+TEST(ChainRepair, CompiledPipelineInvalidatedBySwap) {
+  // Trace-invalidation property (DESIGN.md §12): a committed repair
+  // swap moves table revisions, so the compiled engine must recompile
+  // or fall back — and agree with the interpreter on the repaired
+  // chain. Never the retired one.
+  auto fx = make_fig9_deployment();
+  auto flows = fig2_replay_flows(12);
+  window(*fx.deployment, flows);  // warm LB sessions
+  sim::DataPlane& dp = fx.deployment->dataplane();
+  sim::CompiledPipeline fast(dp);
+  ASSERT_TRUE(fast.compiled_ok()) << fast.compile_error();
+  fast.process(flows[0].flow.packet(), flows[0].in_port);
+  const std::uint64_t gen = fast.generation();
+
+  sabotage(*fx.deployment, sfc::kVgw);
+  ChainRepair repair(*fx.deployment);
+  ASSERT_TRUE(repair.bypass(sfc::kVgw).succeeded);
+
+  sim::DataPlane reference = dp;
+  for (const sim::ReplayFlow& rf : flows) {
+    const net::Packet packet = rf.flow.packet();
+    const sim::SwitchOutput expected = reference.process(packet, rf.in_port);
+    const sim::SwitchOutput got = fast.process(packet, rf.in_port);
+    ASSERT_TRUE(sim::semantically_equal(expected, got))
+        << "path " << rf.path_id << "\ninterp: " << expected.drop_reason
+        << "\ncompiled: " << got.drop_reason;
+  }
+  EXPECT_TRUE(fast.generation() > gen || !fast.compiled_ok());
+}
+
 TEST(ChainRepair, BypassRefusals) {
   auto fx = make_fig9_deployment();
   RepairPolicy policy;

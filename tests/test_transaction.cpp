@@ -5,10 +5,12 @@
 #include <gtest/gtest.h>
 
 #include "control/deployment.hpp"
+#include "control/replay_target.hpp"
 #include "control/snapshot.hpp"
 #include "control/transaction.hpp"
 #include "merge/compose.hpp"
 #include "nf/nfs.hpp"
+#include "sim/compiled/compiled_pipeline.hpp"
 #include "sim/fault.hpp"
 
 namespace dejavu::control {
@@ -83,6 +85,39 @@ TEST(Transaction, CommitsBatch) {
   ASSERT_EQ(dp.tables_named("LB.lb_session").size(), 1u);
   EXPECT_NE(dp.tables_named("LB.lb_session")[0]->find_exact({0x4242}),
             nullptr);
+}
+
+TEST(Transaction, CommitInvalidatesCompiledTraces) {
+  // Trace-invalidation property (DESIGN.md §12): a committed batch
+  // bumps table revisions, so a compiled pipeline built before the
+  // commit must recompile (or fall back) before serving the next
+  // packet — the new rules are visible immediately, exactly as on the
+  // interpreter.
+  auto fx = make_fig9_deployment();
+  sim::DataPlane& dp = fx.deployment->dataplane();
+  sim::CompiledPipeline fast(dp);
+  ASSERT_TRUE(fast.compiled_ok()) << fast.compile_error();
+  const std::uint64_t gen = fast.generation();
+
+  // A plain routed path-3 packet; the commit shadows its /16 route
+  // with a /24 carrying a different dmac, so the emitted bytes change.
+  const auto flows = fig2_replay_flows(6);
+  const net::Packet packet = flows.back().flow.packet();
+  const std::uint16_t port = flows.back().in_port;
+  const sim::SwitchOutput before = fast.process(packet, port);
+  EXPECT_TRUE(before.delivered());
+
+  Transaction txn(dp);
+  txn.install_lpm("Router.ipv4_lpm", net::Ipv4Addr(10, 3, 0, 0).value(), 24,
+                  {"Router.route", {{"port", 1}, {"dmac", 0x4242}}});
+  ASSERT_TRUE(txn.commit().committed);
+
+  sim::DataPlane reference = dp;
+  const sim::SwitchOutput expected = reference.process(packet, port);
+  const sim::SwitchOutput got = fast.process(packet, port);
+  EXPECT_TRUE(sim::semantically_equal(expected, got)) << got.drop_reason;
+  EXPECT_FALSE(sim::semantically_equal(before, got));  // the rule took
+  EXPECT_TRUE(fast.generation() > gen || !fast.compiled_ok());
 }
 
 TEST(Transaction, IsSingleUse) {
